@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the information measures: entropy, conditional mutual
+//! information, the J-measure and the KL-divergence of Theorem 3.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ajd_info::{conditional_mutual_information, entropy, j_measure, kl_divergence_to_tree};
+use ajd_jointree::JoinTree;
+use ajd_random::generators::random_relation;
+use ajd_relation::{AttrSet, Relation};
+
+fn bag(ids: &[u32]) -> AttrSet {
+    AttrSet::from_ids(ids.iter().copied())
+}
+
+fn make_relation(n: u64, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_relation(&mut rng, &[32, 32, 32, 32], n).expect("relation fits the domain")
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("info/entropy");
+    for &n in &[10_000u64, 100_000] {
+        let r = make_relation(n, 1);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("pair", n), &r, |b, r| {
+            b.iter(|| entropy(r, &bag(&[0, 1])).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full", n), &r, |b, r| {
+            b.iter(|| entropy(r, &bag(&[0, 1, 2, 3])).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cmi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("info/conditional_mi");
+    let r = make_relation(100_000, 2);
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("I(X0;X1|X2)", |b| {
+        b.iter(|| conditional_mutual_information(&r, &bag(&[0]), &bag(&[1]), &bag(&[2])).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_j_and_kl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("info/j_measure_vs_kl");
+    let r = make_relation(50_000, 3);
+    let tree = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap();
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("j_measure", |b| b.iter(|| j_measure(&r, &tree).unwrap()));
+    group.bench_function("kl_to_tree", |b| {
+        b.iter(|| kl_divergence_to_tree(&r, &tree).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_entropy, bench_cmi, bench_j_and_kl);
+criterion_main!(benches);

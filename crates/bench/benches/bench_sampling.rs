@@ -1,0 +1,58 @@
+//! Ablation benchmark of the sampling-without-replacement strategies of the
+//! random relation model (Definition 5.2): partial Fisher–Yates vs Floyd vs
+//! the automatic strategy selection, across density regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ajd_random::sampling::{floyd, partial_shuffle, sample_distinct};
+use ajd_random::RandomRelationModel;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/strategies");
+    // Sparse regime: tiny sample from a large domain.
+    let (domain, n) = (100_000_000u64, 10_000u64);
+    group.throughput(Throughput::Elements(n));
+    group.bench_with_input(BenchmarkId::new("floyd_sparse", n), &n, |b, _| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| floyd(&mut rng, domain, n))
+    });
+    // Dense regime: half of a small domain.
+    let (small_domain, dense_n) = (1_000_000u64, 500_000u64);
+    group.throughput(Throughput::Elements(dense_n));
+    group.bench_with_input(
+        BenchmarkId::new("partial_shuffle_dense", dense_n),
+        &dense_n,
+        |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| partial_shuffle(&mut rng, small_domain, dense_n))
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("auto_dense", dense_n),
+        &dense_n,
+        |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| sample_distinct(&mut rng, small_domain, dense_n).unwrap())
+        },
+    );
+    group.finish();
+}
+
+fn bench_model_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/random_relation_model");
+    // The Figure 1 workload at d = 500: N ~ 227k tuples from a 250k domain.
+    let d = 500u64;
+    let model = RandomRelationModel::degenerate(d, d).unwrap();
+    let n = (d as f64 * d as f64 / 1.1).round() as u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("fig1_point_d500", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| model.sample(&mut rng, n).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_model_sampling);
+criterion_main!(benches);

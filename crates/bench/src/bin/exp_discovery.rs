@@ -1,0 +1,88 @@
+//! Experiment `discovery` — the motivating application (Kenig et al. [14]):
+//! mining approximate acyclic schemas guided by the J-measure.
+//!
+//! Workload: noisy Markov-chain relations (attributes `X₀ → X₁ → ⋯` with a
+//! controlled noise level).  The miner builds a Chow–Liu tree over pairwise
+//! mutual information and then coarsens it greedily until the J-measure
+//! drops below a threshold.  We report the mined schema's J, the loss it
+//! actually incurs, and the Lemma 4.1 lower bound that J certifies.
+
+use ajd_bench::harness::{parallel_trials, ExperimentArgs};
+use ajd_bench::stats::Summary;
+use ajd_bench::table::{f, Table};
+use ajd_core::discovery::{DiscoveryConfig, SchemaMiner};
+use ajd_jointree::loss_acyclic;
+use ajd_random::generators::markov_chain_relation;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let noises: Vec<f64> = if args.quick {
+        vec![0.1, 0.3]
+    } else {
+        vec![0.1, 0.3, 0.5]
+    };
+    // The J budget controls the granularity/loss trade-off; sweeping it is
+    // the interesting axis (a tight budget forces coarse, near-lossless
+    // schemas; a loose budget keeps fine-grained but lossier ones).
+    let thresholds: Vec<f64> = if args.quick {
+        vec![0.1, 1.0]
+    } else {
+        vec![0.05, 0.2, 0.5, 1.0, 2.0]
+    };
+    let (num_attrs, domain, n) = (5usize, 12u32, 1500usize);
+
+    let mut table = Table::new(
+        "Schema discovery on noisy Markov chains (distinct tuples, 5 attrs, |dom| = 12, N = 1500)",
+        &[
+            "noise", "J_budget", "bags_mean", "max_bag", "J_mean", "rho_mean", "rho_lb_mean",
+            "lb_ok",
+        ],
+    );
+
+    for &noise in &noises {
+        for &j_threshold in &thresholds {
+            let rows =
+                parallel_trials(args.trials, args.seed ^ ((noise * 997.0) as u64), |_, rng| {
+                    let r = markov_chain_relation(rng, num_attrs, domain, n, noise, true)
+                        .expect("generator parameters are valid");
+                    let miner = SchemaMiner::new(DiscoveryConfig {
+                        j_threshold,
+                        ..DiscoveryConfig::default()
+                    });
+                    let mined = miner.mine(&r).expect("mining succeeds");
+                    let rho = loss_acyclic(&r, &mined.tree).expect("loss of the mined schema");
+                    let max_bag = mined.bags().iter().map(|b| b.len()).max().unwrap_or(0);
+                    (
+                        mined.bags().len() as f64,
+                        max_bag as f64,
+                        mined.j_measure,
+                        rho,
+                        mined.rho_lower_bound,
+                    )
+                });
+            let bags: Vec<f64> = rows.iter().map(|r| r.0).collect();
+            let max_bag = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+            let js: Vec<f64> = rows.iter().map(|r| r.2).collect();
+            let rhos: Vec<f64> = rows.iter().map(|r| r.3).collect();
+            let lbs: Vec<f64> = rows.iter().map(|r| r.4).collect();
+            let lb_ok = rows.iter().all(|r| r.4 <= r.3 + 1e-6);
+            table.push_row(vec![
+                format!("{noise:.2}"),
+                format!("{j_threshold:.2}"),
+                format!("{:.1}", Summary::of(&bags).mean),
+                format!("{max_bag:.0}"),
+                f(Summary::of(&js).mean),
+                f(Summary::of(&rhos).mean),
+                f(Summary::of(&lbs).mean),
+                lb_ok.to_string(),
+            ]);
+        }
+    }
+
+    table.emit(args.csv_dir.as_deref(), "discovery");
+    println!(
+        "Paper's shape: a tight J budget forces coarse, near-lossless schemas (few bags, J ~ 0);\n\
+         a loose budget keeps fine-grained schemas whose J and realised loss grow with the noise\n\
+         level, and the certified lower bound e^J - 1 always stays below the realised loss (lb_ok)."
+    );
+}

@@ -1,0 +1,85 @@
+//! Experiment `prop53_schema` — Proposition 5.3: schema-level probabilistic
+//! upper bounds on `log(1+ρ(R,S))`.
+//!
+//! Workload: the `approximate_mvd_relation` generator produces relations
+//! that satisfy `C ↠ A | B` up to a controlled noise fraction.  For each
+//! noise level we analyse the two-bag schema `{AC, BC}` and report the
+//! measured `log(1+ρ)`, the J-measure, and the two Proposition 5.3 bounds
+//! (`ΣI + Σε` and `(m−1)·J + Σε`, with ε from Theorem 5.1 at the measured
+//! active-domain sizes).
+
+use ajd_bench::harness::{parallel_trials, ExperimentArgs};
+use ajd_bench::stats::{fraction_where, Summary};
+use ajd_bench::table::{f, Table};
+use ajd_core::analysis::LossAnalysis;
+use ajd_jointree::JoinTree;
+use ajd_random::generators::approximate_mvd_relation;
+use ajd_relation::AttrSet;
+
+fn bag(ids: &[u32]) -> AttrSet {
+    AttrSet::from_ids(ids.iter().copied())
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let delta = 0.1f64;
+    let noises: Vec<f64> = if args.quick {
+        vec![0.0, 0.2]
+    } else {
+        vec![0.0, 0.02, 0.05, 0.1, 0.2, 0.4]
+    };
+    let (d_a, d_b, d_c, per_a, per_b) = (32u32, 32u32, 8u32, 16u32, 16u32);
+    let tree = JoinTree::new(vec![bag(&[0, 2]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
+
+    let mut table = Table::new(
+        "Proposition 5.3: schema-level bounds on log(1+rho) for approximate MVD data (nats)",
+        &[
+            "noise", "N_mean", "log1p_rho", "J", "sum_cmi", "eps_total", "cmi_viol", "bound_viol",
+        ],
+    );
+
+    for &noise in &noises {
+        let rows = parallel_trials(args.trials, args.seed ^ ((noise * 1000.0) as u64), |_, rng| {
+            let r = approximate_mvd_relation(rng, d_a, d_b, d_c, per_a, per_b, noise)
+                .expect("generator parameters are valid");
+            let analysis = LossAnalysis::new(&r, &tree).expect("analysis");
+            let rep = analysis.report();
+            let pb = analysis.probabilistic_bounds(delta);
+            (
+                r.len() as f64,
+                rep.log1p_rho,
+                rep.j_measure,
+                pb.schema_bound.sum_cmi_bound,
+                pb.schema_bound.total_epsilon,
+                rep.theorem22.sum_cmi,
+            )
+        });
+        let ns: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let lhs: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let js: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        let sum_cmi: Vec<f64> = rows.iter().map(|r| r.5).collect();
+        let eps_total: Vec<f64> = rows.iter().map(|r| r.4).collect();
+        // How often does log(1+rho) exceed the *bare* sum of CMIs (no eps)?
+        let cmi_viol = fraction_where(&rows, |r| r.1 > r.5 + 1e-9);
+        // The full Prop 5.3 bound is sum of CMIs plus the eps terms.
+        let bound_viol = fraction_where(&rows, |r| r.1 > r.3 + 1e-9);
+        table.push_row(vec![
+            format!("{noise:.2}"),
+            format!("{:.0}", Summary::of(&ns).mean),
+            f(Summary::of(&lhs).mean),
+            f(Summary::of(&js).mean),
+            f(Summary::of(&sum_cmi).mean),
+            format!("{:.1}", Summary::of(&eps_total).mean),
+            format!("{cmi_viol:.3}"),
+            format!("{bound_viol:.3}"),
+        ]);
+    }
+
+    table.emit(args.csv_dir.as_deref(), "prop53_schema");
+    println!(
+        "Paper's shape: bound_viol is 0.000 (the eps-inflated Prop 5.3 bound always holds here);\n\
+         log(1+rho) and J grow together with the noise level, and for this structured (non-random)\n\
+         data the bare sum of CMIs can be exceeded (cmi_viol > 0), which is exactly why the paper\n\
+         needs the random relation model for the upper bound."
+    );
+}

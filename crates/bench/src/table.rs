@@ -1,0 +1,166 @@
+//! Column-aligned result tables with optional CSV export.
+//!
+//! The experiment binaries print the same rows/series the paper reports;
+//! this tiny table type keeps them readable on a terminal and writes a CSV
+//! copy when `--csv DIR` is passed (we deliberately do not pull in a CSV
+//! crate — values are simple numbers and identifiers).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple table: a header and rows of stringified cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same number of cells as the header).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as column-aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, "{:>width$}  ", cell, width = widths[i]);
+            }
+            line.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows, comma separated; cells are
+    /// assumed not to contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/<name>.csv`, creating the directory if
+    /// necessary.
+    pub fn write_csv(&self, dir: &str, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{name}.csv"));
+        fs::write(path, self.to_csv())
+    }
+
+    /// Prints the rendered table to stdout and, when a CSV directory is
+    /// configured, writes the CSV copy too.
+    pub fn emit(&self, csv_dir: Option<&str>, name: &str) {
+        print!("{}", self.render());
+        println!();
+        if let Some(dir) = csv_dir {
+            match self.write_csv(dir, name) {
+                Ok(()) => println!("[csv written to {dir}/{name}.csv]"),
+                Err(e) => eprintln!("failed to write CSV: {e}"),
+            }
+        }
+    }
+}
+
+/// Formats a float with 6 significant decimals (the common cell format).
+pub fn f(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("demo", &["d", "mi", "ref"]);
+        t.push_row(vec!["100".into(), f(0.0945), f(0.0953)]);
+        t.push_row(vec!["1000".into(), f(0.0952), f(0.0953)]);
+        t
+    }
+
+    #[test]
+    fn render_contains_all_cells_and_title() {
+        let r = sample_table().render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("0.094500"));
+        assert!(r.contains("1000"));
+        assert!(r.contains("ref"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "d,mi,ref");
+        assert!(lines[1].starts_with("100,"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("ajd_bench_table_test");
+        let dir_str = dir.to_string_lossy().to_string();
+        sample_table().write_csv(&dir_str, "demo").unwrap();
+        let contents = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(contents.contains("d,mi,ref"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn float_formatters() {
+        assert_eq!(f(1.0), "1.000000");
+        assert_eq!(f3(2.5), "2.500");
+    }
+}

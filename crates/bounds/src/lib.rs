@@ -1,0 +1,44 @@
+//! # ajd-bounds
+//!
+//! The quantitative bounds of *"Quantifying the Loss of Acyclic Join
+//! Dependencies"* (Kenig & Weinberger, PODS 2023), as plain numeric
+//! functions.  The crate is independent of the relational machinery — it
+//! maps numbers (domain sizes, relation sizes, information measures,
+//! confidence levels) to bounds — so it can be unit-tested exhaustively and
+//! reused by the analysis crate, the experiments and the property tests.
+//!
+//! All information-measure arguments and results are in **nats**, matching
+//! `ajd-info`; the bound formulas are base-consistent, so using nats
+//! throughout is equivalent to the paper's statements.
+//!
+//! | Module | Paper result |
+//! |--------|--------------|
+//! | [`lower`]     | Lemma 4.1: `J(T) ≤ log(1+ρ)`, i.e. `ρ ≥ e^J − 1` |
+//! | [`thm52`]     | Theorem 5.2 / Proposition 5.4 / Corollary 5.2.1: entropy and MI confidence bounds under the random relation model |
+//! | [`thm51`]     | Theorem 5.1: `log(1+ρ(R,φ)) ≤ I(A;B|C) + ε*(φ,N,δ)` w.h.p. |
+//! | [`schema`]    | Proposition 5.1 and 5.3: lifting per-MVD bounds to a full acyclic schema |
+//! | [`auxiliary`] | `C(d)`, `h(t)`, functional entropy, Serfling / Chernoff tails (Appendix D) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auxiliary;
+pub mod lower;
+pub mod planning;
+pub mod schema;
+pub mod thm51;
+pub mod thm52;
+
+pub use auxiliary::{c_of_d, functional_entropy, h_of_t, poisson_tail_bound, serfling_tail_bound};
+pub use lower::{j_lower_bound_on_loss, lemma41_holds, loss_to_log1p, max_j_for_loss};
+pub use planning::{guaranteed_spurious_tuples, j_budget_for_loss, required_n_for_epsilon};
+pub use schema::{
+    loss_upper_bound_from_j, prop51_log_loss_bound, prop53_schema_bound, Prop53Bound,
+};
+pub use thm51::{
+    epsilon_star, thm51_minimum_n, thm51_qualifying_condition, thm51_upper_bound, Thm51Params,
+};
+pub use thm52::{
+    cor521_mi_lower_bound, expected_entropy_lower_bound, thm52_entropy_deviation,
+    thm52_entropy_lower_bound, thm52_qualifying_condition,
+};

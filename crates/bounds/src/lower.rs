@@ -1,0 +1,101 @@
+//! The deterministic lower bound on the loss (Lemma 4.1).
+//!
+//! For any relation `R` and acyclic schema `S` with join tree `T`:
+//!
+//! ```text
+//! J(T) ≤ log(1 + ρ(R,S))        equivalently        ρ(R,S) ≥ e^{J(T)} − 1
+//! ```
+//!
+//! (with natural logarithms, as used throughout this workspace).  The bound
+//! is tight for the bijection family of Example 4.1.
+
+/// The smallest possible loss `ρ(R,S)` compatible with a J-measure of
+/// `j_nats` (Lemma 4.1): `ρ ≥ e^J − 1`.
+pub fn j_lower_bound_on_loss(j_nats: f64) -> f64 {
+    assert!(
+        j_nats >= -1e-9,
+        "the J-measure is non-negative (got {j_nats})"
+    );
+    (j_nats.max(0.0)).exp_m1()
+}
+
+/// The largest possible J-measure compatible with a loss of `rho`
+/// (the contrapositive reading of Lemma 4.1): `J ≤ log(1+ρ)`.
+pub fn max_j_for_loss(rho: f64) -> f64 {
+    assert!(rho >= 0.0, "the loss is non-negative (got {rho})");
+    rho.ln_1p()
+}
+
+/// `log(1 + ρ)` — the quantity the paper's bounds are stated about.  Thin
+/// wrapper kept for readability at call sites.
+pub fn loss_to_log1p(rho: f64) -> f64 {
+    assert!(rho >= 0.0, "the loss is non-negative (got {rho})");
+    rho.ln_1p()
+}
+
+/// Checks Lemma 4.1 for measured values: `J ≤ log(1+ρ) + tol`.
+pub fn lemma41_holds(j_nats: f64, rho: f64) -> bool {
+    j_nats <= rho.ln_1p() + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_j_gives_zero_lower_bound() {
+        assert_eq!(j_lower_bound_on_loss(0.0), 0.0);
+        // Tiny negative values from floating point are clamped.
+        assert_eq!(j_lower_bound_on_loss(-1e-12), 0.0);
+    }
+
+    #[test]
+    fn bound_is_exponential_in_j() {
+        let j = (10.0f64).ln();
+        assert!((j_lower_bound_on_loss(j) - 9.0).abs() < 1e-9);
+        let j2 = (100.0f64).ln();
+        assert!((j_lower_bound_on_loss(j2) - 99.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lower_bound_and_max_j_are_inverses() {
+        for rho in [0.0, 0.1, 1.0, 17.5, 1e4] {
+            let j = max_j_for_loss(rho);
+            assert!((j_lower_bound_on_loss(j) - rho).abs() < 1e-7 * (1.0 + rho));
+        }
+        for j in [0.0, 0.3, 2.0, 9.0] {
+            let rho = j_lower_bound_on_loss(j);
+            assert!((max_j_for_loss(rho) - j).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lemma41_check_accepts_tight_example() {
+        // Example 4.1: J = ln N, rho = N - 1.
+        for n in [2u32, 5, 100, 4096] {
+            let j = (n as f64).ln();
+            let rho = n as f64 - 1.0;
+            assert!(lemma41_holds(j, rho));
+            // And the bound is tight: increasing J slightly breaks it.
+            assert!(!lemma41_holds(j + 1e-6, rho));
+        }
+    }
+
+    #[test]
+    fn loss_to_log1p_matches_ln_1p() {
+        assert_eq!(loss_to_log1p(0.0), 0.0);
+        assert!((loss_to_log1p(std::f64::consts::E - 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_loss_is_rejected() {
+        max_j_for_loss(-0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clearly_negative_j_is_rejected() {
+        j_lower_bound_on_loss(-0.5);
+    }
+}

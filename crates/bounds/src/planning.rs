@@ -1,0 +1,128 @@
+//! Planning helpers: inverting the paper's bounds.
+//!
+//! A practitioner using the bounds typically asks the inverse questions:
+//!
+//! * *"How many tuples do I need before `ε*(φ,N,δ)` drops below a target?"*
+//!   — [`required_n_for_epsilon`];
+//! * *"Given a measured J-measure, how many spurious tuples am I guaranteed
+//!   to produce?"* — [`guaranteed_spurious_tuples`];
+//! * *"Given a tolerance on the loss, what is the largest J-measure a mined
+//!   schema may have?"* — [`j_budget_for_loss`].
+//!
+//! These are thin, well-tested numeric inversions of the formulas in
+//! [`crate::thm51`] and [`crate::lower`].
+
+use crate::thm51::{epsilon_star, Thm51Params};
+
+/// The smallest relation size `N` for which the Theorem 5.1 deviation
+/// `ε*(φ, N, δ)` is at most `target_eps` (nats), found by doubling +
+/// bisection.  Returns `None` if no `N ≤ n_cap` achieves the target.
+///
+/// `ε*` is monotone decreasing in `N` up to the slowly-growing `log³ N`
+/// factor, so a monotone search over the doubling grid is sound in the
+/// regime of interest (`target_eps < ε*(1)`).
+pub fn required_n_for_epsilon(
+    d_a: u64,
+    d_b: u64,
+    d_c: u64,
+    delta: f64,
+    target_eps: f64,
+    n_cap: u64,
+) -> Option<u64> {
+    assert!(target_eps > 0.0, "target epsilon must be positive");
+    let eps_at = |n: u64| epsilon_star(&Thm51Params::new(d_a, d_b, d_c, n.max(1), delta));
+    if eps_at(n_cap) > target_eps {
+        return None;
+    }
+    // Exponential search for the first power-of-two N meeting the target.
+    let mut hi = 1u64;
+    while hi < n_cap && eps_at(hi) > target_eps {
+        hi = (hi * 2).min(n_cap);
+    }
+    let mut lo = (hi / 2).max(1);
+    // Bisection: eps_at(hi) <= target < eps_at(lo) (unless lo already works).
+    if eps_at(lo) <= target_eps {
+        return Some(lo);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if eps_at(mid) <= target_eps {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Lemma 4.1 restated in tuples: given a J-measure (nats) and a relation
+/// size `N`, any acyclic schema with that J-measure produces at least
+/// `⌈N·(e^J − 1)⌉` spurious tuples.
+pub fn guaranteed_spurious_tuples(j_nats: f64, n: u64) -> u64 {
+    assert!(j_nats >= -1e-9);
+    let rho_min = j_nats.max(0.0).exp_m1();
+    // Subtract a hair before rounding up so that exact integer products
+    // (e.g. Example 4.1, where rho_min = N-1 exactly) are not bumped by
+    // floating-point noise.
+    ((n as f64 * rho_min - 1e-9).max(0.0)).ceil() as u64
+}
+
+/// The largest J-measure (nats) a schema may have while still *possibly*
+/// keeping the loss at most `max_rho` (Lemma 4.1 inverted):
+/// `J ≤ log(1 + max_rho)`.  A schema-mining run that wants at most
+/// `max_rho` loss must reject any candidate whose J exceeds this budget
+/// (passing the budget does not *guarantee* the loss, which is the point of
+/// the paper's Section 5 upper bounds).
+pub fn j_budget_for_loss(max_rho: f64) -> f64 {
+    assert!(max_rho >= 0.0);
+    max_rho.ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_n_meets_the_target_and_is_minimal_on_the_grid() {
+        let (d_a, d_b, d_c, delta) = (32, 32, 2, 0.05);
+        let target = 0.5;
+        let n = required_n_for_epsilon(d_a, d_b, d_c, delta, target, u64::MAX >> 20).unwrap();
+        let eps_at =
+            |n: u64| epsilon_star(&Thm51Params::new(d_a, d_b, d_c, n, delta));
+        assert!(eps_at(n) <= target);
+        assert!(eps_at(n - 1) > target, "N should be minimal");
+        // Tighter targets need more tuples.
+        let n_tighter = required_n_for_epsilon(d_a, d_b, d_c, delta, 0.1, u64::MAX >> 20).unwrap();
+        assert!(n_tighter > n);
+    }
+
+    #[test]
+    fn required_n_respects_the_cap() {
+        assert!(required_n_for_epsilon(64, 64, 4, 0.05, 0.01, 10_000).is_none());
+        assert!(required_n_for_epsilon(4, 4, 1, 0.05, 5.0, 1 << 40).is_some());
+    }
+
+    #[test]
+    fn guaranteed_spurious_tuples_matches_example_4_1() {
+        // J = ln N  =>  at least N*(N-1) spurious tuples.
+        for n in [4u64, 16, 100] {
+            let j = (n as f64).ln();
+            assert_eq!(guaranteed_spurious_tuples(j, n), n * (n - 1));
+        }
+        assert_eq!(guaranteed_spurious_tuples(0.0, 1000), 0);
+    }
+
+    #[test]
+    fn j_budget_is_the_inverse_of_the_lower_bound() {
+        for rho in [0.0f64, 0.5, 3.0, 100.0] {
+            let budget = j_budget_for_loss(rho);
+            assert!((budget.exp_m1() - rho).abs() < 1e-9 * (1.0 + rho));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_target_epsilon_is_rejected() {
+        required_n_for_epsilon(8, 8, 1, 0.1, 0.0, 1 << 30);
+    }
+}

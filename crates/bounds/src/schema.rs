@@ -1,0 +1,154 @@
+//! Lifting per-MVD bounds to a full acyclic schema
+//! (Proposition 5.1 and Proposition 5.3).
+//!
+//! * Proposition 5.1 (deterministic):
+//!   `log(1 + ρ(R,S)) ≤ Σ_{i=2}^{m} log(1 + ρ(R, φᵢ))`
+//!   where `φᵢ` ranges over the ordered support of the join tree.
+//! * Proposition 5.3 (high probability, via a union bound over the support):
+//!   `log(1 + ρ(R,S)) ≤ Σᵢ I(Ω_{1:i-1}; Ω_{i:m} | Δᵢ) + Σᵢ εᵢ`
+//!   and, using Theorem 2.2, `≤ (m−1)·J(T) + Σᵢ εᵢ`,
+//!   each with probability `1 − δ` when every `εᵢ` is instantiated at
+//!   confidence `δ/(m−1)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Proposition 5.1: upper bound on `log(1 + ρ(R,S))` from the per-MVD losses
+/// of the support (`ρ(R,φᵢ)` values).  Returns the bound in nats.
+pub fn prop51_log_loss_bound(per_mvd_losses: &[f64]) -> f64 {
+    per_mvd_losses
+        .iter()
+        .map(|&rho| {
+            assert!(rho >= -1e-9, "per-MVD loss must be non-negative, got {rho}");
+            rho.max(0.0).ln_1p()
+        })
+        .sum()
+}
+
+/// The two schema-level upper bounds of Proposition 5.3 on
+/// `log(1 + ρ(R,S))`, in nats.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prop53Bound {
+    /// `Σᵢ I(Ω_{1:i-1}; Ω_{i:m} | Δᵢ) + Σᵢ εᵢ` — eq. (33).
+    pub sum_cmi_bound: f64,
+    /// `(m − 1)·J(T) + Σᵢ εᵢ` — eq. (34) (always ≥ `sum_cmi_bound` by
+    /// Theorem 2.2).
+    pub j_based_bound: f64,
+    /// The total deviation `Σᵢ εᵢ` that was added.
+    pub total_epsilon: f64,
+    /// The confidence `1 − δ` at which the bound holds (after the union
+    /// bound over the `m − 1` support MVDs).
+    pub confidence: f64,
+}
+
+/// Proposition 5.3: combines the per-MVD conditional mutual informations and
+/// deviation terms into schema-level bounds.
+///
+/// `per_mvd_cmi[i]` and `per_mvd_epsilon[i]` must refer to the same ordered
+/// support MVD; `j_nats` is the J-measure of the tree; `delta` is the total
+/// failure probability (each `εᵢ` is assumed to have been instantiated at
+/// `δ/(m−1)` by the caller, e.g. via [`crate::thm51::epsilon_star`]).
+pub fn prop53_schema_bound(
+    per_mvd_cmi: &[f64],
+    per_mvd_epsilon: &[f64],
+    j_nats: f64,
+    delta: f64,
+) -> Prop53Bound {
+    assert_eq!(
+        per_mvd_cmi.len(),
+        per_mvd_epsilon.len(),
+        "one epsilon per support MVD"
+    );
+    assert!(delta > 0.0 && delta < 1.0);
+    let m_minus_1 = per_mvd_cmi.len() as f64;
+    let sum_cmi: f64 = per_mvd_cmi
+        .iter()
+        .map(|&c| {
+            assert!(c >= -1e-9, "CMI must be non-negative");
+            c.max(0.0)
+        })
+        .sum();
+    let total_epsilon: f64 = per_mvd_epsilon
+        .iter()
+        .map(|&e| {
+            assert!(e >= 0.0, "epsilon must be non-negative");
+            e
+        })
+        .sum();
+    Prop53Bound {
+        sum_cmi_bound: sum_cmi + total_epsilon,
+        j_based_bound: m_minus_1 * j_nats.max(0.0) + total_epsilon,
+        total_epsilon,
+        confidence: 1.0 - delta,
+    }
+}
+
+/// Convenience form of eq. (34): an upper bound on `log(1+ρ(R,S))` from the
+/// J-measure alone plus the per-MVD deviations:
+/// `(m − 1)·J + Σ εᵢ`.
+pub fn loss_upper_bound_from_j(j_nats: f64, num_bags: usize, per_mvd_epsilon: &[f64]) -> f64 {
+    assert!(num_bags >= 1);
+    let m_minus_1 = (num_bags - 1) as f64;
+    m_minus_1 * j_nats.max(0.0) + per_mvd_epsilon.iter().sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop51_bound_is_sum_of_log1p() {
+        let losses = [0.0, 1.0, 3.0];
+        let b = prop51_log_loss_bound(&losses);
+        let expected = 0.0 + (2.0f64).ln() + (4.0f64).ln();
+        assert!((b - expected).abs() < 1e-12);
+        assert_eq!(prop51_log_loss_bound(&[]), 0.0);
+    }
+
+    #[test]
+    fn prop51_with_zero_losses_gives_zero_bound() {
+        assert_eq!(prop51_log_loss_bound(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn prop51_rejects_negative_losses() {
+        prop51_log_loss_bound(&[-0.5]);
+    }
+
+    #[test]
+    fn prop53_combines_cmi_and_epsilon() {
+        let cmi = [0.2, 0.3];
+        let eps = [0.05, 0.07];
+        let j = 0.4;
+        let b = prop53_schema_bound(&cmi, &eps, j, 0.1);
+        assert!((b.sum_cmi_bound - (0.5 + 0.12)).abs() < 1e-12);
+        assert!((b.j_based_bound - (2.0 * 0.4 + 0.12)).abs() < 1e-12);
+        assert!((b.total_epsilon - 0.12).abs() < 1e-12);
+        assert!((b.confidence - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prop53_j_bound_dominates_cmi_bound_by_theorem_2_2() {
+        // When J >= every CMI (which Theorem 2.2's lower bound guarantees),
+        // (m-1)*J >= sum of CMIs.
+        let cmi = [0.2, 0.35, 0.1];
+        let j: f64 = 0.4; // >= max cmi
+        let eps = [0.0, 0.0, 0.0];
+        let b = prop53_schema_bound(&cmi, &eps, j, 0.05);
+        assert!(b.j_based_bound >= b.sum_cmi_bound - 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn prop53_requires_matching_lengths() {
+        prop53_schema_bound(&[0.1], &[0.1, 0.2], 0.1, 0.1);
+    }
+
+    #[test]
+    fn loss_upper_bound_from_j_matches_formula() {
+        let b = loss_upper_bound_from_j(0.5, 4, &[0.1, 0.1, 0.1]);
+        assert!((b - (3.0 * 0.5 + 0.3)).abs() < 1e-12);
+        // A single-bag schema has no support and no loss.
+        assert_eq!(loss_upper_bound_from_j(0.7, 1, &[]), 0.0);
+    }
+}

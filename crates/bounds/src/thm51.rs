@@ -1,0 +1,162 @@
+//! Theorem 5.1: the high-probability upper bound on the loss of a single
+//! MVD in terms of its conditional mutual information.
+//!
+//! For an MVD `φ = C ↠ A | B` with domain sizes `d_A ≥ d_B`, `d_C`, and a
+//! relation of `N` tuples drawn from the random relation model, Theorem 5.1
+//! states that with probability at least `1 − δ`:
+//!
+//! ```text
+//! log(1 + ρ(R_S, φ)) ≤ I(A_S; B_S | C_S) + ε*(φ, N, δ)
+//! ε*(φ, N, δ) = 60 · √( d_A · d · log³(6·N·d_C/δ) / N ),    d = max{d_A, d_C}
+//! ```
+//!
+//! provided the qualifying condition (37) holds:
+//! `N ≥ 256·d_A·d·log(384·d/δ)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a single-MVD instance of the random relation model, as used
+/// by Theorem 5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thm51Params {
+    /// Domain size of the `A` side.
+    pub d_a: u64,
+    /// Domain size of the `B` side.
+    pub d_b: u64,
+    /// Domain size of the conditioning set `C` (1 for the degenerate model).
+    pub d_c: u64,
+    /// Number of tuples `N` of the sampled relation.
+    pub n: u64,
+    /// Confidence parameter `δ ∈ (0,1)`.
+    pub delta: f64,
+}
+
+impl Thm51Params {
+    /// Creates the parameter set, normalising so that `d_A ≥ d_B` (the
+    /// theorem assumes this w.l.o.g.; swapping `A` and `B` changes nothing).
+    pub fn new(d_a: u64, d_b: u64, d_c: u64, n: u64, delta: f64) -> Self {
+        assert!(d_a >= 1 && d_b >= 1 && d_c >= 1, "domain sizes must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let (d_a, d_b) = if d_a >= d_b { (d_a, d_b) } else { (d_b, d_a) };
+        Thm51Params {
+            d_a,
+            d_b,
+            d_c,
+            n,
+            delta,
+        }
+    }
+
+    /// `d = max{d_A, d_C}` as used in the theorem.
+    pub fn d(&self) -> u64 {
+        self.d_a.max(self.d_c)
+    }
+}
+
+/// The qualifying condition (37): `N ≥ 256·d_A·d·log(384·d/δ)`.
+pub fn thm51_qualifying_condition(p: &Thm51Params) -> bool {
+    let d = p.d() as f64;
+    (p.n as f64) >= 256.0 * p.d_a as f64 * d * (384.0 * d / p.delta).ln()
+}
+
+/// The smallest `N` satisfying the qualifying condition (37), rounded up.
+pub fn thm51_minimum_n(d_a: u64, d_b: u64, d_c: u64, delta: f64) -> u64 {
+    let p = Thm51Params::new(d_a, d_b, d_c, 1, delta);
+    let d = p.d() as f64;
+    (256.0 * p.d_a as f64 * d * (384.0 * d / delta).ln()).ceil() as u64
+}
+
+/// The deviation term `ε*(φ, N, δ)` of eq. (38), in nats.
+pub fn epsilon_star(p: &Thm51Params) -> f64 {
+    let d = p.d() as f64;
+    let n = p.n as f64;
+    assert!(n > 0.0, "N must be positive");
+    let log_term = (6.0 * n * p.d_c as f64 / p.delta).ln();
+    60.0 * (p.d_a as f64 * d * log_term.powi(3) / n).sqrt()
+}
+
+/// The Theorem 5.1 upper bound on `log(1 + ρ(R,φ))` given the measured
+/// conditional mutual information `I(A;B|C)` (in nats):
+/// `cmi + ε*(φ, N, δ)`.
+pub fn thm51_upper_bound(cmi_nats: f64, p: &Thm51Params) -> f64 {
+    assert!(cmi_nats >= -1e-9, "conditional MI is non-negative");
+    cmi_nats.max(0.0) + epsilon_star(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_normalise_da_ge_db() {
+        let p = Thm51Params::new(10, 50, 3, 1000, 0.05);
+        assert_eq!(p.d_a, 50);
+        assert_eq!(p.d_b, 10);
+        assert_eq!(p.d(), 50);
+        let q = Thm51Params::new(10, 5, 40, 1000, 0.05);
+        assert_eq!(q.d(), 40);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_delta_rejected() {
+        Thm51Params::new(10, 10, 1, 100, 1.5);
+    }
+
+    #[test]
+    fn qualifying_condition_matches_minimum_n() {
+        for (da, db, dc) in [(16u64, 16u64, 1u64), (64, 32, 4), (8, 8, 8)] {
+            let n_min = thm51_minimum_n(da, db, dc, 0.1);
+            let below = Thm51Params::new(da, db, dc, n_min.saturating_sub(2), 0.1);
+            let at = Thm51Params::new(da, db, dc, n_min + 1, 0.1);
+            assert!(!thm51_qualifying_condition(&below));
+            assert!(thm51_qualifying_condition(&at));
+        }
+    }
+
+    #[test]
+    fn epsilon_star_vanishes_with_n() {
+        // For fixed domains, eps* ~ sqrt(log^3 N / N) -> 0. The constants of
+        // the theorem are large, so we check the rate rather than absolute
+        // smallness: multiplying N by 100 shrinks eps* by roughly 10x
+        // (modulo log growth).
+        let mk = |n| Thm51Params::new(100, 100, 4, n, 0.05);
+        let e1 = epsilon_star(&mk(1_000_000));
+        let e2 = epsilon_star(&mk(100_000_000));
+        assert!(e2 < e1 / 5.0);
+        let e3 = epsilon_star(&mk(10_000_000_000));
+        assert!(e3 < e2 / 5.0);
+    }
+
+    #[test]
+    fn epsilon_star_grows_with_domains_and_confidence() {
+        let base = Thm51Params::new(50, 50, 2, 1_000_000, 0.05);
+        let bigger_domain = Thm51Params::new(200, 200, 2, 1_000_000, 0.05);
+        let tighter_delta = Thm51Params::new(50, 50, 2, 1_000_000, 1e-6);
+        assert!(epsilon_star(&bigger_domain) > epsilon_star(&base));
+        assert!(epsilon_star(&tighter_delta) > epsilon_star(&base));
+    }
+
+    #[test]
+    fn epsilon_star_example_from_paper_scaling() {
+        // Paper remark: with d_A = d_B = d_C = d and N = d^3/2 the deviation
+        // is O(sqrt(log^3 d / d)), vanishing with d.
+        let eps_at = |d: u64| {
+            let n = d.pow(3) / 2;
+            epsilon_star(&Thm51Params::new(d, d, d, n, 0.05))
+        };
+        let e_small = eps_at(100);
+        let e_large = eps_at(10_000);
+        assert!(e_large < e_small);
+    }
+
+    #[test]
+    fn upper_bound_adds_cmi_and_epsilon() {
+        let p = Thm51Params::new(32, 32, 2, 1_000_000, 0.1);
+        let eps = epsilon_star(&p);
+        assert!((thm51_upper_bound(0.0, &p) - eps).abs() < 1e-12);
+        assert!((thm51_upper_bound(0.7, &p) - (0.7 + eps)).abs() < 1e-12);
+        // Tiny negative CMI (floating point noise) is clamped.
+        assert!((thm51_upper_bound(-1e-12, &p) - eps).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Entropy and mutual-information confidence bounds under the random
+//! relation model (Proposition 5.4, Theorem 5.2, Corollary 5.2.1).
+//!
+//! Setting: the degenerate model (`d_C = 1`) where a set `S` of `η` tuples
+//! is drawn uniformly without replacement from `[d_A] × [d_B]`, with
+//! `d_A ≥ d_B` assumed w.l.o.g.  The paper proves:
+//!
+//! * Proposition 5.4: `0 ≤ log d_A − E[H(A_S)] ≤ C(d_B)`.
+//! * Theorem 5.2: with probability `1 − δ`,
+//!   `log d_A − 20·√(d_A·log³(η/δ)/η) ≤ H(A_S) ≤ log d_A`,
+//!   provided `η ≥ 128·d_A·log(128·d_A/δ)` (eq. 40).
+//! * Corollary 5.2.1: with probability `1 − δ`,
+//!   `I(A_S;B_S) ≥ log(1+ρ̄) − 40·√(d_A·log³(2η/δ)/η)`
+//!   where `ρ̄ = d_A·d_B/η − 1`.
+
+use crate::auxiliary::c_of_d;
+
+/// The qualifying condition (40) of Theorem 5.2:
+/// `η ≥ 128·d_A·log(128·d_A/δ)`.
+pub fn thm52_qualifying_condition(d_a: f64, eta: f64, delta: f64) -> bool {
+    assert!(d_a >= 1.0 && eta >= 0.0 && delta > 0.0 && delta < 1.0);
+    eta >= 128.0 * d_a * (128.0 * d_a / delta).ln()
+}
+
+/// The deviation term of Theorem 5.2 (eq. 41): `20·√(d_A·log³(η/δ)/η)`.
+pub fn thm52_entropy_deviation(d_a: f64, eta: f64, delta: f64) -> f64 {
+    assert!(d_a >= 1.0 && eta > 0.0 && delta > 0.0 && delta < 1.0);
+    let log_term = (eta / delta).ln();
+    20.0 * (d_a * log_term.powi(3) / eta).sqrt()
+}
+
+/// The high-probability lower bound of Theorem 5.2 on `H(A_S)`:
+/// `log d_A − 20·√(d_A·log³(η/δ)/η)` (clamped at 0).
+pub fn thm52_entropy_lower_bound(d_a: f64, eta: f64, delta: f64) -> f64 {
+    (d_a.ln() - thm52_entropy_deviation(d_a, eta, delta)).max(0.0)
+}
+
+/// The lower bound of Proposition 5.4 on the *expected* entropy:
+/// `E[H(A_S)] ≥ log d_A − C(d_B)` (valid for `η ≥ 60·d_A`, `d_A ≥ d_B`).
+pub fn expected_entropy_lower_bound(d_a: f64, d_b: f64) -> f64 {
+    assert!(d_a >= 1.0 && d_b >= 1.0);
+    (d_a.ln() - c_of_d(d_b)).max(0.0)
+}
+
+/// The high-probability lower bound of Corollary 5.2.1 on `I(A_S;B_S)` in the
+/// degenerate model: `log(1+ρ̄) − 40·√(d_A·log³(2η/δ)/η)` with
+/// `ρ̄ = d_A·d_B/η − 1`.  May be negative for small `η` (the bound is then
+/// vacuous since mutual information is non-negative).
+pub fn cor521_mi_lower_bound(d_a: f64, d_b: f64, eta: f64, delta: f64) -> f64 {
+    assert!(d_a >= 1.0 && d_b >= 1.0 && eta > 0.0 && delta > 0.0 && delta < 1.0);
+    assert!(
+        eta <= d_a * d_b + 0.5,
+        "the relation cannot exceed the domain ({eta} > {})",
+        d_a * d_b
+    );
+    let rho_bar = d_a * d_b / eta - 1.0;
+    let deviation = 40.0 * (d_a * (2.0 * eta / delta).ln().powi(3) / eta).sqrt();
+    rho_bar.ln_1p() - deviation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualifying_condition_scales_with_domain() {
+        // Larger domains need more tuples.
+        assert!(thm52_qualifying_condition(10.0, 1e6, 0.05));
+        assert!(!thm52_qualifying_condition(10.0, 1_000.0, 0.05));
+        assert!(!thm52_qualifying_condition(1e6, 1e6, 0.05));
+        // Smaller delta needs more tuples.
+        let eta = 140_000.0;
+        assert!(thm52_qualifying_condition(100.0, eta, 0.5));
+        assert!(!thm52_qualifying_condition(100.0, eta, 1e-9));
+    }
+
+    #[test]
+    fn deviation_vanishes_as_eta_grows() {
+        let d = 100.0;
+        let delta = 0.05;
+        let small = thm52_entropy_deviation(d, 1e4, delta);
+        let large = thm52_entropy_deviation(d, 1e8, delta);
+        let huge = thm52_entropy_deviation(d, 1e12, delta);
+        // The constants are large; check the sqrt(log^3/eta) rate instead of
+        // absolute smallness.
+        assert!(large < small / 5.0);
+        assert!(huge < large / 5.0);
+    }
+
+    #[test]
+    fn deviation_grows_with_domain_and_confidence() {
+        let eta = 1e6;
+        assert!(thm52_entropy_deviation(1000.0, eta, 0.05) > thm52_entropy_deviation(10.0, eta, 0.05));
+        assert!(
+            thm52_entropy_deviation(100.0, eta, 1e-6) > thm52_entropy_deviation(100.0, eta, 0.1)
+        );
+    }
+
+    #[test]
+    fn entropy_lower_bound_is_at_most_log_d() {
+        for (d, eta) in [(50.0, 1e5), (200.0, 1e6), (1000.0, 1e9)] {
+            let lb = thm52_entropy_lower_bound(d, eta, 0.05);
+            assert!(lb <= d.ln() + 1e-12);
+            assert!(lb >= 0.0);
+        }
+    }
+
+    #[test]
+    fn entropy_lower_bound_clamped_at_zero_when_vacuous() {
+        assert_eq!(thm52_entropy_lower_bound(1000.0, 10.0, 0.05), 0.0);
+    }
+
+    #[test]
+    fn expected_entropy_bound_close_to_log_d_for_large_domains() {
+        let d = 1e6;
+        let lb = expected_entropy_lower_bound(d, d);
+        assert!(d.ln() - lb < 0.03);
+        assert!(lb < d.ln());
+    }
+
+    #[test]
+    fn cor521_bound_approaches_log1p_rho_for_large_domains() {
+        // With d_A = d_B = d and eta = d^2 / (1 + rho), the deviation term is
+        // O(sqrt(log^3(d)/d)) -> 0, so the bound approaches ln(1 + rho).
+        let rho = 0.1f64;
+        let mut gaps = Vec::new();
+        for d in [100.0f64, 1_000.0, 10_000.0, 100_000.0] {
+            let eta = d * d / (1.0 + rho);
+            let bound = cor521_mi_lower_bound(d, d, eta, 0.05);
+            let gap = rho.ln_1p() - bound;
+            assert!(gap > 0.0, "deviation term must be positive");
+            if let Some(&prev) = gaps.last() {
+                assert!(gap < prev, "gap must shrink as d grows");
+            }
+            gaps.push(gap);
+        }
+        // Over three decades of d the O~(1/sqrt(d)) deviation shrinks by
+        // roughly an order of magnitude.
+        assert!(gaps.last().unwrap() < &(gaps[0] / 4.0));
+    }
+
+    #[test]
+    fn cor521_rejects_impossible_eta() {
+        let result = std::panic::catch_unwind(|| cor521_mi_lower_bound(10.0, 10.0, 200.0, 0.05));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cor521_can_be_vacuous_for_small_relations() {
+        // Small eta: the deviation dwarfs log(1+rho); the bound is negative
+        // (vacuous) but well-defined.
+        let b = cor521_mi_lower_bound(100.0, 100.0, 500.0, 0.05);
+        assert!(b < 0.0);
+    }
+}

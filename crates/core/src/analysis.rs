@@ -1,0 +1,401 @@
+//! One-stop loss analysis of an acyclic schema with respect to a relation.
+//!
+//! [`LossAnalysis`] evaluates, for a relation `R` and a join tree `T`:
+//!
+//! * the exact loss `ρ(R,S)` of eq. (1), via message-passing join counting;
+//! * the J-measure `J(T)` (eq. 7) and the KL-divergence `D_KL(P‖P^T)`
+//!   (Theorem 3.2) — equal up to floating point, reported separately as a
+//!   numerical cross-check;
+//! * the per-MVD decomposition over the ordered support (eq. 9): loss,
+//!   `log(1+ρ)` and conditional mutual information of every support MVD;
+//! * the deterministic bounds: Lemma 4.1 (`ρ ≥ e^J − 1`) and
+//!   Proposition 5.1 (`log(1+ρ(R,S)) ≤ Σ log(1+ρ(R,φᵢ))`);
+//! * optionally, the probabilistic bounds of Theorem 5.1 / Proposition 5.3
+//!   with the `ε*` deviation instantiated from the *measured* active domain
+//!   sizes of each support MVD.
+
+use ajd_bounds::{
+    epsilon_star, j_lower_bound_on_loss, prop51_log_loss_bound, prop53_schema_bound, Prop53Bound,
+    Thm51Params,
+};
+use ajd_info::jmeasure::{j_measure, j_measure_bounds, JMeasureBounds};
+use ajd_info::{kl_divergence_to_tree, mvd_cmi};
+use ajd_jointree::mvd::ordered_support;
+use ajd_jointree::{count_acyclic_join, JoinTree, Mvd};
+use ajd_relation::{Relation, RelationError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Loss and information measures of a single support MVD `φᵢ`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MvdLoss {
+    /// The MVD `Δᵢ ↠ Ω_{1:i-1} | Ω_{i:m}`.
+    pub mvd: Mvd,
+    /// Conditional mutual information `I(Ω_{1:i-1}; Ω_{i:m} | Δᵢ)` in nats.
+    pub cmi_nats: f64,
+    /// The loss `ρ(R, φᵢ)` of the two-way decomposition (eq. 28).
+    pub rho: f64,
+    /// `log(1 + ρ(R, φᵢ))` in nats.
+    pub log1p_rho: f64,
+    /// Measured active-domain sizes `(d_A, d_B, d_C)` of the two exclusive
+    /// sides and the separator (value-combination counts), used to
+    /// instantiate Theorem 5.1.
+    pub domain_sizes: (u64, u64, u64),
+}
+
+/// The probabilistic (Theorem 5.1 / Proposition 5.3) upper bounds, together
+/// with the per-MVD deviation terms and qualifying-condition flags.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbabilisticBounds {
+    /// Per-MVD deviation `ε*(φᵢ, N, δ/(m−1))` in nats.
+    pub per_mvd_epsilon: Vec<f64>,
+    /// Whether the qualifying condition (37) holds for each support MVD.
+    pub per_mvd_qualified: Vec<bool>,
+    /// The schema-level bounds of Proposition 5.3.
+    pub schema_bound: Prop53Bound,
+    /// The confidence parameter `δ` the caller requested.
+    pub delta: f64,
+}
+
+/// Everything the paper says about one `(R, S)` pair, in one struct.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LossReport {
+    /// Number of tuples `N = |R|`.
+    pub n: u64,
+    /// Number of bags `m` of the schema.
+    pub num_bags: usize,
+    /// Exact size of the acyclic join `|⋈ᵢ R[Ωᵢ]|`.
+    pub join_size: u128,
+    /// Number of spurious tuples `|⋈ᵢ R[Ωᵢ]| − |R|`.
+    pub spurious: u128,
+    /// The loss `ρ(R,S)` of eq. (1).
+    pub rho: f64,
+    /// `log(1 + ρ(R,S))` in nats.
+    pub log1p_rho: f64,
+    /// The J-measure `J(T)` in nats (eq. 7).
+    pub j_measure: f64,
+    /// `D_KL(P_R ‖ P_R^T)` in nats, computed independently of `J` as a
+    /// numerical cross-check of Theorem 3.2.
+    pub kl_nats: f64,
+    /// Lemma 4.1 lower bound on the loss: `e^J − 1 ≤ ρ`.
+    pub rho_lower_bound: f64,
+    /// Theorem 2.2 sandwich around `J`.
+    pub theorem22: JMeasureBounds,
+    /// Per-MVD losses over the ordered support of the tree rooted at 0.
+    pub per_mvd: Vec<MvdLoss>,
+    /// Proposition 5.1 deterministic upper bound on `log(1+ρ(R,S))`:
+    /// `Σᵢ log(1 + ρ(R,φᵢ))`.
+    pub prop51_bound: f64,
+}
+
+impl LossReport {
+    /// `true` if the schema is lossless for this relation
+    /// (`ρ = 0`, equivalently `J = 0` by Theorem 2.1).
+    pub fn is_lossless(&self) -> bool {
+        self.spurious == 0
+    }
+
+    /// The gap `log(1+ρ) − J ≥ 0` of Lemma 4.1 (0 exactly when the lower
+    /// bound is tight, as for Example 4.1).
+    pub fn lemma41_gap(&self) -> f64 {
+        self.log1p_rho - self.j_measure
+    }
+}
+
+impl fmt::Display for LossReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Loss analysis (N = {}, m = {} bags)", self.n, self.num_bags)?;
+        writeln!(f, "  join size          : {}", self.join_size)?;
+        writeln!(f, "  spurious tuples    : {}", self.spurious)?;
+        writeln!(f, "  rho (loss)         : {:.6}", self.rho)?;
+        writeln!(f, "  log(1+rho)  [nats] : {:.6}", self.log1p_rho)?;
+        writeln!(f, "  J-measure   [nats] : {:.6}", self.j_measure)?;
+        writeln!(f, "  KL(P || P^T)[nats] : {:.6}", self.kl_nats)?;
+        writeln!(f, "  Lemma 4.1 rho >=   : {:.6}", self.rho_lower_bound)?;
+        writeln!(f, "  Prop 5.1 bound     : {:.6}", self.prop51_bound)?;
+        writeln!(f, "  support MVDs:")?;
+        for (i, m) in self.per_mvd.iter().enumerate() {
+            writeln!(
+                f,
+                "    phi_{}: {}   I = {:.6}, rho = {:.6}",
+                i + 2,
+                m.mvd,
+                m.cmi_nats,
+                m.rho
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyzer binding a relation to a join tree.
+#[derive(Debug, Clone)]
+pub struct LossAnalysis<'a> {
+    relation: &'a Relation,
+    tree: JoinTree,
+    report: LossReport,
+}
+
+impl<'a> LossAnalysis<'a> {
+    /// Prepares the analysis and computes the full [`LossReport`].
+    ///
+    /// Requirements: `r` must be non-empty and the tree's attributes must be
+    /// exactly `r`'s attributes (so that the empirical distributions and
+    /// `P^T` live over the same variable set).
+    ///
+    /// Multiset relations are accepted — information measures then weight
+    /// tuples by multiplicity — but the paper's statements relating `J` to
+    /// the spurious-tuple count (`ρ`, Lemma 4.1, Proposition 5.1) assume a
+    /// *set* relation; call [`Relation::distinct`] first if your data has
+    /// duplicates and you want those guarantees.
+    pub fn new(r: &'a Relation, tree: &JoinTree) -> Result<Self> {
+        if r.is_empty() {
+            return Err(RelationError::EmptyInput("relation for loss analysis"));
+        }
+        if tree.attributes() != r.attrs() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "join tree covers {} but the relation has attributes {}",
+                    tree.attributes(),
+                    r.attrs()
+                ),
+            });
+        }
+
+        let n = r.len() as u64;
+        let join_size = count_acyclic_join(r, tree)?;
+        let spurious = join_size - n as u128;
+        let rho = (join_size as f64 - n as f64) / n as f64;
+        let j = j_measure(r, tree)?;
+        let kl = kl_divergence_to_tree(r, tree)?;
+        let theorem22 = j_measure_bounds(r, tree, 0)?;
+
+        let rooted = tree.rooted(0)?;
+        let support = ordered_support(&rooted);
+        let mut per_mvd = Vec::with_capacity(support.len());
+        for mvd in support {
+            let cmi = mvd_cmi(r, &mvd)?;
+            let mvd_rho = mvd.loss(r)?;
+            let d_a = r.group_counts(&mvd.left_exclusive())?.num_groups() as u64;
+            let d_b = r.group_counts(&mvd.right_exclusive())?.num_groups() as u64;
+            let d_c = if mvd.lhs.is_empty() {
+                1
+            } else {
+                r.group_counts(&mvd.lhs)?.num_groups() as u64
+            };
+            per_mvd.push(MvdLoss {
+                cmi_nats: cmi,
+                rho: mvd_rho,
+                log1p_rho: mvd_rho.ln_1p(),
+                domain_sizes: (d_a, d_b, d_c),
+                mvd,
+            });
+        }
+        let prop51_bound =
+            prop51_log_loss_bound(&per_mvd.iter().map(|m| m.rho).collect::<Vec<_>>());
+
+        let report = LossReport {
+            n,
+            num_bags: tree.num_nodes(),
+            join_size,
+            spurious,
+            rho,
+            log1p_rho: rho.ln_1p(),
+            j_measure: j,
+            kl_nats: kl,
+            rho_lower_bound: j_lower_bound_on_loss(j.max(0.0)),
+            theorem22,
+            per_mvd,
+            prop51_bound,
+        };
+
+        Ok(LossAnalysis {
+            relation: r,
+            tree: tree.clone(),
+            report,
+        })
+    }
+
+    /// The relation being analysed.
+    pub fn relation(&self) -> &Relation {
+        self.relation
+    }
+
+    /// The join tree being analysed.
+    pub fn tree(&self) -> &JoinTree {
+        &self.tree
+    }
+
+    /// The computed report (cheap clone of the precomputed values).
+    pub fn report(&self) -> LossReport {
+        self.report.clone()
+    }
+
+    /// Evaluates the probabilistic upper bounds of Theorem 5.1 /
+    /// Proposition 5.3 at total confidence `1 − δ`.
+    ///
+    /// Each support MVD's `ε*` is instantiated at confidence `δ/(m−1)` with
+    /// the *measured* active-domain sizes of its sides, as recorded in the
+    /// report.  The returned struct also reports, per MVD, whether the
+    /// qualifying condition (37) of Theorem 5.1 holds; when it does not, the
+    /// ε-term is still computed but the paper gives no guarantee.
+    pub fn probabilistic_bounds(&self, delta: f64) -> ProbabilisticBounds {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let m_minus_1 = self.report.per_mvd.len().max(1);
+        let per_delta = delta / m_minus_1 as f64;
+        let mut eps = Vec::with_capacity(self.report.per_mvd.len());
+        let mut qualified = Vec::with_capacity(self.report.per_mvd.len());
+        let mut cmis = Vec::with_capacity(self.report.per_mvd.len());
+        for m in &self.report.per_mvd {
+            let (d_a, d_b, d_c) = m.domain_sizes;
+            let params = Thm51Params::new(d_a.max(1), d_b.max(1), d_c.max(1), self.report.n, per_delta);
+            eps.push(epsilon_star(&params));
+            qualified.push(ajd_bounds::thm51_qualifying_condition(&params));
+            cmis.push(m.cmi_nats);
+        }
+        let schema_bound = prop53_schema_bound(&cmis, &eps, self.report.j_measure, delta);
+        ProbabilisticBounds {
+            per_mvd_epsilon: eps,
+            per_mvd_qualified: qualified,
+            schema_bound,
+            delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajd_random::generators::{bijection_relation, conditional_product_relation};
+    use ajd_random::RandomRelationModel;
+    use ajd_relation::{AttrId, AttrSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    fn cross_tree() -> JoinTree {
+        JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).unwrap()
+    }
+
+    #[test]
+    fn bijection_relation_report_matches_example_4_1() {
+        let n = 16u32;
+        let r = bijection_relation(n);
+        let a = LossAnalysis::new(&r, &cross_tree()).unwrap();
+        let rep = a.report();
+        assert_eq!(rep.n, n as u64);
+        assert_eq!(rep.join_size, (n as u128) * (n as u128));
+        assert_eq!(rep.spurious, (n as u128) * (n as u128) - n as u128);
+        assert!((rep.rho - (n as f64 - 1.0)).abs() < 1e-9);
+        // Tightness of Lemma 4.1 on this family.
+        assert!(rep.lemma41_gap().abs() < 1e-9);
+        assert!((rep.j_measure - (n as f64).ln()).abs() < 1e-9);
+        assert!((rep.rho_lower_bound - rep.rho).abs() < 1e-6);
+        assert!(!rep.is_lossless());
+    }
+
+    #[test]
+    fn lossless_relation_reports_zero_everything() {
+        let r = conditional_product_relation(4, 3, 2);
+        let tree = JoinTree::new(vec![bag(&[0, 2]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
+        let rep = LossAnalysis::new(&r, &tree).unwrap().report();
+        assert!(rep.is_lossless());
+        assert_eq!(rep.spurious, 0);
+        assert!(rep.rho.abs() < 1e-12);
+        assert!(rep.j_measure.abs() < 1e-9);
+        assert!(rep.kl_nats.abs() < 1e-9);
+        assert!(rep.rho_lower_bound.abs() < 1e-9);
+        assert!(rep.prop51_bound.abs() < 1e-9);
+        for m in &rep.per_mvd {
+            assert!(m.rho.abs() < 1e-12);
+            assert!(m.cmi_nats.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn theorem_3_2_and_lemma_4_1_hold_on_random_relations() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let model = RandomRelationModel::new(
+            ajd_random::ProductDomain::new(vec![6, 5, 4, 3]).unwrap(),
+        );
+        let trees = vec![
+            JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+            JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+        ];
+        for _ in 0..5 {
+            let r = model.sample(&mut rng, 80).unwrap();
+            for tree in &trees {
+                let rep = LossAnalysis::new(&r, tree).unwrap().report();
+                // Theorem 3.2: J = KL.
+                assert!((rep.j_measure - rep.kl_nats).abs() < 1e-9);
+                // Lemma 4.1: J <= log(1+rho).
+                assert!(rep.j_measure <= rep.log1p_rho + 1e-9);
+                // Proposition 5.1: log(1+rho) <= sum log(1+rho_i).
+                assert!(rep.log1p_rho <= rep.prop51_bound + 1e-9);
+                // Theorem 2.2 sandwich.
+                assert!(rep.theorem22.max_cmi <= rep.j_measure + 1e-9);
+                assert!(rep.j_measure <= rep.theorem22.sum_cmi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn per_mvd_breakdown_has_one_entry_per_edge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = RandomRelationModel::new(
+            ajd_random::ProductDomain::new(vec![4, 4, 4, 4]).unwrap(),
+        );
+        let r = model.sample(&mut rng, 60).unwrap();
+        let tree = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap();
+        let rep = LossAnalysis::new(&r, &tree).unwrap().report();
+        assert_eq!(rep.per_mvd.len(), tree.num_edges());
+        for m in &rep.per_mvd {
+            assert!(m.rho >= 0.0);
+            assert!(m.cmi_nats >= -1e-9);
+            // Lemma 4.1 applied to a single MVD: I(A;B|C) <= log(1+rho_i).
+            assert!(m.cmi_nats <= m.log1p_rho + 1e-9);
+            assert!(m.domain_sizes.0 >= 1 && m.domain_sizes.1 >= 1 && m.domain_sizes.2 >= 1);
+        }
+    }
+
+    #[test]
+    fn probabilistic_bounds_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = RandomRelationModel::for_mvd(8, 8, 2).unwrap();
+        let r = model.sample(&mut rng, 100).unwrap();
+        let tree = JoinTree::new(vec![bag(&[0, 2]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
+        let analysis = LossAnalysis::new(&r, &tree).unwrap();
+        let pb = analysis.probabilistic_bounds(0.1);
+        assert_eq!(pb.per_mvd_epsilon.len(), 1);
+        assert_eq!(pb.per_mvd_qualified.len(), 1);
+        assert!(pb.per_mvd_epsilon[0] > 0.0);
+        assert!((pb.schema_bound.confidence - 0.9).abs() < 1e-12);
+        // With only 100 tuples the qualifying condition cannot hold.
+        assert!(!pb.per_mvd_qualified[0]);
+        // The eps-inflated bound dominates the measured log(1+rho)
+        // trivially here (eps is huge for tiny N).
+        assert!(pb.schema_bound.sum_cmi_bound >= analysis.report().log1p_rho);
+    }
+
+    #[test]
+    fn mismatched_tree_and_relation_are_rejected() {
+        let r = bijection_relation(4);
+        let tree = JoinTree::new(vec![bag(&[0]), bag(&[2])], vec![(0, 1)]).unwrap();
+        assert!(LossAnalysis::new(&r, &tree).is_err());
+        let empty = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        assert!(LossAnalysis::new(&empty, &cross_tree()).is_err());
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let r = bijection_relation(4);
+        let rep = LossAnalysis::new(&r, &cross_tree()).unwrap().report();
+        let s = format!("{rep}");
+        assert!(s.contains("spurious"));
+        assert!(s.contains("J-measure"));
+        assert!(s.contains("phi_2"));
+    }
+}

@@ -1,0 +1,311 @@
+//! The tree-factorised distribution `P^T` and the KL-divergence to it.
+//!
+//! Proposition 3.1 (eq. 10): a distribution `P` models a join tree `T`
+//! (Definition 2.2) iff it equals
+//!
+//! ```text
+//! P^T(x) = Π_i P[Ωᵢ](x[Ωᵢ]) / Π_i P[Δᵢ](x[Δᵢ])
+//! ```
+//!
+//! where the `Ωᵢ` are the bags of `T` and the `Δᵢ` its edge separators.
+//! Theorem 3.2 states `J(T) = min_{Q ⊨ T} D_KL(P ‖ Q) = D_KL(P ‖ P^T)`.
+//!
+//! [`TreeFactoredDistribution`] evaluates `P^T` for the empirical
+//! distribution of a relation, and [`kl_divergence_to_tree`] computes
+//! `D_KL(P_R ‖ P_R^T)` directly from counts so that the Theorem 3.2 identity
+//! can be verified numerically (it is also exploited by the analysis crate
+//! as a cross-check on the J-measure computation).
+
+use ajd_jointree::JoinTree;
+use ajd_relation::{GroupCounts, Relation, RelationError, Result, Value};
+use serde::{Deserialize, Serialize};
+
+/// Marginal counts of a relation on the bags and separators of a join tree,
+/// together with the plumbing needed to evaluate `P^T` on tuples.
+#[derive(Debug, Clone)]
+pub struct TreeFactoredDistribution {
+    /// Number of tuples of the underlying relation.
+    n: u64,
+    /// Per-bag marginal counts and the bag's column positions in the source
+    /// relation's schema.
+    bag_counts: Vec<(Vec<usize>, GroupCounts)>,
+    /// Per-separator marginal counts and column positions.
+    sep_counts: Vec<(Vec<usize>, GroupCounts)>,
+}
+
+/// Summary of a KL-divergence computation between the empirical distribution
+/// and its tree factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KlReport {
+    /// `D_KL(P_R ‖ P_R^T)` in nats.
+    pub kl_nats: f64,
+    /// Number of distinct tuples of `R` the sum ranged over.
+    pub support_size: usize,
+}
+
+impl TreeFactoredDistribution {
+    /// Builds the factorisation of the empirical distribution of `r` along
+    /// `tree`.
+    ///
+    /// The join tree's attributes must be exactly the relation's attributes
+    /// (otherwise `P^T` is a distribution over a different variable set and
+    /// the KL-divergence is not defined tuple-wise).
+    pub fn new(r: &Relation, tree: &JoinTree) -> Result<Self> {
+        if r.is_empty() {
+            return Err(RelationError::EmptyInput(
+                "relation for tree-factorised distribution",
+            ));
+        }
+        if tree.attributes() != r.attrs() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "join tree attributes {} differ from relation attributes {}",
+                    tree.attributes(),
+                    r.attrs()
+                ),
+            });
+        }
+        let mut bag_counts = Vec::with_capacity(tree.num_nodes());
+        for bag in tree.bags() {
+            let pos = r.attr_positions(bag)?;
+            let counts = r.group_counts(bag)?;
+            bag_counts.push((pos, counts));
+        }
+        let mut sep_counts = Vec::with_capacity(tree.num_edges());
+        for e in 0..tree.num_edges() {
+            let sep = tree.separator(e);
+            let pos = r.attr_positions(&sep)?;
+            let counts = r.group_counts(&sep)?;
+            sep_counts.push((pos, counts));
+        }
+        Ok(TreeFactoredDistribution {
+            n: r.len() as u64,
+            bag_counts,
+            sep_counts,
+        })
+    }
+
+    /// Number of tuples `N` of the underlying relation.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Natural logarithm of `P^T(t)` for a tuple given in the **source
+    /// relation's column order**.
+    ///
+    /// Returns `f64::NEG_INFINITY` if some bag marginal assigns the tuple
+    /// probability zero (cannot happen for tuples of `R` itself).
+    pub fn log_prob(&self, row: &[Value]) -> f64 {
+        let n_ln = (self.n as f64).ln();
+        let mut acc = 0.0f64;
+        let mut key: Vec<Value> = Vec::new();
+        for (pos, counts) in &self.bag_counts {
+            key.clear();
+            key.extend(pos.iter().map(|&p| row[p]));
+            let c = counts.count_of(&key);
+            if c == 0 {
+                return f64::NEG_INFINITY;
+            }
+            acc += (c as f64).ln() - n_ln;
+        }
+        for (pos, counts) in &self.sep_counts {
+            key.clear();
+            key.extend(pos.iter().map(|&p| row[p]));
+            let c = counts.count_of(&key);
+            debug_assert!(c > 0, "separator marginal of a bag-supported tuple");
+            acc -= (c as f64).ln() - n_ln;
+        }
+        acc
+    }
+
+    /// `P^T(t)` for a tuple in the source relation's column order.
+    pub fn prob(&self, row: &[Value]) -> f64 {
+        self.log_prob(row).exp()
+    }
+}
+
+/// Computes `D_KL(P_R ‖ P_R^T)` in nats (the right-hand side of
+/// Theorem 3.2), summing over the distinct tuples of `R`.
+pub fn kl_divergence_to_tree(r: &Relation, tree: &JoinTree) -> Result<f64> {
+    Ok(kl_report(r, tree)?.kl_nats)
+}
+
+/// Like [`kl_divergence_to_tree`], additionally reporting the support size.
+pub fn kl_report(r: &Relation, tree: &JoinTree) -> Result<KlReport> {
+    let factored = TreeFactoredDistribution::new(r, tree)?;
+    let full = r.group_counts(&r.attrs())?;
+    let n = r.len() as f64;
+    let mut kl = 0.0f64;
+    // The grouped keys are in ascending-attribute order; log_prob expects the
+    // source column order, so reorder via the positions of the grouped attrs.
+    let positions = r.attr_positions(&r.attrs())?;
+    let mut reordered = vec![0u32; r.arity()];
+    for (key, count) in full.iter() {
+        // `key[i]` is the value of the i-th attribute in ascending order,
+        // which lives at column `positions[i]` of the source relation.
+        for (i, &p) in positions.iter().enumerate() {
+            reordered[p] = key[i];
+        }
+        let p_t = count as f64 / n;
+        let log_q = factored.log_prob(&reordered);
+        kl += p_t * (p_t.ln() - log_q);
+    }
+    Ok(KlReport {
+        kl_nats: kl,
+        support_size: full.num_groups(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jmeasure::j_measure;
+    use ajd_relation::{AttrId, AttrSet};
+
+    fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
+        let s: Vec<AttrId> = schema.iter().map(|&i| AttrId(i)).collect();
+        Relation::from_rows(s, rows).unwrap()
+    }
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    fn irregular_relation() -> Relation {
+        rel(
+            &[0, 1, 2, 3],
+            &[
+                &[0, 0, 0, 0],
+                &[0, 1, 0, 1],
+                &[0, 1, 1, 0],
+                &[1, 0, 1, 1],
+                &[1, 1, 0, 0],
+                &[2, 0, 0, 1],
+                &[2, 2, 1, 1],
+                &[2, 2, 2, 0],
+                &[3, 1, 2, 1],
+            ],
+        )
+    }
+
+    #[test]
+    fn factored_probabilities_are_normalised_for_lossless_relation() {
+        // For a relation that models the tree, P^T == P, so every tuple has
+        // probability 1/N and the probabilities of R's tuples sum to 1.
+        let mut rows = Vec::new();
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for c in 0..2u32 {
+                    rows.push(vec![a, b, c]);
+                }
+            }
+        }
+        let r = rel(
+            &[0, 1, 2],
+            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        let t = JoinTree::new(vec![bag(&[0, 1]), bag(&[0, 2])], vec![(0, 1)]).unwrap();
+        let f = TreeFactoredDistribution::new(&r, &t).unwrap();
+        let mut total = 0.0;
+        for row in r.iter_rows() {
+            let p = f.prob(row);
+            assert!((p - 1.0 / r.len() as f64).abs() < 1e-12);
+            total += p;
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_is_zero_iff_schema_is_lossless() {
+        let mut rows = Vec::new();
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for c in 0..2u32 {
+                    rows.push(vec![a, b, c]);
+                }
+            }
+        }
+        let lossless = rel(
+            &[0, 1, 2],
+            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        let t = JoinTree::new(vec![bag(&[0, 1]), bag(&[0, 2])], vec![(0, 1)]).unwrap();
+        assert!(kl_divergence_to_tree(&lossless, &t).unwrap().abs() < 1e-12);
+
+        // Drop a tuple: now lossy, KL > 0.
+        rows.pop();
+        let lossy = rel(
+            &[0, 1, 2],
+            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        assert!(kl_divergence_to_tree(&lossy, &t).unwrap() > 1e-9);
+    }
+
+    #[test]
+    fn theorem_3_2_kl_equals_j_measure() {
+        let r = irregular_relation();
+        let trees = vec![
+            JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+            JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+            JoinTree::new(
+                vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])],
+                vec![(0, 1), (1, 2), (2, 3)],
+            )
+            .unwrap(),
+            JoinTree::new(vec![bag(&[0, 1, 2]), bag(&[2, 3])], vec![(0, 1)]).unwrap(),
+        ];
+        for t in trees {
+            let j = j_measure(&r, &t).unwrap();
+            let kl = kl_divergence_to_tree(&r, &t).unwrap();
+            assert!(
+                (j - kl).abs() < 1e-9,
+                "Theorem 3.2 violated: J={j} KL={kl} for tree {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_2_on_bijection_relation() {
+        let n = 6u32;
+        let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![i, i]).collect();
+        let r = rel(&[0, 1], &rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let t = JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).unwrap();
+        let kl = kl_divergence_to_tree(&r, &t).unwrap();
+        assert!((kl - (n as f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_report_counts_support() {
+        let r = irregular_relation();
+        let t = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap();
+        let rep = kl_report(&r, &t).unwrap();
+        assert_eq!(rep.support_size, r.len());
+        assert!(rep.kl_nats >= 0.0);
+    }
+
+    #[test]
+    fn mismatched_attribute_sets_are_rejected() {
+        let r = irregular_relation();
+        let t = JoinTree::new(vec![bag(&[0, 1]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
+        assert!(TreeFactoredDistribution::new(&r, &t).is_err());
+        assert!(kl_divergence_to_tree(&r, &t).is_err());
+    }
+
+    #[test]
+    fn empty_relation_rejected() {
+        let r = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        let t = JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).unwrap();
+        assert!(TreeFactoredDistribution::new(&r, &t).is_err());
+    }
+
+    #[test]
+    fn log_prob_of_unsupported_tuple_is_neg_infinity() {
+        let r = rel(&[0, 1], &[&[0, 0], &[1, 1]]);
+        let t = JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).unwrap();
+        let f = TreeFactoredDistribution::new(&r, &t).unwrap();
+        assert!(f.log_prob(&[5, 5]).is_infinite());
+        // Spurious tuple (0,1) is in the support of P^T even though not in R.
+        assert!(f.log_prob(&[0, 1]).is_finite());
+        assert!((f.prob(&[0, 1]) - 0.25).abs() < 1e-12);
+    }
+}

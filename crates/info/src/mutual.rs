@@ -1,0 +1,210 @@
+//! Mutual information and conditional mutual information.
+//!
+//! Equation (4) of the paper:
+//! `I(A; B | C) = H(B∪C) + H(A∪C) − H(A∪B∪C) − H(C)`, taken over the
+//! empirical distribution of the relation.  `I(A;B|C) = 0` exactly when the
+//! conditional independence `A ⊥ B | C` holds, which for set relations is
+//! equivalent to the MVD `C ↠ A | B` holding (Lee's theorem, Theorem 2.1 for
+//! the two-bag case).
+
+use crate::entropy::entropy;
+use ajd_jointree::Mvd;
+use ajd_relation::{AttrSet, Relation, Result};
+
+/// Mutual information `I(A; B)` in nats.
+///
+/// Overlapping attributes are allowed: by the chain rule
+/// `I(A;B) = I(A\B ; B\A | A∩B) + H(A∩B)`; here we simply evaluate the
+/// entropy formula on the sets as given, which is what the paper's
+/// simplified MVD notation does.
+pub fn mutual_information(r: &Relation, a: &AttrSet, b: &AttrSet) -> Result<f64> {
+    conditional_mutual_information(r, a, b, &AttrSet::empty())
+}
+
+/// Conditional mutual information `I(A; B | C)` in nats (eq. 4).
+pub fn conditional_mutual_information(
+    r: &Relation,
+    a: &AttrSet,
+    b: &AttrSet,
+    c: &AttrSet,
+) -> Result<f64> {
+    let hac = entropy(r, &a.union(c))?;
+    let hbc = entropy(r, &b.union(c))?;
+    let habc = entropy(r, &a.union(b).union(c))?;
+    let hc = entropy(r, c)?;
+    Ok(hac + hbc - habc - hc)
+}
+
+/// The conditional mutual information associated with an MVD
+/// `φ = C ↠ A | B`, namely `I(A; B | C)` over the empirical distribution of
+/// `r`.
+///
+/// By the chain rule this equals `I(C∪A; C∪B | C)`, so it does not matter
+/// that [`Mvd`] stores its sides inclusive of the separator; we evaluate on
+/// the exclusive sides, which touches fewer columns.
+pub fn mvd_cmi(r: &Relation, mvd: &Mvd) -> Result<f64> {
+    conditional_mutual_information(r, &mvd.left_exclusive(), &mvd.right_exclusive(), &mvd.lhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajd_relation::AttrId;
+
+    fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
+        let s: Vec<AttrId> = schema.iter().map(|&i| AttrId(i)).collect();
+        Relation::from_rows(s, rows).unwrap()
+    }
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    /// Product relation: A and B independent given C (the MVD C ->> A|B holds).
+    fn conditional_product() -> Relation {
+        let mut rows = Vec::new();
+        for c in 0..2u32 {
+            for a in 0..3u32 {
+                for b in 0..2u32 {
+                    rows.push(vec![a, b, c]);
+                }
+            }
+        }
+        rel(
+            &[0, 1, 2],
+            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn independent_attributes_have_zero_mi() {
+        let r = conditional_product();
+        let mi = mutual_information(&r, &bag(&[0]), &bag(&[1])).unwrap();
+        assert!(mi.abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_attributes_have_mi_equal_to_entropy() {
+        // B == A: I(A;B) = H(A).
+        let rows: Vec<Vec<u32>> = (0..6u32).map(|i| vec![i % 3, i % 3]).collect();
+        let r = rel(&[0, 1], &rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let mi = mutual_information(&r, &bag(&[0]), &bag(&[1])).unwrap();
+        assert!((mi - (3.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bijection_relation_mi_is_ln_n() {
+        // Example 4.1: I(A;B) = log N.
+        let n = 9u32;
+        let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![i, i]).collect();
+        let r = rel(&[0, 1], &rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let mi = mutual_information(&r, &bag(&[0]), &bag(&[1])).unwrap();
+        assert!((mi - (n as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_zero_iff_mvd_holds() {
+        let r = conditional_product();
+        let cmi = conditional_mutual_information(&r, &bag(&[0]), &bag(&[1]), &bag(&[2])).unwrap();
+        assert!(cmi.abs() < 1e-12);
+
+        // Remove one tuple: the MVD no longer holds, CMI becomes positive.
+        let mut broken_rows: Vec<Vec<u32>> = r.iter_rows().map(|t| t.to_vec()).collect();
+        broken_rows.pop();
+        let broken = rel(
+            &[0, 1, 2],
+            &broken_rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        let cmi_b =
+            conditional_mutual_information(&broken, &bag(&[0]), &bag(&[1]), &bag(&[2])).unwrap();
+        assert!(cmi_b > 1e-6);
+    }
+
+    #[test]
+    fn cmi_is_symmetric_in_a_and_b() {
+        let r = rel(
+            &[0, 1, 2],
+            &[&[0, 0, 0], &[0, 1, 1], &[1, 0, 1], &[1, 1, 0], &[2, 1, 0]],
+        );
+        let x = conditional_mutual_information(&r, &bag(&[0]), &bag(&[1]), &bag(&[2])).unwrap();
+        let y = conditional_mutual_information(&r, &bag(&[1]), &bag(&[0]), &bag(&[2])).unwrap();
+        assert!((x - y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_is_nonnegative_on_arbitrary_relations() {
+        let r = rel(
+            &[0, 1, 2, 3],
+            &[
+                &[0, 0, 0, 1],
+                &[0, 1, 1, 0],
+                &[1, 0, 1, 1],
+                &[1, 1, 0, 0],
+                &[2, 2, 2, 2],
+                &[2, 0, 1, 2],
+            ],
+        );
+        for (a, b, c) in [
+            (bag(&[0]), bag(&[1]), bag(&[2])),
+            (bag(&[0, 1]), bag(&[2]), bag(&[3])),
+            (bag(&[0]), bag(&[2, 3]), AttrSet::empty()),
+            (bag(&[0]), bag(&[1]), bag(&[2, 3])),
+        ] {
+            let v = conditional_mutual_information(&r, &a, &b, &c).unwrap();
+            assert!(v > -1e-12, "CMI must be non-negative, got {v}");
+        }
+    }
+
+    #[test]
+    fn cmi_with_overlapping_sides_matches_exclusive_sides() {
+        // Footnote 1 of the paper: I(Ω1:i-1; Ωi:m | Δ) = I(Ω1:i-1\Δ; Ωi:m\Δ | Δ).
+        let r = rel(
+            &[0, 1, 2],
+            &[&[0, 0, 0], &[0, 1, 1], &[1, 0, 1], &[1, 1, 0], &[2, 1, 1]],
+        );
+        let c = bag(&[1]);
+        let full = conditional_mutual_information(&r, &bag(&[0, 1]), &bag(&[1, 2]), &c).unwrap();
+        let excl = conditional_mutual_information(&r, &bag(&[0]), &bag(&[2]), &c).unwrap();
+        assert!((full - excl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mvd_cmi_matches_direct_computation() {
+        let r = rel(
+            &[0, 1, 2],
+            &[&[0, 0, 0], &[0, 1, 1], &[1, 0, 1], &[1, 1, 0], &[2, 1, 1]],
+        );
+        let m = Mvd::new(bag(&[1]), bag(&[0]), bag(&[2])).unwrap();
+        let via_mvd = mvd_cmi(&r, &m).unwrap();
+        let direct =
+            conditional_mutual_information(&r, &bag(&[0]), &bag(&[2]), &bag(&[1])).unwrap();
+        assert!((via_mvd - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_processing_style_inequality_on_markov_chain() {
+        // A -> B -> C (C is a function of B, B a function of A):
+        // I(A;C) <= I(A;B).
+        let rows: Vec<Vec<u32>> = (0..12u32)
+            .map(|i| {
+                let a = i;
+                let b = i % 4;
+                let c = b % 2;
+                vec![a, b, c]
+            })
+            .collect();
+        let r = rel(
+            &[0, 1, 2],
+            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        let iac = mutual_information(&r, &bag(&[0]), &bag(&[2])).unwrap();
+        let iab = mutual_information(&r, &bag(&[0]), &bag(&[1])).unwrap();
+        assert!(iac <= iab + 1e-12);
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let r = rel(&[0, 1], &[&[0, 0]]);
+        assert!(mutual_information(&r, &bag(&[0]), &bag(&[9])).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! GYO (Graham / Yu–Özsoyoğlu) reduction.
+//!
+//! A schema is acyclic exactly when repeated *ear removal* eliminates all of
+//! its bags: a bag `E` is an ear if there exists another bag `W` (its
+//! *witness*) such that every attribute of `E` is either exclusive to `E`
+//! (appears in no other remaining bag) or contained in `W`.  Removing ears
+//! until a single bag remains both decides acyclicity and yields a join
+//! tree: each removed ear is attached to its witness.
+
+use crate::tree::JoinTree;
+use ajd_relation::AttrSet;
+
+/// Result of running GYO reduction on a set of bags.
+#[derive(Debug, Clone)]
+pub enum GyoOutcome {
+    /// The schema is acyclic; a witnessing join tree is returned.
+    Acyclic(JoinTree),
+    /// The schema is cyclic; the irreducible residual bags are returned
+    /// (useful for diagnostics).
+    Cyclic {
+        /// Bags that remained when no further ear could be removed.
+        residual: Vec<AttrSet>,
+    },
+}
+
+impl GyoOutcome {
+    /// `true` if the schema was found acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        matches!(self, GyoOutcome::Acyclic(_))
+    }
+
+    /// Extracts the join tree, if acyclic.
+    pub fn into_tree(self) -> Option<JoinTree> {
+        match self {
+            GyoOutcome::Acyclic(t) => Some(t),
+            GyoOutcome::Cyclic { .. } => None,
+        }
+    }
+}
+
+/// Runs GYO ear removal on `bags`.
+///
+/// Bags that are duplicates or subsets of other bags are handled naturally
+/// (they are ears).  The returned join tree has exactly one node per input
+/// bag, in the input order.
+pub fn gyo_reduction(bags: &[AttrSet]) -> GyoOutcome {
+    let n = bags.len();
+    if n == 0 {
+        return GyoOutcome::Cyclic { residual: vec![] };
+    }
+    if n == 1 {
+        return GyoOutcome::Acyclic(
+            JoinTree::new(bags.to_vec(), vec![]).expect("single-bag tree is always valid"),
+        );
+    }
+
+    let mut active: Vec<bool> = vec![true; n];
+    let mut remaining = n;
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
+
+    while remaining > 1 {
+        let mut removed_this_round = false;
+        'scan: for e in 0..n {
+            if !active[e] {
+                continue;
+            }
+            // Attributes of `e` that also appear in some other active bag.
+            let mut shared = AttrSet::empty();
+            for a in bags[e].iter() {
+                let appears_elsewhere = (0..n)
+                    .any(|j| j != e && active[j] && bags[j].contains(a));
+                if appears_elsewhere {
+                    shared.insert(a);
+                }
+            }
+            // `e` is an ear if some other active bag contains all its shared
+            // attributes.
+            for w in 0..n {
+                if w == e || !active[w] {
+                    continue;
+                }
+                if shared.is_subset_of(&bags[w]) {
+                    active[e] = false;
+                    remaining -= 1;
+                    edges.push((e, w));
+                    removed_this_round = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !removed_this_round {
+            let residual = (0..n)
+                .filter(|&i| active[i])
+                .map(|i| bags[i].clone())
+                .collect();
+            return GyoOutcome::Cyclic { residual };
+        }
+    }
+
+    let tree = JoinTree::new(bags.to_vec(), edges)
+        .expect("GYO reduction produces a valid join tree by construction");
+    GyoOutcome::Acyclic(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn single_bag_is_acyclic() {
+        let out = gyo_reduction(&[bag(&[0, 1, 2])]);
+        assert!(out.is_acyclic());
+        let t = out.into_tree().unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_reported_cyclic() {
+        assert!(!gyo_reduction(&[]).is_acyclic());
+    }
+
+    #[test]
+    fn path_schema_is_acyclic() {
+        let out = gyo_reduction(&[bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]);
+        assert!(out.is_acyclic());
+        let t = out.into_tree().unwrap();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 2);
+        assert!(t.check_running_intersection());
+    }
+
+    #[test]
+    fn star_mvd_schema_is_acyclic() {
+        // X ->> U|V|W: bags {XU, XV, XW}.
+        let out = gyo_reduction(&[bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]);
+        assert!(out.is_acyclic());
+        assert!(out.into_tree().unwrap().check_running_intersection());
+    }
+
+    #[test]
+    fn disjoint_bags_are_acyclic() {
+        // {A}, {B}: the cross-product schema of Example 4.1.
+        let out = gyo_reduction(&[bag(&[0]), bag(&[1])]);
+        assert!(out.is_acyclic());
+        let t = out.into_tree().unwrap();
+        assert_eq!(t.num_edges(), 1);
+        assert!(t.separator(0).is_empty());
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let out = gyo_reduction(&[bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 0])]);
+        match out {
+            GyoOutcome::Cyclic { residual } => assert_eq!(residual.len(), 3),
+            GyoOutcome::Acyclic(_) => panic!("triangle must be cyclic"),
+        }
+    }
+
+    #[test]
+    fn cycle_of_length_four_is_cyclic() {
+        let out = gyo_reduction(&[bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3]), bag(&[3, 0])]);
+        assert!(!out.is_acyclic());
+    }
+
+    #[test]
+    fn contained_bags_are_ears() {
+        let out = gyo_reduction(&[bag(&[0, 1, 2]), bag(&[0, 1]), bag(&[2, 3])]);
+        assert!(out.is_acyclic());
+        let t = out.into_tree().unwrap();
+        assert_eq!(t.num_nodes(), 3);
+        assert!(t.check_running_intersection());
+    }
+
+    #[test]
+    fn classic_tpc_like_acyclic_schema() {
+        // {ABC, BCD, CDE, DEF}: running intersections along a path.
+        let out = gyo_reduction(&[
+            bag(&[0, 1, 2]),
+            bag(&[1, 2, 3]),
+            bag(&[2, 3, 4]),
+            bag(&[3, 4, 5]),
+        ]);
+        assert!(out.is_acyclic());
+        assert!(out.into_tree().unwrap().check_running_intersection());
+    }
+
+    #[test]
+    fn cyclic_schema_with_large_bags() {
+        // Pairwise overlaps but no witness: {ABD, BCE, CAF} forms a triangle
+        // through A, B, C.
+        let out = gyo_reduction(&[bag(&[0, 1, 3]), bag(&[1, 2, 4]), bag(&[2, 0, 5])]);
+        assert!(!out.is_acyclic());
+    }
+}

@@ -1,0 +1,39 @@
+//! # ajd-jointree
+//!
+//! Acyclic-schema machinery for the reproduction of *"Quantifying the Loss
+//! of Acyclic Join Dependencies"* (Kenig & Weinberger, PODS 2023).
+//!
+//! The paper's objects of study are **acyclic schemas**
+//! `S = {Ω₁,…,Ω_m}` and the **join trees** (junction trees) `(T, χ)` that
+//! witness their acyclicity (Definition 2.1).  This crate provides:
+//!
+//! * [`Schema`] — a database schema (set of attribute bags) with reduction
+//!   (removal of contained bags) and acyclicity testing.
+//! * [`gyo`] — the GYO ear-removal algorithm: decides acyclicity and, when
+//!   acyclic, constructs a join tree.
+//! * [`JoinTree`] — a validated join tree: bags, edges, the running
+//!   intersection property, rooted depth-first orderings with separators
+//!   `Δᵢ = χ(parent(uᵢ)) ∩ χ(uᵢ)`, and standard constructions
+//!   (path/star trees, trees from MVDs; Chow–Liu style trees live in
+//!   `ajd-core`).
+//! * [`Mvd`] and the **support** of a join tree (Section 2.3, eq. 9): the
+//!   `m − 1` multivalued dependencies `Δᵢ ↠ Ω_{1:i-1} | Ω_{i:m}` associated
+//!   with its edges.
+//! * [`count_acyclic_join`] — the size of `⋈ᵢ R[Ωᵢ]` by bottom-up message
+//!   passing over the join tree, without materialising the join, from which
+//!   the loss `ρ(R,S)` (eq. 1) is computed exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod gyo;
+pub mod mvd;
+pub mod schema;
+pub mod tree;
+
+pub use count::{acyclic_join, count_acyclic_join, loss_acyclic};
+pub use gyo::{gyo_reduction, GyoOutcome};
+pub use mvd::Mvd;
+pub use schema::Schema;
+pub use tree::{JoinTree, RootedTree};

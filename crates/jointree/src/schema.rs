@@ -1,0 +1,203 @@
+//! Database schemas (sets of attribute bags).
+//!
+//! A *schema* in the paper is a set `S = {Ω₁,…,Ω_m}` whose union is the full
+//! attribute set `Ω`, with no bag contained in another (`Ωᵢ ⊄ Ωⱼ` for
+//! `i ≠ j`).  A schema is *acyclic* if it admits a join tree
+//! (Definition 2.1); acyclicity is decided by GYO reduction ([`crate::gyo`]).
+
+use crate::gyo::{gyo_reduction, GyoOutcome};
+use crate::tree::JoinTree;
+use ajd_relation::{AttrSet, RelationError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database schema: a collection of attribute bags over a universe `Ω`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    bags: Vec<AttrSet>,
+}
+
+impl Schema {
+    /// Creates a schema from bags.
+    ///
+    /// Empty bags are rejected.  Duplicate bags are collapsed.  Bags that are
+    /// contained in another bag are **kept** (call [`Schema::reduce`] to drop
+    /// them), because some constructions (e.g. intermediate GYO states)
+    /// legitimately contain them.
+    pub fn new(bags: Vec<AttrSet>) -> Result<Self> {
+        if bags.is_empty() {
+            return Err(RelationError::EmptyInput("schema with no bags"));
+        }
+        if bags.iter().any(AttrSet::is_empty) {
+            return Err(RelationError::EmptyInput("schema containing an empty bag"));
+        }
+        let mut dedup: Vec<AttrSet> = Vec::with_capacity(bags.len());
+        for b in bags {
+            if !dedup.contains(&b) {
+                dedup.push(b);
+            }
+        }
+        Ok(Schema { bags: dedup })
+    }
+
+    /// The bags `Ω₁,…,Ω_m`.
+    pub fn bags(&self) -> &[AttrSet] {
+        &self.bags
+    }
+
+    /// Number of bags `m`.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// `true` if the schema has no bags (cannot happen for a constructed
+    /// schema, but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// The full attribute set `Ω = ∪ᵢ Ωᵢ`.
+    pub fn attributes(&self) -> AttrSet {
+        self.bags
+            .iter()
+            .fold(AttrSet::empty(), |acc, b| acc.union(b))
+    }
+
+    /// Removes every bag that is contained in another bag, producing the
+    /// *reduced* schema required by the paper's definition (`Ωᵢ ⊄ Ωⱼ`).
+    pub fn reduce(&self) -> Schema {
+        let mut kept: Vec<AttrSet> = Vec::with_capacity(self.bags.len());
+        for (i, b) in self.bags.iter().enumerate() {
+            let dominated = self.bags.iter().enumerate().any(|(j, other)| {
+                if i == j {
+                    return false;
+                }
+                // A bag is dropped if it is a subset of another bag; to break
+                // the tie between equal bags keep the first occurrence.
+                if b == other {
+                    j < i
+                } else {
+                    b.is_subset_of(other)
+                }
+            });
+            if !dominated {
+                kept.push(b.clone());
+            }
+        }
+        Schema { bags: kept }
+    }
+
+    /// `true` if no bag is contained in another.
+    pub fn is_reduced(&self) -> bool {
+        self.bags.iter().enumerate().all(|(i, b)| {
+            !self
+                .bags
+                .iter()
+                .enumerate()
+                .any(|(j, other)| i != j && b.is_subset_of(other))
+        })
+    }
+
+    /// Runs GYO reduction, reporting acyclicity and (if acyclic) a join tree.
+    pub fn gyo(&self) -> GyoOutcome {
+        gyo_reduction(&self.bags)
+    }
+
+    /// `true` if the schema is acyclic (admits a join tree).
+    pub fn is_acyclic(&self) -> bool {
+        self.gyo().is_acyclic()
+    }
+
+    /// Builds a join tree for this schema, if it is acyclic.
+    pub fn join_tree(&self) -> Result<JoinTree> {
+        match self.gyo() {
+            GyoOutcome::Acyclic(tree) => Ok(tree),
+            GyoOutcome::Cyclic { residual } => Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "schema is cyclic: GYO reduction left {} irreducible bag(s)",
+                    residual.len()
+                ),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema[")?;
+        for (i, b) in self.bags.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn construction_validates_input() {
+        assert!(Schema::new(vec![]).is_err());
+        assert!(Schema::new(vec![AttrSet::empty()]).is_err());
+        let s = Schema::new(vec![bag(&[0, 1]), bag(&[0, 1]), bag(&[1, 2])]).unwrap();
+        assert_eq!(s.len(), 2); // duplicate collapsed
+    }
+
+    #[test]
+    fn attributes_is_union_of_bags() {
+        let s = Schema::new(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[3])]).unwrap();
+        assert_eq!(s.attributes(), bag(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn reduce_drops_contained_bags() {
+        let s = Schema::new(vec![bag(&[0]), bag(&[0, 1]), bag(&[1, 2]), bag(&[2])]).unwrap();
+        assert!(!s.is_reduced());
+        let r = s.reduce();
+        assert!(r.is_reduced());
+        assert_eq!(r.len(), 2);
+        assert!(r.bags().contains(&bag(&[0, 1])));
+        assert!(r.bags().contains(&bag(&[1, 2])));
+    }
+
+    #[test]
+    fn acyclic_path_schema() {
+        // {AB, BC, CD} is acyclic (a path).
+        let s = Schema::new(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap();
+        assert!(s.is_acyclic());
+        let t = s.join_tree().unwrap();
+        assert_eq!(t.num_nodes(), 3);
+    }
+
+    #[test]
+    fn cyclic_triangle_schema() {
+        // {AB, BC, CA} is the classic cyclic triangle.
+        let s = Schema::new(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 0])]).unwrap();
+        assert!(!s.is_acyclic());
+        assert!(s.join_tree().is_err());
+    }
+
+    #[test]
+    fn reduced_schema_bound_on_bag_count() {
+        // For a reduced acyclic schema, m <= |Omega| (Beeri et al.).
+        let s = Schema::new(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3]), bag(&[3, 4])])
+            .unwrap()
+            .reduce();
+        assert!(s.is_acyclic());
+        assert!(s.len() <= s.attributes().len());
+    }
+
+    #[test]
+    fn display_lists_bags() {
+        let s = Schema::new(vec![bag(&[0, 1])]).unwrap();
+        assert!(format!("{s}").contains("{X0,X1}"));
+    }
+}

@@ -1,0 +1,621 @@
+//! Join trees (junction trees) and rooted orderings.
+//!
+//! A join tree `(T, χ)` (Definition 2.1 of the paper) is an undirected tree
+//! whose nodes carry attribute *bags* `χ(u)` such that, for every attribute
+//! `X`, the nodes whose bags contain `X` form a connected subtree (the
+//! *running intersection property*, RIP).  The schema defined by the tree is
+//! the set of its bags.
+//!
+//! Many results of the paper are phrased over a *rooted* join tree with a
+//! depth-first enumeration `u₁,…,u_m` of its nodes (Section 2.3): the
+//! separators are `Δᵢ = χ(parent(uᵢ)) ∩ χ(uᵢ)`, the prefix unions are
+//! `Ω_{1:i} = ∪_{ℓ≤i} Ω_ℓ`, and the support MVDs are
+//! `Δᵢ ↠ Ω_{1:i-1} | Ω_{i:m}`.  [`RootedTree`] materialises that view.
+
+use ajd_relation::{AttrSet, RelationError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated join tree: bags plus undirected tree edges satisfying the
+/// running intersection property.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinTree {
+    bags: Vec<AttrSet>,
+    edges: Vec<(usize, usize)>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl JoinTree {
+    /// Builds a join tree from bags and undirected edges (node indices into
+    /// `bags`).
+    ///
+    /// Validates that the edges form a tree over all nodes (connected,
+    /// `m − 1` edges, no self-loops, indices in range) and that the running
+    /// intersection property holds.
+    pub fn new(bags: Vec<AttrSet>, edges: Vec<(usize, usize)>) -> Result<Self> {
+        let m = bags.len();
+        if m == 0 {
+            return Err(RelationError::EmptyInput("join tree with no bags"));
+        }
+        if edges.len() != m - 1 {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "a join tree over {m} bags needs {} edges, got {}",
+                    m - 1,
+                    edges.len()
+                ),
+            });
+        }
+        let mut adjacency = vec![Vec::new(); m];
+        for &(u, v) in &edges {
+            if u >= m || v >= m || u == v {
+                return Err(RelationError::SchemaMismatch {
+                    detail: format!("edge ({u},{v}) is not valid for {m} nodes"),
+                });
+            }
+            adjacency[u].push(v);
+            adjacency[v].push(u);
+        }
+        let tree = JoinTree {
+            bags,
+            edges,
+            adjacency,
+        };
+        if !tree.is_connected() {
+            return Err(RelationError::SchemaMismatch {
+                detail: "join tree edges do not connect all bags".to_owned(),
+            });
+        }
+        if !tree.check_running_intersection() {
+            return Err(RelationError::SchemaMismatch {
+                detail: "running intersection property violated".to_owned(),
+            });
+        }
+        Ok(tree)
+    }
+
+    /// Builds a join tree for an acyclic schema via GYO reduction.
+    pub fn from_acyclic_schema(bags: &[AttrSet]) -> Result<Self> {
+        match crate::gyo::gyo_reduction(bags) {
+            crate::gyo::GyoOutcome::Acyclic(t) => Ok(t),
+            crate::gyo::GyoOutcome::Cyclic { residual } => Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "schema is not acyclic; {} bags remain after GYO reduction",
+                    residual.len()
+                ),
+            }),
+        }
+    }
+
+    /// Builds the join tree of an MVD `X ↠ Y₁ | ⋯ | Y_k`: bags `X∪Yᵢ`
+    /// arranged in a star around the first bag (any tree over these bags has
+    /// all separators equal to `X`, so the shape does not matter).
+    pub fn from_mvd_parts(lhs: &AttrSet, parts: &[AttrSet]) -> Result<Self> {
+        if parts.len() < 2 {
+            return Err(RelationError::EmptyInput(
+                "an MVD needs at least two dependent parts",
+            ));
+        }
+        let bags: Vec<AttrSet> = parts.iter().map(|y| lhs.union(y)).collect();
+        let edges: Vec<(usize, usize)> = (1..bags.len()).map(|i| (0, i)).collect();
+        JoinTree::new(bags, edges)
+    }
+
+    /// Builds a path-shaped join tree `Ω₁ — Ω₂ — ⋯ — Ω_m` (validating RIP).
+    pub fn path(bags: Vec<AttrSet>) -> Result<Self> {
+        let edges: Vec<(usize, usize)> = (1..bags.len()).map(|i| (i - 1, i)).collect();
+        JoinTree::new(bags, edges)
+    }
+
+    /// Builds a star-shaped join tree with `bags[0]` at the centre
+    /// (validating RIP).
+    pub fn star(bags: Vec<AttrSet>) -> Result<Self> {
+        let edges: Vec<(usize, usize)> = (1..bags.len()).map(|i| (0, i)).collect();
+        JoinTree::new(bags, edges)
+    }
+
+    /// Number of nodes `m`.
+    pub fn num_nodes(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Number of edges (`m − 1`).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The bag `χ(uᵢ)` of node `i`.
+    pub fn bag(&self, i: usize) -> &AttrSet {
+        &self.bags[i]
+    }
+
+    /// All bags, indexed by node.
+    pub fn bags(&self) -> &[AttrSet] {
+        &self.bags
+    }
+
+    /// The undirected edges of the tree.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbours(&self, i: usize) -> &[usize] {
+        &self.adjacency[i]
+    }
+
+    /// The separator `χ(u) ∩ χ(v)` of the `e`-th edge.
+    pub fn separator(&self, e: usize) -> AttrSet {
+        let (u, v) = self.edges[e];
+        self.bags[u].intersection(&self.bags[v])
+    }
+
+    /// All edge separators, in edge order.
+    pub fn separators(&self) -> Vec<AttrSet> {
+        (0..self.edges.len()).map(|e| self.separator(e)).collect()
+    }
+
+    /// The variable set of the tree `χ(T) = ∪ᵤ χ(u)`.
+    pub fn attributes(&self) -> AttrSet {
+        self.bags
+            .iter()
+            .fold(AttrSet::empty(), |acc, b| acc.union(b))
+    }
+
+    /// The schema defined by the tree (its bags, as owned sets).
+    pub fn schema(&self) -> Vec<AttrSet> {
+        self.bags.clone()
+    }
+
+    /// `true` if every node is reachable from node 0.
+    fn is_connected(&self) -> bool {
+        let m = self.num_nodes();
+        let mut seen = vec![false; m];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    visited += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        visited == m
+    }
+
+    /// Checks the running intersection property: for every attribute, the
+    /// nodes containing it induce a connected subtree.
+    pub fn check_running_intersection(&self) -> bool {
+        for attr in self.attributes().iter() {
+            let holders: Vec<usize> = (0..self.num_nodes())
+                .filter(|&i| self.bags[i].contains(attr))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // BFS restricted to holder nodes, starting from the first holder.
+            let mut seen = vec![false; self.num_nodes()];
+            let mut stack = vec![holders[0]];
+            seen[holders[0]] = true;
+            let mut reached = 1usize;
+            while let Some(u) = stack.pop() {
+                for &v in &self.adjacency[u] {
+                    if !seen[v] && self.bags[v].contains(attr) {
+                        seen[v] = true;
+                        reached += 1;
+                        stack.push(v);
+                    }
+                }
+            }
+            if reached != holders.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns the two sets of variables `χ(T_u)` and `χ(T_v)` obtained by
+    /// removing the `e`-th edge `(u,v)`: the attribute sets of the two
+    /// connected components, used to define the MVD `φ_{u,v}` of that edge.
+    pub fn edge_split(&self, e: usize) -> (AttrSet, AttrSet) {
+        let (u, v) = self.edges[e];
+        let side_u = self.component_attrs(u, v);
+        let side_v = self.component_attrs(v, u);
+        (side_u, side_v)
+    }
+
+    /// Attributes of the connected component containing `start` in the tree
+    /// with the edge towards `blocked` removed.
+    fn component_attrs(&self, start: usize, blocked: usize) -> AttrSet {
+        let mut seen = vec![false; self.num_nodes()];
+        seen[start] = true;
+        seen[blocked] = true; // do not cross into the other side
+        let mut stack = vec![start];
+        let mut attrs = self.bags[start].clone();
+        while let Some(x) = stack.pop() {
+            for &y in &self.adjacency[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    attrs = attrs.union(&self.bags[y]);
+                    stack.push(y);
+                }
+            }
+        }
+        attrs
+    }
+
+    /// Roots the tree at `root` and returns the depth-first view used by the
+    /// paper's ordered statements (Theorem 2.2, Proposition 5.3).
+    pub fn rooted(&self, root: usize) -> Result<RootedTree> {
+        if root >= self.num_nodes() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "root {root} out of range for a tree with {} nodes",
+                    self.num_nodes()
+                ),
+            });
+        }
+        let m = self.num_nodes();
+        let mut order = Vec::with_capacity(m);
+        let mut parent: Vec<Option<usize>> = vec![None; m];
+        let mut seen = vec![false; m];
+        // Iterative DFS, visiting neighbours in ascending index order for
+        // determinism.
+        let mut stack = vec![root];
+        seen[root] = true;
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            let mut children: Vec<usize> = self.adjacency[u]
+                .iter()
+                .copied()
+                .filter(|&v| !seen[v])
+                .collect();
+            children.sort_unstable();
+            // Push in reverse so the smallest-index child is visited first.
+            for &v in children.iter().rev() {
+                seen[v] = true;
+                parent[v] = Some(u);
+                stack.push(v);
+            }
+        }
+        debug_assert_eq!(order.len(), m, "tree must be connected");
+        Ok(RootedTree {
+            tree: self.clone(),
+            root,
+            order,
+            parent,
+        })
+    }
+
+    /// Contracts the `e`-th edge: its two endpoints are replaced by a single
+    /// node whose bag is the union of their bags.
+    ///
+    /// Contracting an edge of a valid join tree always yields a valid join
+    /// tree (the running intersection property is preserved).  This is the
+    /// basic move of the greedy schema-coarsening used by `ajd-core`'s
+    /// discovery module, and of the inductive constructions in the paper's
+    /// proofs (merging a leaf into its parent is the special case where one
+    /// endpoint is a leaf).
+    pub fn contract_edge(&self, e: usize) -> Result<JoinTree> {
+        if e >= self.edges.len() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!("edge index {e} out of range ({} edges)", self.edges.len()),
+            });
+        }
+        let (u, v) = self.edges[e];
+        let mut new_bags = Vec::with_capacity(self.num_nodes() - 1);
+        let mut remap = vec![usize::MAX; self.num_nodes()];
+        for (i, slot) in remap.iter_mut().enumerate() {
+            if i == v {
+                continue;
+            }
+            *slot = new_bags.len();
+            if i == u {
+                new_bags.push(self.bags[u].union(&self.bags[v]));
+            } else {
+                new_bags.push(self.bags[i].clone());
+            }
+        }
+        remap[v] = remap[u];
+        let new_edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| idx != e)
+            .map(|(_, &(a, b))| (remap[a], remap[b]))
+            .collect();
+        JoinTree::new(new_bags, new_edges)
+    }
+
+    /// Merges the bag of a leaf node into its (unique) neighbour, producing
+    /// the smaller join tree `T'` used in the inductive arguments of
+    /// Propositions 3.1 and 5.1.
+    ///
+    /// Returns an error if `leaf` is not a leaf or the tree has a single
+    /// node.
+    pub fn merge_leaf_into_parent(&self, leaf: usize) -> Result<JoinTree> {
+        if self.num_nodes() <= 1 {
+            return Err(RelationError::EmptyInput("cannot merge the only bag"));
+        }
+        if self.adjacency[leaf].len() != 1 {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!("node {leaf} is not a leaf"),
+            });
+        }
+        let parent = self.adjacency[leaf][0];
+        let mut new_bags = Vec::with_capacity(self.num_nodes() - 1);
+        // Map old indices to new indices.
+        let mut remap = vec![usize::MAX; self.num_nodes()];
+        for (i, slot) in remap.iter_mut().enumerate() {
+            if i == leaf {
+                continue;
+            }
+            *slot = new_bags.len();
+            if i == parent {
+                new_bags.push(self.bags[i].union(&self.bags[leaf]));
+            } else {
+                new_bags.push(self.bags[i].clone());
+            }
+        }
+        let new_edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| u != leaf && v != leaf)
+            .map(|&(u, v)| (remap[u], remap[v]))
+            .collect();
+        JoinTree::new(new_bags, new_edges)
+    }
+}
+
+impl fmt::Display for JoinTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "JoinTree ({} bags):", self.num_nodes())?;
+        for (i, b) in self.bags.iter().enumerate() {
+            writeln!(f, "  u{i}: {b}")?;
+        }
+        for &(u, v) in &self.edges {
+            writeln!(
+                f,
+                "  u{u} -- u{v}   sep {}",
+                self.bags[u].intersection(&self.bags[v])
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A join tree rooted at a node, with a fixed depth-first enumeration
+/// `u₁,…,u_m` of its nodes (the paper's Section 2.3 view).
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    tree: JoinTree,
+    root: usize,
+    /// DFS pre-order of node indices; `order[0] == root`.
+    order: Vec<usize>,
+    /// Parent of each node in the rooted tree (`None` for the root).
+    parent: Vec<Option<usize>>,
+}
+
+impl RootedTree {
+    /// The underlying unrooted join tree.
+    pub fn tree(&self) -> &JoinTree {
+        &self.tree
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of nodes `m`.
+    pub fn num_nodes(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The DFS pre-order `u₁,…,u_m` (as node indices).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Parent of a node (by node index), `None` for the root.
+    pub fn parent_of(&self, node: usize) -> Option<usize> {
+        self.parent[node]
+    }
+
+    /// The bag `Ωᵢ` of the `i`-th node in DFS order (1-based position
+    /// `i ∈ [1, m]`, matching the paper's indexing).
+    pub fn bag_at(&self, i: usize) -> &AttrSet {
+        self.tree.bag(self.order[i - 1])
+    }
+
+    /// The separator `Δᵢ = χ(parent(uᵢ)) ∩ χ(uᵢ)` for position `i ∈ [2, m]`.
+    pub fn delta(&self, i: usize) -> AttrSet {
+        let node = self.order[i - 1];
+        let p = self.parent[node].expect("delta is defined only for non-root positions");
+        self.tree.bag(p).intersection(self.tree.bag(node))
+    }
+
+    /// Prefix union `Ω_{1:i} = ∪_{ℓ=1..i} Ω_ℓ` (1-based, `i ∈ [1, m]`).
+    pub fn prefix_union(&self, i: usize) -> AttrSet {
+        self.order[..i]
+            .iter()
+            .fold(AttrSet::empty(), |acc, &u| acc.union(self.tree.bag(u)))
+    }
+
+    /// Suffix union `Ω_{i:m} = ∪_{ℓ=i..m} Ω_ℓ` (1-based, `i ∈ [1, m]`).
+    pub fn suffix_union(&self, i: usize) -> AttrSet {
+        self.order[i - 1..]
+            .iter()
+            .fold(AttrSet::empty(), |acc, &u| acc.union(self.tree.bag(u)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    fn path_tree() -> JoinTree {
+        JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_edge_count_and_indices() {
+        assert!(JoinTree::new(vec![], vec![]).is_err());
+        assert!(JoinTree::new(vec![bag(&[0])], vec![(0, 0)]).is_err());
+        assert!(JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![]).is_err());
+        assert!(JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 5)]).is_err());
+        assert!(JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).is_ok());
+    }
+
+    #[test]
+    fn disconnected_edges_rejected() {
+        // 4 nodes, 3 edges but one node is attached twice and another left out.
+        let bags = vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3]), bag(&[3, 4])];
+        let r = JoinTree::new(bags, vec![(0, 1), (1, 2), (0, 2)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rip_violation_rejected() {
+        // Attribute 0 appears in the two end bags but not in the middle bag.
+        let bags = vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 0])];
+        let r = JoinTree::new(bags, vec![(0, 1), (1, 2)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn path_and_star_builders() {
+        let t = path_tree();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.separator(0), bag(&[1]));
+        assert_eq!(t.separator(1), bag(&[2]));
+
+        let s = JoinTree::star(vec![bag(&[0, 1, 2]), bag(&[0, 3]), bag(&[1, 4])]).unwrap();
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.neighbours(0).len(), 2);
+    }
+
+    #[test]
+    fn mvd_tree_has_constant_separator() {
+        let lhs = bag(&[0]);
+        let parts = vec![bag(&[1]), bag(&[2]), bag(&[3])];
+        let t = JoinTree::from_mvd_parts(&lhs, &parts).unwrap();
+        assert_eq!(t.num_nodes(), 3);
+        for e in 0..t.num_edges() {
+            assert_eq!(t.separator(e), lhs);
+        }
+        assert!(JoinTree::from_mvd_parts(&lhs, &parts[..1]).is_err());
+    }
+
+    #[test]
+    fn attributes_and_schema() {
+        let t = path_tree();
+        assert_eq!(t.attributes(), bag(&[0, 1, 2, 3]));
+        assert_eq!(t.schema().len(), 3);
+    }
+
+    #[test]
+    fn edge_split_partitions_attributes() {
+        let t = path_tree();
+        let (left, right) = t.edge_split(1); // edge between {1,2} and {2,3}
+        assert_eq!(left, bag(&[0, 1, 2]));
+        assert_eq!(right, bag(&[2, 3]));
+        assert_eq!(left.union(&right), t.attributes());
+    }
+
+    #[test]
+    fn rooted_order_and_separators() {
+        let t = path_tree();
+        let r = t.rooted(0).unwrap();
+        assert_eq!(r.order(), &[0, 1, 2]);
+        assert_eq!(r.parent_of(0), None);
+        assert_eq!(r.parent_of(1), Some(0));
+        assert_eq!(r.parent_of(2), Some(1));
+        assert_eq!(r.bag_at(1), &bag(&[0, 1]));
+        assert_eq!(r.delta(2), bag(&[1]));
+        assert_eq!(r.delta(3), bag(&[2]));
+        assert_eq!(r.prefix_union(2), bag(&[0, 1, 2]));
+        assert_eq!(r.suffix_union(2), bag(&[1, 2, 3]));
+        assert_eq!(r.suffix_union(1), t.attributes());
+        assert!(t.rooted(7).is_err());
+    }
+
+    #[test]
+    fn rooted_from_other_root() {
+        let t = path_tree();
+        let r = t.rooted(2).unwrap();
+        assert_eq!(r.order()[0], 2);
+        assert_eq!(r.num_nodes(), 3);
+        // The separator of the node entered second is still the edge separator.
+        assert_eq!(r.delta(2), bag(&[2]));
+    }
+
+    #[test]
+    fn running_intersection_delta_equals_prefix_intersection() {
+        // Property stated right before Theorem 2.2:
+        // Δ_i = Ω_{1:(i-1)} ∩ Ω_i.
+        let t = JoinTree::star(vec![bag(&[0, 1, 2]), bag(&[0, 3]), bag(&[2, 4]), bag(&[1, 5])])
+            .unwrap();
+        let r = t.rooted(0).unwrap();
+        for i in 2..=r.num_nodes() {
+            let delta = r.delta(i);
+            let prefix = r.prefix_union(i - 1);
+            let bag_i = r.bag_at(i).clone();
+            assert_eq!(delta, prefix.intersection(&bag_i));
+        }
+    }
+
+    #[test]
+    fn merge_leaf_into_parent_shrinks_tree() {
+        let t = path_tree();
+        let merged = t.merge_leaf_into_parent(2).unwrap();
+        assert_eq!(merged.num_nodes(), 2);
+        assert!(merged.bags().iter().any(|b| *b == bag(&[1, 2, 3])));
+        assert!(merged.check_running_intersection());
+        // Node 1 is internal, not a leaf.
+        assert!(t.merge_leaf_into_parent(1).is_err());
+        let single = JoinTree::new(vec![bag(&[0])], vec![]).unwrap();
+        assert!(single.merge_leaf_into_parent(0).is_err());
+    }
+
+    #[test]
+    fn contract_edge_merges_endpoint_bags() {
+        let t = path_tree();
+        let c = t.contract_edge(0).unwrap();
+        assert_eq!(c.num_nodes(), 2);
+        assert!(c.bags().iter().any(|b| *b == bag(&[0, 1, 2])));
+        assert!(c.check_running_intersection());
+        // Contracting the remaining edge yields a single bag over everything.
+        let c2 = c.contract_edge(0).unwrap();
+        assert_eq!(c2.num_nodes(), 1);
+        assert_eq!(c2.bag(0), &bag(&[0, 1, 2, 3]));
+        assert!(t.contract_edge(5).is_err());
+    }
+
+    #[test]
+    fn contract_edge_on_star_preserves_validity() {
+        let t = JoinTree::star(vec![bag(&[0, 1, 2]), bag(&[0, 3]), bag(&[2, 4]), bag(&[1, 5])])
+            .unwrap();
+        for e in 0..t.num_edges() {
+            let c = t.contract_edge(e).unwrap();
+            assert_eq!(c.num_nodes(), t.num_nodes() - 1);
+            assert!(c.check_running_intersection());
+            assert_eq!(c.attributes(), t.attributes());
+        }
+    }
+
+    #[test]
+    fn display_shows_bags_and_separators() {
+        let t = path_tree();
+        let s = format!("{t}");
+        assert!(s.contains("u0"));
+        assert!(s.contains("sep"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Structured relation generators.
+//!
+//! Besides the uniform random relation model, the paper's examples and our
+//! experiments need several structured families:
+//!
+//! * [`bijection_relation`] — Example 4.1: `R = {(a₁,b₁),…,(a_N,b_N)}`, the
+//!   family for which the Lemma 4.1 lower bound is tight.
+//! * [`conditional_product_relation`] — a relation that satisfies the MVD
+//!   `C ↠ A | B` exactly (zero loss, zero J-measure).
+//! * [`lossless_for_tree`] — the acyclic join `⋈ᵢ R[Ωᵢ]` of an arbitrary
+//!   base relation: by construction it models the tree (the `Q_TU`
+//!   construction in the proof of Lemma 4.1).
+//! * [`approximate_mvd_relation`] — a conditional-product relation with a
+//!   controlled fraction of perturbed tuples, giving an *approximate* AJD
+//!   (used by the discovery and Proposition 5.1 experiments).
+//! * [`markov_chain_relation`] — attributes forming a noisy Markov chain
+//!   `X₀ → X₁ → ⋯`, whose natural acyclic schema is the path of consecutive
+//!   pairs (used by the schema-discovery experiment).
+
+use crate::model::RandomRelationModel;
+use crate::product::ProductDomain;
+use ajd_relation::hash::set_with_capacity;
+use ajd_relation::{AttrId, Relation, RelationError, Result, Value};
+use ajd_jointree::{acyclic_join, JoinTree};
+use rand::{Rng, RngExt};
+
+/// Example 4.1: the bijection relation `{(a_i, b_i) : i ∈ [N]}` over
+/// attributes `A = X₀`, `B = X₁` with disjoint value interpretations.
+///
+/// For this family and the schema `{{A},{B}}`,
+/// `J = log N = log(1 + ρ(R,S))`: the lower bound of Lemma 4.1 is tight.
+pub fn bijection_relation(n: u32) -> Relation {
+    let mut r = Relation::with_capacity(vec![AttrId(0), AttrId(1)], n as usize)
+        .expect("two distinct attributes");
+    for i in 0..n {
+        r.push_row(&[i, i]).expect("arity 2 row");
+    }
+    r
+}
+
+/// A relation over `A = X₀`, `B = X₁`, `C = X₂` equal to the full
+/// conditional product `{(a,b,c) : a ∈ [d_A], b ∈ [d_B], c ∈ [d_C]}`.
+/// The MVD `C ↠ A | B` (and in fact every MVD) holds exactly.
+pub fn conditional_product_relation(d_a: u32, d_b: u32, d_c: u32) -> Relation {
+    let mut r = Relation::with_capacity(
+        vec![AttrId(0), AttrId(1), AttrId(2)],
+        (d_a * d_b * d_c) as usize,
+    )
+    .expect("three distinct attributes");
+    for c in 0..d_c {
+        for a in 0..d_a {
+            for b in 0..d_b {
+                r.push_row(&[a, b, c]).expect("arity 3 row");
+            }
+        }
+    }
+    r
+}
+
+/// Returns the acyclic join `⋈ᵢ R[Ωᵢ]` of `base` over `tree`.
+///
+/// The result always models the tree (its J-measure is 0), making it the
+/// canonical way to build lossless instances of an arbitrary acyclic schema.
+/// Beware: the output can be much larger than `base`.
+pub fn lossless_for_tree(base: &Relation, tree: &JoinTree) -> Result<Relation> {
+    acyclic_join(base, tree)
+}
+
+/// A relation that *approximately* satisfies the MVD `C ↠ A | B`.
+///
+/// For every `c ∈ [d_C]` the generator picks `per_block_a × per_block_b`
+/// product blocks and then replaces a `noise` fraction of the block tuples
+/// with uniformly random tuples (keeping all tuples distinct).  With
+/// `noise = 0` the MVD holds exactly; as `noise` grows both the conditional
+/// mutual information and the loss grow.
+pub fn approximate_mvd_relation<R: Rng + ?Sized>(
+    rng: &mut R,
+    d_a: u32,
+    d_b: u32,
+    d_c: u32,
+    per_block_a: u32,
+    per_block_b: u32,
+    noise: f64,
+) -> Result<Relation> {
+    if per_block_a > d_a || per_block_b > d_b {
+        return Err(RelationError::DomainExhausted {
+            requested: per_block_a.max(per_block_b) as u64,
+            available: d_a.min(d_b) as u64,
+        });
+    }
+    if !(0.0..=1.0).contains(&noise) {
+        return Err(RelationError::SchemaMismatch {
+            detail: format!("noise fraction {noise} outside [0,1]"),
+        });
+    }
+    let domain = ProductDomain::for_mvd(d_a as u64, d_b as u64, d_c as u64)?;
+    let mut tuples: Vec<[Value; 3]> = Vec::new();
+    let mut seen = set_with_capacity(1024);
+
+    for c in 0..d_c {
+        // Choose the A-side and B-side of this block.
+        let a_vals = crate::sampling::sample_distinct(rng, d_a as u64, per_block_a as u64)?;
+        let b_vals = crate::sampling::sample_distinct(rng, d_b as u64, per_block_b as u64)?;
+        for &a in &a_vals {
+            for &b in &b_vals {
+                let t = [a as Value, b as Value, c];
+                if seen.insert(domain.encode(&t)?) {
+                    tuples.push(t);
+                }
+            }
+        }
+    }
+
+    // Perturb a fraction of the tuples: remove them and insert fresh random
+    // tuples not already present.
+    let n_noise = ((tuples.len() as f64) * noise).round() as usize;
+    for _ in 0..n_noise {
+        if tuples.is_empty() {
+            break;
+        }
+        let victim = rng.random_range(0..tuples.len());
+        let removed = tuples.swap_remove(victim);
+        seen.remove(&domain.encode(&removed)?);
+        // Draw a replacement not already present (the domain is never full
+        // here because we just removed an element).
+        loop {
+            let idx = rng.random_range(0..domain.size());
+            if !seen.contains(&idx) {
+                seen.insert(idx);
+                let t = domain.decode(idx)?;
+                tuples.push([t[0], t[1], t[2]]);
+                break;
+            }
+        }
+    }
+
+    let mut r = Relation::with_capacity(
+        vec![AttrId(0), AttrId(1), AttrId(2)],
+        tuples.len(),
+    )?;
+    for t in tuples {
+        r.push_row(&t)?;
+    }
+    Ok(r)
+}
+
+/// A relation whose attributes form a noisy Markov chain
+/// `X₀ → X₁ → ⋯ → X_{k−1}` over a common domain `[d]`.
+///
+/// Each tuple starts from a uniform `X₀`; every subsequent attribute copies
+/// its predecessor with probability `1 − noise` and is uniform otherwise.
+/// Duplicate tuples are kept (multiset semantics) unless `distinct` is set.
+/// The natural acyclic schema is the path `{X₀X₁, X₁X₂, …}`, which is what
+/// the schema-discovery experiment is expected to find.
+pub fn markov_chain_relation<R: Rng + ?Sized>(
+    rng: &mut R,
+    num_attrs: usize,
+    domain: u32,
+    n: usize,
+    noise: f64,
+    distinct: bool,
+) -> Result<Relation> {
+    if num_attrs == 0 || domain == 0 || n == 0 {
+        return Err(RelationError::EmptyInput("markov chain parameters"));
+    }
+    let schema: Vec<AttrId> = (0..num_attrs).map(AttrId::from).collect();
+    let mut r = Relation::with_capacity(schema, n)?;
+    let mut row = vec![0 as Value; num_attrs];
+    let mut produced = 0usize;
+    let mut guard = 0usize;
+    let mut seen = set_with_capacity(n);
+    while produced < n {
+        guard += 1;
+        if guard > 100 * n + 1000 {
+            // The distinct variant can run out of fresh tuples for tiny
+            // domains; report rather than loop forever.
+            return Err(RelationError::DomainExhausted {
+                requested: n as u64,
+                available: produced as u64,
+            });
+        }
+        row[0] = rng.random_range(0..domain);
+        for i in 1..num_attrs {
+            row[i] = if rng.random_range(0.0..1.0) < noise {
+                rng.random_range(0..domain)
+            } else {
+                row[i - 1]
+            };
+        }
+        if distinct && !seen.insert(row.clone().into_boxed_slice()) {
+            continue;
+        }
+        r.push_row(&row)?;
+        produced += 1;
+    }
+    Ok(r)
+}
+
+/// Convenience wrapper: a uniformly random relation (Definition 5.2) over
+/// per-attribute domain sizes `dims` with `n` tuples.
+pub fn random_relation<R: Rng + ?Sized>(rng: &mut R, dims: &[u64], n: u64) -> Result<Relation> {
+    RandomRelationModel::new(ProductDomain::new(dims.to_vec())?).sample(rng, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajd_relation::AttrSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn bijection_relation_shape() {
+        let r = bijection_relation(5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.arity(), 2);
+        assert!(r.is_set());
+        for (i, row) in r.iter_rows().enumerate() {
+            assert_eq!(row, &[i as u32, i as u32]);
+        }
+    }
+
+    #[test]
+    fn conditional_product_satisfies_the_mvd() {
+        let r = conditional_product_relation(3, 4, 2);
+        assert_eq!(r.len(), 24);
+        let mvd = ajd_jointree::Mvd::new(bag(&[2]), bag(&[0]), bag(&[1])).unwrap();
+        assert!(mvd.holds_in(&r).unwrap());
+    }
+
+    #[test]
+    fn lossless_for_tree_has_zero_loss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = random_relation(&mut rng, &[4, 4, 4], 20).unwrap();
+        let tree = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2])]).unwrap();
+        let lossless = lossless_for_tree(&base, &tree).unwrap();
+        let rho = ajd_jointree::loss_acyclic(&lossless, &tree).unwrap();
+        assert!(rho.abs() < 1e-12);
+        assert!(base.is_subset_of(&lossless));
+    }
+
+    #[test]
+    fn approximate_mvd_relation_noise_zero_is_lossless() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = approximate_mvd_relation(&mut rng, 8, 8, 3, 4, 4, 0.0).unwrap();
+        assert!(r.is_set());
+        let mvd = ajd_jointree::Mvd::new(bag(&[2]), bag(&[0]), bag(&[1])).unwrap();
+        assert!(mvd.holds_in(&r).unwrap());
+        assert_eq!(r.len(), 3 * 16);
+    }
+
+    #[test]
+    fn approximate_mvd_relation_noise_increases_loss() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let clean = approximate_mvd_relation(&mut rng, 16, 16, 4, 8, 8, 0.0).unwrap();
+        let noisy = approximate_mvd_relation(&mut rng, 16, 16, 4, 8, 8, 0.3).unwrap();
+        let mvd = ajd_jointree::Mvd::new(bag(&[2]), bag(&[0]), bag(&[1])).unwrap();
+        assert_eq!(mvd.loss(&clean).unwrap(), 0.0);
+        assert!(mvd.loss(&noisy).unwrap() > 0.0);
+        assert!(noisy.is_set());
+    }
+
+    #[test]
+    fn approximate_mvd_relation_validates_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(approximate_mvd_relation(&mut rng, 4, 4, 2, 8, 2, 0.1).is_err());
+        assert!(approximate_mvd_relation(&mut rng, 4, 4, 2, 2, 2, 1.5).is_err());
+    }
+
+    #[test]
+    fn markov_chain_relation_shapes_and_determinism() {
+        let r = markov_chain_relation(&mut StdRng::seed_from_u64(4), 4, 8, 200, 0.1, false)
+            .unwrap();
+        assert_eq!(r.len(), 200);
+        assert_eq!(r.arity(), 4);
+        let r2 = markov_chain_relation(&mut StdRng::seed_from_u64(4), 4, 8, 200, 0.1, false)
+            .unwrap();
+        assert!(r.set_eq(&r2) || r.canonicalize().row(0) == r2.canonicalize().row(0));
+        // Distinct variant produces a set.
+        let rd = markov_chain_relation(&mut StdRng::seed_from_u64(5), 3, 16, 100, 0.3, true)
+            .unwrap();
+        assert!(rd.is_set());
+        assert_eq!(rd.len(), 100);
+    }
+
+    #[test]
+    fn markov_chain_relation_rejects_impossible_requests() {
+        // 2^2 = 4 possible distinct tuples but 100 requested.
+        assert!(
+            markov_chain_relation(&mut StdRng::seed_from_u64(6), 2, 2, 100, 0.5, true).is_err()
+        );
+        assert!(markov_chain_relation(&mut StdRng::seed_from_u64(6), 0, 2, 10, 0.5, false).is_err());
+    }
+
+    #[test]
+    fn markov_chain_low_noise_attributes_are_strongly_correlated() {
+        let r = markov_chain_relation(&mut StdRng::seed_from_u64(8), 2, 8, 500, 0.05, false)
+            .unwrap();
+        // With 5% noise, neighbouring attributes agree most of the time.
+        let agree = r.iter_rows().filter(|t| t[0] == t[1]).count();
+        assert!(agree > 400, "only {agree}/500 agree");
+    }
+
+    #[test]
+    fn random_relation_convenience_wrapper() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = random_relation(&mut rng, &[5, 5, 5], 30).unwrap();
+        assert_eq!(r.len(), 30);
+        assert!(r.is_set());
+        assert!(random_relation(&mut rng, &[2, 2], 10).is_err());
+    }
+}

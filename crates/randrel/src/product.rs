@@ -1,0 +1,192 @@
+//! Product domains and mixed-radix tuple codecs.
+//!
+//! The random relation model draws tuples from the product domain
+//! `[d₁] × ⋯ × [d_n]`.  We index the domain by a single integer in
+//! `[0, Πᵢ dᵢ)` using mixed-radix (row-major) encoding, so that drawing a
+//! tuple uniformly at random reduces to drawing an integer uniformly at
+//! random, and sampling *without replacement* reduces to sampling distinct
+//! integers.
+
+use ajd_relation::{RelationError, Result, Value};
+use serde::{Deserialize, Serialize};
+
+/// A product domain `[d₁] × ⋯ × [d_n]` with `dᵢ ≥ 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductDomain {
+    dims: Vec<u64>,
+}
+
+impl ProductDomain {
+    /// Creates a product domain from per-attribute domain sizes.
+    ///
+    /// Every dimension must be at least 1 and the total size must fit in a
+    /// `u64` (≈ 1.8·10¹⁹ tuples), which is far beyond anything that can be
+    /// sampled in practice.
+    pub fn new(dims: Vec<u64>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(RelationError::EmptyInput("product domain with no attributes"));
+        }
+        let mut size: u64 = 1;
+        for &d in &dims {
+            if d == 0 {
+                return Err(RelationError::EmptyInput("zero-sized attribute domain"));
+            }
+            size = size
+                .checked_mul(d)
+                .ok_or(RelationError::DomainExhausted {
+                    requested: u64::MAX,
+                    available: u64::MAX,
+                })?;
+            if d > Value::MAX as u64 + 1 {
+                return Err(RelationError::DomainExhausted {
+                    requested: d,
+                    available: Value::MAX as u64 + 1,
+                });
+            }
+        }
+        let _ = size;
+        Ok(ProductDomain { dims })
+    }
+
+    /// Convenience constructor for the three-attribute MVD setting
+    /// `Ω = {A, B, C}` with domain sizes `d_A, d_B, d_C` (attribute ids
+    /// 0, 1, 2 respectively).
+    pub fn for_mvd(d_a: u64, d_b: u64, d_c: u64) -> Result<Self> {
+        ProductDomain::new(vec![d_a, d_b, d_c])
+    }
+
+    /// Number of attributes `n`.
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-attribute domain sizes.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Total number of tuples `Πᵢ dᵢ`.
+    pub fn size(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Encodes a tuple (given as per-attribute values) into its mixed-radix
+    /// index.
+    pub fn encode(&self, tuple: &[Value]) -> Result<u64> {
+        if tuple.len() != self.dims.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.dims.len(),
+                got: tuple.len(),
+            });
+        }
+        let mut idx: u64 = 0;
+        for (i, (&v, &d)) in tuple.iter().zip(&self.dims).enumerate() {
+            if v as u64 >= d {
+                return Err(RelationError::DomainExhausted {
+                    requested: v as u64,
+                    available: d,
+                });
+            }
+            let _ = i;
+            idx = idx * d + v as u64;
+        }
+        Ok(idx)
+    }
+
+    /// Decodes a mixed-radix index into a tuple.
+    pub fn decode(&self, mut index: u64) -> Result<Vec<Value>> {
+        if index >= self.size() {
+            return Err(RelationError::DomainExhausted {
+                requested: index,
+                available: self.size(),
+            });
+        }
+        let mut out = vec![0 as Value; self.dims.len()];
+        for i in (0..self.dims.len()).rev() {
+            let d = self.dims[i];
+            out[i] = (index % d) as Value;
+            index /= d;
+        }
+        Ok(out)
+    }
+
+    /// Decodes a mixed-radix index into a caller-provided buffer (avoiding
+    /// per-tuple allocation in hot sampling loops).
+    pub fn decode_into(&self, mut index: u64, out: &mut [Value]) {
+        debug_assert_eq!(out.len(), self.dims.len());
+        for i in (0..self.dims.len()).rev() {
+            let d = self.dims[i];
+            out[i] = (index % d) as Value;
+            index /= d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dims() {
+        assert!(ProductDomain::new(vec![]).is_err());
+        assert!(ProductDomain::new(vec![3, 0, 2]).is_err());
+        assert!(ProductDomain::new(vec![u64::MAX, 3]).is_err());
+        let d = ProductDomain::new(vec![3, 4, 5]).unwrap();
+        assert_eq!(d.arity(), 3);
+        assert_eq!(d.size(), 60);
+        assert_eq!(d.dims(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn mvd_constructor_orders_a_b_c() {
+        let d = ProductDomain::for_mvd(10, 20, 3).unwrap();
+        assert_eq!(d.dims(), &[10, 20, 3]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = ProductDomain::new(vec![3, 4, 5]).unwrap();
+        for idx in 0..d.size() {
+            let t = d.decode(idx).unwrap();
+            assert_eq!(d.encode(&t).unwrap(), idx);
+            for (v, &dim) in t.iter().zip(d.dims()) {
+                assert!((*v as u64) < dim);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_is_injective() {
+        let d = ProductDomain::new(vec![2, 3, 2]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..d.size() {
+            assert!(seen.insert(d.decode(idx).unwrap()));
+        }
+        assert_eq!(seen.len() as u64, d.size());
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range_values() {
+        let d = ProductDomain::new(vec![2, 2]).unwrap();
+        assert!(d.encode(&[2, 0]).is_err());
+        assert!(d.encode(&[0]).is_err());
+        assert!(d.decode(4).is_err());
+    }
+
+    #[test]
+    fn decode_into_matches_decode() {
+        let d = ProductDomain::new(vec![7, 11]).unwrap();
+        let mut buf = vec![0u32; 2];
+        for idx in [0, 1, 13, 76] {
+            d.decode_into(idx, &mut buf);
+            assert_eq!(buf, d.decode(idx).unwrap());
+        }
+    }
+
+    #[test]
+    fn single_attribute_domain() {
+        let d = ProductDomain::new(vec![5]).unwrap();
+        assert_eq!(d.size(), 5);
+        assert_eq!(d.decode(3).unwrap(), vec![3]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Uniform sampling of distinct integers (sampling without replacement).
+//!
+//! Definition 5.2 requires drawing a set `S` of `N` tuples uniformly at
+//! random *without replacement* from the product domain.  After mixed-radix
+//! encoding this is exactly the problem of drawing `N` distinct integers
+//! uniformly from `[0, D)`.  Three strategies cover the relevant regimes:
+//!
+//! * **Partial Fisher–Yates** — materialise `0..D` and run the first `N`
+//!   steps of a Fisher–Yates shuffle.  Exactly uniform; `O(D)` memory.  Used
+//!   when `D` is small enough to materialise cheaply.
+//! * **Floyd's algorithm** — `O(N)` memory and expected `O(N)` time, exactly
+//!   uniform over subsets.  Used when the sample is sparse (`N ≪ D`).
+//! * **Complement sampling** — when `N > D/2`, sample the `D − N` *excluded*
+//!   indices with Floyd and emit the rest.  `O(D)` time but the output alone
+//!   is already `Ω(D)`.
+//!
+//! The benchmark `bench_sampling` compares the strategies; tests check
+//! exact-uniformity statistics for small cases and distinctness always.
+
+use ajd_relation::hash::FxHashSet;
+use ajd_relation::{RelationError, Result};
+use rand::{Rng, RngExt};
+
+/// Which sampling strategy [`sample_distinct`] chose (exposed for the
+/// ablation benchmark and for tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingStrategy {
+    /// Partial Fisher–Yates over a materialised index vector.
+    PartialShuffle,
+    /// Floyd's subset-sampling algorithm.
+    Floyd,
+    /// Floyd sampling of the complement set.
+    Complement,
+}
+
+/// Threshold (domain size) below which the domain is simply materialised and
+/// partially shuffled.
+const SHUFFLE_THRESHOLD: u64 = 1 << 22;
+
+/// Chooses the sampling strategy for drawing `n` distinct values from
+/// `[0, domain_size)`.
+pub fn choose_strategy(domain_size: u64, n: u64) -> SamplingStrategy {
+    if domain_size <= SHUFFLE_THRESHOLD {
+        SamplingStrategy::PartialShuffle
+    } else if n <= domain_size / 2 {
+        SamplingStrategy::Floyd
+    } else {
+        SamplingStrategy::Complement
+    }
+}
+
+/// Draws `n` distinct integers uniformly at random (without replacement)
+/// from `[0, domain_size)`.
+///
+/// The output order is unspecified (callers needing a canonical order should
+/// sort).  Returns an error if `n > domain_size`.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, domain_size: u64, n: u64) -> Result<Vec<u64>> {
+    if n > domain_size {
+        return Err(RelationError::DomainExhausted {
+            requested: n,
+            available: domain_size,
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let out = match choose_strategy(domain_size, n) {
+        SamplingStrategy::PartialShuffle => partial_shuffle(rng, domain_size, n),
+        SamplingStrategy::Floyd => floyd(rng, domain_size, n),
+        SamplingStrategy::Complement => complement(rng, domain_size, n),
+    };
+    debug_assert_eq!(out.len() as u64, n);
+    Ok(out)
+}
+
+/// Partial Fisher–Yates: exact uniform sample, `O(domain_size)` memory.
+pub fn partial_shuffle<R: Rng + ?Sized>(rng: &mut R, domain_size: u64, n: u64) -> Vec<u64> {
+    let mut pool: Vec<u64> = (0..domain_size).collect();
+    let n = n as usize;
+    for i in 0..n {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(n);
+    pool
+}
+
+/// Floyd's algorithm: exact uniform subset sample in expected `O(n)` time.
+pub fn floyd<R: Rng + ?Sized>(rng: &mut R, domain_size: u64, n: u64) -> Vec<u64> {
+    let mut chosen: FxHashSet<u64> = ajd_relation::hash::set_with_capacity(n as usize);
+    let mut out = Vec::with_capacity(n as usize);
+    for j in (domain_size - n)..domain_size {
+        let t = rng.random_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+/// Samples the complement: draws the `domain_size − n` excluded indices with
+/// Floyd and emits all remaining indices.
+fn complement<R: Rng + ?Sized>(rng: &mut R, domain_size: u64, n: u64) -> Vec<u64> {
+    let excluded_count = domain_size - n;
+    let excluded: FxHashSet<u64> = floyd(rng, domain_size, excluded_count).into_iter().collect();
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..domain_size {
+        if !excluded.contains(&i) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_valid_sample(sample: &[u64], domain: u64, n: u64) {
+        assert_eq!(sample.len() as u64, n);
+        let mut seen = std::collections::HashSet::new();
+        for &x in sample {
+            assert!(x < domain, "sampled value {x} out of range {domain}");
+            assert!(seen.insert(x), "duplicate value {x} in sample");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_requests() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_distinct(&mut rng, 10, 11).is_err());
+        assert!(sample_distinct(&mut rng, 10, 10).is_ok());
+    }
+
+    #[test]
+    fn zero_sample_is_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_distinct(&mut rng, 100, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_samples() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (domain, n) in [(100u64, 10u64), (100, 90), (100, 100), (5_000_000, 1000)] {
+            let s = sample_distinct(&mut rng, domain, n).unwrap();
+            assert_valid_sample(&s, domain, n);
+        }
+        // Exercise each strategy function directly as well.
+        assert_valid_sample(&partial_shuffle(&mut rng, 50, 20), 50, 20);
+        assert_valid_sample(&floyd(&mut rng, 1_000_000_000, 500), 1_000_000_000, 500);
+        assert_valid_sample(&complement(&mut rng, 1000, 900), 1000, 900);
+    }
+
+    #[test]
+    fn strategy_selection_matches_regimes() {
+        assert_eq!(choose_strategy(1000, 10), SamplingStrategy::PartialShuffle);
+        assert_eq!(
+            choose_strategy(1 << 30, 100),
+            SamplingStrategy::Floyd
+        );
+        assert_eq!(
+            choose_strategy(1 << 30, (1u64 << 30) - 5),
+            SamplingStrategy::Complement
+        );
+    }
+
+    #[test]
+    fn full_domain_sample_is_a_permutation_of_the_domain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = sample_distinct(&mut rng, 64, 64).unwrap();
+        s.sort_unstable();
+        assert_eq!(s, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_is_reproducible_from_seed() {
+        let a = sample_distinct(&mut StdRng::seed_from_u64(123), 10_000, 50).unwrap();
+        let b = sample_distinct(&mut StdRng::seed_from_u64(123), 10_000, 50).unwrap();
+        assert_eq!(a, b);
+        let c = sample_distinct(&mut StdRng::seed_from_u64(124), 10_000, 50).unwrap();
+        assert_ne!(a, c);
+    }
+
+    /// Chi-square-style sanity check that Floyd's algorithm samples each
+    /// element with the correct marginal probability n/D.
+    #[test]
+    fn floyd_marginal_inclusion_probability_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let domain = 20u64;
+        let n = 5u64;
+        let trials = 20_000;
+        let mut hits = vec![0u32; domain as usize];
+        for _ in 0..trials {
+            for x in floyd(&mut rng, domain, n) {
+                hits[x as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * n as f64 / domain as f64; // = 5000
+        for (i, &h) in hits.iter().enumerate() {
+            let dev = (h as f64 - expected).abs() / expected;
+            assert!(
+                dev < 0.08,
+                "element {i} included {h} times, expected ~{expected}"
+            );
+        }
+    }
+
+    /// The same marginal check for the partial-shuffle strategy.
+    #[test]
+    fn partial_shuffle_marginal_inclusion_probability_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let domain = 16u64;
+        let n = 4u64;
+        let trials = 20_000;
+        let mut hits = vec![0u32; domain as usize];
+        for _ in 0..trials {
+            for x in partial_shuffle(&mut rng, domain, n) {
+                hits[x as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * n as f64 / domain as f64;
+        for &h in &hits {
+            assert!((h as f64 - expected).abs() / expected < 0.08);
+        }
+    }
+}

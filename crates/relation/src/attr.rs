@@ -1,0 +1,342 @@
+//! Attributes and attribute sets.
+//!
+//! The paper denotes the attribute (variable) set of a relation by
+//! `Ω = {X₁,…,Xₙ}` and constantly manipulates subsets of it: the bags
+//! `Ωᵢ = χ(uᵢ)` of a join tree, the separators `Δᵢ`, the sides of an MVD
+//! `C ↠ A|B`, and so on.  [`AttrSet`] is a small, always-sorted, duplicate
+//! free vector of [`AttrId`]s supporting the set algebra those definitions
+//! need.  Attribute sets in this problem domain are tiny (rarely more than a
+//! few dozen attributes), so a sorted `Vec` beats any tree/hash structure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an attribute (a column / random variable `Xᵢ`).
+///
+/// Attribute identifiers are dense small integers assigned by the caller or
+/// by a [`crate::Catalog`].  They are meaningful only within one analysis
+/// context (one universal relation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The attribute id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl From<u32> for AttrId {
+    fn from(v: u32) -> Self {
+        AttrId(v)
+    }
+}
+
+impl From<usize> for AttrId {
+    fn from(v: usize) -> Self {
+        AttrId(u32::try_from(v).expect("attribute index exceeds u32"))
+    }
+}
+
+/// A sorted, duplicate-free set of attributes (`Y ⊆ Ω` in the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrSet {
+    ids: Vec<AttrId>,
+}
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub fn empty() -> Self {
+        AttrSet { ids: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary (possibly unsorted, possibly duplicated)
+    /// attribute ids.
+    pub fn from_slice(ids: &[AttrId]) -> Self {
+        let mut v = ids.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        AttrSet { ids: v }
+    }
+
+    /// Builds a set from raw `u32` ids.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        let v: Vec<AttrId> = ids.into_iter().map(AttrId).collect();
+        Self::from_slice(&v)
+    }
+
+    /// The set `{X₀, …, X_{n-1}}` of the first `n` attributes.
+    pub fn range(n: usize) -> Self {
+        AttrSet {
+            ids: (0..n as u32).map(AttrId).collect(),
+        }
+    }
+
+    /// Singleton set `{a}`.
+    pub fn singleton(a: AttrId) -> Self {
+        AttrSet { ids: vec![a] }
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The attributes in ascending order.
+    #[inline]
+    pub fn as_slice(&self) -> &[AttrId] {
+        &self.ids
+    }
+
+    /// Iterates over the attributes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, a: AttrId) -> bool {
+        self.ids.binary_search(&a).is_ok()
+    }
+
+    /// Inserts an attribute, keeping the set sorted. Returns `true` if newly
+    /// inserted.
+    pub fn insert(&mut self, a: AttrId) -> bool {
+        match self.ids.binary_search(&a) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, a);
+                true
+            }
+        }
+    }
+
+    /// Removes an attribute. Returns `true` if it was present.
+    pub fn remove(&mut self, a: AttrId) -> bool {
+        match self.ids.binary_search(&a) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Set union `self ∪ other` (written `XY` in the paper).
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        AttrSet { ids: out }
+    }
+
+    /// Set intersection `self ∩ other`.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        AttrSet { ids: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() {
+            if j >= other.ids.len() || self.ids[i] < other.ids[j] {
+                out.push(self.ids[i]);
+                i += 1;
+            } else if self.ids[i] > other.ids[j] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        AttrSet { ids: out }
+    }
+
+    /// `true` if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &AttrSet) -> bool {
+        let mut j = 0;
+        for &a in &self.ids {
+            loop {
+                if j >= other.ids.len() {
+                    return false;
+                }
+                match other.ids[j].cmp(&a) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if `self ⊂ other` strictly.
+    pub fn is_proper_subset_of(&self, other: &AttrSet) -> bool {
+        self.len() < other.len() && self.is_subset_of(other)
+    }
+
+    /// `true` if the two sets share no attribute.
+    pub fn is_disjoint_from(&self, other: &AttrSet) -> bool {
+        self.intersection(other).is_empty()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        let v: Vec<AttrId> = iter.into_iter().collect();
+        AttrSet::from_slice(&v)
+    }
+}
+
+impl From<&[AttrId]> for AttrSet {
+    fn from(s: &[AttrId]) -> Self {
+        AttrSet::from_slice(s)
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn from_slice_sorts_and_dedups() {
+        let s = set(&[3, 1, 2, 1, 3]);
+        assert_eq!(s.as_slice(), &[AttrId(1), AttrId(2), AttrId(3)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(AttrSet::empty().is_empty());
+        let s = AttrSet::singleton(AttrId(7));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(AttrId(7)));
+        assert!(!s.contains(AttrId(6)));
+    }
+
+    #[test]
+    fn range_covers_prefix() {
+        let s = AttrSet::range(4);
+        assert_eq!(s.as_slice(), &[AttrId(0), AttrId(1), AttrId(2), AttrId(3)]);
+    }
+
+    #[test]
+    fn union_is_sorted_merge() {
+        let a = set(&[1, 3, 5]);
+        let b = set(&[2, 3, 6]);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 5, 6]));
+        assert_eq!(a.union(&AttrSet::empty()), a);
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[2, 4, 6]);
+        assert_eq!(a.intersection(&b), set(&[2, 4]));
+        assert_eq!(a.difference(&b), set(&[1, 3]));
+        assert_eq!(b.difference(&a), set(&[6]));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = set(&[1, 2]);
+        let b = set(&[1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(a.is_proper_subset_of(&b));
+        assert!(!a.is_proper_subset_of(&a));
+        assert!(AttrSet::empty().is_subset_of(&a));
+    }
+
+    #[test]
+    fn disjointness() {
+        assert!(set(&[1, 2]).is_disjoint_from(&set(&[3, 4])));
+        assert!(!set(&[1, 2]).is_disjoint_from(&set(&[2, 3])));
+        assert!(AttrSet::empty().is_disjoint_from(&set(&[1])));
+    }
+
+    #[test]
+    fn insert_remove_keep_order() {
+        let mut s = set(&[1, 3]);
+        assert!(s.insert(AttrId(2)));
+        assert!(!s.insert(AttrId(2)));
+        assert_eq!(s.as_slice(), &[AttrId(1), AttrId(2), AttrId(3)]);
+        assert!(s.remove(AttrId(1)));
+        assert!(!s.remove(AttrId(1)));
+        assert_eq!(s.as_slice(), &[AttrId(2), AttrId(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = set(&[0, 2]);
+        assert_eq!(format!("{s}"), "{X0,X2}");
+        assert_eq!(format!("{}", AttrId(5)), "X5");
+    }
+}

@@ -1,0 +1,264 @@
+//! Attribute catalogs and value dictionaries.
+//!
+//! The numeric core of the library works over [`crate::AttrId`]s and `u32`
+//! dictionary codes.  A [`Catalog`] is the optional layer that maps
+//! human-readable attribute names and string values onto those codes, so
+//! that labelled datasets (e.g. CSV-like inputs in the examples) can be
+//! ingested and results can be rendered back with their original labels.
+
+use crate::attr::{AttrId, AttrSet};
+use crate::error::{RelationError, Result};
+use crate::hash::FxHashMap;
+use crate::relation::Value;
+use serde::{Deserialize, Serialize};
+
+/// A per-attribute dictionary mapping string labels to dense codes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ValueDict {
+    labels: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, Value>,
+}
+
+impl ValueDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the code for `label`, interning it if new.
+    pub fn intern(&mut self, label: &str) -> Value {
+        if let Some(&v) = self.index.get(label) {
+            return v;
+        }
+        let code = self.labels.len() as Value;
+        self.labels.push(label.to_owned());
+        self.index.insert(label.to_owned(), code);
+        code
+    }
+
+    /// Looks up the code of an existing label.
+    pub fn code(&self, label: &str) -> Option<Value> {
+        self.index.get(label).copied()
+    }
+
+    /// Returns the label of a code, if the code is in range.
+    pub fn label(&self, code: Value) -> Option<&str> {
+        self.labels.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values interned so far (the active domain size).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Rebuilds the label → code index (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i as Value))
+            .collect();
+    }
+}
+
+/// Maps attribute names to [`AttrId`]s and owns one [`ValueDict`] per
+/// attribute.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    names: Vec<String>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, AttrId>,
+    dicts: Vec<ValueDict>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a catalog with the given attribute names (ids are assigned in
+    /// order).
+    pub fn with_attributes<I, S>(names: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut c = Catalog::new();
+        for n in names {
+            c.add_attribute(n.as_ref())?;
+        }
+        Ok(c)
+    }
+
+    /// Registers a new attribute and returns its id.
+    pub fn add_attribute(&mut self, name: &str) -> Result<AttrId> {
+        if self.by_name.contains_key(name) {
+            return Err(RelationError::DuplicateAttribute(self.by_name[name]));
+        }
+        let id = AttrId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.dicts.push(ValueDict::new());
+        Ok(id)
+    }
+
+    /// Number of registered attributes.
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The full attribute set `Ω` of this catalog.
+    pub fn all_attributes(&self) -> AttrSet {
+        AttrSet::range(self.names.len())
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownName(name.to_owned()))
+    }
+
+    /// Returns the name of an attribute.
+    pub fn name(&self, id: AttrId) -> Result<&str> {
+        self.names
+            .get(id.index())
+            .map(String::as_str)
+            .ok_or(RelationError::UnknownAttribute(id))
+    }
+
+    /// Returns the attribute set for a list of names.
+    pub fn attrs<I, S>(&self, names: I) -> Result<AttrSet>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ids = Vec::new();
+        for n in names {
+            ids.push(self.attr(n.as_ref())?);
+        }
+        Ok(AttrSet::from_slice(&ids))
+    }
+
+    /// Interns a string value for the given attribute.
+    pub fn intern_value(&mut self, attr: AttrId, label: &str) -> Result<Value> {
+        let dict = self
+            .dicts
+            .get_mut(attr.index())
+            .ok_or(RelationError::UnknownAttribute(attr))?;
+        Ok(dict.intern(label))
+    }
+
+    /// Encodes a full row of string labels (in attribute-id order).
+    pub fn encode_row(&mut self, labels: &[&str]) -> Result<Vec<Value>> {
+        if labels.len() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.arity(),
+                got: labels.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(labels.len());
+        for (i, label) in labels.iter().enumerate() {
+            row.push(self.dicts[i].intern(label));
+        }
+        Ok(row)
+    }
+
+    /// Decodes a value back to its label, if the attribute uses a dictionary.
+    pub fn value_label(&self, attr: AttrId, value: Value) -> Option<&str> {
+        self.dicts.get(attr.index()).and_then(|d| d.label(value))
+    }
+
+    /// Active-domain size of an attribute (number of interned labels).
+    pub fn domain_size(&self, attr: AttrId) -> Result<usize> {
+        self.dicts
+            .get(attr.index())
+            .map(ValueDict::len)
+            .ok_or(RelationError::UnknownAttribute(attr))
+    }
+
+    /// Rebuilds all name/label indexes (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), AttrId(i as u32)))
+            .collect();
+        for d in &mut self.dicts {
+            d.rebuild_index();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes() {
+        let mut d = ValueDict::new();
+        assert_eq!(d.intern("red"), 0);
+        assert_eq!(d.intern("green"), 1);
+        assert_eq!(d.intern("red"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.label(1), Some("green"));
+        assert_eq!(d.code("green"), Some(1));
+        assert_eq!(d.code("blue"), None);
+        assert_eq!(d.label(5), None);
+    }
+
+    #[test]
+    fn catalog_attribute_registration() {
+        let mut c = Catalog::with_attributes(["A", "B", "C"]).unwrap();
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.attr("B").unwrap(), AttrId(1));
+        assert_eq!(c.name(AttrId(2)).unwrap(), "C");
+        assert!(c.attr("Z").is_err());
+        assert!(c.name(AttrId(9)).is_err());
+        assert!(c.add_attribute("A").is_err());
+        assert_eq!(c.all_attributes(), AttrSet::range(3));
+    }
+
+    #[test]
+    fn attrs_builds_sets_by_name() {
+        let c = Catalog::with_attributes(["A", "B", "C"]).unwrap();
+        let s = c.attrs(["C", "A"]).unwrap();
+        assert_eq!(s, AttrSet::from_ids([0, 2]));
+        assert!(c.attrs(["A", "Q"]).is_err());
+    }
+
+    #[test]
+    fn encode_and_decode_rows() {
+        let mut c = Catalog::with_attributes(["city", "country"]).unwrap();
+        let r1 = c.encode_row(&["haifa", "il"]).unwrap();
+        let r2 = c.encode_row(&["seattle", "us"]).unwrap();
+        let r3 = c.encode_row(&["haifa", "il"]).unwrap();
+        assert_eq!(r1, r3);
+        assert_ne!(r1, r2);
+        assert_eq!(c.value_label(AttrId(0), r2[0]), Some("seattle"));
+        assert_eq!(c.domain_size(AttrId(0)).unwrap(), 2);
+        assert!(c.encode_row(&["only-one"]).is_err());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut c = Catalog::with_attributes(["A"]).unwrap();
+        c.intern_value(AttrId(0), "x").unwrap();
+        let mut c2 = c.clone();
+        // simulate index loss (as after deserialisation)
+        c2.by_name.clear();
+        c2.rebuild_index();
+        assert_eq!(c2.attr("A").unwrap(), AttrId(0));
+        assert_eq!(c2.dicts[0].code("x"), Some(0));
+    }
+}

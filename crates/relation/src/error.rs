@@ -1,0 +1,95 @@
+//! Error type shared by the relational substrate.
+
+use crate::attr::AttrId;
+use std::fmt;
+
+/// Convenient result alias for relational operations.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+/// Errors produced by relational operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A row of the wrong arity was supplied to a relation.
+    ArityMismatch {
+        /// Arity the relation expects.
+        expected: usize,
+        /// Arity that was supplied.
+        got: usize,
+    },
+    /// The same attribute appears twice in a schema definition.
+    DuplicateAttribute(AttrId),
+    /// An operation referenced an attribute that the relation does not have.
+    UnknownAttribute(AttrId),
+    /// A named attribute or value was not found in the catalog.
+    UnknownName(String),
+    /// Two relations that were expected to share a schema do not.
+    SchemaMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A generator/sampler was asked for more tuples than the domain holds.
+    DomainExhausted {
+        /// Number of tuples requested.
+        requested: u64,
+        /// Size of the domain.
+        available: u64,
+    },
+    /// An empty relation (or empty schema) was supplied where it is invalid.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} values, got {got}")
+            }
+            RelationError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute {a} in schema")
+            }
+            RelationError::UnknownAttribute(a) => {
+                write!(f, "attribute {a} is not part of the relation schema")
+            }
+            RelationError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            RelationError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            RelationError::DomainExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} distinct tuples but the domain only has {available}"
+            ),
+            RelationError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        let e = RelationError::UnknownAttribute(AttrId(4));
+        assert!(e.to_string().contains("X4"));
+        let e = RelationError::DomainExhausted {
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&RelationError::EmptyInput("schema"));
+    }
+}

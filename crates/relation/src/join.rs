@@ -1,0 +1,304 @@
+//! Natural joins, semijoins and join cardinality.
+//!
+//! The paper's central combinatorial quantity is the size of the acyclic
+//! join `|⋈ᵢ R[Ωᵢ]|`, from which the relative number of spurious tuples
+//! `ρ(R,S) = (|⋈ᵢ R[Ωᵢ]| − |R|)/|R|` (eq. 1) is computed.  This module
+//! provides the generic relational operators:
+//!
+//! * [`natural_join`] — classic build/probe hash join of two relations on
+//!   their shared attributes.
+//! * [`natural_join_all`] — left-to-right multiway join (used as the
+//!   *materialising baseline* in benchmarks and tests).
+//! * [`semijoin`] — `R ⋉ S`, used by Yannakakis-style processing.
+//! * [`count_natural_join`] — cardinality of a two-way join without
+//!   materialising the output.
+//!
+//! The asymptotically better way to compute the size of an *acyclic* join is
+//! message passing over the join tree; that lives in `ajd-jointree`
+//! (`count_acyclic_join`) because it needs the join-tree type, and is
+//! validated against [`natural_join_all`] in tests.
+
+use crate::attr::{AttrId, AttrSet};
+use crate::error::{RelationError, Result};
+use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap};
+use crate::relation::{Relation, Value};
+
+/// Computes the natural join `left ⋈ right` on their shared attributes.
+///
+/// If the relations share no attribute the result is the Cartesian product.
+/// The output schema is `left`'s columns followed by `right`'s non-shared
+/// columns.  Output rows are **not** deduplicated (joining two sets always
+/// yields a set, so no deduplication is needed in that case).
+pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
+    let shared = left.attrs().intersection(&right.attrs());
+    let left_key_pos = left.attr_positions(&shared)?;
+    let right_key_pos = right.attr_positions(&shared)?;
+
+    // Probe the smaller side? We always build on `right` for output-order
+    // stability; the paper's workloads have similarly-sized projections.
+    let right_extra: Vec<AttrId> = right
+        .schema()
+        .iter()
+        .copied()
+        .filter(|a| !shared.contains(*a))
+        .collect();
+    let right_extra_pos: Vec<usize> = right_extra
+        .iter()
+        .map(|&a| right.attr_pos(a).expect("attribute from own schema"))
+        .collect();
+
+    let mut out_schema: Vec<AttrId> = left.schema().to_vec();
+    out_schema.extend_from_slice(&right_extra);
+    let mut out = Relation::new(out_schema)?;
+
+    // Build: shared-key → indices of matching right rows.
+    let mut build: FxHashMap<Box<[Value]>, Vec<u32>> = map_with_capacity(right.len());
+    let mut key = vec![0u32; shared.len()];
+    for (i, row) in right.iter_rows().enumerate() {
+        for (k, &p) in right_key_pos.iter().enumerate() {
+            key[k] = row[p];
+        }
+        build
+            .entry(key.clone().into_boxed_slice())
+            .or_default()
+            .push(i as u32);
+    }
+
+    // Probe.
+    let mut out_row = vec![0u32; left.arity() + right_extra.len()];
+    for lrow in left.iter_rows() {
+        for (k, &p) in left_key_pos.iter().enumerate() {
+            key[k] = lrow[p];
+        }
+        if let Some(matches) = build.get(key.as_slice()) {
+            out_row[..left.arity()].copy_from_slice(lrow);
+            for &ri in matches {
+                let rrow = right.row(ri as usize);
+                for (k, &p) in right_extra_pos.iter().enumerate() {
+                    out_row[left.arity() + k] = rrow[p];
+                }
+                out.push_row(&out_row)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Counts `|left ⋈ right|` without materialising the join output.
+pub fn count_natural_join(left: &Relation, right: &Relation) -> Result<u64> {
+    let shared = left.attrs().intersection(&right.attrs());
+    let left_key_pos = left.attr_positions(&shared)?;
+    let right_key_pos = right.attr_positions(&shared)?;
+
+    let mut build: FxHashMap<Box<[Value]>, u64> = map_with_capacity(right.len());
+    let mut key = vec![0u32; shared.len()];
+    for row in right.iter_rows() {
+        for (k, &p) in right_key_pos.iter().enumerate() {
+            key[k] = row[p];
+        }
+        *build.entry(key.clone().into_boxed_slice()).or_insert(0) += 1;
+    }
+    let mut total: u64 = 0;
+    for row in left.iter_rows() {
+        for (k, &p) in left_key_pos.iter().enumerate() {
+            key[k] = row[p];
+        }
+        if let Some(&c) = build.get(key.as_slice()) {
+            total += c;
+        }
+    }
+    Ok(total)
+}
+
+/// Joins a sequence of relations left to right: `r₁ ⋈ r₂ ⋈ … ⋈ r_k`.
+///
+/// This is the *materialising baseline* used to validate the join-tree based
+/// counting; for cyclic join orders intermediate results can explode, which
+/// is exactly the behaviour the ablation benchmark demonstrates.
+pub fn natural_join_all(relations: &[Relation]) -> Result<Relation> {
+    let mut iter = relations.iter();
+    let first = iter
+        .next()
+        .ok_or(RelationError::EmptyInput("natural_join_all of zero relations"))?;
+    let mut acc = first.clone();
+    for r in iter {
+        acc = natural_join(&acc, r)?;
+    }
+    Ok(acc)
+}
+
+/// Computes the semijoin `left ⋉ right`: the tuples of `left` that agree
+/// with at least one tuple of `right` on their shared attributes.
+pub fn semijoin(left: &Relation, right: &Relation) -> Result<Relation> {
+    let shared = left.attrs().intersection(&right.attrs());
+    let left_key_pos = left.attr_positions(&shared)?;
+    let right_key_pos = right.attr_positions(&shared)?;
+
+    let mut keys = set_with_capacity(right.len());
+    let mut key = vec![0u32; shared.len()];
+    for row in right.iter_rows() {
+        for (k, &p) in right_key_pos.iter().enumerate() {
+            key[k] = row[p];
+        }
+        keys.insert(key.clone().into_boxed_slice());
+    }
+
+    let mut out = Relation::new(left.schema().to_vec())?;
+    for row in left.iter_rows() {
+        for (k, &p) in left_key_pos.iter().enumerate() {
+            key[k] = row[p];
+        }
+        if keys.contains(key.as_slice()) {
+            out.push_row(row)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Decomposes `r` onto a database schema: returns `[Π_{Ω₁}(R), …, Π_{Ω_m}(R)]`.
+pub fn decompose(r: &Relation, schema: &[AttrSet]) -> Result<Vec<Relation>> {
+    schema.iter().map(|bag| r.try_project(bag)).collect()
+}
+
+/// Computes the *loss* of a database schema with respect to `r`:
+/// `(|⋈ᵢ Π_{Ωᵢ}(R)| − |R|) / |R|` — eq. (1) of the paper — by fully
+/// materialising the join.  Prefer the join-tree counting in `ajd-jointree`
+/// for acyclic schemas; this function is the reference implementation.
+pub fn loss_materialized(r: &Relation, schema: &[AttrSet]) -> Result<f64> {
+    if r.is_empty() {
+        return Err(RelationError::EmptyInput("relation for loss computation"));
+    }
+    let projections = decompose(r, schema)?;
+    let joined = natural_join_all(&projections)?;
+    Ok((joined.len() as f64 - r.len() as f64) / r.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[u32], rows: &[&[Value]]) -> Relation {
+        let s: Vec<AttrId> = schema.iter().map(|&i| AttrId(i)).collect();
+        Relation::from_rows(s, rows).unwrap()
+    }
+
+    #[test]
+    fn join_on_shared_attribute() {
+        // R(A,B) ⋈ S(B,C)
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 10], &[3, 20]]);
+        let s = rel(&[1, 2], &[&[10, 100], &[10, 200], &[30, 300]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.attrs(), AttrSet::from_ids([0, 1, 2]));
+        assert_eq!(j.len(), 4); // (1,10)x2 + (2,10)x2
+        assert!(j.contains_row(&[1, 10, 100]));
+        assert!(j.contains_row(&[2, 10, 200]));
+        assert!(!j.contains_row(&[3, 20, 300]));
+        assert_eq!(count_natural_join(&r, &s).unwrap(), 4);
+    }
+
+    #[test]
+    fn join_without_shared_attributes_is_cartesian_product() {
+        let r = rel(&[0], &[&[1], &[2]]);
+        let s = rel(&[1], &[&[7], &[8], &[9]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.len(), 6);
+        assert_eq!(count_natural_join(&r, &s).unwrap(), 6);
+    }
+
+    #[test]
+    fn join_with_identical_schemas_is_intersection() {
+        let r = rel(&[0, 1], &[&[1, 1], &[2, 2]]);
+        let s = rel(&[0, 1], &[&[2, 2], &[3, 3]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains_row(&[2, 2]));
+    }
+
+    #[test]
+    fn join_is_commutative_as_sets() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20], &[2, 30]]);
+        let s = rel(&[1, 2], &[&[10, 5], &[20, 6], &[20, 7]]);
+        let a = natural_join(&r, &s).unwrap();
+        let b = natural_join(&s, &r).unwrap();
+        assert!(a.set_eq(&b));
+    }
+
+    #[test]
+    fn multiway_join_reconstructs_lossless_decomposition() {
+        // R(A,B,C) that satisfies the MVD A ->> B | C  (so lossless).
+        let mut rows = Vec::new();
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for c in 0..2u32 {
+                    rows.push(vec![a, b, c]);
+                }
+            }
+        }
+        let r = rel(
+            &[0, 1, 2],
+            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        let schema = vec![AttrSet::from_ids([0, 1]), AttrSet::from_ids([0, 2])];
+        let parts = decompose(&r, &schema).unwrap();
+        let joined = natural_join_all(&parts).unwrap();
+        assert!(joined.set_eq(&r));
+        assert_eq!(loss_materialized(&r, &schema).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn lossy_decomposition_produces_spurious_tuples() {
+        // Example 4.1: a bijection between A and B; schema {{A},{B}}.
+        let n = 5u32;
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![i, i]).collect();
+        let r = rel(
+            &[0, 1],
+            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+        );
+        let schema = vec![AttrSet::singleton(AttrId(0)), AttrSet::singleton(AttrId(1))];
+        let rho = loss_materialized(&r, &schema).unwrap();
+        assert!((rho - (n as f64 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_always_contains_original_relation() {
+        let r = rel(&[0, 1, 2], &[&[0, 1, 2], &[0, 2, 1], &[1, 1, 1]]);
+        let schema = vec![AttrSet::from_ids([0, 1]), AttrSet::from_ids([1, 2])];
+        let parts = decompose(&r, &schema).unwrap();
+        let joined = natural_join_all(&parts).unwrap();
+        assert!(r.is_subset_of(&joined));
+        assert!(joined.len() >= r.len());
+    }
+
+    #[test]
+    fn semijoin_filters_left_side() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let s = rel(&[1], &[&[10], &[30]]);
+        let sj = semijoin(&r, &s).unwrap();
+        assert_eq!(sj.len(), 2);
+        assert!(sj.contains_row(&[1, 10]));
+        assert!(sj.contains_row(&[3, 30]));
+        assert_eq!(sj.schema(), r.schema());
+    }
+
+    #[test]
+    fn join_all_of_nothing_is_an_error() {
+        assert!(natural_join_all(&[]).is_err());
+    }
+
+    #[test]
+    fn loss_of_empty_relation_is_an_error() {
+        let r = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        let schema = vec![AttrSet::singleton(AttrId(0)), AttrSet::singleton(AttrId(1))];
+        assert!(loss_materialized(&r, &schema).is_err());
+    }
+
+    #[test]
+    fn count_matches_materialised_join_size() {
+        let r = rel(&[0, 1], &[&[1, 1], &[1, 2], &[2, 1], &[3, 3]]);
+        let s = rel(&[1, 2], &[&[1, 9], &[1, 8], &[2, 7], &[4, 6]]);
+        assert_eq!(
+            count_natural_join(&r, &s).unwrap(),
+            natural_join(&r, &s).unwrap().len() as u64
+        );
+    }
+}

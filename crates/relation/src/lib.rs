@@ -1,0 +1,62 @@
+//! # ajd-relation
+//!
+//! Relational substrate for the reproduction of *"Quantifying the Loss of
+//! Acyclic Join Dependencies"* (Kenig & Weinberger, PODS 2023).
+//!
+//! The paper works with relation instances `R` over an attribute set
+//! `Ω = {X₁,…,Xₙ}`, their projections `R[Y]` for `Y ⊆ Ω`, and the natural
+//! join of those projections.  This crate provides exactly that machinery,
+//! tuned for the workloads of the paper (dense, dictionary-encoded domains,
+//! relations from thousands to millions of tuples):
+//!
+//! * [`AttrId`] / [`AttrSet`] — attributes and sorted attribute sets with the
+//!   usual set algebra (union, intersection, difference).
+//! * [`Catalog`] — optional human-readable attribute names and per-attribute
+//!   value dictionaries for ingesting labelled data.
+//! * [`Relation`] — a set (or multiset) of tuples stored row-major over
+//!   `u32` dictionary codes, with projection, selection, grouping,
+//!   deduplication and canonicalisation.
+//! * [`join`] — hash-based natural joins, semijoins and join-size counting.
+//! * [`hash`] — a small Fx-style hasher used for all row grouping (the
+//!   default SipHash is needlessly slow for short integer rows).
+//!
+//! Everything is deterministic: iteration orders that can affect results
+//! (e.g. canonical forms) are explicitly sorted.
+//!
+//! ## Example
+//!
+//! ```
+//! use ajd_relation::{AttrId, AttrSet, Relation};
+//!
+//! // R(A,B,C) with three tuples.
+//! let a = AttrId(0); let b = AttrId(1); let c = AttrId(2);
+//! let r = Relation::from_rows(vec![a, b, c], &[
+//!     &[0, 0, 1][..],
+//!     &[0, 1, 1][..],
+//!     &[1, 0, 0][..],
+//! ]).unwrap();
+//!
+//! // Project onto {A,B} and join back with the projection onto {B,C}.
+//! let rab = r.project(&AttrSet::from_slice(&[a, b]));
+//! let rbc = r.project(&AttrSet::from_slice(&[b, c]));
+//! let joined = ajd_relation::join::natural_join(&rab, &rbc).unwrap();
+//! assert!(joined.len() >= r.len());            // the join may add spurious tuples
+//! assert!(r.is_subset_of(&joined));            // but never loses any
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod catalog;
+pub mod error;
+pub mod hash;
+pub mod io;
+pub mod join;
+pub mod relation;
+
+pub use attr::{AttrId, AttrSet};
+pub use catalog::{Catalog, ValueDict};
+pub use error::{RelationError, Result};
+pub use io::{read_delimited, write_delimited, ReadOptions};
+pub use relation::{GroupCounts, Relation, RowIter, Value};

@@ -1,0 +1,628 @@
+//! Relation instances.
+//!
+//! A [`Relation`] is the concrete representation of a relation instance `R`
+//! over a set of attributes `Ω` (the paper's `R ∈ Rel(Ω)`).  Tuples are
+//! stored row-major as dictionary codes (`u32`), giving compact,
+//! cache-friendly scans.  A relation may be a *set* (all rows distinct — the
+//! common case in the paper) or a *multiset* (duplicates allowed — used for
+//! empirical distributions of multisets of tuples); [`Relation::is_set`]
+//! distinguishes the two and [`Relation::distinct`] converts.
+
+use crate::attr::{AttrId, AttrSet};
+use crate::error::{RelationError, Result};
+use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dictionary-encoded attribute value.
+pub type Value = u32;
+
+/// Counts of distinct grouped rows: the multiplicity of every distinct
+/// projection of a relation onto some attribute set.
+///
+/// This is the basic object from which all marginal probabilities and
+/// entropies are computed: for `Y ⊆ Ω`, the empirical marginal is
+/// `P[Y=y] = count(y) / N`.
+#[derive(Debug, Clone, Default)]
+pub struct GroupCounts {
+    /// Attribute set the rows are grouped by (ascending attribute order).
+    pub attrs: AttrSet,
+    /// Multiplicity of each distinct grouped row.
+    pub counts: FxHashMap<Box<[Value]>, u64>,
+    /// Total number of rows that were grouped (the `N` of the relation).
+    pub total: u64,
+}
+
+impl GroupCounts {
+    /// Number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Looks up the multiplicity of a specific grouped row.
+    pub fn count_of(&self, key: &[Value]) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(group, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], u64)> + '_ {
+        self.counts.iter().map(|(k, &v)| (k.as_ref(), v))
+    }
+}
+
+/// A relation instance: an ordered schema plus row-major tuple storage.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Vec<AttrId>,
+    data: Vec<Value>,
+    rows: usize,
+}
+
+impl Relation {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Creates an empty relation over the given schema (column order is
+    /// preserved as given).
+    pub fn new(schema: Vec<AttrId>) -> Result<Self> {
+        let mut seen = AttrSet::empty();
+        for &a in &schema {
+            if !seen.insert(a) {
+                return Err(RelationError::DuplicateAttribute(a));
+            }
+        }
+        Ok(Relation {
+            schema,
+            data: Vec::new(),
+            rows: 0,
+        })
+    }
+
+    /// Creates an empty relation with pre-allocated capacity for `rows`
+    /// tuples.
+    pub fn with_capacity(schema: Vec<AttrId>, rows: usize) -> Result<Self> {
+        let mut r = Self::new(schema)?;
+        r.data.reserve(rows * r.arity());
+        Ok(r)
+    }
+
+    /// Builds a relation from explicit rows.
+    pub fn from_rows<R: AsRef<[Value]>>(schema: Vec<AttrId>, rows: &[R]) -> Result<Self> {
+        let mut rel = Self::with_capacity(schema, rows.len())?;
+        for row in rows {
+            rel.push_row(row.as_ref())?;
+        }
+        Ok(rel)
+    }
+
+    /// Appends a tuple.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Basic accessors
+    // ------------------------------------------------------------------
+
+    /// The column order of this relation.
+    #[inline]
+    pub fn schema(&self) -> &[AttrId] {
+        &self.schema
+    }
+
+    /// The attribute set of this relation (schema as a set).
+    pub fn attrs(&self) -> AttrSet {
+        AttrSet::from_slice(&self.schema)
+    }
+
+    /// Number of attributes per tuple.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of tuples `N = |R|` (with multiplicity, if this is a multiset).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` if the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Returns the `i`-th tuple as a slice of dictionary codes.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        let a = self.arity();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter_rows(&self) -> RowIter<'_> {
+        RowIter {
+            arity: self.arity(),
+            data: &self.data,
+            pos: 0,
+            rows: self.rows,
+        }
+    }
+
+    /// Position of an attribute in this relation's column order.
+    pub fn attr_pos(&self, attr: AttrId) -> Result<usize> {
+        self.schema
+            .iter()
+            .position(|&a| a == attr)
+            .ok_or(RelationError::UnknownAttribute(attr))
+    }
+
+    /// Positions (column indices) of each attribute of `attrs`, in the order
+    /// of `attrs` (ascending attribute id).
+    pub fn attr_positions(&self, attrs: &AttrSet) -> Result<Vec<usize>> {
+        attrs.iter().map(|a| self.attr_pos(a)).collect()
+    }
+
+    /// Size of the active domain of an attribute: the number of distinct
+    /// values it takes in this relation (`d_A = |Π_A(R)|` in the paper).
+    pub fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        let pos = self.attr_pos(attr)?;
+        let mut seen = set_with_capacity(self.rows.min(1 << 16));
+        for row in self.iter_rows() {
+            seen.insert(row[pos]);
+        }
+        Ok(seen.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Set semantics
+    // ------------------------------------------------------------------
+
+    /// `true` if all tuples are pairwise distinct (the relation is a set).
+    pub fn is_set(&self) -> bool {
+        let mut seen = set_with_capacity(self.rows);
+        for row in self.iter_rows() {
+            if !seen.insert(row.to_vec().into_boxed_slice()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns a copy with duplicate tuples removed.
+    pub fn distinct(&self) -> Relation {
+        let mut seen = set_with_capacity(self.rows);
+        let mut out = Relation {
+            schema: self.schema.clone(),
+            data: Vec::with_capacity(self.data.len()),
+            rows: 0,
+        };
+        for row in self.iter_rows() {
+            if seen.insert(row.to_vec().into_boxed_slice()) {
+                out.data.extend_from_slice(row);
+                out.rows += 1;
+            }
+        }
+        out
+    }
+
+    /// Membership test for a full tuple (given in this relation's column
+    /// order).
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        if row.len() != self.arity() {
+            return false;
+        }
+        self.iter_rows().any(|r| r == row)
+    }
+
+    /// `true` if every tuple of `self` also appears in `other`
+    /// (schemas must cover the same attribute set; column order may differ).
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        if self.attrs() != other.attrs() {
+            return false;
+        }
+        // Reorder our rows into other's column order and probe a hash set.
+        let perm: Vec<usize> = other
+            .schema
+            .iter()
+            .map(|&a| self.attr_pos(a).expect("attrs() equality guarantees presence"))
+            .collect();
+        let mut set = set_with_capacity(other.rows);
+        for row in other.iter_rows() {
+            set.insert(row.to_vec().into_boxed_slice());
+        }
+        let mut buf = vec![0u32; self.arity()];
+        for row in self.iter_rows() {
+            for (k, &p) in perm.iter().enumerate() {
+                buf[k] = row[p];
+            }
+            if !set.contains(buf.as_slice()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Set equality: same attribute set and same set of tuples (duplicates
+    /// and column order ignored).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        let a = self.distinct();
+        let b = other.distinct();
+        a.len() == b.len() && a.is_subset_of(&b)
+    }
+
+    /// Returns a canonical copy: columns reordered to ascending attribute id
+    /// and rows sorted lexicographically.  Useful for snapshot-style tests.
+    pub fn canonicalize(&self) -> Relation {
+        let attrs = self.attrs();
+        let perm = self
+            .attr_positions(&attrs)
+            .expect("own attributes are always present");
+        let mut rows: Vec<Vec<Value>> = self
+            .iter_rows()
+            .map(|r| perm.iter().map(|&p| r[p]).collect())
+            .collect();
+        rows.sort_unstable();
+        let mut out = Relation {
+            schema: attrs.as_slice().to_vec(),
+            data: Vec::with_capacity(self.data.len()),
+            rows: 0,
+        };
+        for r in rows {
+            out.data.extend_from_slice(&r);
+            out.rows += 1;
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Projection / selection / grouping
+    // ------------------------------------------------------------------
+
+    /// Projection `Π_Y(R)` with set semantics (duplicates removed).
+    ///
+    /// Panics never; attributes not in the schema yield an error through
+    /// [`Relation::try_project`]. This convenience wrapper expects `attrs ⊆
+    /// schema` and will panic otherwise (programming error).
+    pub fn project(&self, attrs: &AttrSet) -> Relation {
+        self.try_project(attrs)
+            .expect("projection attributes must be a subset of the relation schema")
+    }
+
+    /// Fallible projection `Π_Y(R)` with set semantics.
+    pub fn try_project(&self, attrs: &AttrSet) -> Result<Relation> {
+        let positions = self.attr_positions(attrs)?;
+        let arity = positions.len();
+        let mut seen = set_with_capacity(self.rows);
+        let mut out = Relation {
+            schema: attrs.as_slice().to_vec(),
+            data: Vec::with_capacity(self.rows * arity),
+            rows: 0,
+        };
+        let mut buf: Vec<Value> = vec![0; arity];
+        for row in self.iter_rows() {
+            for (k, &p) in positions.iter().enumerate() {
+                buf[k] = row[p];
+            }
+            if seen.insert(buf.clone().into_boxed_slice()) {
+                out.data.extend_from_slice(&buf);
+                out.rows += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projection with multiset (bag) semantics: keeps one output tuple per
+    /// input tuple, duplicates included.
+    pub fn project_multiset(&self, attrs: &AttrSet) -> Result<Relation> {
+        let positions = self.attr_positions(attrs)?;
+        let arity = positions.len();
+        let mut out = Relation {
+            schema: attrs.as_slice().to_vec(),
+            data: Vec::with_capacity(self.rows * arity),
+            rows: 0,
+        };
+        for row in self.iter_rows() {
+            for &p in &positions {
+                out.data.push(row[p]);
+            }
+            out.rows += 1;
+        }
+        Ok(out)
+    }
+
+    /// Selection `σ_{attr=value}(R)`.
+    pub fn select_eq(&self, attr: AttrId, value: Value) -> Result<Relation> {
+        let pos = self.attr_pos(attr)?;
+        let mut out = Relation {
+            schema: self.schema.clone(),
+            data: Vec::new(),
+            rows: 0,
+        };
+        for row in self.iter_rows() {
+            if row[pos] == value {
+                out.data.extend_from_slice(row);
+                out.rows += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Groups the tuples by their projection onto `attrs`, returning the
+    /// multiplicity of every distinct group (`R(Y=y)` cardinalities).
+    pub fn group_counts(&self, attrs: &AttrSet) -> Result<GroupCounts> {
+        let positions = self.attr_positions(attrs)?;
+        let mut counts: FxHashMap<Box<[Value]>, u64> = map_with_capacity(self.rows.min(1 << 20));
+        let mut buf: Vec<Value> = vec![0; positions.len()];
+        for row in self.iter_rows() {
+            for (k, &p) in positions.iter().enumerate() {
+                buf[k] = row[p];
+            }
+            *counts
+                .entry(buf.clone().into_boxed_slice())
+                .or_insert(0) += 1;
+        }
+        Ok(GroupCounts {
+            attrs: attrs.clone(),
+            counts,
+            total: self.rows as u64,
+        })
+    }
+
+    /// Reorders the columns of every tuple to the target schema (which must
+    /// be a permutation of the current schema).
+    pub fn reorder_columns(&self, target: &[AttrId]) -> Result<Relation> {
+        if AttrSet::from_slice(target) != self.attrs() || target.len() != self.arity() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "target schema {:?} is not a permutation of {:?}",
+                    target, self.schema
+                ),
+            });
+        }
+        let perm: Vec<usize> = target
+            .iter()
+            .map(|&a| self.attr_pos(a).expect("checked above"))
+            .collect();
+        let mut out = Relation {
+            schema: target.to_vec(),
+            data: Vec::with_capacity(self.data.len()),
+            rows: 0,
+        };
+        for row in self.iter_rows() {
+            for &p in &perm {
+                out.data.push(row[p]);
+            }
+            out.rows += 1;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(")?;
+        for (i, a) in self.schema.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")[{} rows]", self.rows)
+    }
+}
+
+/// Iterator over the tuples of a [`Relation`], yielding row slices.
+///
+/// Handles the zero-arity corner case (projections onto the empty attribute
+/// set yield rows that are empty slices).
+#[derive(Debug, Clone)]
+pub struct RowIter<'a> {
+    arity: usize,
+    data: &'a [Value],
+    pos: usize,
+    rows: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [Value];
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.rows {
+            return None;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        if self.arity == 0 {
+            Some(&[])
+        } else {
+            Some(&self.data[i * self.arity..(i + 1) * self.arity])
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.rows - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (AttrId, AttrId, AttrId) {
+        (AttrId(0), AttrId(1), AttrId(2))
+    }
+
+    fn sample() -> Relation {
+        let (a, b, c) = abc();
+        Relation::from_rows(
+            vec![a, b, c],
+            &[
+                &[0, 0, 0][..],
+                &[0, 1, 0][..],
+                &[1, 0, 1][..],
+                &[1, 1, 1][..],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = sample();
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.row(2), &[1, 0, 1]);
+        assert_eq!(r.attrs(), AttrSet::range(3));
+        assert_eq!(r.attr_pos(AttrId(1)).unwrap(), 1);
+        assert!(r.attr_pos(AttrId(9)).is_err());
+    }
+
+    #[test]
+    fn duplicate_schema_rejected() {
+        assert!(Relation::new(vec![AttrId(0), AttrId(0)]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        assert!(r.push_row(&[1]).is_err());
+        assert!(r.push_row(&[1, 2, 3]).is_err());
+        assert!(r.push_row(&[1, 2]).is_ok());
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let r = sample();
+        let pa = r.project(&AttrSet::singleton(AttrId(0)));
+        assert_eq!(pa.len(), 2);
+        let pac = r.project(&AttrSet::from_ids([0, 2]));
+        assert_eq!(pac.len(), 2); // (0,0) and (1,1) only
+        let pall = r.project(&AttrSet::range(3));
+        assert_eq!(pall.len(), 4);
+    }
+
+    #[test]
+    fn projection_multiset_keeps_duplicates() {
+        let r = sample();
+        let pa = r.project_multiset(&AttrSet::singleton(AttrId(0))).unwrap();
+        assert_eq!(pa.len(), 4);
+        assert!(!pa.is_set());
+        assert_eq!(pa.distinct().len(), 2);
+    }
+
+    #[test]
+    fn try_project_unknown_attr_errors() {
+        let r = sample();
+        assert!(r.try_project(&AttrSet::singleton(AttrId(7))).is_err());
+    }
+
+    #[test]
+    fn selection_filters_rows() {
+        let r = sample();
+        let s = r.select_eq(AttrId(0), 1).unwrap();
+        assert_eq!(s.len(), 2);
+        for row in s.iter_rows() {
+            assert_eq!(row[0], 1);
+        }
+        assert!(r.select_eq(AttrId(5), 0).is_err());
+    }
+
+    #[test]
+    fn group_counts_match_manual_counts() {
+        let r = sample();
+        let g = r.group_counts(&AttrSet::singleton(AttrId(1))).unwrap();
+        assert_eq!(g.total, 4);
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.count_of(&[0]), 2);
+        assert_eq!(g.count_of(&[1]), 2);
+        assert_eq!(g.count_of(&[9]), 0);
+        let g2 = r.group_counts(&AttrSet::range(3)).unwrap();
+        assert_eq!(g2.num_groups(), 4);
+        assert!(g2.iter().all(|(_, c)| c == 1));
+    }
+
+    #[test]
+    fn set_semantics_helpers() {
+        let r = sample();
+        assert!(r.is_set());
+        assert!(r.contains_row(&[0, 1, 0]));
+        assert!(!r.contains_row(&[9, 9, 9]));
+        assert!(!r.contains_row(&[0, 1]));
+        let mut dup = r.clone();
+        dup.push_row(&[0, 0, 0]).unwrap();
+        assert!(!dup.is_set());
+        assert_eq!(dup.distinct().len(), 4);
+        assert!(dup.set_eq(&r));
+        assert!(r.is_subset_of(&dup));
+    }
+
+    #[test]
+    fn subset_requires_same_attrs() {
+        let r = sample();
+        let p = r.project(&AttrSet::from_ids([0, 1]));
+        assert!(!p.is_subset_of(&r));
+    }
+
+    #[test]
+    fn canonicalize_sorts_rows_and_columns() {
+        let (a, b, _c) = abc();
+        let r1 = Relation::from_rows(vec![b, a], &[&[5, 1][..], &[4, 0][..]]).unwrap();
+        let r2 = Relation::from_rows(vec![a, b], &[&[0, 4][..], &[1, 5][..]]).unwrap();
+        assert_eq!(r1.canonicalize().row(0), r2.canonicalize().row(0));
+        assert_eq!(r1.canonicalize().schema(), r2.canonicalize().schema());
+        assert!(r1.set_eq(&r2));
+    }
+
+    #[test]
+    fn reorder_columns_roundtrip() {
+        let r = sample();
+        let reordered = r
+            .reorder_columns(&[AttrId(2), AttrId(0), AttrId(1)])
+            .unwrap();
+        assert_eq!(reordered.row(0), &[0, 0, 0]);
+        assert_eq!(reordered.row(2), &[1, 1, 0]);
+        assert!(reordered.set_eq(&r));
+        assert!(r.reorder_columns(&[AttrId(0), AttrId(1)]).is_err());
+    }
+
+    #[test]
+    fn active_domain_size_counts_distinct_values() {
+        let r = sample();
+        assert_eq!(r.active_domain_size(AttrId(0)).unwrap(), 2);
+        assert_eq!(r.active_domain_size(AttrId(2)).unwrap(), 2);
+        assert!(r.active_domain_size(AttrId(9)).is_err());
+    }
+
+    #[test]
+    fn empty_relation_behaviour() {
+        let r = Relation::new(vec![AttrId(0)]).unwrap();
+        assert!(r.is_empty());
+        assert!(r.is_set());
+        assert_eq!(r.project(&AttrSet::singleton(AttrId(0))).len(), 0);
+        assert_eq!(r.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn display_mentions_schema_and_size() {
+        let r = sample();
+        let s = format!("{r}");
+        assert!(s.contains("X0"));
+        assert!(s.contains("4 rows"));
+    }
+}

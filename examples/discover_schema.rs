@@ -1,0 +1,68 @@
+//! Approximate acyclic-schema discovery on a noisy dataset.
+//!
+//! Run with `cargo run --release --example discover_schema`.
+//!
+//! The relation's attributes form a noisy Markov chain
+//! `X₀ → X₁ → X₂ → X₃ → X₄`, so the "true" acyclic schema is the path of
+//! consecutive pairs.  The miner first recovers that structure from pairwise
+//! mutual information (Chow–Liu), then coarsens it until the J-measure drops
+//! below a budget, and we check what the certified and realised losses look
+//! like for each intermediate schema.
+
+use ajd::prelude::*;
+use ajd::jointree::loss_acyclic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let relation = generators::markov_chain_relation(&mut rng, 5, 8, 4_000, 0.15, true)
+        .expect("generator parameters are valid");
+    println!(
+        "dataset: {} tuples over {} attributes (noisy Markov chain, 15% noise)",
+        relation.len(),
+        relation.arity()
+    );
+
+    for (label, threshold) in [
+        ("strict (J <= 1e-6)", 1e-6),
+        ("moderate (J <= 0.05)", 0.05),
+        ("loose (J <= 0.5)", 0.5),
+    ] {
+        let miner = SchemaMiner::new(DiscoveryConfig {
+            j_threshold: threshold,
+            ..DiscoveryConfig::default()
+        });
+        let mined = miner.mine(&relation).expect("mining succeeds");
+        let realised = loss_acyclic(&relation, &mined.tree).expect("loss of mined schema");
+        println!("\n=== budget: {label} ===");
+        println!(
+            "  bags: {:?}",
+            mined
+                .bags()
+                .iter()
+                .map(|b| format!("{b}"))
+                .collect::<Vec<_>>()
+        );
+        println!("  J-measure          : {:.5} nats", mined.j_measure);
+        println!("  certified rho >=   : {:.5}   (Lemma 4.1)", mined.rho_lower_bound);
+        println!("  realised  rho      : {:.5}", realised);
+        assert!(mined.rho_lower_bound <= realised + 1e-6);
+    }
+
+    // The Chow-Liu starting point, for reference.
+    let chow_liu = SchemaMiner::default()
+        .chow_liu_tree(&relation)
+        .expect("chow-liu tree");
+    println!(
+        "\nChow-Liu starting schema: {:?}",
+        chow_liu
+            .bags()
+            .iter()
+            .map(|b| format!("{b}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "(low noise keeps consecutive attributes together, recovering the Markov-chain path)"
+    );
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the paper's core identities and inequalities.
+//!
+//! Relations are drawn from the random relation model (Definition 5.2) with
+//! proptest-chosen domain sizes, sizes and seeds; join trees are chosen from
+//! a small family of shapes over the same attributes.  Every generated
+//! `(R, T)` pair must satisfy:
+//!
+//! * Theorem 3.2:  `J(T) = D_KL(P_R ‖ P_R^T)` (numerically);
+//! * Lemma 4.1:    `J(T) ≤ log(1 + ρ(R,S))`;
+//! * Proposition 5.1: `log(1+ρ(R,S)) ≤ Σᵢ log(1+ρ(R,φᵢ))`;
+//! * Theorem 2.2:  `max_i I_i ≤ J ≤ Σ_i I_i` over the ordered support;
+//! * consistency:  the join size from tree counting equals the size of the
+//!   materialised acyclic join.
+
+use ajd::prelude::*;
+use ajd::jointree::{acyclic_join, count_acyclic_join};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds one of a few join-tree shapes over 4 attributes.
+fn tree_for(shape: u8) -> JoinTree {
+    let bag = |ids: &[u32]| AttrSet::from_ids(ids.iter().copied());
+    match shape % 5 {
+        0 => JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+        1 => JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+        2 => JoinTree::path(vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])]).unwrap(),
+        3 => JoinTree::new(vec![bag(&[0, 1, 2]), bag(&[2, 3])], vec![(0, 1)]).unwrap(),
+        _ => JoinTree::new(
+            vec![bag(&[0, 1]), bag(&[1, 2, 3])],
+            vec![(0, 1)],
+        )
+        .unwrap(),
+    }
+}
+
+/// Samples a relation over 4 attributes with the given per-attribute domain
+/// sizes and tuple count (clamped to the domain size).
+fn sample_relation(dims: [u64; 4], n: u64, seed: u64) -> Relation {
+    let domain = ProductDomain::new(dims.to_vec()).unwrap();
+    let capacity = domain.size();
+    let model = RandomRelationModel::new(domain);
+    let mut rng = StdRng::seed_from_u64(seed);
+    model.sample(&mut rng, n.clamp(1, capacity)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem_3_2_j_equals_kl(
+        d in prop::array::uniform4(2u64..6),
+        n in 1u64..120,
+        seed in 0u64..1_000_000,
+        shape in 0u8..5,
+    ) {
+        let r = sample_relation(d, n, seed);
+        let tree = tree_for(shape);
+        let j = j_measure(&r, &tree).unwrap();
+        let kl = kl_divergence_to_tree(&r, &tree).unwrap();
+        prop_assert!(j >= -1e-9, "J must be non-negative, got {j}");
+        prop_assert!((j - kl).abs() <= 1e-9 * (1.0 + j.abs()),
+            "Theorem 3.2 violated: J = {j}, KL = {kl}");
+    }
+
+    #[test]
+    fn lemma_4_1_and_prop_5_1_hold(
+        d in prop::array::uniform4(2u64..6),
+        n in 1u64..120,
+        seed in 0u64..1_000_000,
+        shape in 0u8..5,
+    ) {
+        let r = sample_relation(d, n, seed);
+        let tree = tree_for(shape);
+        let report = LossAnalysis::new(&r, &tree).unwrap().report();
+        // Lemma 4.1.
+        prop_assert!(report.j_measure <= report.log1p_rho + 1e-9,
+            "Lemma 4.1 violated: J = {} > log(1+rho) = {}", report.j_measure, report.log1p_rho);
+        prop_assert!(report.rho_lower_bound <= report.rho + 1e-6 * (1.0 + report.rho));
+        // Proposition 5.1.
+        prop_assert!(report.log1p_rho <= report.prop51_bound + 1e-9,
+            "Prop 5.1 violated: {} > {}", report.log1p_rho, report.prop51_bound);
+        // Theorem 2.2 sandwich.
+        prop_assert!(report.theorem22.max_cmi <= report.j_measure + 1e-9);
+        prop_assert!(report.j_measure <= report.theorem22.sum_cmi + 1e-9);
+        // Per-MVD Lemma 4.1.
+        for m in &report.per_mvd {
+            prop_assert!(m.cmi_nats <= m.log1p_rho + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tree_counting_matches_materialised_join(
+        d in prop::array::uniform4(2u64..5),
+        n in 1u64..60,
+        seed in 0u64..1_000_000,
+        shape in 0u8..5,
+    ) {
+        let r = sample_relation(d, n, seed);
+        let tree = tree_for(shape);
+        let counted = count_acyclic_join(&r, &tree).unwrap();
+        let materialised = acyclic_join(&r, &tree).unwrap();
+        prop_assert_eq!(counted, materialised.len() as u128);
+        // The original relation is always contained in the acyclic join.
+        prop_assert!(r.is_subset_of(&materialised));
+    }
+
+    #[test]
+    fn lossless_iff_j_zero(
+        d in prop::array::uniform4(2u64..5),
+        n in 1u64..60,
+        seed in 0u64..1_000_000,
+        shape in 0u8..5,
+    ) {
+        // Theorem 2.1 (Lee): R |= AJD(S) iff J(S) = 0.  We validate both
+        // directions on the sampled relation and on its lossless closure.
+        let r = sample_relation(d, n, seed);
+        let tree = tree_for(shape);
+        let rep = LossAnalysis::new(&r, &tree).unwrap().report();
+        prop_assert_eq!(rep.is_lossless(), rep.j_measure.abs() < 1e-9);
+
+        // The acyclic join of the projections always models the tree.
+        let closure = acyclic_join(&r, &tree).unwrap();
+        let closure_rep = LossAnalysis::new(&closure, &tree).unwrap().report();
+        prop_assert!(closure_rep.is_lossless());
+        prop_assert!(closure_rep.j_measure.abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn example_4_1_tightness_for_any_n(n in 2u32..300) {
+        let r = generators::bijection_relation(n);
+        let tree = JoinTree::from_acyclic_schema(&[
+            AttrSet::singleton(AttrId(0)),
+            AttrSet::singleton(AttrId(1)),
+        ]).unwrap();
+        let rep = LossAnalysis::new(&r, &tree).unwrap().report();
+        prop_assert!((rep.j_measure - (n as f64).ln()).abs() < 1e-9);
+        prop_assert!((rep.rho - (n as f64 - 1.0)).abs() < 1e-9);
+        prop_assert!(rep.lemma41_gap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_exact(
+        d_a in 2u64..30,
+        d_b in 2u64..30,
+        frac in 0.05f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let capacity = d_a * d_b;
+        let n = ((capacity as f64 * frac).round() as u64).clamp(1, capacity);
+        let model = RandomRelationModel::degenerate(d_a, d_b).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = model.sample(&mut rng, n).unwrap();
+        prop_assert_eq!(r.len() as u64, n);
+        prop_assert!(r.is_set());
+        for row in r.iter_rows() {
+            prop_assert!((row[0] as u64) < d_a);
+            prop_assert!((row[1] as u64) < d_b);
+        }
+    }
+}
