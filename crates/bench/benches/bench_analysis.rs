@@ -12,7 +12,7 @@ use rand::SeedableRng;
 
 use ajd_core::analysis::LossAnalysis;
 use ajd_core::discovery::{DiscoveryConfig, SchemaMiner};
-use ajd_jointree::count::{loss_materialized};
+use ajd_jointree::count::loss_materialized;
 use ajd_jointree::{count_acyclic_join, JoinTree};
 use ajd_random::generators::{bijection_relation, markov_chain_relation, random_relation};
 use ajd_relation::AttrSet;
@@ -28,8 +28,7 @@ fn bench_count_vs_materialise(c: &mut Criterion) {
     // counting approach touches only 2N projection tuples.
     for &n in &[256u32, 1024] {
         let r = bijection_relation(n);
-        let tree =
-            JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).expect("cross schema");
+        let tree = JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).expect("cross schema");
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("tree_count", n), &r, |b, r| {
             b.iter(|| count_acyclic_join(r, &tree).unwrap())

@@ -29,14 +29,10 @@ fn bench_strategies(c: &mut Criterion) {
             b.iter(|| partial_shuffle(&mut rng, small_domain, dense_n))
         },
     );
-    group.bench_with_input(
-        BenchmarkId::new("auto_dense", dense_n),
-        &dense_n,
-        |b, _| {
-            let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| sample_distinct(&mut rng, small_domain, dense_n).unwrap())
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("auto_dense", dense_n), &dense_n, |b, _| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| sample_distinct(&mut rng, small_domain, dense_n).unwrap())
+    });
     group.finish();
 }
 

@@ -1,4 +1,4 @@
-//! Experiment `discovery` — the motivating application (Kenig et al. [14]):
+//! Experiment `discovery` — the motivating application (Kenig et al. \[14\]):
 //! mining approximate acyclic schemas guided by the J-measure.
 //!
 //! Workload: noisy Markov-chain relations (attributes `X₀ → X₁ → ⋯` with a
@@ -34,15 +34,23 @@ fn main() {
     let mut table = Table::new(
         "Schema discovery on noisy Markov chains (distinct tuples, 5 attrs, |dom| = 12, N = 1500)",
         &[
-            "noise", "J_budget", "bags_mean", "max_bag", "J_mean", "rho_mean", "rho_lb_mean",
+            "noise",
+            "J_budget",
+            "bags_mean",
+            "max_bag",
+            "J_mean",
+            "rho_mean",
+            "rho_lb_mean",
             "lb_ok",
         ],
     );
 
     for &noise in &noises {
         for &j_threshold in &thresholds {
-            let rows =
-                parallel_trials(args.trials, args.seed ^ ((noise * 997.0) as u64), |_, rng| {
+            let rows = parallel_trials(
+                args.trials,
+                args.seed ^ ((noise * 997.0) as u64),
+                |_, rng| {
                     let r = markov_chain_relation(rng, num_attrs, domain, n, noise, true)
                         .expect("generator parameters are valid");
                     let miner = SchemaMiner::new(DiscoveryConfig {
@@ -59,7 +67,8 @@ fn main() {
                         rho,
                         mined.rho_lower_bound,
                     )
-                });
+                },
+            );
             let bags: Vec<f64> = rows.iter().map(|r| r.0).collect();
             let max_bag = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
             let js: Vec<f64> = rows.iter().map(|r| r.2).collect();

@@ -41,7 +41,13 @@ fn main() {
     let mut table = Table::new(
         "Theorem 5.2 / Prop 5.4: entropy deficit log(d) - H(A_S) (nats)",
         &[
-            "d", "eta", "qualified", "deficit_mean", "deficit_max", "C(d)", "thm52_bound",
+            "d",
+            "eta",
+            "qualified",
+            "deficit_mean",
+            "deficit_max",
+            "C(d)",
+            "thm52_bound",
             "violations",
         ],
     );

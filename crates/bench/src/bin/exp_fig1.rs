@@ -30,7 +30,15 @@ fn main() {
     let mut table = Table::new(
         &format!("Figure 1: I(A;B) vs log(1+rho), rho = {rho}, d_C = 1 (values in nats)"),
         &[
-            "d", "N", "trials", "mi_mean", "mi_std", "mi_min", "mi_max", "log1p_rho", "gap_mean",
+            "d",
+            "N",
+            "trials",
+            "mi_mean",
+            "mi_std",
+            "mi_min",
+            "mi_max",
+            "log1p_rho",
+            "gap_mean",
         ],
     );
 

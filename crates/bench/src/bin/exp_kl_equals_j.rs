@@ -21,8 +21,14 @@ fn bag(ids: &[u32]) -> AttrSet {
 fn main() {
     let args = ExperimentArgs::from_env();
     let trees = vec![
-        ("path", JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap()),
-        ("star", JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap()),
+        (
+            "path",
+            JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+        ),
+        (
+            "star",
+            JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+        ),
         (
             "singletons",
             JoinTree::path(vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])]).unwrap(),
@@ -32,12 +38,23 @@ fn main() {
             JoinTree::new(vec![bag(&[0, 1, 2]), bag(&[2, 3])], vec![(0, 1)]).unwrap(),
         ),
     ];
-    let sizes: Vec<u64> = if args.quick { vec![100] } else { vec![50, 200, 800] };
+    let sizes: Vec<u64> = if args.quick {
+        vec![100]
+    } else {
+        vec![50, 200, 800]
+    };
     let model = RandomRelationModel::new(ProductDomain::new(vec![7, 6, 5, 4]).unwrap());
 
     let mut table = Table::new(
         "Theorem 3.2: |J - KL| over random relations (nats)",
-        &["tree", "N", "trials", "J_mean", "abs_err_mean", "abs_err_max"],
+        &[
+            "tree",
+            "N",
+            "trials",
+            "J_mean",
+            "abs_err_mean",
+            "abs_err_max",
+        ],
     );
 
     for (name, tree) in &trees {

@@ -28,7 +28,15 @@ fn main() {
 
     let mut table = Table::new(
         "Example 4.1: bijection relation, schema {{A},{B}} (nats)",
-        &["N", "spurious", "rho", "J", "log1p_rho", "gap", "lb_rho(e^J-1)"],
+        &[
+            "N",
+            "spurious",
+            "rho",
+            "J",
+            "log1p_rho",
+            "gap",
+            "lb_rho(e^J-1)",
+        ],
     );
 
     for n in sizes {

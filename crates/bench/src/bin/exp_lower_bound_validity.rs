@@ -25,8 +25,14 @@ fn main() {
         vec![32, 64, 128, 256, 512, 1024]
     };
     let trees = vec![
-        ("path-2attr-bags", JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap()),
-        ("star-2attr-bags", JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap()),
+        (
+            "path-2attr-bags",
+            JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+        ),
+        (
+            "star-2attr-bags",
+            JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+        ),
         (
             "independence",
             JoinTree::path(vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])]).unwrap(),
@@ -41,7 +47,13 @@ fn main() {
     let mut table = Table::new(
         "Lemma 4.1 on the random relation model, dims = [8,8,8,8] (nats)",
         &[
-            "tree", "N", "trials", "J_mean", "log1p_rho_mean", "slack_mean", "slack_min",
+            "tree",
+            "N",
+            "trials",
+            "J_mean",
+            "log1p_rho_mean",
+            "slack_mean",
+            "slack_min",
             "violations",
         ],
     );

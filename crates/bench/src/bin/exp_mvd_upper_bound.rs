@@ -39,7 +39,15 @@ fn main() {
     let mut table = Table::new(
         "Theorem 5.1: log(1+rho(phi)) vs I(A;B|C) + eps* (nats)",
         &[
-            "d", "d_C", "N", "qualified", "log1p_rho", "cmi", "gap", "eps*", "raw_viol",
+            "d",
+            "d_C",
+            "N",
+            "qualified",
+            "log1p_rho",
+            "cmi",
+            "gap",
+            "eps*",
+            "raw_viol",
             "bound_viol",
         ],
     );
@@ -53,15 +61,19 @@ fn main() {
             if n == 0 {
                 continue;
             }
-            let rows = parallel_trials(args.trials, args.seed ^ (d * 131 + d_c * 7 + n), |_, rng| {
-                let model = RandomRelationModel::for_mvd(d, d, d_c).expect("domain");
-                let r = model.sample(rng, n).expect("N within domain");
-                let rho = mvd.loss(&r).expect("mvd loss");
-                let cmi =
-                    conditional_mutual_information(&r, &bag(&[0]), &bag(&[1]), &bag(&[2]))
-                        .expect("cmi");
-                (rho.ln_1p(), cmi)
-            });
+            let rows = parallel_trials(
+                args.trials,
+                args.seed ^ (d * 131 + d_c * 7 + n),
+                |_, rng| {
+                    let model = RandomRelationModel::for_mvd(d, d, d_c).expect("domain");
+                    let r = model.sample(rng, n).expect("N within domain");
+                    let rho = mvd.loss(&r).expect("mvd loss");
+                    let cmi =
+                        conditional_mutual_information(&r, &bag(&[0]), &bag(&[1]), &bag(&[2]))
+                            .expect("cmi");
+                    (rho.ln_1p(), cmi)
+                },
+            );
             let params = Thm51Params::new(d, d, d_c, n, delta);
             let eps = epsilon_star(&params);
             let qualified = thm51_qualifying_condition(&params);

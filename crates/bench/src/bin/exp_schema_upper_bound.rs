@@ -34,26 +34,37 @@ fn main() {
     let mut table = Table::new(
         "Proposition 5.3: schema-level bounds on log(1+rho) for approximate MVD data (nats)",
         &[
-            "noise", "N_mean", "log1p_rho", "J", "sum_cmi", "eps_total", "cmi_viol", "bound_viol",
+            "noise",
+            "N_mean",
+            "log1p_rho",
+            "J",
+            "sum_cmi",
+            "eps_total",
+            "cmi_viol",
+            "bound_viol",
         ],
     );
 
     for &noise in &noises {
-        let rows = parallel_trials(args.trials, args.seed ^ ((noise * 1000.0) as u64), |_, rng| {
-            let r = approximate_mvd_relation(rng, d_a, d_b, d_c, per_a, per_b, noise)
-                .expect("generator parameters are valid");
-            let analysis = LossAnalysis::new(&r, &tree).expect("analysis");
-            let rep = analysis.report();
-            let pb = analysis.probabilistic_bounds(delta);
-            (
-                r.len() as f64,
-                rep.log1p_rho,
-                rep.j_measure,
-                pb.schema_bound.sum_cmi_bound,
-                pb.schema_bound.total_epsilon,
-                rep.theorem22.sum_cmi,
-            )
-        });
+        let rows = parallel_trials(
+            args.trials,
+            args.seed ^ ((noise * 1000.0) as u64),
+            |_, rng| {
+                let r = approximate_mvd_relation(rng, d_a, d_b, d_c, per_a, per_b, noise)
+                    .expect("generator parameters are valid");
+                let analysis = LossAnalysis::new(&r, &tree).expect("analysis");
+                let rep = analysis.report();
+                let pb = analysis.probabilistic_bounds(delta);
+                (
+                    r.len() as f64,
+                    rep.log1p_rho,
+                    rep.j_measure,
+                    pb.schema_bound.sum_cmi_bound,
+                    pb.schema_bound.total_epsilon,
+                    rep.theorem22.sum_cmi,
+                )
+            },
+        );
         let ns: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let lhs: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let js: Vec<f64> = rows.iter().map(|r| r.2).collect();

@@ -83,9 +83,9 @@ where
         .min(trials.max(1));
     let next: Mutex<usize> = Mutex::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..num_threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = {
                     let mut guard = next.lock();
                     if *guard >= trials {
@@ -100,8 +100,7 @@ where
                 results.lock().push((i, out));
             });
         }
-    })
-    .expect("experiment worker thread panicked");
+    });
 
     let mut collected = results.into_inner();
     collected.sort_by_key(|(i, _)| *i);
@@ -124,8 +123,10 @@ mod tests {
     #[test]
     fn parse_reads_known_flags_and_ignores_unknown() {
         let a = ExperimentArgs::parse(
-            ["--trials", "9", "--seed", "5", "--quick", "--bogus", "--csv", "/tmp/x"]
-                .map(String::from),
+            [
+                "--trials", "9", "--seed", "5", "--quick", "--bogus", "--csv", "/tmp/x",
+            ]
+            .map(String::from),
         );
         assert_eq!(a.trials, 9);
         assert_eq!(a.seed, 5);

@@ -21,7 +21,7 @@
 //! | `exp_mvd_upper_bound`       | Theorem 5.1 |
 //! | `exp_mvd_chain`             | Proposition 5.1 |
 //! | `exp_schema_upper_bound`    | Proposition 5.3 |
-//! | `exp_discovery`             | §1 motivation (schema discovery, ref. [14]) |
+//! | `exp_discovery`             | §1 motivation (schema discovery, ref. \[14\]) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

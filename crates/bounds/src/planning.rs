@@ -87,8 +87,7 @@ mod tests {
         let (d_a, d_b, d_c, delta) = (32, 32, 2, 0.05);
         let target = 0.5;
         let n = required_n_for_epsilon(d_a, d_b, d_c, delta, target, u64::MAX >> 20).unwrap();
-        let eps_at =
-            |n: u64| epsilon_star(&Thm51Params::new(d_a, d_b, d_c, n, delta));
+        let eps_at = |n: u64| epsilon_star(&Thm51Params::new(d_a, d_b, d_c, n, delta));
         assert!(eps_at(n) <= target);
         assert!(eps_at(n - 1) > target, "N should be minimal");
         // Tighter targets need more tuples.

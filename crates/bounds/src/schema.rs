@@ -2,8 +2,17 @@
 //! (Proposition 5.1 and Proposition 5.3).
 //!
 //! * Proposition 5.1 (deterministic):
-//!   `log(1 + ρ(R,S)) ≤ Σ_{i=2}^{m} log(1 + ρ(R, φᵢ))`
-//!   where `φᵢ` ranges over the ordered support of the join tree.
+//!   `J(R,S) ≤ Σ_{i=2}^{m} log(1 + ρ(R, φᵢ))`
+//!   where `φᵢ` ranges over the ordered support of the join tree.  It follows
+//!   from the chain-rule decomposition of `J` over the ordered support
+//!   (Theorem 2.2) and Lemma 4.1 applied to each MVD separately.
+//!
+//!   Note that the *loss* itself does **not** compose this way: the naive
+//!   analogue `log(1+ρ(R,S)) ≤ Σᵢ log(1+ρ(R,φᵢ))` is false in general (a
+//!   9-tuple relation over a 3-bag star schema already violates it), which is
+//!   precisely why the paper routes schema-level upper bounds through
+//!   information measures and the random relation model (Proposition 5.3)
+//!   rather than through per-MVD losses.
 //! * Proposition 5.3 (high probability, via a union bound over the support):
 //!   `log(1 + ρ(R,S)) ≤ Σᵢ I(Ω_{1:i-1}; Ω_{i:m} | Δᵢ) + Σᵢ εᵢ`
 //!   and, using Theorem 2.2, `≤ (m−1)·J(T) + Σᵢ εᵢ`,
@@ -12,9 +21,10 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Proposition 5.1: upper bound on `log(1 + ρ(R,S))` from the per-MVD losses
-/// of the support (`ρ(R,φᵢ)` values).  Returns the bound in nats.
-pub fn prop51_log_loss_bound(per_mvd_losses: &[f64]) -> f64 {
+/// Proposition 5.1: upper bound on the J-measure `J(R,S)` from the per-MVD
+/// losses of the ordered support (`ρ(R,φᵢ)` values).  Returns
+/// `Σᵢ log(1 + ρ(R,φᵢ))` in nats.
+pub fn prop51_j_bound(per_mvd_losses: &[f64]) -> f64 {
     per_mvd_losses
         .iter()
         .map(|&rho| {
@@ -98,21 +108,21 @@ mod tests {
     #[test]
     fn prop51_bound_is_sum_of_log1p() {
         let losses = [0.0, 1.0, 3.0];
-        let b = prop51_log_loss_bound(&losses);
+        let b = prop51_j_bound(&losses);
         let expected = 0.0 + (2.0f64).ln() + (4.0f64).ln();
         assert!((b - expected).abs() < 1e-12);
-        assert_eq!(prop51_log_loss_bound(&[]), 0.0);
+        assert_eq!(prop51_j_bound(&[]), 0.0);
     }
 
     #[test]
     fn prop51_with_zero_losses_gives_zero_bound() {
-        assert_eq!(prop51_log_loss_bound(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(prop51_j_bound(&[0.0, 0.0, 0.0]), 0.0);
     }
 
     #[test]
     #[should_panic]
     fn prop51_rejects_negative_losses() {
-        prop51_log_loss_bound(&[-0.5]);
+        prop51_j_bound(&[-0.5]);
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl Thm51Params {
     /// Creates the parameter set, normalising so that `d_A ≥ d_B` (the
     /// theorem assumes this w.l.o.g.; swapping `A` and `B` changes nothing).
     pub fn new(d_a: u64, d_b: u64, d_c: u64, n: u64, delta: f64) -> Self {
-        assert!(d_a >= 1 && d_b >= 1 && d_c >= 1, "domain sizes must be positive");
+        assert!(
+            d_a >= 1 && d_b >= 1 && d_c >= 1,
+            "domain sizes must be positive"
+        );
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
         let (d_a, d_b) = if d_a >= d_b { (d_a, d_b) } else { (d_b, d_a) };
         Thm51Params {

@@ -90,7 +90,9 @@ mod tests {
     #[test]
     fn deviation_grows_with_domain_and_confidence() {
         let eta = 1e6;
-        assert!(thm52_entropy_deviation(1000.0, eta, 0.05) > thm52_entropy_deviation(10.0, eta, 0.05));
+        assert!(
+            thm52_entropy_deviation(1000.0, eta, 0.05) > thm52_entropy_deviation(10.0, eta, 0.05)
+        );
         assert!(
             thm52_entropy_deviation(100.0, eta, 1e-6) > thm52_entropy_deviation(100.0, eta, 0.1)
         );

@@ -9,13 +9,13 @@
 //! * the per-MVD decomposition over the ordered support (eq. 9): loss,
 //!   `log(1+ρ)` and conditional mutual information of every support MVD;
 //! * the deterministic bounds: Lemma 4.1 (`ρ ≥ e^J − 1`) and
-//!   Proposition 5.1 (`log(1+ρ(R,S)) ≤ Σ log(1+ρ(R,φᵢ))`);
+//!   Proposition 5.1 (`J(R,S) ≤ Σ log(1+ρ(R,φᵢ))`);
 //! * optionally, the probabilistic bounds of Theorem 5.1 / Proposition 5.3
 //!   with the `ε*` deviation instantiated from the *measured* active domain
 //!   sizes of each support MVD.
 
 use ajd_bounds::{
-    epsilon_star, j_lower_bound_on_loss, prop51_log_loss_bound, prop53_schema_bound, Prop53Bound,
+    epsilon_star, j_lower_bound_on_loss, prop51_j_bound, prop53_schema_bound, Prop53Bound,
     Thm51Params,
 };
 use ajd_info::jmeasure::{j_measure, j_measure_bounds, JMeasureBounds};
@@ -83,8 +83,9 @@ pub struct LossReport {
     pub theorem22: JMeasureBounds,
     /// Per-MVD losses over the ordered support of the tree rooted at 0.
     pub per_mvd: Vec<MvdLoss>,
-    /// Proposition 5.1 deterministic upper bound on `log(1+ρ(R,S))`:
-    /// `Σᵢ log(1 + ρ(R,φᵢ))`.
+    /// Proposition 5.1 deterministic upper bound on the J-measure:
+    /// `J(R,S) ≤ Σᵢ log(1 + ρ(R,φᵢ))`.  (The loss itself does not compose
+    /// this way; see `ajd_bounds::schema`.)
     pub prop51_bound: f64,
 }
 
@@ -104,7 +105,11 @@ impl LossReport {
 
 impl fmt::Display for LossReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Loss analysis (N = {}, m = {} bags)", self.n, self.num_bags)?;
+        writeln!(
+            f,
+            "Loss analysis (N = {}, m = {} bags)",
+            self.n, self.num_bags
+        )?;
         writeln!(f, "  join size          : {}", self.join_size)?;
         writeln!(f, "  spurious tuples    : {}", self.spurious)?;
         writeln!(f, "  rho (loss)         : {:.6}", self.rho)?;
@@ -191,8 +196,7 @@ impl<'a> LossAnalysis<'a> {
                 mvd,
             });
         }
-        let prop51_bound =
-            prop51_log_loss_bound(&per_mvd.iter().map(|m| m.rho).collect::<Vec<_>>());
+        let prop51_bound = prop51_j_bound(&per_mvd.iter().map(|m| m.rho).collect::<Vec<_>>());
 
         let report = LossReport {
             n,
@@ -248,7 +252,8 @@ impl<'a> LossAnalysis<'a> {
         let mut cmis = Vec::with_capacity(self.report.per_mvd.len());
         for m in &self.report.per_mvd {
             let (d_a, d_b, d_c) = m.domain_sizes;
-            let params = Thm51Params::new(d_a.max(1), d_b.max(1), d_c.max(1), self.report.n, per_delta);
+            let params =
+                Thm51Params::new(d_a.max(1), d_b.max(1), d_c.max(1), self.report.n, per_delta);
             eps.push(epsilon_star(&params));
             qualified.push(ajd_bounds::thm51_qualifying_condition(&params));
             cmis.push(m.cmi_nats);
@@ -318,9 +323,8 @@ mod tests {
     #[test]
     fn theorem_3_2_and_lemma_4_1_hold_on_random_relations() {
         let mut rng = StdRng::seed_from_u64(2024);
-        let model = RandomRelationModel::new(
-            ajd_random::ProductDomain::new(vec![6, 5, 4, 3]).unwrap(),
-        );
+        let model =
+            RandomRelationModel::new(ajd_random::ProductDomain::new(vec![6, 5, 4, 3]).unwrap());
         let trees = vec![
             JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
             JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
@@ -333,8 +337,8 @@ mod tests {
                 assert!((rep.j_measure - rep.kl_nats).abs() < 1e-9);
                 // Lemma 4.1: J <= log(1+rho).
                 assert!(rep.j_measure <= rep.log1p_rho + 1e-9);
-                // Proposition 5.1: log(1+rho) <= sum log(1+rho_i).
-                assert!(rep.log1p_rho <= rep.prop51_bound + 1e-9);
+                // Proposition 5.1: J <= sum log(1+rho_i).
+                assert!(rep.j_measure <= rep.prop51_bound + 1e-9);
                 // Theorem 2.2 sandwich.
                 assert!(rep.theorem22.max_cmi <= rep.j_measure + 1e-9);
                 assert!(rep.j_measure <= rep.theorem22.sum_cmi + 1e-9);
@@ -345,9 +349,8 @@ mod tests {
     #[test]
     fn per_mvd_breakdown_has_one_entry_per_edge() {
         let mut rng = StdRng::seed_from_u64(7);
-        let model = RandomRelationModel::new(
-            ajd_random::ProductDomain::new(vec![4, 4, 4, 4]).unwrap(),
-        );
+        let model =
+            RandomRelationModel::new(ajd_random::ProductDomain::new(vec![4, 4, 4, 4]).unwrap());
         let r = model.sample(&mut rng, 60).unwrap();
         let tree = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap();
         let rep = LossAnalysis::new(&r, &tree).unwrap().report();

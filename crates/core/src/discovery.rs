@@ -1,7 +1,7 @@
 //! Approximate acyclic-schema discovery.
 //!
 //! The paper is motivated by the schema-discovery problem of Kenig et al.
-//! (SIGMOD 2020, reference [14]): given a dataset, find an acyclic schema
+//! (SIGMOD 2020, reference \[14\]): given a dataset, find an acyclic schema
 //! whose J-measure is small, because (by the results reproduced here) a
 //! small J-measure certifies a small lower bound on the loss and — under the
 //! random relation model — also an upper bound.  This module implements a
@@ -281,8 +281,8 @@ mod tests {
 
     #[test]
     fn chow_liu_tree_is_a_valid_join_tree_over_all_attributes() {
-        let r = markov_chain_relation(&mut StdRng::seed_from_u64(1), 5, 6, 400, 0.2, false)
-            .unwrap();
+        let r =
+            markov_chain_relation(&mut StdRng::seed_from_u64(1), 5, 6, 400, 0.2, false).unwrap();
         let miner = SchemaMiner::default();
         let t = miner.chow_liu_tree(&r).unwrap();
         assert_eq!(t.attributes(), r.attrs());
@@ -297,8 +297,8 @@ mod tests {
     fn chow_liu_recovers_markov_chain_structure() {
         // With low noise, consecutive attributes have the highest MI, so the
         // spanning tree should be exactly the path {X0X1, X1X2, X2X3}.
-        let r = markov_chain_relation(&mut StdRng::seed_from_u64(5), 4, 8, 2000, 0.05, false)
-            .unwrap();
+        let r =
+            markov_chain_relation(&mut StdRng::seed_from_u64(5), 4, 8, 2000, 0.05, false).unwrap();
         let miner = SchemaMiner::default();
         let t = miner.chow_liu_tree(&r).unwrap();
         let expected: Vec<AttrSet> = vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])];
@@ -336,8 +336,8 @@ mod tests {
 
     #[test]
     fn mine_respects_bag_size_cap() {
-        let r = markov_chain_relation(&mut StdRng::seed_from_u64(2), 5, 4, 300, 0.4, false)
-            .unwrap();
+        let r =
+            markov_chain_relation(&mut StdRng::seed_from_u64(2), 5, 4, 300, 0.4, false).unwrap();
         let miner = SchemaMiner::new(DiscoveryConfig {
             j_threshold: 0.0,
             max_bag_size: 3,
@@ -352,8 +352,8 @@ mod tests {
 
     #[test]
     fn mining_decreases_j_relative_to_chow_liu_start() {
-        let r = markov_chain_relation(&mut StdRng::seed_from_u64(9), 5, 5, 500, 0.3, false)
-            .unwrap();
+        let r =
+            markov_chain_relation(&mut StdRng::seed_from_u64(9), 5, 5, 500, 0.3, false).unwrap();
         let miner = SchemaMiner::new(DiscoveryConfig {
             j_threshold: 0.05,
             ..DiscoveryConfig::default()
@@ -396,8 +396,8 @@ mod tests {
     fn mined_schema_j_certifies_actual_loss_lower_bound() {
         // Whatever schema the miner returns, Lemma 4.1 must hold against the
         // actual loss of that schema.
-        let r = markov_chain_relation(&mut StdRng::seed_from_u64(21), 4, 6, 400, 0.25, true)
-            .unwrap();
+        let r =
+            markov_chain_relation(&mut StdRng::seed_from_u64(21), 4, 6, 400, 0.25, true).unwrap();
         let miner = SchemaMiner::new(DiscoveryConfig {
             j_threshold: 0.2,
             ..DiscoveryConfig::default()

@@ -150,10 +150,7 @@ mod tests {
 
     #[test]
     fn conditional_entropy_basic_identities() {
-        let r = rel(
-            &[0, 1],
-            &[&[0, 0], &[0, 1], &[1, 0], &[1, 1]],
-        );
+        let r = rel(&[0, 1], &[&[0, 0], &[0, 1], &[1, 0], &[1, 1]]);
         // A and B independent and uniform: H(A|B) = H(A) = ln 2.
         let hab = conditional_entropy(&r, &bag(&[0]), &bag(&[1])).unwrap();
         assert!((hab - (2.0f64).ln()).abs() < 1e-12);

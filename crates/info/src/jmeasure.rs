@@ -143,8 +143,11 @@ mod tests {
         let trees = vec![
             JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
             JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
-            JoinTree::new(vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])], vec![(0, 1), (1, 2), (2, 3)])
-                .unwrap(),
+            JoinTree::new(
+                vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])],
+                vec![(0, 1), (1, 2), (2, 3)],
+            )
+            .unwrap(),
         ];
         for t in trees {
             assert!(j_measure(&r, &t).unwrap() >= -1e-12);

@@ -7,7 +7,7 @@
 //! `R` (Section 2.2): each tuple of a set relation has probability `1/N`;
 //! multisets weight tuples by multiplicity.  The crate provides:
 //!
-//! * [`entropy`] / [`conditional_entropy`] — `H(Y)` and `H(A | B)` for
+//! * [`entropy()`] / [`conditional_entropy`] — `H(Y)` and `H(A | B)` for
 //!   attribute sets.
 //! * [`mutual_information`] / [`conditional_mutual_information`] —
 //!   `I(A;B)` and `I(A;B|C)` (eq. 4).

@@ -3,8 +3,8 @@
 //! relations.
 
 use ajd_info::{
-    conditional_entropy, conditional_mutual_information, entropy, j_measure,
-    kl_divergence_to_tree, mutual_information,
+    conditional_entropy, conditional_mutual_information, entropy, j_measure, kl_divergence_to_tree,
+    mutual_information,
 };
 use ajd_jointree::JoinTree;
 use ajd_relation::{AttrId, AttrSet, Relation, Value};

@@ -214,7 +214,10 @@ mod tests {
         let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![i, i]).collect();
         let r = rel(&[0, 1], &rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
         let t = JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).unwrap();
-        assert_eq!(count_acyclic_join(&r, &t).unwrap(), (n as u128) * (n as u128));
+        assert_eq!(
+            count_acyclic_join(&r, &t).unwrap(),
+            (n as u128) * (n as u128)
+        );
         let rho = loss_acyclic(&r, &t).unwrap();
         assert!((rho - (n as f64 - 1.0)).abs() < 1e-12);
     }
@@ -258,8 +261,11 @@ mod tests {
         for t in [
             JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
             JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
-            JoinTree::new(vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])], vec![(0, 1), (1, 2), (2, 3)])
-                .unwrap(),
+            JoinTree::new(
+                vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])],
+                vec![(0, 1), (1, 2), (2, 3)],
+            )
+            .unwrap(),
         ] {
             let c = count_acyclic_join(&r, &t).unwrap();
             assert!(c >= r.len() as u128);
@@ -296,9 +302,6 @@ mod tests {
         let bags: Vec<AttrSet> = (0..6u32).map(|i| bag(&[i])).collect();
         let edges: Vec<(usize, usize)> = (1..6).map(|i| (i - 1, i)).collect();
         let t = JoinTree::new(bags, edges).unwrap();
-        assert_eq!(
-            count_acyclic_join(&r, &t).unwrap(),
-            (n as u128).pow(6)
-        );
+        assert_eq!(count_acyclic_join(&r, &t).unwrap(), (n as u128).pow(6));
     }
 }

@@ -67,8 +67,7 @@ pub fn gyo_reduction(bags: &[AttrSet]) -> GyoOutcome {
             // Attributes of `e` that also appear in some other active bag.
             let mut shared = AttrSet::empty();
             for a in bags[e].iter() {
-                let appears_elsewhere = (0..n)
-                    .any(|j| j != e && active[j] && bags[j].contains(a));
+                let appears_elsewhere = (0..n).any(|j| j != e && active[j] && bags[j].contains(a));
                 if appears_elsewhere {
                     shared.insert(a);
                 }

@@ -234,8 +234,13 @@ mod tests {
 
     #[test]
     fn ordered_support_covers_all_attributes() {
-        let t = JoinTree::star(vec![bag(&[0, 1, 2]), bag(&[0, 3]), bag(&[2, 4]), bag(&[1, 5])])
-            .unwrap();
+        let t = JoinTree::star(vec![
+            bag(&[0, 1, 2]),
+            bag(&[0, 3]),
+            bag(&[2, 4]),
+            bag(&[1, 5]),
+        ])
+        .unwrap();
         let r = t.rooted(0).unwrap();
         for m in ordered_support(&r) {
             assert_eq!(m.attributes(), t.attributes());

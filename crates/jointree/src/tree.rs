@@ -561,8 +561,13 @@ mod tests {
     fn running_intersection_delta_equals_prefix_intersection() {
         // Property stated right before Theorem 2.2:
         // Δ_i = Ω_{1:(i-1)} ∩ Ω_i.
-        let t = JoinTree::star(vec![bag(&[0, 1, 2]), bag(&[0, 3]), bag(&[2, 4]), bag(&[1, 5])])
-            .unwrap();
+        let t = JoinTree::star(vec![
+            bag(&[0, 1, 2]),
+            bag(&[0, 3]),
+            bag(&[2, 4]),
+            bag(&[1, 5]),
+        ])
+        .unwrap();
         let r = t.rooted(0).unwrap();
         for i in 2..=r.num_nodes() {
             let delta = r.delta(i);
@@ -601,8 +606,13 @@ mod tests {
 
     #[test]
     fn contract_edge_on_star_preserves_validity() {
-        let t = JoinTree::star(vec![bag(&[0, 1, 2]), bag(&[0, 3]), bag(&[2, 4]), bag(&[1, 5])])
-            .unwrap();
+        let t = JoinTree::star(vec![
+            bag(&[0, 1, 2]),
+            bag(&[0, 3]),
+            bag(&[2, 4]),
+            bag(&[1, 5]),
+        ])
+        .unwrap();
         for e in 0..t.num_edges() {
             let c = t.contract_edge(e).unwrap();
             assert_eq!(c.num_nodes(), t.num_nodes() - 1);

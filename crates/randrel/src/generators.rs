@@ -19,9 +19,9 @@
 
 use crate::model::RandomRelationModel;
 use crate::product::ProductDomain;
+use ajd_jointree::{acyclic_join, JoinTree};
 use ajd_relation::hash::set_with_capacity;
 use ajd_relation::{AttrId, Relation, RelationError, Result, Value};
-use ajd_jointree::{acyclic_join, JoinTree};
 use rand::{Rng, RngExt};
 
 /// Example 4.1: the bijection relation `{(a_i, b_i) : i ∈ [N]}` over
@@ -134,10 +134,7 @@ pub fn approximate_mvd_relation<R: Rng + ?Sized>(
         }
     }
 
-    let mut r = Relation::with_capacity(
-        vec![AttrId(0), AttrId(1), AttrId(2)],
-        tuples.len(),
-    )?;
+    let mut r = Relation::with_capacity(vec![AttrId(0), AttrId(1), AttrId(2)], tuples.len())?;
     for t in tuples {
         r.push_row(&t)?;
     }
@@ -273,16 +270,16 @@ mod tests {
 
     #[test]
     fn markov_chain_relation_shapes_and_determinism() {
-        let r = markov_chain_relation(&mut StdRng::seed_from_u64(4), 4, 8, 200, 0.1, false)
-            .unwrap();
+        let r =
+            markov_chain_relation(&mut StdRng::seed_from_u64(4), 4, 8, 200, 0.1, false).unwrap();
         assert_eq!(r.len(), 200);
         assert_eq!(r.arity(), 4);
-        let r2 = markov_chain_relation(&mut StdRng::seed_from_u64(4), 4, 8, 200, 0.1, false)
-            .unwrap();
+        let r2 =
+            markov_chain_relation(&mut StdRng::seed_from_u64(4), 4, 8, 200, 0.1, false).unwrap();
         assert!(r.set_eq(&r2) || r.canonicalize().row(0) == r2.canonicalize().row(0));
         // Distinct variant produces a set.
-        let rd = markov_chain_relation(&mut StdRng::seed_from_u64(5), 3, 16, 100, 0.3, true)
-            .unwrap();
+        let rd =
+            markov_chain_relation(&mut StdRng::seed_from_u64(5), 3, 16, 100, 0.3, true).unwrap();
         assert!(rd.is_set());
         assert_eq!(rd.len(), 100);
     }
@@ -293,13 +290,15 @@ mod tests {
         assert!(
             markov_chain_relation(&mut StdRng::seed_from_u64(6), 2, 2, 100, 0.5, true).is_err()
         );
-        assert!(markov_chain_relation(&mut StdRng::seed_from_u64(6), 0, 2, 10, 0.5, false).is_err());
+        assert!(
+            markov_chain_relation(&mut StdRng::seed_from_u64(6), 0, 2, 10, 0.5, false).is_err()
+        );
     }
 
     #[test]
     fn markov_chain_low_noise_attributes_are_strongly_correlated() {
-        let r = markov_chain_relation(&mut StdRng::seed_from_u64(8), 2, 8, 500, 0.05, false)
-            .unwrap();
+        let r =
+            markov_chain_relation(&mut StdRng::seed_from_u64(8), 2, 8, 500, 0.05, false).unwrap();
         // With 5% noise, neighbouring attributes agree most of the time.
         let agree = r.iter_rows().filter(|t| t[0] == t[1]).count();
         assert!(agree > 400, "only {agree}/500 agree");

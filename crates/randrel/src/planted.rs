@@ -88,8 +88,9 @@ impl PlantedTreeRelation {
 
         // 1. seed relation.
         let seed_indices = sample_distinct(rng, domain.size(), self.seed_tuples)?;
-        let schema: Vec<ajd_relation::AttrId> =
-            (0..domain.arity()).map(ajd_relation::AttrId::from).collect();
+        let schema: Vec<ajd_relation::AttrId> = (0..domain.arity())
+            .map(ajd_relation::AttrId::from)
+            .collect();
         let mut seed = Relation::with_capacity(schema, seed_indices.len())?;
         let mut buf = vec![0 as Value; domain.arity()];
         for idx in seed_indices {
@@ -186,7 +187,9 @@ mod tests {
             let planted = PlantedTreeRelation::new(tree.clone(), dims.clone(), 40, noise).unwrap();
             let mut total = 0.0;
             for seed in 0..4u64 {
-                let out = planted.generate(&mut StdRng::seed_from_u64(100 + seed)).unwrap();
+                let out = planted
+                    .generate(&mut StdRng::seed_from_u64(100 + seed))
+                    .unwrap();
                 total += loss_acyclic(&out.relation, &tree).unwrap();
             }
             avg_loss.push(total / 4.0);

@@ -24,19 +24,19 @@ impl ProductDomain {
     /// sampled in practice.
     pub fn new(dims: Vec<u64>) -> Result<Self> {
         if dims.is_empty() {
-            return Err(RelationError::EmptyInput("product domain with no attributes"));
+            return Err(RelationError::EmptyInput(
+                "product domain with no attributes",
+            ));
         }
         let mut size: u64 = 1;
         for &d in &dims {
             if d == 0 {
                 return Err(RelationError::EmptyInput("zero-sized attribute domain"));
             }
-            size = size
-                .checked_mul(d)
-                .ok_or(RelationError::DomainExhausted {
-                    requested: u64::MAX,
-                    available: u64::MAX,
-                })?;
+            size = size.checked_mul(d).ok_or(RelationError::DomainExhausted {
+                requested: u64::MAX,
+                available: u64::MAX,
+            })?;
             if d > Value::MAX as u64 + 1 {
                 return Err(RelationError::DomainExhausted {
                     requested: d,

@@ -105,7 +105,9 @@ pub fn floyd<R: Rng + ?Sized>(rng: &mut R, domain_size: u64, n: u64) -> Vec<u64>
 /// Floyd and emits all remaining indices.
 fn complement<R: Rng + ?Sized>(rng: &mut R, domain_size: u64, n: u64) -> Vec<u64> {
     let excluded_count = domain_size - n;
-    let excluded: FxHashSet<u64> = floyd(rng, domain_size, excluded_count).into_iter().collect();
+    let excluded: FxHashSet<u64> = floyd(rng, domain_size, excluded_count)
+        .into_iter()
+        .collect();
     let mut out = Vec::with_capacity(n as usize);
     for i in 0..domain_size {
         if !excluded.contains(&i) {
@@ -159,10 +161,7 @@ mod tests {
     #[test]
     fn strategy_selection_matches_regimes() {
         assert_eq!(choose_strategy(1000, 10), SamplingStrategy::PartialShuffle);
-        assert_eq!(
-            choose_strategy(1 << 30, 100),
-            SamplingStrategy::Floyd
-        );
+        assert_eq!(choose_strategy(1 << 30, 100), SamplingStrategy::Floyd);
         assert_eq!(
             choose_strategy(1 << 30, (1u64 << 30) - 5),
             SamplingStrategy::Complement

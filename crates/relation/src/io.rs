@@ -70,16 +70,19 @@ pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Rela
         return Err(RelationError::EmptyInput("empty field in first row"));
     }
 
-    let (mut catalog, mut pending_first_row): (Catalog, Option<Vec<String>>) =
-        if options.has_header {
-            (Catalog::with_attributes(first_fields.iter().map(String::as_str))?, None)
-        } else {
-            let names: Vec<String> = (0..first_fields.len()).map(|i| format!("X{i}")).collect();
-            (
-                Catalog::with_attributes(names.iter().map(String::as_str))?,
-                Some(first_fields),
-            )
-        };
+    let (mut catalog, mut pending_first_row): (Catalog, Option<Vec<String>>) = if options.has_header
+    {
+        (
+            Catalog::with_attributes(first_fields.iter().map(String::as_str))?,
+            None,
+        )
+    } else {
+        let names: Vec<String> = (0..first_fields.len()).map(|i| format!("X{i}")).collect();
+        (
+            Catalog::with_attributes(names.iter().map(String::as_str))?,
+            Some(first_fields),
+        )
+    };
 
     let arity = catalog.arity();
     let schema: Vec<crate::AttrId> = (0..arity).map(crate::AttrId::from).collect();

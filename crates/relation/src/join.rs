@@ -117,9 +117,9 @@ pub fn count_natural_join(left: &Relation, right: &Relation) -> Result<u64> {
 /// is exactly the behaviour the ablation benchmark demonstrates.
 pub fn natural_join_all(relations: &[Relation]) -> Result<Relation> {
     let mut iter = relations.iter();
-    let first = iter
-        .next()
-        .ok_or(RelationError::EmptyInput("natural_join_all of zero relations"))?;
+    let first = iter.next().ok_or(RelationError::EmptyInput(
+        "natural_join_all of zero relations",
+    ))?;
     let mut acc = first.clone();
     for r in iter {
         acc = natural_join(&acc, r)?;
@@ -250,10 +250,7 @@ mod tests {
         // Example 4.1: a bijection between A and B; schema {{A},{B}}.
         let n = 5u32;
         let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![i, i]).collect();
-        let r = rel(
-            &[0, 1],
-            &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
-        );
+        let r = rel(&[0, 1], &rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
         let schema = vec![AttrSet::singleton(AttrId(0)), AttrSet::singleton(AttrId(1))];
         let rho = loss_materialized(&r, &schema).unwrap();
         assert!((rho - (n as f64 - 1.0)).abs() < 1e-12);

@@ -235,7 +235,10 @@ impl Relation {
         let perm: Vec<usize> = other
             .schema
             .iter()
-            .map(|&a| self.attr_pos(a).expect("attrs() equality guarantees presence"))
+            .map(|&a| {
+                self.attr_pos(a)
+                    .expect("attrs() equality guarantees presence")
+            })
             .collect();
         let mut set = set_with_capacity(other.rows);
         for row in other.iter_rows() {
@@ -368,9 +371,7 @@ impl Relation {
             for (k, &p) in positions.iter().enumerate() {
                 buf[k] = row[p];
             }
-            *counts
-                .entry(buf.clone().into_boxed_slice())
-                .or_insert(0) += 1;
+            *counts.entry(buf.clone().into_boxed_slice()).or_insert(0) += 1;
         }
         Ok(GroupCounts {
             attrs: attrs.clone(),

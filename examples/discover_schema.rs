@@ -9,8 +9,8 @@
 //! below a budget, and we check what the certified and realised losses look
 //! like for each intermediate schema.
 
-use ajd::prelude::*;
 use ajd::jointree::loss_acyclic;
+use ajd::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,7 +45,10 @@ fn main() {
                 .collect::<Vec<_>>()
         );
         println!("  J-measure          : {:.5} nats", mined.j_measure);
-        println!("  certified rho >=   : {:.5}   (Lemma 4.1)", mined.rho_lower_bound);
+        println!(
+            "  certified rho >=   : {:.5}   (Lemma 4.1)",
+            mined.rho_lower_bound
+        );
         println!("  realised  rho      : {:.5}", realised);
         assert!(mined.rho_lower_bound <= realised + 1e-6);
     }
@@ -62,7 +65,5 @@ fn main() {
             .map(|b| format!("{b}"))
             .collect::<Vec<_>>()
     );
-    println!(
-        "(low noise keeps consecutive attributes together, recovering the Markov-chain path)"
-    );
+    println!("(low noise keeps consecutive attributes together, recovering the Markov-chain path)");
 }

@@ -49,7 +49,7 @@ fn main() {
     println!("KL(P || P^T) (nats)        : {:.4}", report.kl_nats);
     println!("Lemma 4.1:  rho >= e^J - 1 = {:.4}", report.rho_lower_bound);
     println!(
-        "Prop 5.1 :  log(1+rho) <= sum_i log(1+rho_i) = {:.4}",
+        "Prop 5.1 :  J <= sum_i log(1+rho_i)        = {:.4}",
         report.prop51_bound
     );
 
@@ -60,12 +60,9 @@ fn main() {
 
     // Compare with a lossless schema for the same relation: the single-bag
     // schema {ABC} is trivially lossless, so J = 0 and rho = 0.
-    let trivial = JoinTree::from_acyclic_schema(&[AttrSet::from_slice(&[
-        AttrId(0),
-        AttrId(1),
-        AttrId(2),
-    ])])
-    .unwrap();
+    let trivial =
+        JoinTree::from_acyclic_schema(&[AttrSet::from_slice(&[AttrId(0), AttrId(1), AttrId(2)])])
+            .unwrap();
     let lossless = LossAnalysis::new(&r, &trivial).unwrap().report();
     println!(
         "\nFor the trivial schema {{ABC}}: rho = {:.4}, J = {:.4} (lossless: {})",

@@ -9,8 +9,8 @@
 //! paper's high-probability upper bound (Theorem 5.1).  The full-scale sweep
 //! lives in `ajd-bench` (`exp_fig1`); this example keeps the sizes small.
 
-use ajd::prelude::*;
 use ajd::info::nats_to_bits;
+use ajd::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,0 +1,257 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! source-compatible harness: `criterion_group!`/`criterion_main!`, benchmark
+//! groups, per-input benchmarks and `Bencher::iter`. Instead of criterion's
+//! full statistical machinery it reports the median of a fixed number of
+//! timed batches — enough to eyeball regressions locally and to keep the
+//! bench targets compiling (CI compiles benches but does not run them).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Keep local runs quick; this shim reports medians, not CIs.
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+/// Units processed per iteration, for derived rates in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for source compatibility; the shim sizes runs by time, not
+    /// by sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`, timing calls to `Bencher::iter`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement_time,
+            median: None,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement_time,
+            median: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Ends the group. (No-op beyond marking the end in the report.)
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let median = match bencher.median {
+            Some(m) => m,
+            None => return,
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!(" ({:.3e} elem/s)", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!(" ({:.3e} B/s)", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        eprintln!("  {}/{}: median {:?}{}", self.name, id.id, median, rate);
+    }
+}
+
+/// Times a closure over repeated batches.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the median per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup = Instant::now();
+        black_box(routine());
+        let first = warmup.elapsed().max(Duration::from_nanos(1));
+
+        // Spread the time budget over a handful of batches and take the
+        // median batch to damp scheduler noise.
+        const BATCHES: usize = 5;
+        let per_batch = self.budget / BATCHES as u32;
+        let iters_per_batch = (per_batch.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples: Vec<Duration> = (0..BATCHES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_batch {
+                    black_box(routine());
+                }
+                start.elapsed() / iters_per_batch as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.median = Some(samples[BATCHES / 2]);
+    }
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(64));
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_records_medians() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_millis(10),
+        };
+        demo(&mut criterion);
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn group_runner_is_callable() {
+        // `benches` would normally be called from `criterion_main!`.
+        let _: fn() = benches;
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for the `parking_lot` synchronisation primitives.
+//!
+//! Wraps `std::sync::Mutex` behind `parking_lot`'s poison-free API surface
+//! (`lock()` returns the guard directly, `into_inner()` returns the value).
+//! Poisoning is handled by propagating the panic, which matches
+//! `parking_lot`'s behaviour of not poisoning at all for the workloads here:
+//! a panicked experiment worker already aborts the run.
+
+use std::sync::{MutexGuard, PoisonError};
+
+/// A mutual-exclusion primitive with `parking_lot`'s poison-free interface.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// Unlike `std`, does not surface poisoning: a poisoned lock still hands
+    /// out the guard, as `parking_lot` (which has no poisoning) would.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner_round_trip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn contended_increments_are_not_lost() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8000);
+    }
+}

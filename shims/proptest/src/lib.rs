@@ -1,0 +1,371 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so property tests run on a
+//! small deterministic harness with the same source-level surface:
+//!
+//! * [`proptest!`] — the test-defining macro, including
+//!   `#![proptest_config(...)]` headers and `pat in strategy` arguments.
+//! * [`strategy::Strategy`] — value generators with `prop_map`; integer and
+//!   float ranges are strategies, and `prop::collection::vec` builds vectors.
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! Differences from real proptest, deliberately accepted for a shim: no
+//! shrinking (failures report the already-small generated input instead) and
+//! a fixed deterministic RNG seed per test function, so CI failures always
+//! reproduce locally.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SampleUniform};
+    use std::ops::Range;
+
+    /// A deterministic generator of test values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform + PartialOrd + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.start.clone()..self.end.clone())
+        }
+    }
+
+    /// Sizes accepted by [`super::collection::vec`]: a fixed length or a
+    /// half-open range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy returned by [`super::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy generating `[S::Value; N]` from `N` independent draws.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_array_fn {
+        ($($name:ident => $n:literal),+ $(,)?) => {$(
+            /// Generates arrays whose elements all come from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )+};
+    }
+
+    uniform_array_fn!(uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform5 => 5);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is drawn from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-run configuration.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::…` module path used inside `proptest::prelude::*` imports.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+// The seed every property test's RNG derives from. Fixed so CI failures
+// reproduce locally; bump to explore a different slice of the input space.
+#[doc(hidden)]
+pub const BASE_SEED: u64 = 0x005e_ed0f_ac1d;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Fails the current property-test case with `Err(message)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} at {}:{}",
+                ::core::stringify!($cond),
+                ::core::file!(),
+                ::core::line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} at {}:{}",
+                ::std::format!($($fmt)+),
+                ::core::file!(),
+                ::core::line!()
+            ));
+        }
+    };
+}
+
+/// Equality assertion for property-test cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}` at {}:{}",
+                l,
+                r,
+                ::core::file!(),
+                ::core::line!()
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion for property-test cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} != {:?}` at {}:{}",
+                l,
+                r,
+                ::core::file!(),
+                ::core::line!()
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (counts as a pass) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::
+                seed_from_u64($crate::BASE_SEED);
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let input_desc = ::std::format!(
+                    ::core::concat!($("\n  ", ::core::stringify!($arg), " = {:?}",)+),
+                    $(&$arg,)+
+                );
+                let outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(msg) = outcome {
+                    ::core::panic!(
+                        "property `{}` failed on case {}/{}: {}\ninputs:{}",
+                        ::core::stringify!($name), case + 1, config.cases, msg, input_desc,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_generate_in_bounds(x in 3u64..10, y in 0usize..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_strategy_respects_sizes(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for &e in &v {
+                prop_assert!(e < 5);
+            }
+        }
+
+        #[test]
+        fn prop_map_and_assume_compose(
+            v in prop::collection::vec(prop::collection::vec(0u64..3, 2), 0..5)
+                .prop_map(|rows| rows.len())
+        ) {
+            prop_assume!(v > 0);
+            prop_assert_ne!(v, 0);
+            prop_assert_eq!(v, v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..2) {
+                prop_assert!(false, "boom {x}");
+            }
+        }
+        always_fails();
+    }
+}

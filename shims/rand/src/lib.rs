@@ -1,0 +1,286 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! a minimal, deterministic PRNG with the same API shape as `rand` 0.9:
+//!
+//! * [`Rng`] — core trait producing raw `u64`s.
+//! * [`RngExt`] — extension trait with `random_range` over integer and float
+//!   ranges (blanket-implemented for every [`Rng`]).
+//! * [`SeedableRng`] — `seed_from_u64` construction.
+//! * [`rngs::StdRng`] — xoshiro256++ seeded via SplitMix64.
+//!
+//! Every experiment seeds its RNG explicitly, so determinism across runs and
+//! platforms is a feature here, not a bug. Statistical quality of
+//! xoshiro256++ is more than sufficient for the paper's randomised workloads
+//! (its output passes BigCrush); it is *not* cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Extension methods for [`Rng`] mirroring `rand`'s sampling surface.
+pub trait RngExt: Rng {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Supports half-open (`a..b`) and inclusive (`a..=b`) ranges over the
+    /// integer types used in the workspace, and half-open `f64` ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types that can be constructed from an integer seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it to the full
+    /// internal state with SplitMix64 (the construction recommended by the
+    /// xoshiro authors).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps a raw `u64` to a `f64` uniform in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that [`RngExt::random_range`] can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from `self` using `rng`.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from an empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+/// Uniform `u64` in `[0, span)` by rejection sampling (no modulo bias).
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Largest multiple of `span` representable in u64 arithmetic; raw draws
+    // at or above it are rejected so every residue is equally likely.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: Rng + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Width of the sampling window as a u64; 0 encodes the full
+                // 2^64-wide inclusive window (only reachable for 64-bit types).
+                let span = if inclusive {
+                    (high as u64).wrapping_sub(low as u64).wrapping_add(1)
+                } else {
+                    (high as u64).wrapping_sub(low as u64)
+                };
+                if span == 0 {
+                    return (low as u64).wrapping_add(rng.next_u64()) as $t;
+                }
+                (low as u64).wrapping_add(uniform_below(rng, span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_uniform<R: Rng + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        let u = unit_f64(rng.next_u64());
+        // Standard uniform transform; may round to `high` for extreme ranges,
+        // which matches rand's documented caveat for floats.
+        low + (high - low) * u
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Deterministic for a given seed on every platform. Not
+    /// cryptographically secure.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64 step, used to expand a 64-bit seed into full state.
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.random_range(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.random_range(0..u64::MAX)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.random_range(0..u64::MAX)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0u64..=5);
+            assert!(y <= 5);
+            let z = rng.random_range(-4i64..4);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 60_000;
+        let k = 6u64;
+        let mut hits = [0u32; 6];
+        for _ in 0..trials {
+            hits[rng.random_range(0..k) as usize] += 1;
+        }
+        let expected = trials as f64 / k as f64;
+        for &h in &hits {
+            assert!((f64::from(h) - expected).abs() / expected < 0.05);
+        }
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 50_000;
+        let hits = (0..trials).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / trials as f64;
+        assert!((frac - 0.25).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: u64 = rng.random_range(5..5);
+    }
+}

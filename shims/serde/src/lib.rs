@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! The workspace annotates its public data types with
+//! `#[derive(Serialize, Deserialize)]` and field attributes such as
+//! `#[serde(skip)]`, but nothing in-tree performs actual serialisation yet
+//! (there is no `serde_json`/`bincode` consumer). Since the build environment
+//! has no access to crates.io, this crate accepts the same derive surface and
+//! expands to nothing, keeping the annotations in place for the day a real
+//! serialisation backend is wired in.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize`.
+///
+/// Registers the `#[serde(...)]` helper attribute so field annotations like
+/// `#[serde(skip)]` parse, and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -48,9 +48,7 @@ pub mod prelude {
     };
     pub use ajd_core::analysis::{LossAnalysis, LossReport, MvdLoss};
     pub use ajd_core::discovery::{DiscoveryConfig, SchemaMiner};
-    pub use ajd_info::{
-        conditional_mutual_information, entropy, j_measure, kl_divergence_to_tree,
-    };
+    pub use ajd_info::{conditional_mutual_information, entropy, j_measure, kl_divergence_to_tree};
     pub use ajd_jointree::{count_acyclic_join, JoinTree, Mvd, Schema};
     pub use ajd_random::{generators, ProductDomain, RandomRelationModel};
     pub use ajd_relation::{AttrId, AttrSet, Catalog, Relation, Value};

@@ -1,7 +1,7 @@
 //! Deterministic end-to-end scenarios spanning all crates.
 
-use ajd::prelude::*;
 use ajd::jointree::{loss_acyclic, mvd::support};
+use ajd::prelude::*;
 use ajd::relation::join::{decompose, natural_join_all};
 
 fn bag(ids: &[u32]) -> AttrSet {

@@ -1,0 +1,46 @@
+//! Workspace-level smoke test mirroring the `ajd::prelude` doc example in
+//! `src/lib.rs` as a real `#[test]`, so the facade's re-export surface is
+//! exercised even when doc tests are skipped.
+
+use ajd::prelude::*;
+
+#[test]
+fn prelude_doc_example_runs_and_is_tight() {
+    // Example 4.1 of the paper: a bijection relation R = {(a_i, b_i)}.
+    let r = ajd::random::generators::bijection_relation(8);
+    // The (acyclic) schema {{A},{B}} with a single-edge join tree.
+    let schema = vec![AttrSet::singleton(AttrId(0)), AttrSet::singleton(AttrId(1))];
+    let tree = JoinTree::from_acyclic_schema(&schema).unwrap();
+
+    let report = LossAnalysis::new(&r, &tree).unwrap().report();
+    // For this family the lower bound of Lemma 4.1 is tight:
+    // J = log N = log(1 + rho).
+    assert!((report.j_measure - (report.rho + 1.0).ln()).abs() < 1e-9);
+    assert!((report.j_measure - (8f64).ln()).abs() < 1e-9);
+}
+
+#[test]
+fn prelude_reexports_cover_every_layer() {
+    // One call through each re-exported module family, so a broken re-export
+    // fails here rather than in downstream code.
+
+    // relation
+    let r = ajd::random::generators::bijection_relation(4);
+    assert_eq!(r.len(), 4);
+
+    // jointree
+    let schema = vec![AttrSet::singleton(AttrId(0)), AttrSet::singleton(AttrId(1))];
+    let tree = JoinTree::from_acyclic_schema(&schema).unwrap();
+    assert_eq!(count_acyclic_join(&r, &tree).unwrap(), 16);
+
+    // info
+    let h = entropy(&r, &AttrSet::singleton(AttrId(0))).unwrap();
+    assert!((h - (4f64).ln()).abs() < 1e-9);
+    assert!((j_measure(&r, &tree).unwrap() - (4f64).ln()).abs() < 1e-9);
+
+    // bounds
+    assert!((j_lower_bound_on_loss((4f64).ln()) - 3.0).abs() < 1e-9);
+
+    // core: discovery config default is constructible.
+    let _ = DiscoveryConfig::default();
+}

@@ -5,11 +5,11 @@
 //! binaries but at small, fast sizes; they check the *direction* of every
 //! bound and the concentration behaviour, not the asymptotic constants.
 
-use ajd::prelude::*;
 use ajd::bounds::{
     cor521_mi_lower_bound, thm51_upper_bound, thm52_entropy_deviation, thm52_entropy_lower_bound,
 };
 use ajd::info::{conditional_mutual_information, entropy, mutual_information};
+use ajd::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,7 +43,11 @@ fn figure1_mutual_information_concentrates_on_log1p_rho() {
     }
     // Already at d = 60 the MI is within 10% of log(1+rho); at d = 250 it is
     // strictly closer.
-    assert!(gaps[0] < 0.1 * reference, "gap at d=60 too large: {}", gaps[0]);
+    assert!(
+        gaps[0] < 0.1 * reference,
+        "gap at d=60 too large: {}",
+        gaps[0]
+    );
     assert!(gaps[1] < gaps[0], "gap must shrink with d: {gaps:?}");
 }
 
