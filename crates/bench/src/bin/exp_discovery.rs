@@ -11,7 +11,8 @@ use ajd_bench::harness::{parallel_trials, ExperimentArgs};
 use ajd_bench::stats::Summary;
 use ajd_bench::table::{f, Table};
 use ajd_core::discovery::{DiscoveryConfig, SchemaMiner};
-use ajd_jointree::loss_acyclic;
+use ajd_core::BatchAnalyzer;
+use ajd_jointree::loss_acyclic_ctx;
 use ajd_random::generators::markov_chain_relation;
 
 fn main() {
@@ -57,8 +58,14 @@ fn main() {
                         j_threshold,
                         ..DiscoveryConfig::default()
                     });
-                    let mined = miner.mine(&r).expect("mining succeeds");
-                    let rho = loss_acyclic(&r, &mined.tree).expect("loss of the mined schema");
+                    // One shared cache per trial: candidate scoring during
+                    // mining and the final loss evaluation reuse the same
+                    // groupings.  Trials are already parallel, so keep the
+                    // batch itself single-threaded.
+                    let batch = BatchAnalyzer::new(&r).with_threads(1);
+                    let mined = miner.mine_with(&batch).expect("mining succeeds");
+                    let rho = loss_acyclic_ctx(batch.context(), &mined.tree)
+                        .expect("loss of the mined schema");
                     let max_bag = mined.bags().iter().map(|b| b.len()).max().unwrap_or(0);
                     (
                         mined.bags().len() as f64,

@@ -8,7 +8,7 @@
 use ajd_bench::harness::{parallel_trials, ExperimentArgs};
 use ajd_bench::stats::{fraction_where, Summary};
 use ajd_bench::table::{f, Table};
-use ajd_core::analysis::LossAnalysis;
+use ajd_core::BatchAnalyzer;
 use ajd_jointree::JoinTree;
 use ajd_random::{ProductDomain, RandomRelationModel};
 use ajd_relation::AttrSet;
@@ -24,7 +24,7 @@ fn main() {
     } else {
         vec![32, 64, 128, 256, 512, 1024]
     };
-    let trees = vec![
+    let trees = [
         (
             "path-2attr-bags",
             JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
@@ -58,13 +58,29 @@ fn main() {
         ],
     );
 
-    for (name, tree) in &trees {
-        for &n in &sizes {
-            let rows = parallel_trials(args.trials, args.seed ^ n, |_, rng| {
-                let r = model.sample(rng, n).expect("N within domain");
-                let rep = LossAnalysis::new(&r, tree).expect("analysis").report();
-                (rep.j_measure, rep.log1p_rho)
-            });
+    // For each size, every tree is evaluated on the *same* sampled
+    // relations (the trial seed does not depend on the tree), so all four
+    // analyses of a trial run through one shared BatchAnalyzer cache.
+    let mut cells: Vec<Vec<Vec<(f64, f64)>>> = vec![Vec::new(); trees.len()];
+    for &n in &sizes {
+        let per_trial = parallel_trials(args.trials, args.seed ^ n, |_, rng| {
+            let r = model.sample(rng, n).expect("N within domain");
+            // Trials are already parallel; keep the batch single-threaded.
+            let batch = BatchAnalyzer::new(&r).with_threads(1);
+            trees
+                .iter()
+                .map(|(_, tree)| {
+                    let rep = batch.analyze(tree).expect("analysis");
+                    (rep.j_measure, rep.log1p_rho)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (t, cell) in cells.iter_mut().enumerate() {
+            cell.push(per_trial.iter().map(|trial| trial[t]).collect());
+        }
+    }
+    for ((name, _), cell) in trees.iter().zip(&cells) {
+        for (rows, &n) in cell.iter().zip(&sizes) {
             let slacks: Vec<f64> = rows.iter().map(|(j, l)| l - j).collect();
             let js: Vec<f64> = rows.iter().map(|(j, _)| *j).collect();
             let ls: Vec<f64> = rows.iter().map(|(_, l)| *l).collect();

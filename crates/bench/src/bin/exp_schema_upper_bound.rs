@@ -54,7 +54,9 @@ fn main() {
                     .expect("generator parameters are valid");
                 let analysis = LossAnalysis::new(&r, &tree).expect("analysis");
                 let rep = analysis.report();
-                let pb = analysis.probabilistic_bounds(delta);
+                let pb = analysis
+                    .probabilistic_bounds(delta)
+                    .expect("delta is in (0,1)");
                 (
                     r.len() as f64,
                     rep.log1p_rho,

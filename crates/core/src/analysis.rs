@@ -18,11 +18,11 @@ use ajd_bounds::{
     epsilon_star, j_lower_bound_on_loss, prop51_j_bound, prop53_schema_bound, Prop53Bound,
     Thm51Params,
 };
-use ajd_info::jmeasure::{j_measure, j_measure_bounds, JMeasureBounds};
-use ajd_info::{kl_divergence_to_tree, mvd_cmi};
+use ajd_info::jmeasure::{j_measure_bounds_ctx, j_measure_ctx, JMeasureBounds};
+use ajd_info::{kl_divergence_to_tree_ctx, mvd_cmi_ctx};
 use ajd_jointree::mvd::ordered_support;
-use ajd_jointree::{count_acyclic_join, JoinTree, Mvd};
-use ajd_relation::{Relation, RelationError, Result};
+use ajd_jointree::{count_acyclic_join_ctx, JoinTree, Mvd};
+use ajd_relation::{AnalysisContext, Relation, RelationError, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -60,13 +60,18 @@ pub struct ProbabilisticBounds {
 /// Everything the paper says about one `(R, S)` pair, in one struct.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LossReport {
-    /// Number of tuples `N = |R|`.
+    /// Number of tuples `N = |R|` (with multiplicity for multisets).
     pub n: u64,
+    /// Number of *distinct* tuples of `R`.  Equals [`LossReport::n`] for set
+    /// relations; for multisets the loss is measured against this value,
+    /// since bag projections are set-semantic and the rejoined relation is
+    /// compared with `distinct(R)`.
+    pub distinct_n: u64,
     /// Number of bags `m` of the schema.
     pub num_bags: usize,
     /// Exact size of the acyclic join `|⋈ᵢ R[Ωᵢ]|`.
     pub join_size: u128,
-    /// Number of spurious tuples `|⋈ᵢ R[Ωᵢ]| − |R|`.
+    /// Number of spurious tuples `|⋈ᵢ R[Ωᵢ]| − |distinct(R)|`.
     pub spurious: u128,
     /// The loss `ρ(R,S)` of eq. (1).
     pub rho: f64,
@@ -110,6 +115,9 @@ impl fmt::Display for LossReport {
             "Loss analysis (N = {}, m = {} bags)",
             self.n, self.num_bags
         )?;
+        if self.distinct_n != self.n {
+            writeln!(f, "  distinct tuples    : {}", self.distinct_n)?;
+        }
         writeln!(f, "  join size          : {}", self.join_size)?;
         writeln!(f, "  spurious tuples    : {}", self.spurious)?;
         writeln!(f, "  rho (loss)         : {:.6}", self.rho)?;
@@ -142,18 +150,35 @@ pub struct LossAnalysis<'a> {
 }
 
 impl<'a> LossAnalysis<'a> {
-    /// Prepares the analysis and computes the full [`LossReport`].
+    /// Prepares the analysis and computes the full [`LossReport`] through a
+    /// private, throwaway [`AnalysisContext`].
     ///
-    /// Requirements: `r` must be non-empty and the tree's attributes must be
-    /// exactly `r`'s attributes (so that the empirical distributions and
-    /// `P^T` live over the same variable set).
+    /// When analysing several trees over the same relation, build one
+    /// context (or use [`crate::BatchAnalyzer`]) and call
+    /// [`LossAnalysis::with_context`] so the grouping work is shared.
+    pub fn new(r: &'a Relation, tree: &JoinTree) -> Result<Self> {
+        Self::with_context(&AnalysisContext::new(r), tree)
+    }
+
+    /// Prepares the analysis over a shared [`AnalysisContext`], computing
+    /// the full [`LossReport`] with every projection and group count served
+    /// from (and memoized into) the context's caches.
+    ///
+    /// Requirements: the relation must be non-empty and the tree's
+    /// attributes must be exactly the relation's attributes (so that the
+    /// empirical distributions and `P^T` live over the same variable set).
     ///
     /// Multiset relations are accepted — information measures then weight
-    /// tuples by multiplicity — but the paper's statements relating `J` to
-    /// the spurious-tuple count (`ρ`, Lemma 4.1, Proposition 5.1) assume a
-    /// *set* relation; call [`Relation::distinct`] first if your data has
-    /// duplicates and you want those guarantees.
-    pub fn new(r: &'a Relation, tree: &JoinTree) -> Result<Self> {
+    /// tuples by multiplicity, and the loss side (`join_size`, `spurious`,
+    /// `ρ`) is measured against the number of *distinct* tuples
+    /// ([`LossReport::distinct_n`]), because bag projections are
+    /// set-semantic and the rejoined relation contains each tuple once.
+    /// The paper's statements relating `J` to `ρ` (Lemma 4.1,
+    /// Proposition 5.1) assume a *set* relation; call
+    /// [`Relation::distinct`] first if your data has duplicates and you
+    /// want those guarantees.
+    pub fn with_context(ctx: &AnalysisContext<'a>, tree: &JoinTree) -> Result<Self> {
+        let r = ctx.relation();
         if r.is_empty() {
             return Err(RelationError::EmptyInput("relation for loss analysis"));
         }
@@ -168,25 +193,34 @@ impl<'a> LossAnalysis<'a> {
         }
 
         let n = r.len() as u64;
-        let join_size = count_acyclic_join(r, tree)?;
-        let spurious = join_size - n as u128;
-        let rho = (join_size as f64 - n as f64) / n as f64;
-        let j = j_measure(r, tree)?;
-        let kl = kl_divergence_to_tree(r, tree)?;
-        let theorem22 = j_measure_bounds(r, tree, 0)?;
+        // For a set relation this is `n`; for a multiset it is the size of
+        // `distinct(R)`, the baseline the rejoined (set-semantic) join must
+        // be compared against.  (The full-relation group counts also back
+        // `H(Ω)` and the KL sum, so this grouping is shared, not extra.)
+        let distinct_n = ctx.group_counts(&r.attrs())?.num_groups() as u64;
+        let join_size = count_acyclic_join_ctx(ctx, tree)?;
+        let spurious = join_size
+            .checked_sub(distinct_n as u128)
+            .expect("the acyclic join contains every distinct tuple of R");
+        let rho = (join_size as f64 - distinct_n as f64) / distinct_n as f64;
+        let j = j_measure_ctx(ctx, tree)?;
+        let kl = kl_divergence_to_tree_ctx(ctx, tree)?;
+        let theorem22 = j_measure_bounds_ctx(ctx, tree, 0)?;
 
         let rooted = tree.rooted(0)?;
         let support = ordered_support(&rooted);
         let mut per_mvd = Vec::with_capacity(support.len());
         for mvd in support {
-            let cmi = mvd_cmi(r, &mvd)?;
-            let mvd_rho = mvd.loss(r)?;
-            let d_a = r.group_counts(&mvd.left_exclusive())?.num_groups() as u64;
-            let d_b = r.group_counts(&mvd.right_exclusive())?.num_groups() as u64;
+            let cmi = mvd_cmi_ctx(ctx, &mvd)?;
+            // Ordered-support MVDs cover all of Ω, so this is measured
+            // against the same distinct-tuple baseline as the schema loss.
+            let mvd_rho = mvd.loss_ctx(ctx)?;
+            let d_a = ctx.group_counts(&mvd.left_exclusive())?.num_groups() as u64;
+            let d_b = ctx.group_counts(&mvd.right_exclusive())?.num_groups() as u64;
             let d_c = if mvd.lhs.is_empty() {
                 1
             } else {
-                r.group_counts(&mvd.lhs)?.num_groups() as u64
+                ctx.group_counts(&mvd.lhs)?.num_groups() as u64
             };
             per_mvd.push(MvdLoss {
                 cmi_nats: cmi,
@@ -200,6 +234,7 @@ impl<'a> LossAnalysis<'a> {
 
         let report = LossReport {
             n,
+            distinct_n,
             num_bags: tree.num_nodes(),
             join_size,
             spurious,
@@ -243,8 +278,17 @@ impl<'a> LossAnalysis<'a> {
     /// report.  The returned struct also reports, per MVD, whether the
     /// qualifying condition (37) of Theorem 5.1 holds; when it does not, the
     /// ε-term is still computed but the paper gives no guarantee.
-    pub fn probabilistic_bounds(&self, delta: f64) -> ProbabilisticBounds {
-        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    ///
+    /// `delta` must lie strictly inside `(0, 1)`; values outside that range
+    /// yield [`RelationError::InvalidParameter`] (library code must not
+    /// panic on caller input).
+    pub fn probabilistic_bounds(&self, delta: f64) -> Result<ProbabilisticBounds> {
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(RelationError::InvalidParameter {
+                what: "delta",
+                detail: format!("confidence parameter must be in (0,1), got {delta}"),
+            });
+        }
         let m_minus_1 = self.report.per_mvd.len().max(1);
         let per_delta = delta / m_minus_1 as f64;
         let mut eps = Vec::with_capacity(self.report.per_mvd.len());
@@ -259,12 +303,12 @@ impl<'a> LossAnalysis<'a> {
             cmis.push(m.cmi_nats);
         }
         let schema_bound = prop53_schema_bound(&cmis, &eps, self.report.j_measure, delta);
-        ProbabilisticBounds {
+        Ok(ProbabilisticBounds {
             per_mvd_epsilon: eps,
             per_mvd_qualified: qualified,
             schema_bound,
             delta,
-        }
+        })
     }
 }
 
@@ -371,7 +415,7 @@ mod tests {
         let r = model.sample(&mut rng, 100).unwrap();
         let tree = JoinTree::new(vec![bag(&[0, 2]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
         let analysis = LossAnalysis::new(&r, &tree).unwrap();
-        let pb = analysis.probabilistic_bounds(0.1);
+        let pb = analysis.probabilistic_bounds(0.1).unwrap();
         assert_eq!(pb.per_mvd_epsilon.len(), 1);
         assert_eq!(pb.per_mvd_qualified.len(), 1);
         assert!(pb.per_mvd_epsilon[0] > 0.0);
@@ -381,6 +425,95 @@ mod tests {
         // The eps-inflated bound dominates the measured log(1+rho)
         // trivially here (eps is huge for tiny N).
         assert!(pb.schema_bound.sum_cmi_bound >= analysis.report().log1p_rho);
+    }
+
+    /// Regression: an out-of-range `delta` used to `assert!` (panicking in
+    /// library code); it must now surface as a proper error.
+    #[test]
+    fn probabilistic_bounds_reject_out_of_range_delta() {
+        let r = bijection_relation(4);
+        let analysis = LossAnalysis::new(&r, &cross_tree()).unwrap();
+        for bad in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
+            let err = analysis.probabilistic_bounds(bad).unwrap_err();
+            assert!(
+                matches!(err, RelationError::InvalidParameter { what: "delta", .. }),
+                "expected InvalidParameter for delta = {bad}, got {err}"
+            );
+        }
+        assert!(analysis.probabilistic_bounds(0.05).is_ok());
+    }
+
+    /// Regression: for multiset relations the spurious-tuple count used to
+    /// be computed as `join_size − N` in `u128`, underflowing (debug panic,
+    /// release wraparound and negative ρ) whenever duplicates made the
+    /// set-semantic join smaller than `N`.  The loss is now measured
+    /// against the distinct-tuple count.
+    #[test]
+    fn multiset_relation_loss_measured_against_distinct_tuples() {
+        // 3 distinct tuples, one duplicated 3 times: N = 5, distinct = 3.
+        let r = Relation::from_rows(
+            vec![AttrId(0), AttrId(1)],
+            &[
+                &[0, 0][..],
+                &[0, 0][..],
+                &[0, 0][..],
+                &[1, 0][..],
+                &[1, 1][..],
+            ],
+        )
+        .unwrap();
+        assert!(!r.is_set());
+        // Join of the singleton projections: {0,1} x {0,1} = 4 < N = 5.
+        let analysis = LossAnalysis::new(&r, &cross_tree()).unwrap();
+        let rep = analysis.report();
+        assert_eq!(rep.n, 5);
+        assert_eq!(rep.distinct_n, 3);
+        assert_eq!(rep.join_size, 4);
+        assert_eq!(rep.spurious, 1);
+        assert!(rep.rho >= 0.0);
+        assert!((rep.rho - 1.0 / 3.0).abs() < 1e-12);
+        // Per-MVD losses are measured against the same baseline.
+        for m in &rep.per_mvd {
+            assert!(m.rho >= 0.0);
+        }
+        // The information side still weights tuples by multiplicity.
+        assert!(rep.j_measure >= 0.0);
+        assert!((rep.j_measure - rep.kl_nats).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_relation_reports_distinct_equal_to_n() {
+        let r = bijection_relation(6);
+        let rep = LossAnalysis::new(&r, &cross_tree()).unwrap().report();
+        assert_eq!(rep.distinct_n, rep.n);
+    }
+
+    #[test]
+    fn with_context_matches_new_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model =
+            RandomRelationModel::new(ajd_random::ProductDomain::new(vec![5, 4, 4, 3]).unwrap());
+        let r = model.sample(&mut rng, 70).unwrap();
+        let ctx = AnalysisContext::new(&r);
+        for tree in [
+            JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+            JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+        ] {
+            let fresh = LossAnalysis::new(&r, &tree).unwrap().report();
+            let shared = LossAnalysis::with_context(&ctx, &tree).unwrap().report();
+            assert_eq!(fresh.join_size, shared.join_size);
+            assert_eq!(fresh.spurious, shared.spurious);
+            // Bit-identical floats, not just approximately equal.
+            assert_eq!(fresh.rho.to_bits(), shared.rho.to_bits());
+            assert_eq!(fresh.j_measure.to_bits(), shared.j_measure.to_bits());
+            assert_eq!(fresh.kl_nats.to_bits(), shared.kl_nats.to_bits());
+            for (a, b) in fresh.per_mvd.iter().zip(&shared.per_mvd) {
+                assert_eq!(a.cmi_nats.to_bits(), b.cmi_nats.to_bits());
+                assert_eq!(a.rho.to_bits(), b.rho.to_bits());
+                assert_eq!(a.domain_sizes, b.domain_sizes);
+            }
+        }
+        assert!(ctx.stats().hits > 0);
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Batch evaluation of many join trees over one relation.
+//!
+//! Schema discovery, bound sweeps and serving scenarios all ask the same
+//! question — "what does this tree cost on `R`?" — for *many* trees over
+//! *one* relation.  The trees overlap heavily: candidate contractions share
+//! most of their bags, path and star shapes share separators, and every
+//! tree needs `H(Ω)` and the full-relation group counts.  [`BatchAnalyzer`]
+//! owns a single [`AnalysisContext`] so all of that work is paid for once,
+//! and fans the per-tree evaluation out over `std::thread::scope` workers
+//! that share the context's `RwLock`-guarded caches.
+//!
+//! Results are exactly those of the corresponding one-shot calls
+//! ([`LossAnalysis::new`], `j_measure`, `loss_acyclic`): the context serves
+//! bit-identical values, and the output `Vec` is in input order regardless
+//! of which worker computed which tree.
+
+use crate::analysis::{LossAnalysis, LossReport};
+use ajd_jointree::{count_acyclic_join_ctx, loss_acyclic_ctx, JoinTree};
+use ajd_relation::{AnalysisContext, CacheStats, Relation, Result};
+use parking_lot::Mutex;
+
+/// Shared-cache, multi-threaded evaluator of join trees over one relation.
+///
+/// ```
+/// use ajd_core::BatchAnalyzer;
+/// use ajd_jointree::JoinTree;
+/// use ajd_random::generators::bijection_relation;
+/// use ajd_relation::{AttrId, AttrSet};
+///
+/// let r = bijection_relation(16);
+/// let bags = |ids: &[&[u32]]| -> Vec<AttrSet> {
+///     ids.iter().map(|b| AttrSet::from_ids(b.iter().copied())).collect()
+/// };
+/// let trees = vec![
+///     JoinTree::path(bags(&[&[0], &[1]])).unwrap(),
+///     JoinTree::path(bags(&[&[0, 1]])).unwrap(),
+/// ];
+/// let batch = BatchAnalyzer::new(&r);
+/// let reports = batch.analyze_all(&trees);
+/// assert_eq!(reports[0].as_ref().unwrap().spurious, 16 * 16 - 16);
+/// assert_eq!(reports[1].as_ref().unwrap().spurious, 0);
+/// ```
+#[derive(Debug)]
+pub struct BatchAnalyzer<'a> {
+    ctx: AnalysisContext<'a>,
+    threads: usize,
+}
+
+impl<'a> BatchAnalyzer<'a> {
+    /// Creates a batch analyzer over `r` using all available parallelism.
+    pub fn new(r: &'a Relation) -> Self {
+        BatchAnalyzer {
+            ctx: AnalysisContext::new(r),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Caps the number of worker threads (1 forces sequential evaluation).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The relation being analysed.
+    pub fn relation(&self) -> &'a Relation {
+        self.ctx.relation()
+    }
+
+    /// The shared context; useful for mixing one-off `_ctx` measure calls
+    /// into a batch, or for inspecting [`AnalysisContext::stats`].
+    pub fn context(&self) -> &AnalysisContext<'a> {
+        &self.ctx
+    }
+
+    /// Snapshot of the shared cache's effectiveness.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ctx.stats()
+    }
+
+    /// Full [`LossReport`] of one tree through the shared cache.
+    pub fn analyze(&self, tree: &JoinTree) -> Result<LossReport> {
+        Ok(LossAnalysis::with_context(&self.ctx, tree)?.report())
+    }
+
+    /// Full [`LossReport`]s of many trees, evaluated in parallel over the
+    /// shared cache; results are in input order.
+    pub fn analyze_all(&self, trees: &[JoinTree]) -> Vec<Result<LossReport>> {
+        self.parallel_map(trees, |tree| self.analyze(tree))
+    }
+
+    /// J-measures (eq. 7) of many trees, in parallel, in input order.
+    pub fn j_measures(&self, trees: &[JoinTree]) -> Vec<Result<f64>> {
+        self.parallel_map(trees, |tree| {
+            ajd_info::jmeasure::j_measure_ctx(&self.ctx, tree)
+        })
+    }
+
+    /// Exact losses `ρ(R,S)` (eq. 1) of many trees, in parallel, in input
+    /// order.
+    pub fn losses(&self, trees: &[JoinTree]) -> Vec<Result<f64>> {
+        self.parallel_map(trees, |tree| loss_acyclic_ctx(&self.ctx, tree))
+    }
+
+    /// Exact acyclic join sizes of many trees, in parallel, in input order.
+    pub fn join_sizes(&self, trees: &[JoinTree]) -> Vec<Result<u128>> {
+        self.parallel_map(trees, |tree| count_acyclic_join_ctx(&self.ctx, tree))
+    }
+
+    /// Work-stealing fan-out over `std::thread::scope`: workers pull tree
+    /// indices from a shared counter, so a few expensive trees do not stall
+    /// the rest of the batch behind a static partition.
+    fn parallel_map<T, F>(&self, trees: &[JoinTree], f: F) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: Fn(&JoinTree) -> Result<T> + Sync,
+    {
+        let workers = self.threads.min(trees.len().max(1));
+        if workers <= 1 || trees.len() <= 1 {
+            return trees.iter().map(&f).collect();
+        }
+        let results: Mutex<Vec<(usize, Result<T>)>> = Mutex::new(Vec::with_capacity(trees.len()));
+        let next: Mutex<usize> = Mutex::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = {
+                        let mut guard = next.lock();
+                        if *guard >= trees.len() {
+                            break;
+                        }
+                        let i = *guard;
+                        *guard += 1;
+                        i
+                    };
+                    let out = f(&trees[i]);
+                    results.lock().push((i, out));
+                });
+            }
+        });
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(i, _)| *i);
+        collected.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajd_info::j_measure;
+    use ajd_jointree::loss_acyclic;
+    use ajd_random::RandomRelationModel;
+    use ajd_relation::AttrSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    fn sweep_trees() -> Vec<JoinTree> {
+        vec![
+            JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+            JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+            JoinTree::new(
+                vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])],
+                vec![(0, 1), (1, 2), (2, 3)],
+            )
+            .unwrap(),
+            JoinTree::new(vec![bag(&[0, 1, 2]), bag(&[2, 3])], vec![(0, 1)]).unwrap(),
+            JoinTree::new(vec![bag(&[0, 1, 2, 3])], vec![]).unwrap(),
+        ]
+    }
+
+    fn sample_relation(seed: u64) -> ajd_relation::Relation {
+        let model =
+            RandomRelationModel::new(ajd_random::ProductDomain::new(vec![5, 4, 4, 3]).unwrap());
+        model.sample(&mut StdRng::seed_from_u64(seed), 60).unwrap()
+    }
+
+    #[test]
+    fn batch_reports_match_single_tree_analysis() {
+        let r = sample_relation(3);
+        let trees = sweep_trees();
+        let batch = BatchAnalyzer::new(&r);
+        let reports = batch.analyze_all(&trees);
+        assert_eq!(reports.len(), trees.len());
+        for (tree, report) in trees.iter().zip(&reports) {
+            let batched = report.as_ref().unwrap();
+            let fresh = LossAnalysis::new(&r, tree).unwrap().report();
+            assert_eq!(batched.join_size, fresh.join_size);
+            assert_eq!(batched.rho.to_bits(), fresh.rho.to_bits());
+            assert_eq!(batched.j_measure.to_bits(), fresh.j_measure.to_bits());
+            assert_eq!(batched.kl_nats.to_bits(), fresh.kl_nats.to_bits());
+        }
+        let stats = batch.cache_stats();
+        assert!(stats.hits > 0, "the sweep must share grouping work");
+    }
+
+    #[test]
+    fn j_measures_and_losses_match_uncached_calls() {
+        let r = sample_relation(7);
+        let trees = sweep_trees();
+        let batch = BatchAnalyzer::new(&r);
+        for (tree, j) in trees.iter().zip(batch.j_measures(&trees)) {
+            assert_eq!(j.unwrap().to_bits(), j_measure(&r, tree).unwrap().to_bits());
+        }
+        for (tree, rho) in trees.iter().zip(batch.losses(&trees)) {
+            assert_eq!(
+                rho.unwrap().to_bits(),
+                loss_acyclic(&r, tree).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let r = sample_relation(9);
+        let trees = sweep_trees();
+        let seq = BatchAnalyzer::new(&r).with_threads(1);
+        let par = BatchAnalyzer::new(&r).with_threads(4);
+        for (a, b) in seq.join_sizes(&trees).iter().zip(par.join_sizes(&trees)) {
+            assert_eq!(*a.as_ref().unwrap(), b.unwrap());
+        }
+    }
+
+    /// Regression: `losses()` and `analyze_all()` must agree on the loss of
+    /// the same tree even for multiset relations — both measure against the
+    /// distinct-tuple baseline (a negative `losses()` next to a positive
+    /// `analyze()` rho was possible when the quick path divided by `N`).
+    #[test]
+    fn losses_agree_with_full_reports_on_multisets() {
+        let r = ajd_relation::Relation::from_rows(
+            vec![ajd_relation::AttrId(0), ajd_relation::AttrId(1)],
+            &[
+                &[0, 0][..],
+                &[0, 0][..],
+                &[0, 0][..],
+                &[1, 0][..],
+                &[1, 1][..],
+            ],
+        )
+        .unwrap();
+        assert!(!r.is_set());
+        let trees = vec![
+            JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).unwrap(),
+            JoinTree::new(vec![bag(&[0, 1])], vec![]).unwrap(),
+        ];
+        let batch = BatchAnalyzer::new(&r);
+        let quick = batch.losses(&trees);
+        let full = batch.analyze_all(&trees);
+        for (rho, report) in quick.iter().zip(&full) {
+            let rho = rho.as_ref().unwrap();
+            assert!(*rho >= 0.0, "loss must never be negative, got {rho}");
+            assert_eq!(rho.to_bits(), report.as_ref().unwrap().rho.to_bits());
+        }
+    }
+
+    #[test]
+    fn per_tree_errors_do_not_poison_the_batch() {
+        let r = sample_relation(1);
+        let good = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap();
+        // Mentions attribute 9, which the relation does not have.
+        let bad = JoinTree::path(vec![bag(&[0, 9]), bag(&[9, 2])]).unwrap();
+        let batch = BatchAnalyzer::new(&r);
+        let out = batch.analyze_all(&[good, bad]);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn empty_tree_list_is_fine() {
+        let r = sample_relation(2);
+        assert!(BatchAnalyzer::new(&r).analyze_all(&[]).is_empty());
+    }
+}

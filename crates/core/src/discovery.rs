@@ -22,11 +22,12 @@
 //!    of the remaining attributes, returning the MVD with the smallest
 //!    conditional mutual information.
 
+use crate::batch::BatchAnalyzer;
 use ajd_bounds::j_lower_bound_on_loss;
-use ajd_info::jmeasure::j_measure;
-use ajd_info::{conditional_mutual_information, mutual_information};
+use ajd_info::jmeasure::j_measure_ctx;
+use ajd_info::{conditional_mutual_information_ctx, mutual_information_ctx};
 use ajd_jointree::{JoinTree, Mvd};
-use ajd_relation::{AttrId, AttrSet, Relation, RelationError, Result};
+use ajd_relation::{AnalysisContext, AttrId, AttrSet, Relation, RelationError, Result};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the schema miner.
@@ -97,6 +98,13 @@ impl SchemaMiner {
     ///
     /// For a single-attribute relation the tree is the single bag `{X}`.
     pub fn chow_liu_tree(&self, r: &Relation) -> Result<JoinTree> {
+        self.chow_liu_tree_ctx(&AnalysisContext::new(r), r)
+    }
+
+    /// [`SchemaMiner::chow_liu_tree`] over a shared [`AnalysisContext`]:
+    /// each singleton marginal is grouped once instead of `n − 1` times
+    /// across the `O(n²)` pairwise mutual informations.
+    fn chow_liu_tree_ctx(&self, ctx: &AnalysisContext<'_>, r: &Relation) -> Result<JoinTree> {
         if r.is_empty() {
             return Err(RelationError::EmptyInput("relation for schema discovery"));
         }
@@ -110,8 +118,8 @@ impl SchemaMiner {
         let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                let mi = mutual_information(
-                    r,
+                let mi = mutual_information_ctx(
+                    ctx,
                     &AttrSet::singleton(attrs[i]),
                     &AttrSet::singleton(attrs[j]),
                 )?;
@@ -153,27 +161,49 @@ impl SchemaMiner {
     /// Mines an acyclic schema: Chow–Liu tree followed by greedy edge
     /// contraction until the J-measure drops below the configured threshold
     /// (or no admissible contraction remains).
+    ///
+    /// All candidate scoring runs through one [`BatchAnalyzer`] cache: the
+    /// candidate trees of every contraction round share almost all of their
+    /// bags and separators, so their J-measures are answered mostly from
+    /// cache.  Scoring is sequential here — callers commonly mine many
+    /// relations in their own parallel loops; pass a
+    /// [`BatchAnalyzer::with_threads`] to [`SchemaMiner::mine_with`] to
+    /// parallelise each round's candidate evaluation instead.
     pub fn mine(&self, r: &Relation) -> Result<MinedSchema> {
-        let mut tree = self.chow_liu_tree(r)?;
-        let mut j = j_measure(r, &tree)?;
+        self.mine_with(&BatchAnalyzer::new(r).with_threads(1))
+    }
+
+    /// [`SchemaMiner::mine`] over a caller-supplied [`BatchAnalyzer`],
+    /// sharing its cache (and its thread budget) with any other analysis of
+    /// the same relation.
+    pub fn mine_with(&self, batch: &BatchAnalyzer<'_>) -> Result<MinedSchema> {
+        let ctx = batch.context();
+        let r = batch.relation();
+        let mut tree = self.chow_liu_tree_ctx(ctx, r)?;
+        let mut j = j_measure_ctx(ctx, &tree)?;
 
         while j > self.config.j_threshold && tree.num_edges() > 0 {
-            // Find the admissible contraction with the smallest resulting J.
-            let mut best: Option<(usize, JoinTree, f64)> = None;
+            // Score every admissible contraction in parallel and keep the
+            // one with the smallest resulting J.
+            let mut candidates: Vec<JoinTree> = Vec::with_capacity(tree.num_edges());
             for e in 0..tree.num_edges() {
                 let (u, v) = tree.edges()[e];
                 let merged_size = tree.bag(u).union(tree.bag(v)).len();
                 if merged_size > self.config.max_bag_size {
                     continue;
                 }
-                let candidate = tree.contract_edge(e)?;
-                let cj = j_measure(r, &candidate)?;
-                if best.as_ref().is_none_or(|(_, _, bj)| cj < *bj) {
-                    best = Some((e, candidate, cj));
+                candidates.push(tree.contract_edge(e)?);
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (i, cj) in batch.j_measures(&candidates).into_iter().enumerate() {
+                let cj = cj?;
+                if best.is_none_or(|(_, bj)| cj < bj) {
+                    best = Some((i, cj));
                 }
             }
             match best {
-                Some((_, next_tree, next_j)) => {
+                Some((best_idx, next_j)) => {
+                    let next_tree = candidates.swap_remove(best_idx);
                     // Contracting can only reduce (or keep) J; guard against
                     // pathological floating-point stalls.
                     if next_j >= j - 1e-15 && next_j > self.config.j_threshold {
@@ -210,6 +240,10 @@ impl SchemaMiner {
         if r.is_empty() {
             return Err(RelationError::EmptyInput("relation for best-MVD search"));
         }
+        // One context for the whole search: the four entropy terms of each
+        // candidate's CMI recur across bipartitions and conditioning sets,
+        // so almost every candidate after the first is pure cache hits.
+        let ctx = AnalysisContext::new(r);
         let attrs: Vec<AttrId> = r.attrs().iter().collect();
         let n = attrs.len();
         if n < 2 {
@@ -257,7 +291,7 @@ impl SchemaMiner {
                 }
                 let a = AttrSet::from_slice(&left);
                 let b = AttrSet::from_slice(&right);
-                let cmi = conditional_mutual_information(r, &a, &b, &lhs)?;
+                let cmi = conditional_mutual_information_ctx(&ctx, &a, &b, &lhs)?;
                 if best.as_ref().is_none_or(|(_, c)| cmi < *c) {
                     best = Some((Mvd::new(lhs.clone(), a, b)?, cmi));
                 }

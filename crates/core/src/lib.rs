@@ -12,11 +12,19 @@
 //!   deterministic lower bound of Lemma 4.1, the deterministic Proposition
 //!   5.1 bound, and (on request) the probabilistic Theorem 5.1 /
 //!   Proposition 5.3 upper bounds.
+//! * [`batch`] — [`BatchAnalyzer`]: evaluate *many* join trees over one
+//!   relation through a single shared [`ajd_relation::AnalysisContext`],
+//!   fanning the per-tree work out over `std::thread::scope` workers.  The
+//!   trees of a sweep overlap heavily (bags, separators, `H(Ω)`), so the
+//!   shared cache pays for each grouping of `R` exactly once.
 //! * [`discovery`] — *approximate acyclic schema discovery*, the motivating
 //!   application (Kenig et al., SIGMOD 2020): a Chow–Liu style spanning-tree
 //!   miner over pairwise mutual information, followed by greedy bag merging
 //!   to drive the J-measure below a target, plus exhaustive best-MVD search
-//!   for small schemas.
+//!   for small schemas.  All candidate scoring runs through a shared
+//!   context; pass a multi-threaded [`BatchAnalyzer`] to
+//!   `SchemaMiner::mine_with` to evaluate each round's contractions in
+//!   parallel.
 //!
 //! ```
 //! use ajd_core::analysis::LossAnalysis;
@@ -40,7 +48,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod discovery;
 
 pub use analysis::{LossAnalysis, LossReport, MvdLoss, ProbabilisticBounds};
+pub use batch::BatchAnalyzer;
 pub use discovery::{DiscoveryConfig, MinedSchema, SchemaMiner};

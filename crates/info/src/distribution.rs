@@ -17,20 +17,25 @@
 //! as a cross-check on the J-measure computation).
 
 use ajd_jointree::JoinTree;
-use ajd_relation::{GroupCounts, Relation, RelationError, Result, Value};
+use ajd_relation::{AnalysisContext, GroupCounts, Relation, RelationError, Result, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Marginal counts of a relation on the bags and separators of a join tree,
 /// together with the plumbing needed to evaluate `P^T` on tuples.
+///
+/// The marginals are held as shared [`GroupCounts`] handles, so a
+/// distribution built through [`TreeFactoredDistribution::from_context`]
+/// aliases the context's cache instead of copying counts.
 #[derive(Debug, Clone)]
 pub struct TreeFactoredDistribution {
     /// Number of tuples of the underlying relation.
     n: u64,
     /// Per-bag marginal counts and the bag's column positions in the source
     /// relation's schema.
-    bag_counts: Vec<(Vec<usize>, GroupCounts)>,
+    bag_counts: Vec<(Vec<usize>, Arc<GroupCounts>)>,
     /// Per-separator marginal counts and column positions.
-    sep_counts: Vec<(Vec<usize>, GroupCounts)>,
+    sep_counts: Vec<(Vec<usize>, Arc<GroupCounts>)>,
 }
 
 /// Summary of a KL-divergence computation between the empirical distribution
@@ -51,6 +56,15 @@ impl TreeFactoredDistribution {
     /// (otherwise `P^T` is a distribution over a different variable set and
     /// the KL-divergence is not defined tuple-wise).
     pub fn new(r: &Relation, tree: &JoinTree) -> Result<Self> {
+        Self::from_context(&AnalysisContext::new(r), tree)
+    }
+
+    /// Like [`TreeFactoredDistribution::new`], but the bag and separator
+    /// marginals are served from (and memoized into) a shared
+    /// [`AnalysisContext`] — the same counts the J-measure of the tree
+    /// needs, so computing both costs one grouping pass per attribute set.
+    pub fn from_context(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<Self> {
+        let r = ctx.relation();
         if r.is_empty() {
             return Err(RelationError::EmptyInput(
                 "relation for tree-factorised distribution",
@@ -68,14 +82,14 @@ impl TreeFactoredDistribution {
         let mut bag_counts = Vec::with_capacity(tree.num_nodes());
         for bag in tree.bags() {
             let pos = r.attr_positions(bag)?;
-            let counts = r.group_counts(bag)?;
+            let counts = ctx.group_counts(bag)?;
             bag_counts.push((pos, counts));
         }
         let mut sep_counts = Vec::with_capacity(tree.num_edges());
         for e in 0..tree.num_edges() {
             let sep = tree.separator(e);
             let pos = r.attr_positions(&sep)?;
-            let counts = r.group_counts(&sep)?;
+            let counts = ctx.group_counts(&sep)?;
             sep_counts.push((pos, counts));
         }
         Ok(TreeFactoredDistribution {
@@ -130,10 +144,23 @@ pub fn kl_divergence_to_tree(r: &Relation, tree: &JoinTree) -> Result<f64> {
     Ok(kl_report(r, tree)?.kl_nats)
 }
 
+/// [`kl_divergence_to_tree`] over a shared [`AnalysisContext`].
+pub fn kl_divergence_to_tree_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<f64> {
+    Ok(kl_report_ctx(ctx, tree)?.kl_nats)
+}
+
 /// Like [`kl_divergence_to_tree`], additionally reporting the support size.
 pub fn kl_report(r: &Relation, tree: &JoinTree) -> Result<KlReport> {
-    let factored = TreeFactoredDistribution::new(r, tree)?;
-    let full = r.group_counts(&r.attrs())?;
+    kl_report_ctx(&AnalysisContext::new(r), tree)
+}
+
+/// [`kl_report`] over a shared [`AnalysisContext`]: the full-relation group
+/// counts (also the `H(Ω)` marginal) and every bag/separator marginal come
+/// from the cache.
+pub fn kl_report_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<KlReport> {
+    let r = ctx.relation();
+    let factored = TreeFactoredDistribution::from_context(ctx, tree)?;
+    let full = ctx.group_counts(&r.attrs())?;
     let n = r.len() as f64;
     let mut kl = 0.0f64;
     // The grouped keys are in ascending-attribute order; log_prob expects the

@@ -13,7 +13,7 @@
 //! which is the numerically stable form used here (one logarithm per
 //! distinct group, no divisions inside the loop).
 
-use ajd_relation::{AttrSet, GroupCounts, Relation, Result};
+use ajd_relation::{AnalysisContext, AttrSet, GroupCounts, Relation, Result};
 
 /// Entropy (in nats) of the marginal empirical distribution of `r` on the
 /// attribute set `attrs`.
@@ -21,6 +21,18 @@ use ajd_relation::{AttrSet, GroupCounts, Relation, Result};
 /// `H(∅) = 0` by convention (all tuples project to the same empty tuple).
 pub fn entropy(r: &Relation, attrs: &AttrSet) -> Result<f64> {
     let counts = r.group_counts(attrs)?;
+    Ok(entropy_from_counts(&counts))
+}
+
+/// [`entropy`] over a shared [`AnalysisContext`]: the marginal's group
+/// counts are memoized in `ctx`, so repeated queries — by other measures or
+/// other join trees over the same relation — group `R` at most once per
+/// attribute set.
+///
+/// The cached counts are produced by the same code path as the uncached
+/// ones, so the result is bit-identical to [`entropy`]'s.
+pub fn entropy_ctx(ctx: &AnalysisContext<'_>, attrs: &AttrSet) -> Result<f64> {
+    let counts = ctx.group_counts(attrs)?;
     Ok(entropy_from_counts(&counts))
 }
 
@@ -37,8 +49,13 @@ pub fn entropy_of_relation(r: &Relation) -> Result<f64> {
 
 /// Conditional entropy `H(A | B) = H(A ∪ B) − H(B)` (in nats).
 pub fn conditional_entropy(r: &Relation, a: &AttrSet, b: &AttrSet) -> Result<f64> {
-    let hab = entropy(r, &a.union(b))?;
-    let hb = entropy(r, b)?;
+    conditional_entropy_ctx(&AnalysisContext::new(r), a, b)
+}
+
+/// [`conditional_entropy`] over a shared [`AnalysisContext`].
+pub fn conditional_entropy_ctx(ctx: &AnalysisContext<'_>, a: &AttrSet, b: &AttrSet) -> Result<f64> {
+    let hab = entropy_ctx(ctx, &a.union(b))?;
+    let hb = entropy_ctx(ctx, b)?;
     Ok(hab - hb)
 }
 

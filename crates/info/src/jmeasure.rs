@@ -13,24 +13,32 @@
 //! Theorem 2.2 sandwiches `J(T)` between the maximum and the sum of the
 //! conditional mutual informations of the ordered support MVDs.
 
-use crate::entropy::entropy;
-use crate::mutual::mvd_cmi;
+use crate::entropy::entropy_ctx;
+use crate::mutual::mvd_cmi_ctx;
 use ajd_jointree::mvd::ordered_support;
 use ajd_jointree::JoinTree;
-use ajd_relation::{AttrSet, Relation, Result};
+use ajd_relation::{AnalysisContext, AttrSet, Relation, Result};
 use serde::{Deserialize, Serialize};
 
 /// Computes the J-measure `J(T)` of `tree` with respect to the empirical
 /// distribution of `r`, in nats.
 pub fn j_measure(r: &Relation, tree: &JoinTree) -> Result<f64> {
+    j_measure_ctx(&AnalysisContext::new(r), tree)
+}
+
+/// [`j_measure`] over a shared [`AnalysisContext`]: each bag, separator and
+/// full-set entropy of eq. (7) is answered from the context's group-count
+/// cache.  Across the candidate trees of a discovery sweep most of these
+/// terms recur, so the sweep pays for each grouping once.
+pub fn j_measure_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<f64> {
     let mut total = 0.0;
     for bag in tree.bags() {
-        total += entropy(r, bag)?;
+        total += entropy_ctx(ctx, bag)?;
     }
     for e in 0..tree.num_edges() {
-        total -= entropy(r, &tree.separator(e))?;
+        total -= entropy_ctx(ctx, &tree.separator(e))?;
     }
-    total -= entropy(r, &tree.attributes())?;
+    total -= entropy_ctx(ctx, &tree.attributes())?;
     Ok(total)
 }
 
@@ -60,18 +68,32 @@ pub struct JMeasureBounds {
 /// bound (max CMI), the J-measure, and the upper bound (sum of CMIs) of the
 /// ordered support.
 pub fn j_measure_bounds(r: &Relation, tree: &JoinTree, root: usize) -> Result<JMeasureBounds> {
+    j_measure_bounds_ctx(&AnalysisContext::new(r), tree, root)
+}
+
+/// [`j_measure_bounds`] over a shared [`AnalysisContext`].
+///
+/// The CMIs of consecutive ordered-support MVDs share most of their entropy
+/// terms (the `i`-th prefix union is the `(i+1)`-th left side), so the
+/// cached evaluation does roughly half the grouping work even for a single
+/// tree.
+pub fn j_measure_bounds_ctx(
+    ctx: &AnalysisContext<'_>,
+    tree: &JoinTree,
+    root: usize,
+) -> Result<JMeasureBounds> {
     let rooted = tree.rooted(root)?;
     let support = ordered_support(&rooted);
     let mut max_cmi = 0.0f64;
     let mut sum_cmi = 0.0f64;
     for mvd in &support {
-        let cmi = mvd_cmi(r, mvd)?;
+        let cmi = mvd_cmi_ctx(ctx, mvd)?;
         max_cmi = max_cmi.max(cmi);
         sum_cmi += cmi;
     }
     Ok(JMeasureBounds {
         max_cmi,
-        j: j_measure(r, tree)?,
+        j: j_measure_ctx(ctx, tree)?,
         sum_cmi,
     })
 }

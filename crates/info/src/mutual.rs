@@ -7,9 +7,9 @@
 //! equivalent to the MVD `C ↠ A | B` holding (Lee's theorem, Theorem 2.1 for
 //! the two-bag case).
 
-use crate::entropy::entropy;
+use crate::entropy::entropy_ctx;
 use ajd_jointree::Mvd;
-use ajd_relation::{AttrSet, Relation, Result};
+use ajd_relation::{AnalysisContext, AttrSet, Relation, Result};
 
 /// Mutual information `I(A; B)` in nats.
 ///
@@ -21,6 +21,11 @@ pub fn mutual_information(r: &Relation, a: &AttrSet, b: &AttrSet) -> Result<f64>
     conditional_mutual_information(r, a, b, &AttrSet::empty())
 }
 
+/// [`mutual_information`] over a shared [`AnalysisContext`].
+pub fn mutual_information_ctx(ctx: &AnalysisContext<'_>, a: &AttrSet, b: &AttrSet) -> Result<f64> {
+    conditional_mutual_information_ctx(ctx, a, b, &AttrSet::empty())
+}
+
 /// Conditional mutual information `I(A; B | C)` in nats (eq. 4).
 pub fn conditional_mutual_information(
     r: &Relation,
@@ -28,10 +33,23 @@ pub fn conditional_mutual_information(
     b: &AttrSet,
     c: &AttrSet,
 ) -> Result<f64> {
-    let hac = entropy(r, &a.union(c))?;
-    let hbc = entropy(r, &b.union(c))?;
-    let habc = entropy(r, &a.union(b).union(c))?;
-    let hc = entropy(r, c)?;
+    conditional_mutual_information_ctx(&AnalysisContext::new(r), a, b, c)
+}
+
+/// [`conditional_mutual_information`] over a shared [`AnalysisContext`]:
+/// the four marginal entropies of eq. (4) are answered from the context's
+/// group-count cache, which across the candidate MVDs of a search shares
+/// almost every term.
+pub fn conditional_mutual_information_ctx(
+    ctx: &AnalysisContext<'_>,
+    a: &AttrSet,
+    b: &AttrSet,
+    c: &AttrSet,
+) -> Result<f64> {
+    let hac = entropy_ctx(ctx, &a.union(c))?;
+    let hbc = entropy_ctx(ctx, &b.union(c))?;
+    let habc = entropy_ctx(ctx, &a.union(b).union(c))?;
+    let hc = entropy_ctx(ctx, c)?;
     Ok(hac + hbc - habc - hc)
 }
 
@@ -43,7 +61,12 @@ pub fn conditional_mutual_information(
 /// that [`Mvd`] stores its sides inclusive of the separator; we evaluate on
 /// the exclusive sides, which touches fewer columns.
 pub fn mvd_cmi(r: &Relation, mvd: &Mvd) -> Result<f64> {
-    conditional_mutual_information(r, &mvd.left_exclusive(), &mvd.right_exclusive(), &mvd.lhs)
+    mvd_cmi_ctx(&AnalysisContext::new(r), mvd)
+}
+
+/// [`mvd_cmi`] over a shared [`AnalysisContext`].
+pub fn mvd_cmi_ctx(ctx: &AnalysisContext<'_>, mvd: &Mvd) -> Result<f64> {
+    conditional_mutual_information_ctx(ctx, &mvd.left_exclusive(), &mvd.right_exclusive(), &mvd.lhs)
 }
 
 #[cfg(test)]

@@ -18,17 +18,28 @@
 //! semijoin reduction is needed: every partial assignment extends to at
 //! least one full join result.
 //!
-//! Counts are accumulated in `u128`: already for ten attributes with domain
-//! size 100 the cross-product join exceeds `u64`.
+//! Counts are accumulated in `u128` with **checked** arithmetic: already
+//! for ten attributes with domain size 100 the cross-product join exceeds
+//! `u64`, and a join beyond `u128` must fail loudly
+//! ([`RelationError::CountOverflow`]) rather than clamp — a saturated count
+//! would silently report a wrong loss `ρ`.
+//!
+//! Two implementations are provided: [`count_acyclic_join`], which projects
+//! and hashes from scratch (the self-contained reference), and
+//! [`count_acyclic_join_ctx`], which runs the same dynamic program on the
+//! interned group ids of a shared [`AnalysisContext`] — messages become
+//! flat `Vec<u128>`s indexed by dense separator-group ids, and all grouping
+//! work is memoized across the many trees a discovery sweep evaluates.
 
 use crate::tree::JoinTree;
 use ajd_relation::hash::{map_with_capacity, FxHashMap};
-use ajd_relation::join::{natural_join, natural_join_all};
-use ajd_relation::{AttrSet, Relation, RelationError, Result, Value};
+use ajd_relation::join::natural_join_all;
+use ajd_relation::{AnalysisContext, AttrSet, Relation, RelationError, Result, Value};
 
-/// Computes `|⋈ᵢ R[Ωᵢ]|` for the bags `Ωᵢ` of the join tree, without
-/// materialising the join.
-pub fn count_acyclic_join(r: &Relation, tree: &JoinTree) -> Result<u128> {
+/// Error for a join size that exceeds `u128`.
+const OVERFLOW: RelationError = RelationError::CountOverflow("acyclic join size exceeds u128");
+
+fn check_tree_covered(r: &Relation, tree: &JoinTree) -> Result<()> {
     let tree_attrs = tree.attributes();
     if !tree_attrs.is_subset_of(&r.attrs()) {
         return Err(RelationError::SchemaMismatch {
@@ -37,6 +48,18 @@ pub fn count_acyclic_join(r: &Relation, tree: &JoinTree) -> Result<u128> {
             ),
         });
     }
+    Ok(())
+}
+
+/// Computes `|⋈ᵢ R[Ωᵢ]|` for the bags `Ωᵢ` of the join tree, without
+/// materialising the join.
+///
+/// Returns [`RelationError::CountOverflow`] if the exact join size exceeds
+/// `u128`.  When evaluating several trees over the same relation, prefer
+/// [`count_acyclic_join_ctx`], which shares projection and grouping work
+/// through an [`AnalysisContext`].
+pub fn count_acyclic_join(r: &Relation, tree: &JoinTree) -> Result<u128> {
+    check_tree_covered(r, tree)?;
 
     // Bag projections (set semantics).
     let projections: Vec<Relation> = tree
@@ -96,17 +119,18 @@ pub fn count_acyclic_join(r: &Relation, tree: &JoinTree) -> Result<u128> {
                 // Every separator value of a parent-bag tuple appears in the
                 // child projection because both are projections of the same R.
                 let w = msg.get(key_buf.as_slice()).copied().unwrap_or(0);
-                weight = weight.saturating_mul(w);
+                weight = weight.checked_mul(w).ok_or(OVERFLOW)?;
             }
             match &parent_sep_pos {
                 Some(pos) => {
                     key_buf.clear();
                     key_buf.extend(pos.iter().map(|&p| row[p]));
-                    *outgoing
+                    let slot = outgoing
                         .entry(key_buf.clone().into_boxed_slice())
-                        .or_insert(0) += weight;
+                        .or_insert(0);
+                    *slot = slot.checked_add(weight).ok_or(OVERFLOW)?;
                 }
-                None => total_at_root += weight,
+                None => total_at_root = total_at_root.checked_add(weight).ok_or(OVERFLOW)?,
             }
         }
 
@@ -119,14 +143,113 @@ pub fn count_acyclic_join(r: &Relation, tree: &JoinTree) -> Result<u128> {
     unreachable!("the root is always processed last and returns")
 }
 
+/// [`count_acyclic_join`] over a shared [`AnalysisContext`].
+///
+/// Runs the same bottom-up dynamic program, but on **interned group ids**:
+/// each bag's distinct projection tuples are the context's cached
+/// [`ajd_relation::GroupIds`] groups, and the message a node sends its
+/// parent is a dense `Vec<u128>` indexed by the separator's group ids —
+/// no per-tuple hashing, no key allocation.  The id mappings
+/// (bag group → separator group) are recovered from the cached per-row id
+/// vectors in one linear pass per edge.
+///
+/// The result is exactly [`count_acyclic_join`]'s (the join size is an
+/// integer, so the two implementations agree bit for bit); grouping work is
+/// shared with every other measure computed through `ctx` and with every
+/// other tree over the same relation.
+pub fn count_acyclic_join_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<u128> {
+    let r = ctx.relation();
+    check_tree_covered(r, tree)?;
+
+    let bag_ids: Vec<_> = tree
+        .bags()
+        .iter()
+        .map(|b| ctx.group_ids(b))
+        .collect::<Result<_>>()?;
+
+    let rooted = tree.rooted(0)?;
+    let order = rooted.order().to_vec();
+    let m = order.len();
+
+    // Message from each node to its parent: weight per separator group id.
+    let mut messages: Vec<Option<Vec<u128>>> = vec![None; m];
+
+    // Maps this node's bag-group ids to the group ids of `sep ⊆ bag`.
+    let id_map = |node: usize, sep: &AttrSet| -> Result<(Vec<u32>, usize)> {
+        let sep_ids = ctx.group_ids(sep)?;
+        Ok((bag_ids[node].map_to(&sep_ids), sep_ids.num_groups()))
+    };
+
+    for &node in order.iter().rev() {
+        let groups = bag_ids[node].num_groups();
+        let children: Vec<usize> = (0..m)
+            .filter(|&v| rooted.parent_of(v) == Some(node))
+            .collect();
+
+        // Weight of each distinct bag tuple: product of the children's
+        // messages at the tuple's separator values.
+        let mut weights: Vec<u128> = vec![1; groups];
+        for &c in &children {
+            let sep = tree.bag(node).intersection(tree.bag(c));
+            let (map, _) = id_map(node, &sep)?;
+            let msg = messages[c]
+                .take()
+                .expect("children are processed before parents");
+            for (g, w) in weights.iter_mut().enumerate() {
+                *w = w.checked_mul(msg[map[g] as usize]).ok_or(OVERFLOW)?;
+            }
+        }
+
+        match rooted.parent_of(node) {
+            Some(p) => {
+                let sep = tree.bag(node).intersection(tree.bag(p));
+                let (map, sep_groups) = id_map(node, &sep)?;
+                let mut outgoing: Vec<u128> = vec![0; sep_groups];
+                for (g, &w) in weights.iter().enumerate() {
+                    let slot = &mut outgoing[map[g] as usize];
+                    *slot = slot.checked_add(w).ok_or(OVERFLOW)?;
+                }
+                messages[node] = Some(outgoing);
+            }
+            None => {
+                let mut total: u128 = 0;
+                for &w in &weights {
+                    total = total.checked_add(w).ok_or(OVERFLOW)?;
+                }
+                return Ok(total);
+            }
+        }
+    }
+    unreachable!("the root is always processed last and returns")
+}
+
 /// The loss `ρ(R, S)` of eq. (1) for the acyclic schema defined by `tree`,
 /// computed exactly via [`count_acyclic_join`].
+///
+/// The baseline is the number of distinct tuples of `R` projected onto the
+/// tree's attributes — for a set relation whose attributes the tree covers
+/// exactly (the paper's setting) this is `|R|`.  Bag projections are
+/// set-semantic, so the join always contains that projection and the loss
+/// is never negative, duplicates or not.
 pub fn loss_acyclic(r: &Relation, tree: &JoinTree) -> Result<f64> {
     if r.is_empty() {
         return Err(RelationError::EmptyInput("relation for loss computation"));
     }
     let join_size = count_acyclic_join(r, tree)? as f64;
-    Ok((join_size - r.len() as f64) / r.len() as f64)
+    let base = r.group_counts(&tree.attributes())?.num_groups() as f64;
+    Ok((join_size - base) / base)
+}
+
+/// [`loss_acyclic`] over a shared [`AnalysisContext`]: the loss `ρ(R,S)` of
+/// eq. (1) with all projection/grouping work memoized in `ctx`.
+pub fn loss_acyclic_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<f64> {
+    let r = ctx.relation();
+    if r.is_empty() {
+        return Err(RelationError::EmptyInput("relation for loss computation"));
+    }
+    let join_size = count_acyclic_join_ctx(ctx, tree)? as f64;
+    let base = ctx.group_counts(&tree.attributes())?.num_groups() as f64;
+    Ok((join_size - base) / base)
 }
 
 /// Materialises the acyclic join `⋈ᵢ R[Ωᵢ]` by joining the bag projections
@@ -150,27 +273,36 @@ pub fn acyclic_join(r: &Relation, tree: &JoinTree) -> Result<Relation> {
     natural_join_all(&ordered)
 }
 
+/// [`acyclic_join`] over a shared [`AnalysisContext`]: the bag projections
+/// come from the context's projection cache, so materialising the joins of
+/// several trees over one relation re-projects nothing.
+pub fn acyclic_join_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<Relation> {
+    let projections: Vec<_> = tree
+        .bags()
+        .iter()
+        .map(|b| ctx.projection(b))
+        .collect::<Result<_>>()?;
+    let rooted = tree.rooted(0)?;
+    let ordered: Vec<Relation> = rooted
+        .order()
+        .iter()
+        .map(|&u| (*projections[u]).clone())
+        .collect();
+    natural_join_all(&ordered)
+}
+
 /// Reference implementation of the loss (eq. 1) that fully materialises the
 /// join; used to validate [`loss_acyclic`] in tests and as the ablation
-/// baseline in benchmarks.
+/// baseline in benchmarks.  Uses the same distinct-tuple baseline as
+/// [`loss_acyclic`]; delegates to [`ajd_relation::join::loss_materialized`].
 pub fn loss_materialized(r: &Relation, schema: &[AttrSet]) -> Result<f64> {
-    if r.is_empty() {
-        return Err(RelationError::EmptyInput("relation for loss computation"));
-    }
-    let projections: Vec<Relation> = schema
-        .iter()
-        .map(|b| r.try_project(b))
-        .collect::<Result<_>>()?;
-    let mut acc = projections[0].clone();
-    for p in &projections[1..] {
-        acc = natural_join(&acc, p)?;
-    }
-    Ok((acc.len() as f64 - r.len() as f64) / r.len() as f64)
+    ajd_relation::join::loss_materialized(r, schema)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ajd_relation::join::natural_join;
     use ajd_relation::AttrId;
 
     fn bag(ids: &[u32]) -> AttrSet {
@@ -285,6 +417,102 @@ mod tests {
         let r = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
         let t = JoinTree::new(vec![bag(&[0]), bag(&[1])], vec![(0, 1)]).unwrap();
         assert!(loss_acyclic(&r, &t).is_err());
+    }
+
+    #[test]
+    fn ctx_count_matches_uncached_on_assorted_trees() {
+        let r = random_like_relation();
+        let ctx = AnalysisContext::new(&r);
+        for t in [
+            JoinTree::new(vec![bag(&[0, 1, 2, 3])], vec![]).unwrap(),
+            JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+            JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+            JoinTree::new(
+                vec![bag(&[0]), bag(&[1]), bag(&[2]), bag(&[3])],
+                vec![(0, 1), (1, 2), (2, 3)],
+            )
+            .unwrap(),
+            JoinTree::new(vec![bag(&[0, 1, 2]), bag(&[2, 3])], vec![(0, 1)]).unwrap(),
+        ] {
+            assert_eq!(
+                count_acyclic_join_ctx(&ctx, &t).unwrap(),
+                count_acyclic_join(&r, &t).unwrap(),
+                "context and uncached counts disagree for {t}"
+            );
+            assert_eq!(
+                loss_acyclic_ctx(&ctx, &t).unwrap(),
+                loss_acyclic(&r, &t).unwrap()
+            );
+        }
+        // The sweep above shares all grouping work through the context.
+        assert!(ctx.stats().hits > 0);
+    }
+
+    #[test]
+    fn ctx_materialised_join_matches_uncached() {
+        let r = random_like_relation();
+        let ctx = AnalysisContext::new(&r);
+        let trees = [
+            JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+            JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+        ];
+        for t in &trees {
+            assert!(acyclic_join_ctx(&ctx, t)
+                .unwrap()
+                .set_eq(&acyclic_join(&r, t).unwrap()));
+        }
+        // Both trees project the shared relation through the same cache.
+        assert!(ctx.stats().projection_entries > 0);
+        assert!(ctx.stats().hits > 0);
+    }
+
+    #[test]
+    fn ctx_count_works_when_tree_covers_a_strict_subset() {
+        let r = random_like_relation();
+        let ctx = AnalysisContext::new(&r);
+        let t = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2])]).unwrap();
+        assert_eq!(
+            count_acyclic_join_ctx(&ctx, &t).unwrap(),
+            count_acyclic_join(&r, &t).unwrap()
+        );
+    }
+
+    /// Regression: join sizes beyond `u128` used to saturate silently
+    /// (`saturating_mul`), making `loss_acyclic` report a wrong `ρ`; they
+    /// must now surface as [`RelationError::CountOverflow`].
+    #[test]
+    fn count_overflow_is_an_error_not_a_clamp() {
+        // 16 singleton bags over a 256-row "bijection" relation: the
+        // cross-product join has 256^16 = 2^128 tuples, one past u128::MAX.
+        let n = 256u32;
+        let arity = 16usize;
+        let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![i; arity]).collect();
+        let schema: Vec<u32> = (0..arity as u32).collect();
+        let r = rel(&schema, &rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let bags: Vec<AttrSet> = (0..arity as u32).map(|i| bag(&[i])).collect();
+        let edges: Vec<(usize, usize)> = (1..arity).map(|i| (i - 1, i)).collect();
+        let t = JoinTree::new(bags, edges).unwrap();
+
+        let err = count_acyclic_join(&r, &t).unwrap_err();
+        assert!(matches!(err, RelationError::CountOverflow(_)), "{err}");
+        let ctx = AnalysisContext::new(&r);
+        let err = count_acyclic_join_ctx(&ctx, &t).unwrap_err();
+        assert!(matches!(err, RelationError::CountOverflow(_)), "{err}");
+        assert!(loss_acyclic(&r, &t).is_err());
+
+        // One bag fewer stays within range and is computed exactly.
+        let bags: Vec<AttrSet> = (0..15u32).map(|i| bag(&[i])).collect();
+        let edges: Vec<(usize, usize)> = (1..15).map(|i| (i - 1, i)).collect();
+        let t15 = JoinTree::new(bags, edges).unwrap();
+        assert_eq!(
+            count_acyclic_join(&r, &t15).unwrap(),
+            (n as u128).pow(15),
+            "15-bag count must still be exact"
+        );
+        assert_eq!(
+            count_acyclic_join_ctx(&ctx, &t15).unwrap(),
+            (n as u128).pow(15)
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod mvd;
 pub mod schema;
 pub mod tree;
 
-pub use count::{acyclic_join, count_acyclic_join, loss_acyclic};
+pub use count::{
+    acyclic_join, acyclic_join_ctx, count_acyclic_join, count_acyclic_join_ctx, loss_acyclic,
+    loss_acyclic_ctx,
+};
 pub use gyo::{gyo_reduction, GyoOutcome};
 pub use mvd::Mvd;
 pub use schema::Schema;

@@ -12,7 +12,7 @@
 
 use crate::tree::{JoinTree, RootedTree};
 use ajd_relation::join::count_natural_join;
-use ajd_relation::{AttrSet, Relation, RelationError, Result};
+use ajd_relation::{AnalysisContext, AttrSet, Relation, RelationError, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -76,25 +76,86 @@ impl Mvd {
     }
 
     /// Size of the two-way join `|R[C∪A] ⋈ R[C∪B]|`.
-    pub fn join_size(&self, r: &Relation) -> Result<u64> {
+    ///
+    /// Counted in `u128` with checked arithmetic (the join can reach `N²`,
+    /// beyond `u64` at production scale); sizes beyond `u128` yield
+    /// [`RelationError::CountOverflow`].
+    pub fn join_size(&self, r: &Relation) -> Result<u128> {
         let left = r.try_project(&self.left)?;
         let right = r.try_project(&self.right)?;
         count_natural_join(&left, &right)
     }
 
+    /// [`Mvd::join_size`] over a shared [`AnalysisContext`].
+    ///
+    /// Uses the context's interned group ids: both projections and the
+    /// shared-attribute co-grouping are recovered from cached per-row id
+    /// vectors, so evaluating the support MVDs of many trees over one
+    /// relation never re-projects `R`.  The result is exactly
+    /// [`Mvd::join_size`]'s.
+    pub fn join_size_ctx(&self, ctx: &AnalysisContext<'_>) -> Result<u128> {
+        let shared = self.left.intersection(&self.right);
+        let shared_ids = ctx.group_ids(&shared)?;
+        // Number of *distinct* side tuples per shared-attribute group:
+        // map each side group to its shared group (`shared ⊆ side`), then
+        // count how many side groups land on each shared group.
+        let side_counts = |side: &AttrSet| -> Result<Vec<u64>> {
+            let side_ids = ctx.group_ids(side)?;
+            let mut counts = vec![0u64; shared_ids.num_groups()];
+            for sh in side_ids.map_to(&shared_ids) {
+                counts[sh as usize] += 1;
+            }
+            Ok(counts)
+        };
+        let left = side_counts(&self.left)?;
+        let right = side_counts(&self.right)?;
+        let mut total: u128 = 0;
+        for (&l, &r) in left.iter().zip(&right) {
+            // A product of two u64 counts always fits in u128; only the
+            // accumulated sum can overflow.
+            let pairs = (l as u128) * (r as u128);
+            total = total
+                .checked_add(pairs)
+                .ok_or(RelationError::CountOverflow(
+                    "two-way join size exceeds u128",
+                ))?;
+        }
+        Ok(total)
+    }
+
     /// The loss `ρ(R, φ)` of eq. (28): relative number of spurious tuples of
     /// the two-way decomposition.
+    ///
+    /// The baseline is the number of distinct tuples of `R` projected onto
+    /// the MVD's attributes — `|R|` in the paper's setting (a set relation
+    /// the MVD fully covers).  The join always contains that projection, so
+    /// the loss is never negative, duplicates or not.
     pub fn loss(&self, r: &Relation) -> Result<f64> {
         if r.is_empty() {
             return Err(RelationError::EmptyInput("relation for MVD loss"));
         }
         let join = self.join_size(r)? as f64;
-        Ok((join - r.len() as f64) / r.len() as f64)
+        let base = r.group_counts(&self.attributes())?.num_groups() as f64;
+        Ok((join - base) / base)
     }
 
-    /// `true` if the MVD holds in `R` (zero spurious tuples).
+    /// [`Mvd::loss`] over a shared [`AnalysisContext`].
+    pub fn loss_ctx(&self, ctx: &AnalysisContext<'_>) -> Result<f64> {
+        let r = ctx.relation();
+        if r.is_empty() {
+            return Err(RelationError::EmptyInput("relation for MVD loss"));
+        }
+        let join = self.join_size_ctx(ctx)? as f64;
+        let base = ctx.group_counts(&self.attributes())?.num_groups() as f64;
+        Ok((join - base) / base)
+    }
+
+    /// `true` if the MVD holds in `R` (zero spurious tuples: the two-way
+    /// join reproduces exactly the distinct tuples of `R` on the MVD's
+    /// attributes).
     pub fn holds_in(&self, r: &Relation) -> Result<bool> {
-        Ok(self.join_size(r)? == r.len() as u64)
+        let base = r.group_counts(&self.attributes())?.num_groups() as u128;
+        Ok(self.join_size(r)? == base)
     }
 }
 
@@ -194,9 +255,41 @@ mod tests {
         let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![i, i]).collect();
         let r = rel(&[0, 1], &rows.iter().map(Vec::as_slice).collect::<Vec<_>>());
         let m = Mvd::new(AttrSet::empty(), bag(&[0]), bag(&[1])).unwrap();
-        assert_eq!(m.join_size(&r).unwrap(), (n * n) as u64);
+        assert_eq!(m.join_size(&r).unwrap(), (n * n) as u128);
         assert!((m.loss(&r).unwrap() - (n as f64 - 1.0)).abs() < 1e-12);
         assert!(!m.holds_in(&r).unwrap());
+    }
+
+    #[test]
+    fn ctx_join_size_matches_uncached() {
+        let r = rel(
+            &[0, 1, 2],
+            &[
+                &[0, 0, 0],
+                &[0, 1, 1],
+                &[1, 0, 1],
+                &[1, 1, 0],
+                &[2, 1, 1],
+                &[2, 0, 0],
+            ],
+        );
+        let ctx = AnalysisContext::new(&r);
+        let mvds = vec![
+            Mvd::new(bag(&[0]), bag(&[1]), bag(&[2])).unwrap(),
+            Mvd::new(bag(&[1]), bag(&[0]), bag(&[2])).unwrap(),
+            Mvd::new(AttrSet::empty(), bag(&[0, 1]), bag(&[2])).unwrap(),
+            // Overlapping exclusive sides (shared ⊋ lhs).
+            Mvd::new(AttrSet::empty(), bag(&[0, 1]), bag(&[1, 2])).unwrap(),
+        ];
+        for m in &mvds {
+            assert_eq!(
+                m.join_size_ctx(&ctx).unwrap(),
+                m.join_size(&r).unwrap(),
+                "context join size disagrees for {m}"
+            );
+            assert_eq!(m.loss_ctx(&ctx).unwrap(), m.loss(&r).unwrap());
+        }
+        assert!(ctx.stats().hits > 0, "separator groupings must be shared");
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! Shared-computation analysis context.
+//!
+//! Every information measure in the paper (the entropies of eq. 4, the
+//! J-measure of eq. 7, the KL-divergence of Theorem 3.2, the per-MVD
+//! conditional mutual informations and losses of eq. 28) reduces to *group
+//! counts* of the same relation `R` on various attribute subsets `Y ⊆ Ω`,
+//! and every loss computation reduces to *projections* of `R` onto bags.
+//! Evaluating many measures — or many candidate join trees, as schema
+//! discovery does — therefore recomputes the same groupings over and over.
+//!
+//! [`AnalysisContext`] is the memoization layer that eliminates that
+//! redundancy, in the spirit of the lattice-level entropy caching of Kenig
+//! et al. (*Mining Approximate Acyclic Schemes from Relations*, 2019):
+//!
+//! * a [`GroupCounts`] cache keyed by [`AttrSet`] (marginal multiplicities,
+//!   the basis of every entropy);
+//! * a [`GroupIds`] cache of **interned group keys**: every distinct
+//!   `Y`-projection of a tuple is assigned a dense `u32` id, and every row
+//!   of `R` is labelled with its group id.  Downstream algorithms (join-size
+//!   message passing, two-way join counting) can then work with dense
+//!   integer ids and flat vectors instead of hashing boxed key tuples;
+//! * a set-semantic projection cache (`Π_Y(R)` as [`Relation`]s).
+//!
+//! All three caches are guarded by [`parking_lot::RwLock`], so concurrent
+//! analysis threads (see `ajd-core`'s `BatchAnalyzer`) share one context:
+//! reads of already-memoized entries do not contend, and a raced miss at
+//! worst recomputes a deterministic value.
+//!
+//! Cached values are produced by exactly the same code paths as the
+//! uncached operations on [`Relation`], so every measure computed through a
+//! context is **bit-identical** to its uncached counterpart — a property
+//! the workspace's tests assert.
+
+use crate::attr::AttrSet;
+use crate::error::Result;
+use crate::hash::{map_with_capacity, FxHashMap};
+use crate::relation::{GroupCounts, Relation, Value};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Interned group keys: a dense renaming of the distinct `Y`-projections of
+/// a relation's tuples.
+///
+/// For a relation `R` with `N` rows and an attribute set `Y`, the distinct
+/// projections `Π_Y(R)` are numbered `0..g` in order of first appearance;
+/// [`GroupIds::row_ids`] labels every row of `R` with its group id and
+/// [`GroupIds::counts`] holds the multiplicity of each group.  This is the
+/// same information as [`GroupCounts`], laid out for algorithms that want
+/// dense integer ids (vector-indexed messages, per-row co-grouping) instead
+/// of hash lookups on boxed key tuples.
+#[derive(Debug, Clone)]
+pub struct GroupIds {
+    attrs: AttrSet,
+    row_ids: Vec<u32>,
+    counts: Vec<u64>,
+}
+
+impl GroupIds {
+    fn build(r: &Relation, attrs: &AttrSet) -> Result<Self> {
+        let positions = r.attr_positions(attrs)?;
+        let mut intern: FxHashMap<Box<[Value]>, u32> = map_with_capacity(r.len().min(1 << 20));
+        let mut row_ids = Vec::with_capacity(r.len());
+        let mut counts: Vec<u64> = Vec::new();
+        let mut buf: Vec<Value> = vec![0; positions.len()];
+        for row in r.iter_rows() {
+            for (k, &p) in positions.iter().enumerate() {
+                buf[k] = row[p];
+            }
+            // Ids are dense u32s; beyond u32::MAX distinct groups a wrapped
+            // id would silently alias unrelated groups, so fail instead.
+            let next = u32::try_from(counts.len()).map_err(|_| {
+                crate::error::RelationError::CountOverflow(
+                    "number of distinct groups exceeds the u32 intern id space",
+                )
+            })?;
+            let id = *intern.entry(buf.clone().into_boxed_slice()).or_insert(next);
+            if id == next {
+                counts.push(0);
+            }
+            counts[id as usize] += 1;
+            row_ids.push(id);
+        }
+        Ok(GroupIds {
+            attrs: attrs.clone(),
+            row_ids,
+            counts,
+        })
+    }
+
+    /// The attribute set the rows are grouped by.
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// Number of distinct groups `g = |Π_Y(R)|`.
+    pub fn num_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The interned group id of every row of the source relation, in row
+    /// order (ids are assigned in order of first appearance).
+    pub fn row_ids(&self) -> &[u32] {
+        &self.row_ids
+    }
+
+    /// Multiplicity of each group, indexed by group id.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of grouped rows (the `N` of the relation).
+    pub fn total(&self) -> u64 {
+        self.row_ids.len() as u64
+    }
+
+    /// Maps every group id of this (finer) grouping to the id of the group
+    /// it belongs to in a *coarser* grouping of the same relation
+    /// (`coarser.attrs() ⊆ self.attrs()`).
+    ///
+    /// Rows with equal projections onto `self.attrs()` agree on any subset
+    /// of those attributes, so any representative row determines the coarse
+    /// group; the map is recovered in one linear pass over the two per-row
+    /// id vectors.  This is the co-grouping primitive behind the interned
+    /// join-size algorithms in `ajd-jointree`.
+    ///
+    /// Panics if `coarser` does not group by a subset of this grouping's
+    /// attributes, or if the two groupings come from relations of different
+    /// sizes (programming errors — a silently wrong map would corrupt every
+    /// count derived from it).
+    pub fn map_to(&self, coarser: &GroupIds) -> Vec<u32> {
+        assert!(
+            coarser.attrs.is_subset_of(&self.attrs),
+            "map_to target must group by a subset of this grouping's attributes"
+        );
+        assert_eq!(
+            self.row_ids.len(),
+            coarser.row_ids.len(),
+            "map_to requires groupings of the same relation"
+        );
+        let mut map = vec![0u32; self.num_groups()];
+        for (&fine, &coarse) in self.row_ids.iter().zip(&coarser.row_ids) {
+            map[fine as usize] = coarse;
+        }
+        map
+    }
+}
+
+/// A point-in-time snapshot of a context's cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then memoize) their value.
+    pub misses: u64,
+    /// Number of memoized [`GroupCounts`] entries.
+    pub group_count_entries: usize,
+    /// Number of memoized [`GroupIds`] entries.
+    pub group_id_entries: usize,
+    /// Number of memoized projection entries.
+    pub projection_entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoized group counts, interned group ids and projections of one
+/// relation — the shared-computation substrate of the measurement stack.
+///
+/// A context borrows its relation and is cheap to create (empty caches); it
+/// pays for itself as soon as two measures — or two candidate join trees —
+/// touch the same attribute subset.  It is `Sync`: `ajd-core`'s
+/// `BatchAnalyzer` shares one context across `std::thread::scope` workers.
+///
+/// ```
+/// use ajd_relation::{AnalysisContext, AttrId, AttrSet, Relation};
+///
+/// let r = Relation::from_rows(vec![AttrId(0), AttrId(1)], &[
+///     &[0, 0][..], &[0, 1][..], &[1, 0][..],
+/// ]).unwrap();
+/// let ctx = AnalysisContext::new(&r);
+/// let y = AttrSet::singleton(AttrId(0));
+/// let first = ctx.group_counts(&y).unwrap();
+/// let second = ctx.group_counts(&y).unwrap();      // served from cache
+/// assert_eq!(first.num_groups(), second.num_groups());
+/// assert_eq!(ctx.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct AnalysisContext<'a> {
+    relation: &'a Relation,
+    group_counts: RwLock<FxHashMap<AttrSet, Arc<GroupCounts>>>,
+    group_ids: RwLock<FxHashMap<AttrSet, Arc<GroupIds>>>,
+    projections: RwLock<FxHashMap<AttrSet, Arc<Relation>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Creates an empty context over `r`.
+    pub fn new(r: &'a Relation) -> Self {
+        AnalysisContext {
+            relation: r,
+            group_counts: RwLock::new(FxHashMap::default()),
+            group_ids: RwLock::new(FxHashMap::default()),
+            projections: RwLock::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The relation this context memoizes computations over.
+    pub fn relation(&self) -> &'a Relation {
+        self.relation
+    }
+
+    /// Memoized [`Relation::group_counts`]: multiplicities of the distinct
+    /// `attrs`-projections of the relation's tuples.
+    pub fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
+        self.memoized(&self.group_counts, attrs, |r, a| {
+            r.group_counts(a).map(Arc::new)
+        })
+    }
+
+    /// Memoized interned group keys (see [`GroupIds`]) for `attrs`.
+    pub fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
+        self.memoized(&self.group_ids, attrs, |r, a| {
+            GroupIds::build(r, a).map(Arc::new)
+        })
+    }
+
+    /// Memoized set-semantic projection `Π_attrs(R)`.
+    pub fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
+        self.memoized(&self.projections, attrs, |r, a| {
+            r.try_project(a).map(Arc::new)
+        })
+    }
+
+    /// Snapshot of cache sizes and hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            group_count_entries: self.group_counts.read().len(),
+            group_id_entries: self.group_ids.read().len(),
+            projection_entries: self.projections.read().len(),
+        }
+    }
+
+    /// Generic read-mostly memoization: serve from the cache under a read
+    /// lock; on a miss, compute outside any lock and insert under a write
+    /// lock.  A raced miss recomputes a deterministic value and keeps the
+    /// first insertion, so all callers observe the same `Arc`.
+    fn memoized<T>(
+        &self,
+        cache: &RwLock<FxHashMap<AttrSet, Arc<T>>>,
+        attrs: &AttrSet,
+        compute: impl FnOnce(&Relation, &AttrSet) -> Result<Arc<T>>,
+    ) -> Result<Arc<T>> {
+        if let Some(hit) = cache.read().get(attrs) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let value = compute(self.relation, attrs)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = cache.write();
+        let entry = guard.entry(attrs.clone()).or_insert(value);
+        Ok(Arc::clone(entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrId;
+
+    fn sample() -> Relation {
+        Relation::from_rows(
+            vec![AttrId(0), AttrId(1), AttrId(2)],
+            &[
+                &[0, 0, 0][..],
+                &[0, 1, 0][..],
+                &[1, 0, 1][..],
+                &[1, 1, 1][..],
+                &[0, 0, 0][..], // duplicate row: multiset
+            ],
+        )
+        .unwrap()
+    }
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn group_counts_match_uncached() {
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        for attrs in [bag(&[0]), bag(&[0, 2]), bag(&[0, 1, 2]), AttrSet::empty()] {
+            let cached = ctx.group_counts(&attrs).unwrap();
+            let direct = r.group_counts(&attrs).unwrap();
+            assert_eq!(cached.total, direct.total);
+            assert_eq!(cached.num_groups(), direct.num_groups());
+            for (key, count) in direct.iter() {
+                assert_eq!(cached.count_of(key), count);
+            }
+        }
+    }
+
+    #[test]
+    fn group_ids_agree_with_group_counts() {
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        for attrs in [bag(&[0]), bag(&[1, 2]), bag(&[0, 1, 2]), AttrSet::empty()] {
+            let ids = ctx.group_ids(&attrs).unwrap();
+            let counts = ctx.group_counts(&attrs).unwrap();
+            assert_eq!(ids.num_groups(), counts.num_groups());
+            assert_eq!(ids.total(), counts.total);
+            assert_eq!(ids.row_ids().len(), r.len());
+            assert_eq!(ids.counts().iter().sum::<u64>(), r.len() as u64);
+            // Rows with equal projections share an id; the id's count matches.
+            for (row, &id) in r.iter_rows().zip(ids.row_ids()) {
+                let positions = r.attr_positions(&attrs).unwrap();
+                let key: Vec<Value> = positions.iter().map(|&p| row[p]).collect();
+                assert_eq!(ids.counts()[id as usize], counts.count_of(&key));
+            }
+        }
+    }
+
+    #[test]
+    fn map_to_recovers_coarser_groups() {
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        let fine = ctx.group_ids(&bag(&[0, 1, 2])).unwrap();
+        for coarse_attrs in [bag(&[0]), bag(&[1, 2]), AttrSet::empty()] {
+            let coarse = ctx.group_ids(&coarse_attrs).unwrap();
+            let map = fine.map_to(&coarse);
+            assert_eq!(map.len(), fine.num_groups());
+            // Per row: mapping the fine id must land on the row's coarse id.
+            for (&f, &c) in fine.row_ids().iter().zip(coarse.row_ids()) {
+                assert_eq!(map[f as usize], c);
+            }
+        }
+    }
+
+    #[test]
+    fn projections_match_uncached() {
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        let attrs = bag(&[0, 1]);
+        let cached = ctx.projection(&attrs).unwrap();
+        let direct = r.try_project(&attrs).unwrap();
+        assert!(cached.set_eq(&direct));
+        assert_eq!(cached.len(), direct.len());
+    }
+
+    #[test]
+    fn caches_are_shared_and_counted() {
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        let a = ctx.group_counts(&bag(&[0])).unwrap();
+        let b = ctx.group_counts(&bag(&[0])).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = ctx.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.group_count_entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_attribute_is_not_cached() {
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        assert!(ctx.group_counts(&bag(&[9])).is_err());
+        assert!(ctx.group_ids(&bag(&[9])).is_err());
+        assert!(ctx.projection(&bag(&[9])).is_err());
+        assert_eq!(ctx.stats().group_count_entries, 0);
+    }
+
+    #[test]
+    fn concurrent_readers_converge() {
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        let sets: Vec<AttrSet> = vec![bag(&[0]), bag(&[1]), bag(&[0, 1]), bag(&[0, 1, 2])];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for attrs in &sets {
+                        let c = ctx.group_counts(attrs).unwrap();
+                        assert_eq!(c.total, r.len() as u64);
+                        let ids = ctx.group_ids(attrs).unwrap();
+                        assert_eq!(ids.num_groups(), c.num_groups());
+                    }
+                });
+            }
+        });
+        assert_eq!(ctx.stats().group_count_entries, sets.len());
+        assert_eq!(ctx.stats().group_id_entries, sets.len());
+    }
+
+    #[test]
+    fn empty_relation_contexts_work() {
+        let r = Relation::new(vec![AttrId(0)]).unwrap();
+        let ctx = AnalysisContext::new(&r);
+        let ids = ctx.group_ids(&bag(&[0])).unwrap();
+        assert_eq!(ids.num_groups(), 0);
+        assert_eq!(ids.total(), 0);
+        assert_eq!(ctx.projection(&bag(&[0])).unwrap().len(), 0);
+    }
+}

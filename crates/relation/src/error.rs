@@ -36,6 +36,21 @@ pub enum RelationError {
     },
     /// An empty relation (or empty schema) was supplied where it is invalid.
     EmptyInput(&'static str),
+    /// An exact count overflowed its integer representation.
+    ///
+    /// Join sizes are accumulated in `u128` with checked arithmetic and
+    /// interned group ids are capped at `u32`; a count beyond its
+    /// representation cannot be reported faithfully (and any `ρ` derived
+    /// from a clamped value would be silently wrong), so the operation
+    /// fails instead of saturating or wrapping.
+    CountOverflow(&'static str),
+    /// A caller-supplied numeric parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Description of the valid range and the value received.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -60,6 +75,12 @@ impl fmt::Display for RelationError {
                 "requested {requested} distinct tuples but the domain only has {available}"
             ),
             RelationError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            RelationError::CountOverflow(what) => {
+                write!(f, "count overflow: {what}")
+            }
+            RelationError::InvalidParameter { what, detail } => {
+                write!(f, "invalid parameter {what}: {detail}")
+            }
         }
     }
 }
@@ -85,6 +106,14 @@ mod tests {
         };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("5"));
+        let e = RelationError::CountOverflow("acyclic join size exceeds u128");
+        assert!(e.to_string().contains("u128"));
+        let e = RelationError::InvalidParameter {
+            what: "delta",
+            detail: "must be in (0,1), got 2".to_owned(),
+        };
+        assert!(e.to_string().contains("delta"));
+        assert!(e.to_string().contains("(0,1)"));
     }
 
     #[test]

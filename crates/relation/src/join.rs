@@ -21,7 +21,7 @@
 use crate::attr::{AttrId, AttrSet};
 use crate::error::{RelationError, Result};
 use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap};
-use crate::relation::{Relation, Value};
+use crate::relation::{GroupCounts, Relation, Value};
 
 /// Computes the natural join `left ⋈ right` on their shared attributes.
 ///
@@ -85,26 +85,52 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
 }
 
 /// Counts `|left ⋈ right|` without materialising the join output.
-pub fn count_natural_join(left: &Relation, right: &Relation) -> Result<u64> {
+///
+/// The count is `Σ_k c_left(k) · c_right(k)` over the shared-attribute
+/// groups of the two sides, accumulated in `u128` with checked arithmetic
+/// (two-way joins reach `N²`, which exceeds `u64` at production scale);
+/// a result beyond `u128` yields [`RelationError::CountOverflow`].
+pub fn count_natural_join(left: &Relation, right: &Relation) -> Result<u128> {
     let shared = left.attrs().intersection(&right.attrs());
-    let left_key_pos = left.attr_positions(&shared)?;
-    let right_key_pos = right.attr_positions(&shared)?;
+    let left_counts = left.group_counts(&shared)?;
+    let right_counts = right.group_counts(&shared)?;
+    count_join_of_group_counts(&left_counts, &right_counts)
+}
 
-    let mut build: FxHashMap<Box<[Value]>, u64> = map_with_capacity(right.len());
-    let mut key = vec![0u32; shared.len()];
-    for row in right.iter_rows() {
-        for (k, &p) in right_key_pos.iter().enumerate() {
-            key[k] = row[p];
-        }
-        *build.entry(key.clone().into_boxed_slice()).or_insert(0) += 1;
+/// Counts the join size `Σ_k c_left(k) · c_right(k)` from pre-grouped
+/// counts of the two sides on their shared attributes.
+///
+/// This is the arithmetic core of [`count_natural_join`], exposed so cached
+/// group counts (see [`crate::AnalysisContext`]) can be combined without
+/// re-grouping, and so the overflow behaviour is testable with synthetic
+/// counts.  Both inputs must be grouped by the same attribute set.
+pub fn count_join_of_group_counts(left: &GroupCounts, right: &GroupCounts) -> Result<u128> {
+    if left.attrs != right.attrs {
+        return Err(RelationError::SchemaMismatch {
+            detail: format!(
+                "join counting needs both sides grouped by the same attributes, got {} and {}",
+                left.attrs, right.attrs
+            ),
+        });
     }
-    let mut total: u64 = 0;
-    for row in left.iter_rows() {
-        for (k, &p) in left_key_pos.iter().enumerate() {
-            key[k] = row[p];
-        }
-        if let Some(&c) = build.get(key.as_slice()) {
-            total += c;
+    // Probe the smaller side against the larger one.
+    let (probe, build) = if left.num_groups() <= right.num_groups() {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let mut total: u128 = 0;
+    for (key, count) in probe.iter() {
+        let other = build.count_of(key);
+        if other > 0 {
+            // A product of two u64 counts always fits in u128; only the
+            // accumulated sum can overflow.
+            let pairs = (count as u128) * (other as u128);
+            total = total
+                .checked_add(pairs)
+                .ok_or(RelationError::CountOverflow(
+                    "two-way join size exceeds u128",
+                ))?;
         }
     }
     Ok(total)
@@ -164,13 +190,19 @@ pub fn decompose(r: &Relation, schema: &[AttrSet]) -> Result<Vec<Relation>> {
 /// `(|⋈ᵢ Π_{Ωᵢ}(R)| − |R|) / |R|` — eq. (1) of the paper — by fully
 /// materialising the join.  Prefer the join-tree counting in `ajd-jointree`
 /// for acyclic schemas; this function is the reference implementation.
+///
+/// `|R|` is the number of distinct tuples of `R` projected onto the
+/// schema's attributes (equal to `r.len()` in the paper's setting of a set
+/// relation fully covered by the schema), so the loss is never negative.
 pub fn loss_materialized(r: &Relation, schema: &[AttrSet]) -> Result<f64> {
     if r.is_empty() {
         return Err(RelationError::EmptyInput("relation for loss computation"));
     }
     let projections = decompose(r, schema)?;
     let joined = natural_join_all(&projections)?;
-    Ok((joined.len() as f64 - r.len() as f64) / r.len() as f64)
+    let covered = schema.iter().fold(AttrSet::empty(), |acc, b| acc.union(b));
+    let base = r.group_counts(&covered)?.num_groups() as f64;
+    Ok((joined.len() as f64 - base) / base)
 }
 
 #[cfg(test)]
@@ -295,7 +327,55 @@ mod tests {
         let s = rel(&[1, 2], &[&[1, 9], &[1, 8], &[2, 7], &[4, 6]]);
         assert_eq!(
             count_natural_join(&r, &s).unwrap(),
-            natural_join(&r, &s).unwrap().len() as u64
+            natural_join(&r, &s).unwrap().len() as u128
         );
+    }
+
+    fn synthetic_counts(attr: u32, counts: &[(Value, u64)]) -> GroupCounts {
+        let mut g = GroupCounts {
+            attrs: AttrSet::singleton(AttrId(attr)),
+            ..GroupCounts::default()
+        };
+        for &(v, c) in counts {
+            g.counts.insert(vec![v].into_boxed_slice(), c);
+            // `total` is metadata here; saturate so the synthetic overflow
+            // scenarios below stay representable.
+            g.total = g.total.saturating_add(c);
+        }
+        g
+    }
+
+    /// Regression: the count used to accumulate in `u64`, silently wrapping
+    /// for joins beyond `2^64` pairs; it now widens to `u128` with checked
+    /// arithmetic.
+    #[test]
+    fn count_from_group_counts_handles_beyond_u64() {
+        // A single shared key with 2^40 matches on each side: the join has
+        // 2^80 tuples, far beyond u64, and must be reported exactly.
+        let big = 1u64 << 40;
+        let left = synthetic_counts(0, &[(7, big)]);
+        let right = synthetic_counts(0, &[(7, big)]);
+        assert_eq!(
+            count_join_of_group_counts(&left, &right).unwrap(),
+            1u128 << 80
+        );
+    }
+
+    /// Regression: counts whose sum exceeds `u128` must error out instead of
+    /// wrapping or saturating (a clamped join size yields a wrong loss).
+    #[test]
+    fn count_from_group_counts_overflow_is_an_error() {
+        let huge = u64::MAX;
+        let left = synthetic_counts(0, &[(0, huge), (1, huge), (2, huge)]);
+        let right = synthetic_counts(0, &[(0, huge), (1, huge), (2, huge)]);
+        let err = count_join_of_group_counts(&left, &right).unwrap_err();
+        assert!(matches!(err, RelationError::CountOverflow(_)));
+    }
+
+    #[test]
+    fn count_from_group_counts_rejects_mismatched_groupings() {
+        let left = synthetic_counts(0, &[(0, 1)]);
+        let right = synthetic_counts(1, &[(0, 1)]);
+        assert!(count_join_of_group_counts(&left, &right).is_err());
     }
 }

@@ -17,6 +17,10 @@
 //!   `u32` dictionary codes, with projection, selection, grouping,
 //!   deduplication and canonicalisation.
 //! * [`join`] — hash-based natural joins, semijoins and join-size counting.
+//! * [`AnalysisContext`] — a shared-computation layer memoizing group
+//!   counts, interned group ids and projections per attribute set, so that
+//!   the many measures (and many candidate join trees) evaluated over one
+//!   relation never redo the same grouping work.
 //! * [`hash`] — a small Fx-style hasher used for all row grouping (the
 //!   default SipHash is needlessly slow for short integer rows).
 //!
@@ -49,6 +53,7 @@
 
 pub mod attr;
 pub mod catalog;
+pub mod context;
 pub mod error;
 pub mod hash;
 pub mod io;
@@ -57,6 +62,7 @@ pub mod relation;
 
 pub use attr::{AttrId, AttrSet};
 pub use catalog::{Catalog, ValueDict};
+pub use context::{AnalysisContext, CacheStats, GroupIds};
 pub use error::{RelationError, Result};
 pub use io::{read_delimited, write_delimited, ReadOptions};
 pub use relation::{GroupCounts, Relation, RowIter, Value};

@@ -55,7 +55,7 @@ proptest! {
         let joined = natural_join(&left, &right).unwrap();
         prop_assert!(r.is_subset_of(&joined));
         prop_assert!(joined.is_set());
-        prop_assert_eq!(joined.len() as u64, count_natural_join(&left, &right).unwrap());
+        prop_assert_eq!(joined.len() as u128, count_natural_join(&left, &right).unwrap());
     }
 
     /// Natural join is commutative up to column order and set equality.

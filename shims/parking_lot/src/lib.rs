@@ -6,7 +6,7 @@
 //! `parking_lot`'s behaviour of not poisoning at all for the workloads here:
 //! a panicked experiment worker already aborts the run.
 
-use std::sync::{MutexGuard, PoisonError};
+use std::sync::{MutexGuard, PoisonError, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion primitive with `parking_lot`'s poison-free interface.
 #[derive(Debug, Default)]
@@ -40,15 +40,69 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader–writer lock with `parking_lot`'s poison-free interface.
+///
+/// Many readers may hold the lock simultaneously; writers get exclusive
+/// access.  Used by the shared-computation caches (`AnalysisContext`), where
+/// concurrent analysis threads mostly read already-memoized entries.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader–writer lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    ///
+    /// Like `parking_lot`, does not surface poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    ///
+    /// Like `parking_lot`, does not surface poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_and_into_inner_round_trip() {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let l = RwLock::new(5u32);
+        {
+            let a = l.read();
+            let b = l.read(); // concurrent readers are fine
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 6);
     }
 
     #[test]

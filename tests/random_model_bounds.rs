@@ -153,7 +153,7 @@ fn proposition_5_3_schema_bound_holds_on_samples() {
         let r = model.sample(&mut rng, n).unwrap();
         let analysis = LossAnalysis::new(&r, &tree).unwrap();
         let rep = analysis.report();
-        let pb = analysis.probabilistic_bounds(0.1);
+        let pb = analysis.probabilistic_bounds(0.1).unwrap();
         assert!(rep.log1p_rho <= pb.schema_bound.sum_cmi_bound + 1e-9);
         // Theorem 2.2 makes the J-based bound (eq. 34) the looser of the two.
         assert!(pb.schema_bound.sum_cmi_bound <= pb.schema_bound.j_based_bound + 1e-9);
