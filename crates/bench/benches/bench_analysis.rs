@@ -1,6 +1,6 @@
 //! Ablation benchmark: computing the loss `ρ(R,S)` by message-passing over
 //! the join tree (`count_acyclic_join`) vs by materialising the acyclic join
-//! (`loss_materialized`), plus the cost of a full `LossAnalysis` report and
+//! (`loss_materialized`), plus the cost of a full `Analyzer` report and
 //! of the schema miner.
 //!
 //! The counting approach is the reason the library can evaluate losses whose
@@ -10,8 +10,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use ajd_core::analysis::LossAnalysis;
 use ajd_core::discovery::{DiscoveryConfig, SchemaMiner};
+use ajd_core::Analyzer;
 use ajd_jointree::count::loss_materialized;
 use ajd_jointree::{count_acyclic_join, JoinTree};
 use ajd_random::generators::{bijection_relation, markov_chain_relation, random_relation};
@@ -48,7 +48,7 @@ fn bench_full_report(c: &mut Criterion) {
     let tree = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap();
     group.throughput(Throughput::Elements(20_000));
     group.bench_function("loss_analysis_20k", |b| {
-        b.iter(|| LossAnalysis::new(&r, &tree).unwrap().report())
+        b.iter(|| Analyzer::new(&r).analyze(&tree).unwrap())
     });
     group.finish();
 }

@@ -13,8 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use ajd_core::analysis::LossAnalysis;
-use ajd_core::BatchAnalyzer;
+use ajd_core::{Analyzer, BatchAnalyzer};
 use ajd_jointree::JoinTree;
 use ajd_random::generators::markov_chain_relation;
 use ajd_relation::{AttrSet, Relation};
@@ -54,7 +53,7 @@ fn assert_cached_matches_uncached(r: &Relation, trees: &[JoinTree]) {
     let batch = BatchAnalyzer::new(r);
     for (tree, cached) in trees.iter().zip(batch.analyze_all(trees)) {
         let cached = cached.expect("batch analysis succeeds");
-        let fresh = LossAnalysis::new(r, tree).unwrap().report();
+        let fresh = Analyzer::new(r).analyze(tree).unwrap();
         assert_eq!(fresh.join_size, cached.join_size);
         assert_eq!(fresh.rho.to_bits(), cached.rho.to_bits());
         assert_eq!(fresh.j_measure.to_bits(), cached.j_measure.to_bits());
@@ -74,7 +73,7 @@ fn bench_discovery_sweep(c: &mut Criterion) {
         b.iter(|| {
             trees
                 .iter()
-                .map(|t| LossAnalysis::new(&r, t).unwrap().report().j_measure)
+                .map(|t| Analyzer::new(&r).analyze(t).unwrap().j_measure)
                 .sum::<f64>()
         })
     });
@@ -108,9 +107,9 @@ fn bench_single_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("context/single_tree");
     group.sample_size(10);
     group.throughput(Throughput::Elements(r.len() as u64));
-    // Cold: a fresh context per analysis (what `LossAnalysis::new` does).
+    // Cold: a fresh analyzer (empty cache) per analysis.
     group.bench_function("cold_context", |b| {
-        b.iter(|| LossAnalysis::new(&r, &tree).unwrap().report())
+        b.iter(|| Analyzer::new(&r).analyze(&tree).unwrap())
     });
     // Warm: the context has already seen this tree; everything is a hit.
     let batch = BatchAnalyzer::new(&r);
@@ -119,5 +118,38 @@ fn bench_single_tree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_discovery_sweep, bench_single_tree);
+/// Re-times the sweep's headline comparison (shared cache vs per-tree
+/// recomputation) with the standalone timer and appends the records to the
+/// perf-trajectory JSON (`BENCH_columnar.json`, see `ajd_bench::perf`).
+fn record_trajectory(_c: &mut Criterion) {
+    use ajd_bench::{time_median, BenchJson};
+    use std::time::Duration;
+
+    let r = workload();
+    let trees = sweep_trees();
+    let budget = Duration::from_millis(400);
+    let uncached = time_median(budget, || {
+        trees
+            .iter()
+            .map(|t| Analyzer::new(&r).analyze(t).unwrap().j_measure)
+            .sum::<f64>()
+    });
+    let cached = time_median(budget, || {
+        let batch = BatchAnalyzer::new(&r).with_threads(1);
+        trees
+            .iter()
+            .map(|t| batch.analyze(t).unwrap().j_measure)
+            .sum::<f64>()
+    });
+    let mut json = BenchJson::new();
+    json.record_vs_baseline("context/discovery_sweep_cached", cached, uncached);
+    json.emit(&BenchJson::default_path());
+}
+
+criterion_group!(
+    benches,
+    bench_discovery_sweep,
+    bench_single_tree,
+    record_trajectory
+);
 criterion_main!(benches);

@@ -10,9 +10,7 @@
 use ajd_bench::harness::{parallel_trials, ExperimentArgs};
 use ajd_bench::stats::Summary;
 use ajd_bench::table::{f, Table};
-use ajd_core::discovery::{DiscoveryConfig, SchemaMiner};
-use ajd_core::BatchAnalyzer;
-use ajd_jointree::loss_acyclic_ctx;
+use ajd_core::{Analyzer, DiscoveryConfig};
 use ajd_random::generators::markov_chain_relation;
 
 fn main() {
@@ -54,17 +52,19 @@ fn main() {
                 |_, rng| {
                     let r = markov_chain_relation(rng, num_attrs, domain, n, noise, true)
                         .expect("generator parameters are valid");
-                    let miner = SchemaMiner::new(DiscoveryConfig {
-                        j_threshold,
-                        ..DiscoveryConfig::default()
-                    });
-                    // One shared cache per trial: candidate scoring during
+                    // One shared analyzer per trial: candidate scoring during
                     // mining and the final loss evaluation reuse the same
-                    // groupings.  Trials are already parallel, so keep the
-                    // batch itself single-threaded.
-                    let batch = BatchAnalyzer::new(&r).with_threads(1);
-                    let mined = miner.mine_with(&batch).expect("mining succeeds");
-                    let rho = loss_acyclic_ctx(batch.context(), &mined.tree)
+                    // groupings.  (Trials are already parallel; Analyzer::mine
+                    // scores candidates sequentially.)
+                    let analyzer = Analyzer::new(&r);
+                    let mined = analyzer
+                        .mine(DiscoveryConfig {
+                            j_threshold,
+                            ..DiscoveryConfig::default()
+                        })
+                        .expect("mining succeeds");
+                    let rho = analyzer
+                        .loss(&mined.tree)
                         .expect("loss of the mined schema");
                     let max_bag = mined.bags().iter().map(|b| b.len()).max().unwrap_or(0);
                     (

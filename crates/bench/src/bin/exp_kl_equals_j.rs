@@ -9,10 +9,10 @@
 use ajd_bench::harness::{parallel_trials, ExperimentArgs};
 use ajd_bench::stats::Summary;
 use ajd_bench::table::{f, Table};
-use ajd_info::{j_measure_ctx, kl_divergence_to_tree_ctx};
+use ajd_core::Analyzer;
 use ajd_jointree::JoinTree;
 use ajd_random::{ProductDomain, RandomRelationModel};
-use ajd_relation::{AnalysisContext, AttrSet};
+use ajd_relation::AttrSet;
 
 fn bag(ids: &[u32]) -> AttrSet {
     AttrSet::from_ids(ids.iter().copied())
@@ -61,12 +61,12 @@ fn main() {
         for &n in &sizes {
             let rows = parallel_trials(args.trials, args.seed ^ (n << 8), |_, rng| {
                 let r = model.sample(rng, n).expect("N within domain");
-                // One shared context: J and KL need the same bag/separator
+                // One shared analyzer: J and KL need the same bag/separator
                 // marginals, so the two "different code paths" of the
                 // theorem share their grouping work (not their arithmetic).
-                let ctx = AnalysisContext::new(&r);
-                let j = j_measure_ctx(&ctx, tree).expect("j measure");
-                let kl = kl_divergence_to_tree_ctx(&ctx, tree).expect("kl divergence");
+                let analyzer = Analyzer::new(&r);
+                let j = analyzer.j_measure(tree).expect("j measure");
+                let kl = analyzer.kl(tree).expect("kl divergence");
                 (j, (j - kl).abs())
             });
             let js: Vec<f64> = rows.iter().map(|(j, _)| *j).collect();

@@ -7,7 +7,7 @@
 
 use ajd_bench::harness::ExperimentArgs;
 use ajd_bench::table::{f, Table};
-use ajd_core::analysis::LossAnalysis;
+use ajd_core::Analyzer;
 use ajd_jointree::JoinTree;
 use ajd_random::generators::bijection_relation;
 use ajd_relation::{AttrId, AttrSet};
@@ -41,9 +41,9 @@ fn main() {
 
     for n in sizes {
         let r = bijection_relation(n);
-        let rep = LossAnalysis::new(&r, &tree)
-            .expect("analysis of the bijection relation")
-            .report();
+        let rep = Analyzer::new(&r)
+            .analyze(&tree)
+            .expect("analysis of the bijection relation");
         table.push_row(vec![
             n.to_string(),
             rep.spurious.to_string(),

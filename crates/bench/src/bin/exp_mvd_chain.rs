@@ -11,7 +11,7 @@
 use ajd_bench::harness::{parallel_trials, ExperimentArgs};
 use ajd_bench::stats::{fraction_where, Summary};
 use ajd_bench::table::{f, Table};
-use ajd_core::analysis::LossAnalysis;
+use ajd_core::Analyzer;
 use ajd_jointree::JoinTree;
 use ajd_random::{ProductDomain, RandomRelationModel};
 use ajd_relation::AttrSet;
@@ -63,7 +63,7 @@ fn main() {
             let model = RandomRelationModel::new(domain);
             let rows = parallel_trials(args.trials, args.seed ^ ((m as u64) << 4), |_, rng| {
                 let r = model.sample(rng, n).expect("N within domain");
-                let rep = LossAnalysis::new(&r, &tree).expect("analysis").report();
+                let rep = Analyzer::new(&r).analyze(&tree).expect("analysis");
                 (rep.j_measure, rep.prop51_bound, rep.log1p_rho)
             });
             let lhs: Vec<f64> = rows.iter().map(|(j, _, _)| *j).collect();

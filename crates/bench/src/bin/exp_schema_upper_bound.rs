@@ -11,7 +11,7 @@
 use ajd_bench::harness::{parallel_trials, ExperimentArgs};
 use ajd_bench::stats::{fraction_where, Summary};
 use ajd_bench::table::{f, Table};
-use ajd_core::analysis::LossAnalysis;
+use ajd_core::Analyzer;
 use ajd_jointree::JoinTree;
 use ajd_random::generators::approximate_mvd_relation;
 use ajd_relation::AttrSet;
@@ -52,11 +52,8 @@ fn main() {
             |_, rng| {
                 let r = approximate_mvd_relation(rng, d_a, d_b, d_c, per_a, per_b, noise)
                     .expect("generator parameters are valid");
-                let analysis = LossAnalysis::new(&r, &tree).expect("analysis");
-                let rep = analysis.report();
-                let pb = analysis
-                    .probabilistic_bounds(delta)
-                    .expect("delta is in (0,1)");
+                let rep = Analyzer::new(&r).analyze(&tree).expect("analysis");
+                let pb = rep.probabilistic_bounds(delta).expect("delta is in (0,1)");
                 (
                     r.len() as f64,
                     rep.log1p_rho,

@@ -27,9 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod perf;
 pub mod stats;
 pub mod table;
 
 pub use harness::{parallel_trials, ExperimentArgs};
+pub use perf::{time_median, BenchJson, BenchRecord};
 pub use stats::Summary;
 pub use table::Table;

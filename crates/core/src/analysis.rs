@@ -1,30 +1,43 @@
-//! One-stop loss analysis of an acyclic schema with respect to a relation.
+//! The context-first [`Analyzer`] — one entry point for everything the
+//! paper measures about a relation.
 //!
-//! [`LossAnalysis`] evaluates, for a relation `R` and a join tree `T`:
+//! `Analyzer::new(&relation)` owns a shared
+//! [`ajd_relation::AnalysisContext`] and routes **every** quantity through
+//! it, so any two queries that touch the same attribute subset — two
+//! measures, two candidate join trees, a measure and a mining sweep — pay
+//! for the grouping once:
 //!
-//! * the exact loss `ρ(R,S)` of eq. (1), via message-passing join counting;
-//! * the J-measure `J(T)` (eq. 7) and the KL-divergence `D_KL(P‖P^T)`
-//!   (Theorem 3.2) — equal up to floating point, reported separately as a
-//!   numerical cross-check;
-//! * the per-MVD decomposition over the ordered support (eq. 9): loss,
-//!   `log(1+ρ)` and conditional mutual information of every support MVD;
-//! * the deterministic bounds: Lemma 4.1 (`ρ ≥ e^J − 1`) and
-//!   Proposition 5.1 (`J(R,S) ≤ Σ log(1+ρ(R,φᵢ))`);
-//! * optionally, the probabilistic bounds of Theorem 5.1 / Proposition 5.3
-//!   with the `ε*` deviation instantiated from the *measured* active domain
-//!   sizes of each support MVD.
+//! * the exact loss `ρ(R,S)` of eq. (1) ([`Analyzer::loss`]), via
+//!   message-passing join counting ([`Analyzer::join_size`]);
+//! * the J-measure `J(T)` (eq. 7, [`Analyzer::j_measure`]) and the
+//!   KL-divergence `D_KL(P‖P^T)` (Theorem 3.2, [`Analyzer::kl`]);
+//! * entropies and (conditional) mutual informations
+//!   ([`Analyzer::entropy`], [`Analyzer::cmi`], [`Analyzer::mvd_cmi`]);
+//! * per-MVD quantities ([`Analyzer::mvd_loss`], [`Analyzer::mvd_holds`]);
+//! * the full [`LossReport`] ([`Analyzer::analyze`]): everything above plus
+//!   the ordered-support decomposition (eq. 9), the Lemma 4.1 and
+//!   Proposition 5.1 deterministic bounds and the Theorem 2.2 sandwich;
+//! * fan-out ([`Analyzer::batch`] → [`crate::BatchAnalyzer`]) and schema
+//!   mining ([`Analyzer::mine`]) over the same shared cache.
+//!
+//! The probabilistic Theorem 5.1 / Proposition 5.3 bounds are derived from
+//! a report via [`LossReport::probabilistic_bounds`].
 
 use ajd_bounds::{
     epsilon_star, j_lower_bound_on_loss, prop51_j_bound, prop53_schema_bound, Prop53Bound,
     Thm51Params,
 };
-use ajd_info::jmeasure::{j_measure_bounds_ctx, j_measure_ctx, JMeasureBounds};
-use ajd_info::{kl_divergence_to_tree_ctx, mvd_cmi_ctx};
+use ajd_info::jmeasure::{j_measure, j_measure_bounds, JMeasureBounds};
+use ajd_info::{conditional_entropy, conditional_mutual_information, entropy};
+use ajd_info::{kl_divergence_to_tree, kl_report, mutual_information, mvd_cmi, KlReport};
 use ajd_jointree::mvd::ordered_support;
-use ajd_jointree::{count_acyclic_join_ctx, JoinTree, Mvd};
-use ajd_relation::{AnalysisContext, Relation, RelationError, Result};
+use ajd_jointree::{count_acyclic_join, loss_acyclic, JoinTree, Mvd};
+use ajd_relation::{
+    AnalysisContext, AttrSet, CacheStats, GroupSource, Relation, RelationError, Result,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Loss and information measures of a single support MVD `φᵢ`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -106,6 +119,46 @@ impl LossReport {
     pub fn lemma41_gap(&self) -> f64 {
         self.log1p_rho - self.j_measure
     }
+
+    /// Evaluates the probabilistic upper bounds of Theorem 5.1 /
+    /// Proposition 5.3 at total confidence `1 − δ`.
+    ///
+    /// Each support MVD's `ε*` is instantiated at confidence `δ/(m−1)` with
+    /// the *measured* active-domain sizes of its sides, as recorded in this
+    /// report.  The returned struct also reports, per MVD, whether the
+    /// qualifying condition (37) of Theorem 5.1 holds; when it does not, the
+    /// ε-term is still computed but the paper gives no guarantee.
+    ///
+    /// `delta` must lie strictly inside `(0, 1)`; values outside that range
+    /// yield [`RelationError::InvalidParameter`] (library code must not
+    /// panic on caller input).
+    pub fn probabilistic_bounds(&self, delta: f64) -> Result<ProbabilisticBounds> {
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(RelationError::InvalidParameter {
+                what: "delta",
+                detail: format!("confidence parameter must be in (0,1), got {delta}"),
+            });
+        }
+        let m_minus_1 = self.per_mvd.len().max(1);
+        let per_delta = delta / m_minus_1 as f64;
+        let mut eps = Vec::with_capacity(self.per_mvd.len());
+        let mut qualified = Vec::with_capacity(self.per_mvd.len());
+        let mut cmis = Vec::with_capacity(self.per_mvd.len());
+        for m in &self.per_mvd {
+            let (d_a, d_b, d_c) = m.domain_sizes;
+            let params = Thm51Params::new(d_a.max(1), d_b.max(1), d_c.max(1), self.n, per_delta);
+            eps.push(epsilon_star(&params));
+            qualified.push(ajd_bounds::thm51_qualifying_condition(&params));
+            cmis.push(m.cmi_nats);
+        }
+        let schema_bound = prop53_schema_bound(&cmis, &eps, self.j_measure, delta);
+        Ok(ProbabilisticBounds {
+            per_mvd_epsilon: eps,
+            per_mvd_qualified: qualified,
+            schema_bound,
+            delta,
+        })
+    }
 }
 
 impl fmt::Display for LossReport {
@@ -141,174 +194,269 @@ impl fmt::Display for LossReport {
     }
 }
 
-/// Analyzer binding a relation to a join tree.
-#[derive(Debug, Clone)]
-pub struct LossAnalysis<'a> {
-    relation: &'a Relation,
-    tree: JoinTree,
-    report: LossReport,
-}
-
-impl<'a> LossAnalysis<'a> {
-    /// Prepares the analysis and computes the full [`LossReport`] through a
-    /// private, throwaway [`AnalysisContext`].
-    ///
-    /// When analysing several trees over the same relation, build one
-    /// context (or use [`crate::BatchAnalyzer`]) and call
-    /// [`LossAnalysis::with_context`] so the grouping work is shared.
-    pub fn new(r: &'a Relation, tree: &JoinTree) -> Result<Self> {
-        Self::with_context(&AnalysisContext::new(r), tree)
+/// Computes the full [`LossReport`] of one tree over any [`GroupSource`].
+///
+/// This is the shared implementation behind [`Analyzer::analyze`] and
+/// [`crate::BatchAnalyzer::analyze`].
+///
+/// Requirements: the relation must be non-empty and the tree's attributes
+/// must be exactly the relation's attributes (so that the empirical
+/// distributions and `P^T` live over the same variable set).
+///
+/// Multiset relations are accepted — information measures then weight
+/// tuples by multiplicity, and the loss side (`join_size`, `spurious`, `ρ`)
+/// is measured against the number of *distinct* tuples
+/// ([`LossReport::distinct_n`]), because bag projections are set-semantic
+/// and the rejoined relation contains each tuple once.  The paper's
+/// statements relating `J` to `ρ` (Lemma 4.1, Proposition 5.1) assume a
+/// *set* relation; call [`Relation::distinct`] first if your data has
+/// duplicates and you want those guarantees.
+pub(crate) fn report_for<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<LossReport> {
+    let r = src.relation();
+    if r.is_empty() {
+        return Err(RelationError::EmptyInput("relation for loss analysis"));
+    }
+    if tree.attributes() != r.attrs() {
+        return Err(RelationError::SchemaMismatch {
+            detail: format!(
+                "join tree covers {} but the relation has attributes {}",
+                tree.attributes(),
+                r.attrs()
+            ),
+        });
     }
 
-    /// Prepares the analysis over a shared [`AnalysisContext`], computing
-    /// the full [`LossReport`] with every projection and group count served
-    /// from (and memoized into) the context's caches.
-    ///
-    /// Requirements: the relation must be non-empty and the tree's
-    /// attributes must be exactly the relation's attributes (so that the
-    /// empirical distributions and `P^T` live over the same variable set).
-    ///
-    /// Multiset relations are accepted — information measures then weight
-    /// tuples by multiplicity, and the loss side (`join_size`, `spurious`,
-    /// `ρ`) is measured against the number of *distinct* tuples
-    /// ([`LossReport::distinct_n`]), because bag projections are
-    /// set-semantic and the rejoined relation contains each tuple once.
-    /// The paper's statements relating `J` to `ρ` (Lemma 4.1,
-    /// Proposition 5.1) assume a *set* relation; call
-    /// [`Relation::distinct`] first if your data has duplicates and you
-    /// want those guarantees.
-    pub fn with_context(ctx: &AnalysisContext<'a>, tree: &JoinTree) -> Result<Self> {
-        let r = ctx.relation();
-        if r.is_empty() {
-            return Err(RelationError::EmptyInput("relation for loss analysis"));
+    let n = r.len() as u64;
+    // For a set relation this is `n`; for a multiset it is the size of
+    // `distinct(R)`, the baseline the rejoined (set-semantic) join must be
+    // compared against.  (The full-relation group counts also back `H(Ω)`
+    // and the KL sum, so this grouping is shared, not extra.)
+    let distinct_n = src.group_counts(&r.attrs())?.num_groups() as u64;
+    let join_size = count_acyclic_join(src, tree)?;
+    let spurious = join_size
+        .checked_sub(distinct_n as u128)
+        .expect("the acyclic join contains every distinct tuple of R");
+    let rho = (join_size as f64 - distinct_n as f64) / distinct_n as f64;
+    let j = j_measure(src, tree)?;
+    let kl = kl_divergence_to_tree(src, tree)?;
+    let theorem22 = j_measure_bounds(src, tree, 0)?;
+
+    // Active-domain size of an attribute set: O(1) from the column
+    // dictionary for a single attribute, a (memoized) grouping for value
+    // combinations.  Both count the same distinct projections.
+    let marginal_support = |attrs: &AttrSet| -> Result<u64> {
+        match attrs.as_slice() {
+            [] => Ok(1),
+            [single] => Ok(r.active_domain_size(*single)? as u64),
+            _ => Ok(src.group_counts(attrs)?.num_groups() as u64),
         }
-        if tree.attributes() != r.attrs() {
-            return Err(RelationError::SchemaMismatch {
-                detail: format!(
-                    "join tree covers {} but the relation has attributes {}",
-                    tree.attributes(),
-                    r.attrs()
-                ),
-            });
+    };
+
+    let rooted = tree.rooted(0)?;
+    let support = ordered_support(&rooted);
+    let mut per_mvd = Vec::with_capacity(support.len());
+    for mvd in support {
+        let cmi = mvd_cmi(src, &mvd)?;
+        // Ordered-support MVDs cover all of Ω, so this is measured against
+        // the same distinct-tuple baseline as the schema loss.
+        let mvd_rho = mvd.loss(src)?;
+        let d_a = marginal_support(&mvd.left_exclusive())?;
+        let d_b = marginal_support(&mvd.right_exclusive())?;
+        let d_c = marginal_support(&mvd.lhs)?;
+        per_mvd.push(MvdLoss {
+            cmi_nats: cmi,
+            rho: mvd_rho,
+            log1p_rho: mvd_rho.ln_1p(),
+            domain_sizes: (d_a, d_b, d_c),
+            mvd,
+        });
+    }
+    let prop51_bound = prop51_j_bound(&per_mvd.iter().map(|m| m.rho).collect::<Vec<_>>());
+
+    Ok(LossReport {
+        n,
+        distinct_n,
+        num_bags: tree.num_nodes(),
+        join_size,
+        spurious,
+        rho,
+        log1p_rho: rho.ln_1p(),
+        j_measure: j,
+        kl_nats: kl,
+        rho_lower_bound: j_lower_bound_on_loss(j.max(0.0)),
+        theorem22,
+        per_mvd,
+        prop51_bound,
+    })
+}
+
+/// The context-first analysis entry point: one owner for the cached state
+/// of one relation, one API to route every measure through.
+///
+/// ```
+/// use ajd_core::Analyzer;
+/// use ajd_jointree::JoinTree;
+/// use ajd_random::generators::bijection_relation;
+/// use ajd_relation::{AttrId, AttrSet};
+///
+/// // Example 4.1 of the paper.
+/// let r = bijection_relation(16);
+/// let tree = JoinTree::from_acyclic_schema(&[
+///     AttrSet::singleton(AttrId(0)),
+///     AttrSet::singleton(AttrId(1)),
+/// ]).unwrap();
+///
+/// let analyzer = Analyzer::new(&r);
+/// let report = analyzer.analyze(&tree).unwrap();
+/// assert_eq!(report.spurious, 16 * 16 - 16);
+/// // Individual measures share the same cache:
+/// assert_eq!(analyzer.loss(&tree).unwrap(), report.rho);
+/// assert!(analyzer.cache_stats().hits > 0);
+/// ```
+#[derive(Debug)]
+pub struct Analyzer<'a> {
+    ctx: Arc<AnalysisContext<'a>>,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Creates an analyzer over `r` with an empty cache.
+    pub fn new(r: &'a Relation) -> Self {
+        Analyzer {
+            ctx: Arc::new(AnalysisContext::new(r)),
         }
+    }
 
-        let n = r.len() as u64;
-        // For a set relation this is `n`; for a multiset it is the size of
-        // `distinct(R)`, the baseline the rejoined (set-semantic) join must
-        // be compared against.  (The full-relation group counts also back
-        // `H(Ω)` and the KL sum, so this grouping is shared, not extra.)
-        let distinct_n = ctx.group_counts(&r.attrs())?.num_groups() as u64;
-        let join_size = count_acyclic_join_ctx(ctx, tree)?;
-        let spurious = join_size
-            .checked_sub(distinct_n as u128)
-            .expect("the acyclic join contains every distinct tuple of R");
-        let rho = (join_size as f64 - distinct_n as f64) / distinct_n as f64;
-        let j = j_measure_ctx(ctx, tree)?;
-        let kl = kl_divergence_to_tree_ctx(ctx, tree)?;
-        let theorem22 = j_measure_bounds_ctx(ctx, tree, 0)?;
-
-        let rooted = tree.rooted(0)?;
-        let support = ordered_support(&rooted);
-        let mut per_mvd = Vec::with_capacity(support.len());
-        for mvd in support {
-            let cmi = mvd_cmi_ctx(ctx, &mvd)?;
-            // Ordered-support MVDs cover all of Ω, so this is measured
-            // against the same distinct-tuple baseline as the schema loss.
-            let mvd_rho = mvd.loss_ctx(ctx)?;
-            let d_a = ctx.group_counts(&mvd.left_exclusive())?.num_groups() as u64;
-            let d_b = ctx.group_counts(&mvd.right_exclusive())?.num_groups() as u64;
-            let d_c = if mvd.lhs.is_empty() {
-                1
-            } else {
-                ctx.group_counts(&mvd.lhs)?.num_groups() as u64
-            };
-            per_mvd.push(MvdLoss {
-                cmi_nats: cmi,
-                rho: mvd_rho,
-                log1p_rho: mvd_rho.ln_1p(),
-                domain_sizes: (d_a, d_b, d_c),
-                mvd,
-            });
-        }
-        let prop51_bound = prop51_j_bound(&per_mvd.iter().map(|m| m.rho).collect::<Vec<_>>());
-
-        let report = LossReport {
-            n,
-            distinct_n,
-            num_bags: tree.num_nodes(),
-            join_size,
-            spurious,
-            rho,
-            log1p_rho: rho.ln_1p(),
-            j_measure: j,
-            kl_nats: kl,
-            rho_lower_bound: j_lower_bound_on_loss(j.max(0.0)),
-            theorem22,
-            per_mvd,
-            prop51_bound,
-        };
-
-        Ok(LossAnalysis {
-            relation: r,
-            tree: tree.clone(),
-            report,
-        })
+    /// The shared context handle (for constructs that want to co-own it).
+    pub(crate) fn shared(&self) -> Arc<AnalysisContext<'a>> {
+        Arc::clone(&self.ctx)
     }
 
     /// The relation being analysed.
-    pub fn relation(&self) -> &Relation {
-        self.relation
+    pub fn relation(&self) -> &'a Relation {
+        self.ctx.relation()
     }
 
-    /// The join tree being analysed.
-    pub fn tree(&self) -> &JoinTree {
-        &self.tree
+    /// The underlying shared context, for advanced composition (e.g. calling
+    /// the free measure functions of `ajd-info` / `ajd-jointree` directly
+    /// against this analyzer's cache).
+    pub fn context(&self) -> &AnalysisContext<'a> {
+        &self.ctx
     }
 
-    /// The computed report (cheap clone of the precomputed values).
-    pub fn report(&self) -> LossReport {
-        self.report.clone()
+    /// Snapshot of the shared cache's effectiveness.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ctx.stats()
     }
 
-    /// Evaluates the probabilistic upper bounds of Theorem 5.1 /
-    /// Proposition 5.3 at total confidence `1 − δ`.
+    // ------------------------------------------------------------------
+    // Information measures
+    // ------------------------------------------------------------------
+
+    /// Entropy `H(attrs)` in nats of the marginal empirical distribution.
+    pub fn entropy(&self, attrs: &AttrSet) -> Result<f64> {
+        entropy(&*self.ctx, attrs)
+    }
+
+    /// Conditional entropy `H(A | B)` in nats.
+    pub fn conditional_entropy(&self, a: &AttrSet, b: &AttrSet) -> Result<f64> {
+        conditional_entropy(&*self.ctx, a, b)
+    }
+
+    /// Mutual information `I(A; B)` in nats.
+    pub fn mutual_information(&self, a: &AttrSet, b: &AttrSet) -> Result<f64> {
+        mutual_information(&*self.ctx, a, b)
+    }
+
+    /// Conditional mutual information `I(A; B | C)` in nats (eq. 4).
+    pub fn cmi(&self, a: &AttrSet, b: &AttrSet, c: &AttrSet) -> Result<f64> {
+        conditional_mutual_information(&*self.ctx, a, b, c)
+    }
+
+    /// The CMI `I(A;B|C)` of an MVD `φ = C ↠ A | B`.
+    pub fn mvd_cmi(&self, mvd: &Mvd) -> Result<f64> {
+        mvd_cmi(&*self.ctx, mvd)
+    }
+
+    // ------------------------------------------------------------------
+    // Tree measures
+    // ------------------------------------------------------------------
+
+    /// The J-measure `J(T)` in nats (eq. 7).
+    pub fn j_measure(&self, tree: &JoinTree) -> Result<f64> {
+        j_measure(&*self.ctx, tree)
+    }
+
+    /// The Theorem 2.2 sandwich (max CMI ≤ J ≤ sum CMI) for the tree rooted
+    /// at `root`.
+    pub fn j_measure_bounds(&self, tree: &JoinTree, root: usize) -> Result<JMeasureBounds> {
+        j_measure_bounds(&*self.ctx, tree, root)
+    }
+
+    /// `D_KL(P_R ‖ P_R^T)` in nats (Theorem 3.2).
+    pub fn kl(&self, tree: &JoinTree) -> Result<f64> {
+        kl_divergence_to_tree(&*self.ctx, tree)
+    }
+
+    /// Like [`Analyzer::kl`], additionally reporting the support size.
+    pub fn kl_report(&self, tree: &JoinTree) -> Result<KlReport> {
+        kl_report(&*self.ctx, tree)
+    }
+
+    /// Exact size of the acyclic join `|⋈ᵢ R[Ωᵢ]|` (message passing, no
+    /// materialisation).
+    pub fn join_size(&self, tree: &JoinTree) -> Result<u128> {
+        count_acyclic_join(&*self.ctx, tree)
+    }
+
+    /// The exact loss `ρ(R,S)` of eq. (1).
+    pub fn loss(&self, tree: &JoinTree) -> Result<f64> {
+        loss_acyclic(&*self.ctx, tree)
+    }
+
+    /// The full [`LossReport`] of one tree: loss, J, KL, Theorem 2.2
+    /// sandwich, ordered-support decomposition and deterministic bounds.
+    pub fn analyze(&self, tree: &JoinTree) -> Result<LossReport> {
+        report_for(&*self.ctx, tree)
+    }
+
+    // ------------------------------------------------------------------
+    // MVD measures
+    // ------------------------------------------------------------------
+
+    /// Size of an MVD's two-way join `|R[C∪A] ⋈ R[C∪B]|`.
+    pub fn mvd_join_size(&self, mvd: &Mvd) -> Result<u128> {
+        mvd.join_size(&*self.ctx)
+    }
+
+    /// The loss `ρ(R, φ)` of eq. (28) for one MVD.
+    pub fn mvd_loss(&self, mvd: &Mvd) -> Result<f64> {
+        mvd.loss(&*self.ctx)
+    }
+
+    /// `true` if the MVD holds in the relation (zero spurious tuples).
+    pub fn mvd_holds(&self, mvd: &Mvd) -> Result<bool> {
+        mvd.holds_in(&*self.ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // Fan-out
+    // ------------------------------------------------------------------
+
+    /// A [`crate::BatchAnalyzer`] sharing this analyzer's cache: evaluate
+    /// many trees in parallel, every grouping still paid for once.
+    pub fn batch(&self) -> crate::BatchAnalyzer<'a> {
+        crate::BatchAnalyzer::from_shared(self.shared())
+    }
+
+    /// Mines an approximate acyclic schema (Chow–Liu + greedy coarsening,
+    /// see [`crate::SchemaMiner`]) through this analyzer's cache.
     ///
-    /// Each support MVD's `ε*` is instantiated at confidence `δ/(m−1)` with
-    /// the *measured* active-domain sizes of its sides, as recorded in the
-    /// report.  The returned struct also reports, per MVD, whether the
-    /// qualifying condition (37) of Theorem 5.1 holds; when it does not, the
-    /// ε-term is still computed but the paper gives no guarantee.
-    ///
-    /// `delta` must lie strictly inside `(0, 1)`; values outside that range
-    /// yield [`RelationError::InvalidParameter`] (library code must not
-    /// panic on caller input).
-    pub fn probabilistic_bounds(&self, delta: f64) -> Result<ProbabilisticBounds> {
-        if !(delta > 0.0 && delta < 1.0) {
-            return Err(RelationError::InvalidParameter {
-                what: "delta",
-                detail: format!("confidence parameter must be in (0,1), got {delta}"),
-            });
-        }
-        let m_minus_1 = self.report.per_mvd.len().max(1);
-        let per_delta = delta / m_minus_1 as f64;
-        let mut eps = Vec::with_capacity(self.report.per_mvd.len());
-        let mut qualified = Vec::with_capacity(self.report.per_mvd.len());
-        let mut cmis = Vec::with_capacity(self.report.per_mvd.len());
-        for m in &self.report.per_mvd {
-            let (d_a, d_b, d_c) = m.domain_sizes;
-            let params =
-                Thm51Params::new(d_a.max(1), d_b.max(1), d_c.max(1), self.report.n, per_delta);
-            eps.push(epsilon_star(&params));
-            qualified.push(ajd_bounds::thm51_qualifying_condition(&params));
-            cmis.push(m.cmi_nats);
-        }
-        let schema_bound = prop53_schema_bound(&cmis, &eps, self.report.j_measure, delta);
-        Ok(ProbabilisticBounds {
-            per_mvd_epsilon: eps,
-            per_mvd_qualified: qualified,
-            schema_bound,
-            delta,
-        })
+    /// Candidate scoring is sequential here — callers commonly analyse many
+    /// relations in their own parallel loops; use
+    /// [`crate::SchemaMiner::mine_with`] with a multi-threaded
+    /// [`Analyzer::batch`] to parallelise each round instead.
+    pub fn mine(&self, config: crate::DiscoveryConfig) -> Result<crate::MinedSchema> {
+        crate::SchemaMiner::new(config).mine_with(&self.batch().with_threads(1))
     }
 }
 
@@ -333,8 +481,7 @@ mod tests {
     fn bijection_relation_report_matches_example_4_1() {
         let n = 16u32;
         let r = bijection_relation(n);
-        let a = LossAnalysis::new(&r, &cross_tree()).unwrap();
-        let rep = a.report();
+        let rep = Analyzer::new(&r).analyze(&cross_tree()).unwrap();
         assert_eq!(rep.n, n as u64);
         assert_eq!(rep.join_size, (n as u128) * (n as u128));
         assert_eq!(rep.spurious, (n as u128) * (n as u128) - n as u128);
@@ -350,7 +497,7 @@ mod tests {
     fn lossless_relation_reports_zero_everything() {
         let r = conditional_product_relation(4, 3, 2);
         let tree = JoinTree::new(vec![bag(&[0, 2]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
-        let rep = LossAnalysis::new(&r, &tree).unwrap().report();
+        let rep = Analyzer::new(&r).analyze(&tree).unwrap();
         assert!(rep.is_lossless());
         assert_eq!(rep.spurious, 0);
         assert!(rep.rho.abs() < 1e-12);
@@ -375,8 +522,9 @@ mod tests {
         ];
         for _ in 0..5 {
             let r = model.sample(&mut rng, 80).unwrap();
+            let analyzer = Analyzer::new(&r);
             for tree in &trees {
-                let rep = LossAnalysis::new(&r, tree).unwrap().report();
+                let rep = analyzer.analyze(tree).unwrap();
                 // Theorem 3.2: J = KL.
                 assert!((rep.j_measure - rep.kl_nats).abs() < 1e-9);
                 // Lemma 4.1: J <= log(1+rho).
@@ -397,7 +545,7 @@ mod tests {
             RandomRelationModel::new(ajd_random::ProductDomain::new(vec![4, 4, 4, 4]).unwrap());
         let r = model.sample(&mut rng, 60).unwrap();
         let tree = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap();
-        let rep = LossAnalysis::new(&r, &tree).unwrap().report();
+        let rep = Analyzer::new(&r).analyze(&tree).unwrap();
         assert_eq!(rep.per_mvd.len(), tree.num_edges());
         for m in &rep.per_mvd {
             assert!(m.rho >= 0.0);
@@ -414,8 +562,8 @@ mod tests {
         let model = RandomRelationModel::for_mvd(8, 8, 2).unwrap();
         let r = model.sample(&mut rng, 100).unwrap();
         let tree = JoinTree::new(vec![bag(&[0, 2]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
-        let analysis = LossAnalysis::new(&r, &tree).unwrap();
-        let pb = analysis.probabilistic_bounds(0.1).unwrap();
+        let rep = Analyzer::new(&r).analyze(&tree).unwrap();
+        let pb = rep.probabilistic_bounds(0.1).unwrap();
         assert_eq!(pb.per_mvd_epsilon.len(), 1);
         assert_eq!(pb.per_mvd_qualified.len(), 1);
         assert!(pb.per_mvd_epsilon[0] > 0.0);
@@ -424,7 +572,7 @@ mod tests {
         assert!(!pb.per_mvd_qualified[0]);
         // The eps-inflated bound dominates the measured log(1+rho)
         // trivially here (eps is huge for tiny N).
-        assert!(pb.schema_bound.sum_cmi_bound >= analysis.report().log1p_rho);
+        assert!(pb.schema_bound.sum_cmi_bound >= rep.log1p_rho);
     }
 
     /// Regression: an out-of-range `delta` used to `assert!` (panicking in
@@ -432,15 +580,15 @@ mod tests {
     #[test]
     fn probabilistic_bounds_reject_out_of_range_delta() {
         let r = bijection_relation(4);
-        let analysis = LossAnalysis::new(&r, &cross_tree()).unwrap();
+        let rep = Analyzer::new(&r).analyze(&cross_tree()).unwrap();
         for bad in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
-            let err = analysis.probabilistic_bounds(bad).unwrap_err();
+            let err = rep.probabilistic_bounds(bad).unwrap_err();
             assert!(
                 matches!(err, RelationError::InvalidParameter { what: "delta", .. }),
                 "expected InvalidParameter for delta = {bad}, got {err}"
             );
         }
-        assert!(analysis.probabilistic_bounds(0.05).is_ok());
+        assert!(rep.probabilistic_bounds(0.05).is_ok());
     }
 
     /// Regression: for multiset relations the spurious-tuple count used to
@@ -464,8 +612,7 @@ mod tests {
         .unwrap();
         assert!(!r.is_set());
         // Join of the singleton projections: {0,1} x {0,1} = 4 < N = 5.
-        let analysis = LossAnalysis::new(&r, &cross_tree()).unwrap();
-        let rep = analysis.report();
+        let rep = Analyzer::new(&r).analyze(&cross_tree()).unwrap();
         assert_eq!(rep.n, 5);
         assert_eq!(rep.distinct_n, 3);
         assert_eq!(rep.join_size, 4);
@@ -484,51 +631,78 @@ mod tests {
     #[test]
     fn set_relation_reports_distinct_equal_to_n() {
         let r = bijection_relation(6);
-        let rep = LossAnalysis::new(&r, &cross_tree()).unwrap().report();
+        let rep = Analyzer::new(&r).analyze(&cross_tree()).unwrap();
         assert_eq!(rep.distinct_n, rep.n);
     }
 
     #[test]
-    fn with_context_matches_new_exactly() {
+    fn analyzer_matches_free_functions_exactly() {
         let mut rng = StdRng::seed_from_u64(11);
         let model =
             RandomRelationModel::new(ajd_random::ProductDomain::new(vec![5, 4, 4, 3]).unwrap());
         let r = model.sample(&mut rng, 70).unwrap();
-        let ctx = AnalysisContext::new(&r);
+        let analyzer = Analyzer::new(&r);
         for tree in [
             JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
             JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
         ] {
-            let fresh = LossAnalysis::new(&r, &tree).unwrap().report();
-            let shared = LossAnalysis::with_context(&ctx, &tree).unwrap().report();
-            assert_eq!(fresh.join_size, shared.join_size);
-            assert_eq!(fresh.spurious, shared.spurious);
             // Bit-identical floats, not just approximately equal.
-            assert_eq!(fresh.rho.to_bits(), shared.rho.to_bits());
-            assert_eq!(fresh.j_measure.to_bits(), shared.j_measure.to_bits());
-            assert_eq!(fresh.kl_nats.to_bits(), shared.kl_nats.to_bits());
-            for (a, b) in fresh.per_mvd.iter().zip(&shared.per_mvd) {
-                assert_eq!(a.cmi_nats.to_bits(), b.cmi_nats.to_bits());
-                assert_eq!(a.rho.to_bits(), b.rho.to_bits());
-                assert_eq!(a.domain_sizes, b.domain_sizes);
-            }
+            assert_eq!(
+                analyzer.j_measure(&tree).unwrap().to_bits(),
+                j_measure(&r, &tree).unwrap().to_bits()
+            );
+            assert_eq!(
+                analyzer.kl(&tree).unwrap().to_bits(),
+                kl_divergence_to_tree(&r, &tree).unwrap().to_bits()
+            );
+            assert_eq!(
+                analyzer.loss(&tree).unwrap().to_bits(),
+                loss_acyclic(&r, &tree).unwrap().to_bits()
+            );
+            assert_eq!(
+                analyzer.join_size(&tree).unwrap(),
+                count_acyclic_join(&r, &tree).unwrap()
+            );
         }
-        assert!(ctx.stats().hits > 0);
+        // Scalar measures route through the same cache.
+        let h = analyzer.entropy(&bag(&[0, 1])).unwrap();
+        assert_eq!(h.to_bits(), entropy(&r, &bag(&[0, 1])).unwrap().to_bits());
+        assert!(analyzer.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn analyzer_mvd_measures_match_direct_calls() {
+        let r = conditional_product_relation(3, 3, 2);
+        let analyzer = Analyzer::new(&r);
+        let mvd = Mvd::new(bag(&[2]), bag(&[0]), bag(&[1])).unwrap();
+        assert_eq!(
+            analyzer.mvd_join_size(&mvd).unwrap(),
+            mvd.join_size(&r).unwrap()
+        );
+        assert_eq!(
+            analyzer.mvd_loss(&mvd).unwrap().to_bits(),
+            mvd.loss(&r).unwrap().to_bits()
+        );
+        assert!(analyzer.mvd_holds(&mvd).unwrap());
+        assert_eq!(
+            analyzer.mvd_cmi(&mvd).unwrap().to_bits(),
+            mvd_cmi(&r, &mvd).unwrap().to_bits()
+        );
     }
 
     #[test]
     fn mismatched_tree_and_relation_are_rejected() {
         let r = bijection_relation(4);
         let tree = JoinTree::new(vec![bag(&[0]), bag(&[2])], vec![(0, 1)]).unwrap();
-        assert!(LossAnalysis::new(&r, &tree).is_err());
+        assert!(Analyzer::new(&r).analyze(&tree).is_err());
         let empty = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
-        assert!(LossAnalysis::new(&empty, &cross_tree()).is_err());
+        assert!(Analyzer::new(&empty).analyze(&cross_tree()).is_err());
     }
 
     #[test]
     fn display_renders_all_sections() {
         let r = bijection_relation(4);
-        let rep = LossAnalysis::new(&r, &cross_tree()).unwrap().report();
+        let rep = Analyzer::new(&r).analyze(&cross_tree()).unwrap();
         let s = format!("{rep}");
         assert!(s.contains("spurious"));
         assert!(s.contains("J-measure"));

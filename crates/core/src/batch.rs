@@ -5,24 +5,27 @@
 //! *one* relation.  The trees overlap heavily: candidate contractions share
 //! most of their bags, path and star shapes share separators, and every
 //! tree needs `H(Ω)` and the full-relation group counts.  [`BatchAnalyzer`]
-//! owns a single [`AnalysisContext`] so all of that work is paid for once,
-//! and fans the per-tree evaluation out over `std::thread::scope` workers
-//! that share the context's `RwLock`-guarded caches.
+//! co-owns one [`AnalysisContext`] (usually the one behind a
+//! [`crate::Analyzer`] — see [`crate::Analyzer::batch`]) so all of that work
+//! is paid for once, and fans the per-tree evaluation out over
+//! `std::thread::scope` workers that share the context's `RwLock`-guarded
+//! caches.
 //!
 //! Results are exactly those of the corresponding one-shot calls
-//! ([`LossAnalysis::new`], `j_measure`, `loss_acyclic`): the context serves
-//! bit-identical values, and the output `Vec` is in input order regardless
-//! of which worker computed which tree.
+//! ([`crate::Analyzer::analyze`], `j_measure(&r, …)`, `loss_acyclic(&r, …)`):
+//! the context serves bit-identical values, and the output `Vec` is in
+//! input order regardless of which worker computed which tree.
 
-use crate::analysis::{LossAnalysis, LossReport};
-use ajd_jointree::{count_acyclic_join_ctx, loss_acyclic_ctx, JoinTree};
+use crate::analysis::{report_for, LossReport};
+use ajd_jointree::{count_acyclic_join, loss_acyclic, JoinTree};
 use ajd_relation::{AnalysisContext, CacheStats, Relation, Result};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Shared-cache, multi-threaded evaluator of join trees over one relation.
 ///
 /// ```
-/// use ajd_core::BatchAnalyzer;
+/// use ajd_core::Analyzer;
 /// use ajd_jointree::JoinTree;
 /// use ajd_random::generators::bijection_relation;
 /// use ajd_relation::{AttrId, AttrSet};
@@ -35,22 +38,29 @@ use parking_lot::Mutex;
 ///     JoinTree::path(bags(&[&[0], &[1]])).unwrap(),
 ///     JoinTree::path(bags(&[&[0, 1]])).unwrap(),
 /// ];
-/// let batch = BatchAnalyzer::new(&r);
-/// let reports = batch.analyze_all(&trees);
+/// let analyzer = Analyzer::new(&r);
+/// let reports = analyzer.batch().analyze_all(&trees);
 /// assert_eq!(reports[0].as_ref().unwrap().spurious, 16 * 16 - 16);
 /// assert_eq!(reports[1].as_ref().unwrap().spurious, 0);
 /// ```
 #[derive(Debug)]
 pub struct BatchAnalyzer<'a> {
-    ctx: AnalysisContext<'a>,
+    ctx: Arc<AnalysisContext<'a>>,
     threads: usize,
 }
 
 impl<'a> BatchAnalyzer<'a> {
-    /// Creates a batch analyzer over `r` using all available parallelism.
+    /// Creates a standalone batch analyzer over `r` (fresh cache) using all
+    /// available parallelism.  To share a cache with other analysis of the
+    /// same relation, go through [`crate::Analyzer::batch`] instead.
     pub fn new(r: &'a Relation) -> Self {
+        Self::from_shared(Arc::new(AnalysisContext::new(r)))
+    }
+
+    /// Wraps a co-owned context (the handle behind [`crate::Analyzer`]).
+    pub(crate) fn from_shared(ctx: Arc<AnalysisContext<'a>>) -> Self {
         BatchAnalyzer {
-            ctx: AnalysisContext::new(r),
+            ctx,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -68,7 +78,7 @@ impl<'a> BatchAnalyzer<'a> {
         self.ctx.relation()
     }
 
-    /// The shared context; useful for mixing one-off `_ctx` measure calls
+    /// The shared context; useful for mixing one-off generic measure calls
     /// into a batch, or for inspecting [`AnalysisContext::stats`].
     pub fn context(&self) -> &AnalysisContext<'a> {
         &self.ctx
@@ -81,7 +91,7 @@ impl<'a> BatchAnalyzer<'a> {
 
     /// Full [`LossReport`] of one tree through the shared cache.
     pub fn analyze(&self, tree: &JoinTree) -> Result<LossReport> {
-        Ok(LossAnalysis::with_context(&self.ctx, tree)?.report())
+        report_for(&*self.ctx, tree)
     }
 
     /// Full [`LossReport`]s of many trees, evaluated in parallel over the
@@ -93,19 +103,19 @@ impl<'a> BatchAnalyzer<'a> {
     /// J-measures (eq. 7) of many trees, in parallel, in input order.
     pub fn j_measures(&self, trees: &[JoinTree]) -> Vec<Result<f64>> {
         self.parallel_map(trees, |tree| {
-            ajd_info::jmeasure::j_measure_ctx(&self.ctx, tree)
+            ajd_info::jmeasure::j_measure(&*self.ctx, tree)
         })
     }
 
     /// Exact losses `ρ(R,S)` (eq. 1) of many trees, in parallel, in input
     /// order.
     pub fn losses(&self, trees: &[JoinTree]) -> Vec<Result<f64>> {
-        self.parallel_map(trees, |tree| loss_acyclic_ctx(&self.ctx, tree))
+        self.parallel_map(trees, |tree| loss_acyclic(&*self.ctx, tree))
     }
 
     /// Exact acyclic join sizes of many trees, in parallel, in input order.
     pub fn join_sizes(&self, trees: &[JoinTree]) -> Vec<Result<u128>> {
-        self.parallel_map(trees, |tree| count_acyclic_join_ctx(&self.ctx, tree))
+        self.parallel_map(trees, |tree| count_acyclic_join(&*self.ctx, tree))
     }
 
     /// Work-stealing fan-out over `std::thread::scope`: workers pull tree
@@ -148,6 +158,7 @@ impl<'a> BatchAnalyzer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Analyzer;
     use ajd_info::j_measure;
     use ajd_jointree::loss_acyclic;
     use ajd_random::RandomRelationModel;
@@ -188,7 +199,7 @@ mod tests {
         assert_eq!(reports.len(), trees.len());
         for (tree, report) in trees.iter().zip(&reports) {
             let batched = report.as_ref().unwrap();
-            let fresh = LossAnalysis::new(&r, tree).unwrap().report();
+            let fresh = Analyzer::new(&r).analyze(tree).unwrap();
             assert_eq!(batched.join_size, fresh.join_size);
             assert_eq!(batched.rho.to_bits(), fresh.rho.to_bits());
             assert_eq!(batched.j_measure.to_bits(), fresh.j_measure.to_bits());
@@ -196,6 +207,22 @@ mod tests {
         }
         let stats = batch.cache_stats();
         assert!(stats.hits > 0, "the sweep must share grouping work");
+    }
+
+    #[test]
+    fn analyzer_batch_shares_the_analyzer_cache() {
+        let r = sample_relation(5);
+        let trees = sweep_trees();
+        let analyzer = Analyzer::new(&r);
+        let batch = analyzer.batch();
+        let _ = batch.analyze_all(&trees);
+        // The batch populated the analyzer's own cache: a follow-up scalar
+        // query is answered without recomputation.
+        let before = analyzer.cache_stats();
+        let _ = analyzer.j_measure(&trees[0]).unwrap();
+        let after = analyzer.cache_stats();
+        assert!(after.hits > before.hits);
+        assert_eq!(after.misses, before.misses);
     }
 
     #[test]

@@ -24,10 +24,12 @@
 
 use crate::batch::BatchAnalyzer;
 use ajd_bounds::j_lower_bound_on_loss;
-use ajd_info::jmeasure::j_measure_ctx;
-use ajd_info::{conditional_mutual_information_ctx, mutual_information_ctx};
+use ajd_info::jmeasure::j_measure;
+use ajd_info::{conditional_mutual_information, mutual_information};
 use ajd_jointree::{JoinTree, Mvd};
-use ajd_relation::{AnalysisContext, AttrId, AttrSet, Relation, RelationError, Result};
+use ajd_relation::{
+    AnalysisContext, AttrId, AttrSet, GroupSource, Relation, RelationError, Result,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the schema miner.
@@ -98,13 +100,14 @@ impl SchemaMiner {
     ///
     /// For a single-attribute relation the tree is the single bag `{X}`.
     pub fn chow_liu_tree(&self, r: &Relation) -> Result<JoinTree> {
-        self.chow_liu_tree_ctx(&AnalysisContext::new(r), r)
+        // A throwaway context so each singleton marginal is grouped once
+        // instead of `n − 1` times across the O(n²) pairwise MIs.
+        self.chow_liu_tree_with(&AnalysisContext::new(r))
     }
 
-    /// [`SchemaMiner::chow_liu_tree`] over a shared [`AnalysisContext`]:
-    /// each singleton marginal is grouped once instead of `n − 1` times
-    /// across the `O(n²)` pairwise mutual informations.
-    fn chow_liu_tree_ctx(&self, ctx: &AnalysisContext<'_>, r: &Relation) -> Result<JoinTree> {
+    /// The Chow–Liu construction over any [`GroupSource`].
+    fn chow_liu_tree_with<S: GroupSource>(&self, src: &S) -> Result<JoinTree> {
+        let r = src.relation();
         if r.is_empty() {
             return Err(RelationError::EmptyInput("relation for schema discovery"));
         }
@@ -118,8 +121,8 @@ impl SchemaMiner {
         let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                let mi = mutual_information_ctx(
-                    ctx,
+                let mi = mutual_information(
+                    src,
                     &AttrSet::singleton(attrs[i]),
                     &AttrSet::singleton(attrs[j]),
                 )?;
@@ -178,9 +181,8 @@ impl SchemaMiner {
     /// the same relation.
     pub fn mine_with(&self, batch: &BatchAnalyzer<'_>) -> Result<MinedSchema> {
         let ctx = batch.context();
-        let r = batch.relation();
-        let mut tree = self.chow_liu_tree_ctx(ctx, r)?;
-        let mut j = j_measure_ctx(ctx, &tree)?;
+        let mut tree = self.chow_liu_tree_with(&ctx)?;
+        let mut j = j_measure(&ctx, &tree)?;
 
         while j > self.config.j_threshold && tree.num_edges() > 0 {
             // Score every admissible contraction in parallel and keep the
@@ -291,7 +293,7 @@ impl SchemaMiner {
                 }
                 let a = AttrSet::from_slice(&left);
                 let b = AttrSet::from_slice(&right);
-                let cmi = conditional_mutual_information_ctx(&ctx, &a, &b, &lhs)?;
+                let cmi = conditional_mutual_information(&ctx, &a, &b, &lhs)?;
                 if best.as_ref().is_none_or(|(_, c)| cmi < *c) {
                     best = Some((Mvd::new(lhs.clone(), a, b)?, cmi));
                 }

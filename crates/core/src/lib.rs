@@ -3,31 +3,33 @@
 //! The user-facing API of the reproduction of *"Quantifying the Loss of
 //! Acyclic Join Dependencies"* (Kenig & Weinberger, PODS 2023).
 //!
-//! This crate ties the substrates together:
+//! The crate is built around one idea: **every quantity the paper defines
+//! reduces to group counts over projections of one relation**, so there is
+//! one owner for that cached state and one API to route through —
+//! [`Analyzer`]:
 //!
-//! * [`analysis`] — given a relation `R` and an acyclic schema / join tree,
-//!   compute in one pass everything the paper talks about: the exact loss
-//!   `ρ(R,S)` (via join-tree counting), the J-measure, the KL-divergence of
-//!   Theorem 3.2, the per-MVD decomposition of the support, the
-//!   deterministic lower bound of Lemma 4.1, the deterministic Proposition
-//!   5.1 bound, and (on request) the probabilistic Theorem 5.1 /
-//!   Proposition 5.3 upper bounds.
-//! * [`batch`] — [`BatchAnalyzer`]: evaluate *many* join trees over one
-//!   relation through a single shared [`ajd_relation::AnalysisContext`],
-//!   fanning the per-tree work out over `std::thread::scope` workers.  The
-//!   trees of a sweep overlap heavily (bags, separators, `H(Ω)`), so the
-//!   shared cache pays for each grouping of `R` exactly once.
-//! * [`discovery`] — *approximate acyclic schema discovery*, the motivating
-//!   application (Kenig et al., SIGMOD 2020): a Chow–Liu style spanning-tree
-//!   miner over pairwise mutual information, followed by greedy bag merging
-//!   to drive the J-measure below a target, plus exhaustive best-MVD search
-//!   for small schemas.  All candidate scoring runs through a shared
-//!   context; pass a multi-threaded [`BatchAnalyzer`] to
-//!   `SchemaMiner::mine_with` to evaluate each round's contractions in
-//!   parallel.
+//! * [`Analyzer::new`] binds a relation and owns the shared
+//!   [`ajd_relation::AnalysisContext`];
+//! * scalar measures ([`Analyzer::entropy`], [`Analyzer::cmi`],
+//!   [`Analyzer::mvd_cmi`], …), tree measures ([`Analyzer::loss`],
+//!   [`Analyzer::j_measure`], [`Analyzer::kl`], [`Analyzer::join_size`]),
+//!   MVD measures ([`Analyzer::mvd_loss`], [`Analyzer::mvd_holds`]) and the
+//!   full [`Analyzer::analyze`] report all answer from the same memoized
+//!   groupings;
+//! * [`Analyzer::batch`] returns a [`BatchAnalyzer`] that fans many trees
+//!   out over `std::thread::scope` workers sharing the same cache;
+//! * [`Analyzer::mine`] runs *approximate acyclic schema discovery* — the
+//!   motivating application (Kenig et al., SIGMOD 2020): a Chow–Liu style
+//!   spanning-tree miner over pairwise mutual information, followed by
+//!   greedy bag merging to drive the J-measure below a target
+//!   ([`SchemaMiner`] exposes the pieces individually).
+//!
+//! The free functions in `ajd-info` / `ajd-jointree` remain available for
+//! one-shot use (`j_measure(&r, &tree)`); they are the same generic code
+//! path the analyzer calls, so results are bit-identical either way.
 //!
 //! ```
-//! use ajd_core::analysis::LossAnalysis;
+//! use ajd_core::Analyzer;
 //! use ajd_jointree::JoinTree;
 //! use ajd_random::generators::bijection_relation;
 //! use ajd_relation::{AttrId, AttrSet};
@@ -38,7 +40,8 @@
 //!     AttrSet::singleton(AttrId(0)),
 //!     AttrSet::singleton(AttrId(1)),
 //! ]).unwrap();
-//! let report = LossAnalysis::new(&r, &tree).unwrap().report();
+//! let analyzer = Analyzer::new(&r);
+//! let report = analyzer.analyze(&tree).unwrap();
 //! assert_eq!(report.spurious, 32 * 32 - 32);
 //! // Lemma 4.1 is tight on this family: J = log(1 + rho).
 //! assert!((report.j_measure - report.log1p_rho).abs() < 1e-9);
@@ -51,6 +54,6 @@ pub mod analysis;
 pub mod batch;
 pub mod discovery;
 
-pub use analysis::{LossAnalysis, LossReport, MvdLoss, ProbabilisticBounds};
+pub use analysis::{Analyzer, LossReport, MvdLoss, ProbabilisticBounds};
 pub use batch::BatchAnalyzer;
 pub use discovery::{DiscoveryConfig, MinedSchema, SchemaMiner};

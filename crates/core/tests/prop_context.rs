@@ -1,17 +1,19 @@
 //! Property tests of the shared-computation layer: every measure computed
-//! through an `AnalysisContext` (or a `BatchAnalyzer`) must be
-//! **bit-identical** to its uncached counterpart, across random relations
-//! (sets and multisets) and assorted join trees.
+//! through an [`Analyzer`] / `AnalysisContext` (or a [`BatchAnalyzer`]) must
+//! be **bit-identical** to its uncached `&Relation` counterpart, across
+//! random relations (sets and multisets) and assorted join trees.
+//!
+//! Since the API redesign both paths run the *same* generic function over a
+//! different `GroupSource`; these tests pin down that the memoization layer
+//! never changes a value.
 
-use ajd_core::{BatchAnalyzer, LossAnalysis};
+use ajd_core::{Analyzer, BatchAnalyzer};
 use ajd_info::{
-    conditional_mutual_information, conditional_mutual_information_ctx, entropy, entropy_ctx,
-    j_measure, j_measure_bounds, j_measure_bounds_ctx, j_measure_ctx, kl_divergence_to_tree,
-    kl_divergence_to_tree_ctx,
+    conditional_mutual_information, entropy, j_measure, j_measure_bounds, kl_divergence_to_tree,
 };
 use ajd_jointree::mvd::{ordered_support, support};
-use ajd_jointree::{count_acyclic_join, count_acyclic_join_ctx, JoinTree};
-use ajd_relation::{AnalysisContext, AttrId, AttrSet, Relation, Value};
+use ajd_jointree::{count_acyclic_join, JoinTree};
+use ajd_relation::{AttrId, AttrSet, Relation, Value};
 use proptest::prelude::*;
 
 fn relation_strategy(
@@ -49,11 +51,11 @@ fn sweep_trees() -> Vec<JoinTree> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Entropies and CMIs served from a context are bit-identical to the
+    /// Entropies and CMIs served from an analyzer are bit-identical to the
     /// uncached computations, for every attribute subset queried twice.
     #[test]
     fn cached_entropies_and_cmis_are_bit_identical(r in relation_strategy(4, 4, 50)) {
-        let ctx = AnalysisContext::new(&r);
+        let analyzer = Analyzer::new(&r);
         let subsets = [
             AttrSet::empty(),
             bag(&[0]),
@@ -64,8 +66,8 @@ proptest! {
         for attrs in &subsets {
             let direct = entropy(&r, attrs).unwrap();
             // Query twice: the second answer comes from the cache.
-            let first = entropy_ctx(&ctx, attrs).unwrap();
-            let second = entropy_ctx(&ctx, attrs).unwrap();
+            let first = analyzer.entropy(attrs).unwrap();
+            let second = analyzer.entropy(attrs).unwrap();
             prop_assert_eq!(direct.to_bits(), first.to_bits());
             prop_assert_eq!(direct.to_bits(), second.to_bits());
         }
@@ -75,65 +77,65 @@ proptest! {
             (bag(&[0]), bag(&[2, 3]), bag(&[1])),
         ] {
             let direct = conditional_mutual_information(&r, &a, &b, &c).unwrap();
-            let cached = conditional_mutual_information_ctx(&ctx, &a, &b, &c).unwrap();
+            let cached = analyzer.cmi(&a, &b, &c).unwrap();
             prop_assert_eq!(direct.to_bits(), cached.to_bits());
         }
+        prop_assert!(analyzer.cache_stats().hits > 0);
     }
 
     /// J, KL, Theorem 2.2 bounds and acyclic join counts agree between the
-    /// cached and uncached paths on every tree of the sweep.
+    /// analyzer and the uncached free functions on every tree of the sweep.
     #[test]
     fn cached_tree_measures_are_bit_identical(r in relation_strategy(4, 3, 40)) {
-        let ctx = AnalysisContext::new(&r);
+        let analyzer = Analyzer::new(&r);
         for tree in sweep_trees() {
             prop_assert_eq!(
                 count_acyclic_join(&r, &tree).unwrap(),
-                count_acyclic_join_ctx(&ctx, &tree).unwrap()
+                analyzer.join_size(&tree).unwrap()
             );
             prop_assert_eq!(
                 j_measure(&r, &tree).unwrap().to_bits(),
-                j_measure_ctx(&ctx, &tree).unwrap().to_bits()
+                analyzer.j_measure(&tree).unwrap().to_bits()
             );
             prop_assert_eq!(
                 kl_divergence_to_tree(&r, &tree).unwrap().to_bits(),
-                kl_divergence_to_tree_ctx(&ctx, &tree).unwrap().to_bits()
+                analyzer.kl(&tree).unwrap().to_bits()
             );
             let direct = j_measure_bounds(&r, &tree, 0).unwrap();
-            let cached = j_measure_bounds_ctx(&ctx, &tree, 0).unwrap();
+            let cached = analyzer.j_measure_bounds(&tree, 0).unwrap();
             prop_assert_eq!(direct.j.to_bits(), cached.j.to_bits());
             prop_assert_eq!(direct.max_cmi.to_bits(), cached.max_cmi.to_bits());
             prop_assert_eq!(direct.sum_cmi.to_bits(), cached.sum_cmi.to_bits());
         }
     }
 
-    /// MVD join sizes and losses agree between the projection-based and the
-    /// interned-id implementations, for both edge supports and ordered
-    /// supports.
+    /// MVD join sizes and losses agree between the fresh and the cached
+    /// evaluation, for both edge supports and ordered supports.
     #[test]
     fn cached_mvd_measures_are_bit_identical(r in relation_strategy(4, 3, 40)) {
-        let ctx = AnalysisContext::new(&r);
+        let analyzer = Analyzer::new(&r);
         for tree in sweep_trees() {
             for mvd in support(&tree) {
                 prop_assert_eq!(
                     mvd.join_size(&r).unwrap(),
-                    mvd.join_size_ctx(&ctx).unwrap()
+                    analyzer.mvd_join_size(&mvd).unwrap()
                 );
                 prop_assert_eq!(
                     mvd.loss(&r).unwrap().to_bits(),
-                    mvd.loss_ctx(&ctx).unwrap().to_bits()
+                    analyzer.mvd_loss(&mvd).unwrap().to_bits()
                 );
             }
             for mvd in ordered_support(&tree.rooted(0).unwrap()) {
                 prop_assert_eq!(
                     mvd.join_size(&r).unwrap(),
-                    mvd.join_size_ctx(&ctx).unwrap()
+                    analyzer.mvd_join_size(&mvd).unwrap()
                 );
             }
         }
     }
 
     /// Full loss reports from a shared `BatchAnalyzer` are bit-identical to
-    /// per-tree `LossAnalysis::new` reports — the acceptance property of
+    /// per-tree `Analyzer::analyze` reports — the acceptance property of
     /// the shared-computation engine.  Relations are multisets here
     /// (duplicates allowed), exercising the distinct-count baseline.
     #[test]
@@ -143,7 +145,7 @@ proptest! {
         let batched = batch.analyze_all(&trees);
         for (tree, batched) in trees.iter().zip(&batched) {
             let batched = batched.as_ref().unwrap();
-            let fresh = LossAnalysis::new(&r, tree).unwrap().report();
+            let fresh = Analyzer::new(&r).analyze(tree).unwrap();
             prop_assert_eq!(fresh.n, batched.n);
             prop_assert_eq!(fresh.distinct_n, batched.distinct_n);
             prop_assert_eq!(fresh.join_size, batched.join_size);

@@ -17,7 +17,7 @@
 //! as a cross-check on the J-measure computation).
 
 use ajd_jointree::JoinTree;
-use ajd_relation::{AnalysisContext, GroupCounts, Relation, RelationError, Result, Value};
+use ajd_relation::{GroupCounts, GroupSource, RelationError, Result, Value};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -25,8 +25,8 @@ use std::sync::Arc;
 /// together with the plumbing needed to evaluate `P^T` on tuples.
 ///
 /// The marginals are held as shared [`GroupCounts`] handles, so a
-/// distribution built through [`TreeFactoredDistribution::from_context`]
-/// aliases the context's cache instead of copying counts.
+/// distribution built over a caching [`GroupSource`] (an `AnalysisContext`,
+/// via `ajd_core::Analyzer`) aliases the cache instead of copying counts.
 #[derive(Debug, Clone)]
 pub struct TreeFactoredDistribution {
     /// Number of tuples of the underlying relation.
@@ -49,22 +49,17 @@ pub struct KlReport {
 }
 
 impl TreeFactoredDistribution {
-    /// Builds the factorisation of the empirical distribution of `r` along
-    /// `tree`.
+    /// Builds the factorisation of the empirical distribution of the source
+    /// relation along `tree`.
     ///
     /// The join tree's attributes must be exactly the relation's attributes
     /// (otherwise `P^T` is a distribution over a different variable set and
-    /// the KL-divergence is not defined tuple-wise).
-    pub fn new(r: &Relation, tree: &JoinTree) -> Result<Self> {
-        Self::from_context(&AnalysisContext::new(r), tree)
-    }
-
-    /// Like [`TreeFactoredDistribution::new`], but the bag and separator
-    /// marginals are served from (and memoized into) a shared
-    /// [`AnalysisContext`] — the same counts the J-measure of the tree
-    /// needs, so computing both costs one grouping pass per attribute set.
-    pub fn from_context(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<Self> {
-        let r = ctx.relation();
+    /// the KL-divergence is not defined tuple-wise).  Over a caching
+    /// [`GroupSource`] the bag and separator marginals are the same counts
+    /// the J-measure of the tree needs, so computing both costs one grouping
+    /// pass per attribute set.
+    pub fn new<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<Self> {
+        let r = src.relation();
         if r.is_empty() {
             return Err(RelationError::EmptyInput(
                 "relation for tree-factorised distribution",
@@ -82,14 +77,14 @@ impl TreeFactoredDistribution {
         let mut bag_counts = Vec::with_capacity(tree.num_nodes());
         for bag in tree.bags() {
             let pos = r.attr_positions(bag)?;
-            let counts = ctx.group_counts(bag)?;
+            let counts = src.group_counts(bag)?;
             bag_counts.push((pos, counts));
         }
         let mut sep_counts = Vec::with_capacity(tree.num_edges());
         for e in 0..tree.num_edges() {
             let sep = tree.separator(e);
             let pos = r.attr_positions(&sep)?;
-            let counts = ctx.group_counts(&sep)?;
+            let counts = src.group_counts(&sep)?;
             sep_counts.push((pos, counts));
         }
         Ok(TreeFactoredDistribution {
@@ -140,27 +135,18 @@ impl TreeFactoredDistribution {
 
 /// Computes `D_KL(P_R ‖ P_R^T)` in nats (the right-hand side of
 /// Theorem 3.2), summing over the distinct tuples of `R`.
-pub fn kl_divergence_to_tree(r: &Relation, tree: &JoinTree) -> Result<f64> {
-    Ok(kl_report(r, tree)?.kl_nats)
-}
-
-/// [`kl_divergence_to_tree`] over a shared [`AnalysisContext`].
-pub fn kl_divergence_to_tree_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<f64> {
-    Ok(kl_report_ctx(ctx, tree)?.kl_nats)
+pub fn kl_divergence_to_tree<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<f64> {
+    Ok(kl_report(src, tree)?.kl_nats)
 }
 
 /// Like [`kl_divergence_to_tree`], additionally reporting the support size.
-pub fn kl_report(r: &Relation, tree: &JoinTree) -> Result<KlReport> {
-    kl_report_ctx(&AnalysisContext::new(r), tree)
-}
-
-/// [`kl_report`] over a shared [`AnalysisContext`]: the full-relation group
-/// counts (also the `H(Ω)` marginal) and every bag/separator marginal come
-/// from the cache.
-pub fn kl_report_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<KlReport> {
-    let r = ctx.relation();
-    let factored = TreeFactoredDistribution::from_context(ctx, tree)?;
-    let full = ctx.group_counts(&r.attrs())?;
+///
+/// Over a caching [`GroupSource`] the full-relation group counts (also the
+/// `H(Ω)` marginal) and every bag/separator marginal come from the cache.
+pub fn kl_report<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<KlReport> {
+    let r = src.relation();
+    let factored = TreeFactoredDistribution::new(src, tree)?;
+    let full = src.group_counts(&r.attrs())?;
     let n = r.len() as f64;
     let mut kl = 0.0f64;
     // The grouped keys are in ascending-attribute order; log_prob expects the
@@ -187,7 +173,7 @@ pub fn kl_report_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<KlRep
 mod tests {
     use super::*;
     use crate::jmeasure::j_measure;
-    use ajd_relation::{AttrId, AttrSet};
+    use ajd_relation::{AttrId, AttrSet, Relation};
 
     fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
         let s: Vec<AttrId> = schema.iter().map(|&i| AttrId(i)).collect();

@@ -12,27 +12,20 @@
 //!
 //! which is the numerically stable form used here (one logarithm per
 //! distinct group, no divisions inside the loop).
+//!
+//! Every function is generic over [`GroupSource`]: pass `&Relation` to
+//! compute marginals from scratch, or any shared source (an
+//! `AnalysisContext`, via `ajd_core::Analyzer`) to answer them from a
+//! memoized cache — one code path, bit-identical results.
 
-use ajd_relation::{AnalysisContext, AttrSet, GroupCounts, Relation, Result};
+use ajd_relation::{AttrSet, GroupCounts, GroupSource, Relation, Result};
 
-/// Entropy (in nats) of the marginal empirical distribution of `r` on the
-/// attribute set `attrs`.
+/// Entropy (in nats) of the marginal empirical distribution of `src`'s
+/// relation on the attribute set `attrs`.
 ///
 /// `H(∅) = 0` by convention (all tuples project to the same empty tuple).
-pub fn entropy(r: &Relation, attrs: &AttrSet) -> Result<f64> {
-    let counts = r.group_counts(attrs)?;
-    Ok(entropy_from_counts(&counts))
-}
-
-/// [`entropy`] over a shared [`AnalysisContext`]: the marginal's group
-/// counts are memoized in `ctx`, so repeated queries — by other measures or
-/// other join trees over the same relation — group `R` at most once per
-/// attribute set.
-///
-/// The cached counts are produced by the same code path as the uncached
-/// ones, so the result is bit-identical to [`entropy`]'s.
-pub fn entropy_ctx(ctx: &AnalysisContext<'_>, attrs: &AttrSet) -> Result<f64> {
-    let counts = ctx.group_counts(attrs)?;
+pub fn entropy<S: GroupSource>(src: &S, attrs: &AttrSet) -> Result<f64> {
+    let counts = src.group_counts(attrs)?;
     Ok(entropy_from_counts(&counts))
 }
 
@@ -48,14 +41,9 @@ pub fn entropy_of_relation(r: &Relation) -> Result<f64> {
 }
 
 /// Conditional entropy `H(A | B) = H(A ∪ B) − H(B)` (in nats).
-pub fn conditional_entropy(r: &Relation, a: &AttrSet, b: &AttrSet) -> Result<f64> {
-    conditional_entropy_ctx(&AnalysisContext::new(r), a, b)
-}
-
-/// [`conditional_entropy`] over a shared [`AnalysisContext`].
-pub fn conditional_entropy_ctx(ctx: &AnalysisContext<'_>, a: &AttrSet, b: &AttrSet) -> Result<f64> {
-    let hab = entropy_ctx(ctx, &a.union(b))?;
-    let hb = entropy_ctx(ctx, b)?;
+pub fn conditional_entropy<S: GroupSource>(src: &S, a: &AttrSet, b: &AttrSet) -> Result<f64> {
+    let hab = entropy(src, &a.union(b))?;
+    let hb = entropy(src, b)?;
     Ok(hab - hb)
 }
 
@@ -81,7 +69,7 @@ pub fn entropy_of_count_values<I: IntoIterator<Item = u64>>(counts: I, total: u6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ajd_relation::{AttrId, Relation};
+    use ajd_relation::{AnalysisContext, AttrId, Relation};
 
     fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
         let s: Vec<AttrId> = schema.iter().map(|&i| AttrId(i)).collect();
@@ -193,6 +181,23 @@ mod tests {
         let h = entropy_of_relation(&r).unwrap();
         let expected = (4.0f64).ln() - (3.0 * (3.0f64).ln()) / 4.0;
         assert!((h - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_and_relation_sources_are_bit_identical() {
+        let r = rel(
+            &[0, 1, 2],
+            &[&[0, 0, 0], &[0, 1, 0], &[1, 0, 1], &[1, 1, 0], &[2, 0, 1]],
+        );
+        let ctx = AnalysisContext::new(&r);
+        for attrs in [bag(&[0]), bag(&[0, 2]), bag(&[0, 1, 2]), AttrSet::empty()] {
+            let fresh = entropy(&r, &attrs).unwrap();
+            let cached = entropy(&ctx, &attrs).unwrap();
+            let cached_again = entropy(&ctx, &attrs).unwrap();
+            assert_eq!(fresh.to_bits(), cached.to_bits());
+            assert_eq!(fresh.to_bits(), cached_again.to_bits());
+        }
+        assert!(ctx.stats().hits > 0);
     }
 
     #[test]

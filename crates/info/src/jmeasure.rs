@@ -13,41 +13,39 @@
 //! Theorem 2.2 sandwiches `J(T)` between the maximum and the sum of the
 //! conditional mutual informations of the ordered support MVDs.
 
-use crate::entropy::entropy_ctx;
-use crate::mutual::mvd_cmi_ctx;
+use crate::entropy::entropy;
+use crate::mutual::mvd_cmi;
 use ajd_jointree::mvd::ordered_support;
 use ajd_jointree::JoinTree;
-use ajd_relation::{AnalysisContext, AttrSet, Relation, Result};
+use ajd_relation::{AttrSet, GroupSource, Result};
 use serde::{Deserialize, Serialize};
 
 /// Computes the J-measure `J(T)` of `tree` with respect to the empirical
-/// distribution of `r`, in nats.
-pub fn j_measure(r: &Relation, tree: &JoinTree) -> Result<f64> {
-    j_measure_ctx(&AnalysisContext::new(r), tree)
-}
-
-/// [`j_measure`] over a shared [`AnalysisContext`]: each bag, separator and
-/// full-set entropy of eq. (7) is answered from the context's group-count
-/// cache.  Across the candidate trees of a discovery sweep most of these
-/// terms recur, so the sweep pays for each grouping once.
-pub fn j_measure_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<f64> {
+/// distribution of the source relation, in nats.
+///
+/// Generic over [`GroupSource`]: with `&Relation` each bag, separator and
+/// full-set entropy of eq. (7) is grouped from scratch; with a shared source
+/// (an `AnalysisContext`, via `ajd_core::Analyzer`) those terms — which
+/// recur massively across the candidate trees of a discovery sweep — are
+/// answered from a memoized cache, so the sweep pays for each grouping once.
+pub fn j_measure<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<f64> {
     let mut total = 0.0;
     for bag in tree.bags() {
-        total += entropy_ctx(ctx, bag)?;
+        total += entropy(src, bag)?;
     }
     for e in 0..tree.num_edges() {
-        total -= entropy_ctx(ctx, &tree.separator(e))?;
+        total -= entropy(src, &tree.separator(e))?;
     }
-    total -= entropy_ctx(ctx, &tree.attributes())?;
+    total -= entropy(src, &tree.attributes())?;
     Ok(total)
 }
 
 /// Computes the J-measure of an acyclic schema given as bags, building a
 /// join tree internally (Observation after eq. 7: `J` depends only on the
 /// schema, not on the particular join tree).
-pub fn j_measure_of_schema(r: &Relation, bags: &[AttrSet]) -> Result<f64> {
+pub fn j_measure_of_schema<S: GroupSource>(src: &S, bags: &[AttrSet]) -> Result<f64> {
     let tree = JoinTree::from_acyclic_schema(bags)?;
-    j_measure(r, &tree)
+    j_measure(src, &tree)
 }
 
 /// The sandwich of Theorem 2.2:
@@ -67,18 +65,12 @@ pub struct JMeasureBounds {
 /// Evaluates Theorem 2.2 for the tree rooted at `root`: returns the lower
 /// bound (max CMI), the J-measure, and the upper bound (sum of CMIs) of the
 /// ordered support.
-pub fn j_measure_bounds(r: &Relation, tree: &JoinTree, root: usize) -> Result<JMeasureBounds> {
-    j_measure_bounds_ctx(&AnalysisContext::new(r), tree, root)
-}
-
-/// [`j_measure_bounds`] over a shared [`AnalysisContext`].
 ///
 /// The CMIs of consecutive ordered-support MVDs share most of their entropy
-/// terms (the `i`-th prefix union is the `(i+1)`-th left side), so the
-/// cached evaluation does roughly half the grouping work even for a single
-/// tree.
-pub fn j_measure_bounds_ctx(
-    ctx: &AnalysisContext<'_>,
+/// terms (the `i`-th prefix union is the `(i+1)`-th left side), so a shared
+/// [`GroupSource`] does roughly half the grouping work even for one tree.
+pub fn j_measure_bounds<S: GroupSource>(
+    src: &S,
     tree: &JoinTree,
     root: usize,
 ) -> Result<JMeasureBounds> {
@@ -87,13 +79,13 @@ pub fn j_measure_bounds_ctx(
     let mut max_cmi = 0.0f64;
     let mut sum_cmi = 0.0f64;
     for mvd in &support {
-        let cmi = mvd_cmi_ctx(ctx, mvd)?;
+        let cmi = mvd_cmi(src, mvd)?;
         max_cmi = max_cmi.max(cmi);
         sum_cmi += cmi;
     }
     Ok(JMeasureBounds {
         max_cmi,
-        j: j_measure_ctx(ctx, tree)?,
+        j: j_measure(src, tree)?,
         sum_cmi,
     })
 }
@@ -102,7 +94,7 @@ pub fn j_measure_bounds_ctx(
 mod tests {
     use super::*;
     use crate::mutual::conditional_mutual_information;
-    use ajd_relation::AttrId;
+    use ajd_relation::{AttrId, Relation};
 
     fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
         let s: Vec<AttrId> = schema.iter().map(|&i| AttrId(i)).collect();

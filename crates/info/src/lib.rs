@@ -17,12 +17,13 @@
 //!   Proposition 3.1 (eq. 10), and [`kl_divergence_to_tree`], the quantity
 //!   `D_KL(P ‖ P^T)` that Theorem 3.2 proves equal to `J(T)`.
 //!
-//! Every measure comes in two flavours: the plain functions take a
-//! `&Relation` and compute their marginals from scratch, while the `_ctx`
-//! variants take a shared [`ajd_relation::AnalysisContext`] and answer all
-//! group-count queries from its memoized caches — bit-identical results,
-//! but each attribute subset is grouped at most once per context no matter
-//! how many measures (or join trees) touch it.
+//! Every measure is **generic over [`ajd_relation::GroupSource`]** — one
+//! code path, two calling styles: pass `&Relation` to compute marginals from
+//! scratch, or pass a shared source (an [`ajd_relation::AnalysisContext`],
+//! usually owned by `ajd_core::Analyzer`) so all group-count queries are
+//! answered from its memoized caches — bit-identical results, but each
+//! attribute subset is grouped at most once no matter how many measures (or
+//! join trees) touch it.
 //!
 //! ## Units
 //!
@@ -38,22 +39,10 @@ pub mod entropy;
 pub mod jmeasure;
 pub mod mutual;
 
-pub use distribution::{
-    kl_divergence_to_tree, kl_divergence_to_tree_ctx, kl_report, kl_report_ctx,
-    TreeFactoredDistribution,
-};
-pub use entropy::{
-    conditional_entropy, conditional_entropy_ctx, entropy, entropy_ctx, entropy_from_counts,
-    entropy_of_relation,
-};
-pub use jmeasure::{
-    j_measure, j_measure_bounds, j_measure_bounds_ctx, j_measure_ctx, j_measure_of_schema,
-    JMeasureBounds,
-};
-pub use mutual::{
-    conditional_mutual_information, conditional_mutual_information_ctx, mutual_information,
-    mutual_information_ctx, mvd_cmi, mvd_cmi_ctx,
-};
+pub use distribution::{kl_divergence_to_tree, kl_report, KlReport, TreeFactoredDistribution};
+pub use entropy::{conditional_entropy, entropy, entropy_from_counts, entropy_of_relation};
+pub use jmeasure::{j_measure, j_measure_bounds, j_measure_of_schema, JMeasureBounds};
+pub use mutual::{conditional_mutual_information, mutual_information, mvd_cmi};
 
 /// Converts a quantity measured in nats to bits.
 pub fn nats_to_bits(nats: f64) -> f64 {

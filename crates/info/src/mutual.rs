@@ -6,10 +6,15 @@
 //! conditional independence `A ⊥ B | C` holds, which for set relations is
 //! equivalent to the MVD `C ↠ A | B` holding (Lee's theorem, Theorem 2.1 for
 //! the two-bag case).
+//!
+//! All functions are generic over [`GroupSource`]: pass `&Relation` for a
+//! one-shot computation or a shared source (an `AnalysisContext`, via
+//! `ajd_core::Analyzer`) so the four entropy terms — which recur massively
+//! across the candidate MVDs of a search — come from a memoized cache.
 
-use crate::entropy::entropy_ctx;
+use crate::entropy::entropy;
 use ajd_jointree::Mvd;
-use ajd_relation::{AnalysisContext, AttrSet, Relation, Result};
+use ajd_relation::{AttrSet, GroupSource, Result};
 
 /// Mutual information `I(A; B)` in nats.
 ///
@@ -17,62 +22,39 @@ use ajd_relation::{AnalysisContext, AttrSet, Relation, Result};
 /// `I(A;B) = I(A\B ; B\A | A∩B) + H(A∩B)`; here we simply evaluate the
 /// entropy formula on the sets as given, which is what the paper's
 /// simplified MVD notation does.
-pub fn mutual_information(r: &Relation, a: &AttrSet, b: &AttrSet) -> Result<f64> {
-    conditional_mutual_information(r, a, b, &AttrSet::empty())
-}
-
-/// [`mutual_information`] over a shared [`AnalysisContext`].
-pub fn mutual_information_ctx(ctx: &AnalysisContext<'_>, a: &AttrSet, b: &AttrSet) -> Result<f64> {
-    conditional_mutual_information_ctx(ctx, a, b, &AttrSet::empty())
+pub fn mutual_information<S: GroupSource>(src: &S, a: &AttrSet, b: &AttrSet) -> Result<f64> {
+    conditional_mutual_information(src, a, b, &AttrSet::empty())
 }
 
 /// Conditional mutual information `I(A; B | C)` in nats (eq. 4).
-pub fn conditional_mutual_information(
-    r: &Relation,
+pub fn conditional_mutual_information<S: GroupSource>(
+    src: &S,
     a: &AttrSet,
     b: &AttrSet,
     c: &AttrSet,
 ) -> Result<f64> {
-    conditional_mutual_information_ctx(&AnalysisContext::new(r), a, b, c)
-}
-
-/// [`conditional_mutual_information`] over a shared [`AnalysisContext`]:
-/// the four marginal entropies of eq. (4) are answered from the context's
-/// group-count cache, which across the candidate MVDs of a search shares
-/// almost every term.
-pub fn conditional_mutual_information_ctx(
-    ctx: &AnalysisContext<'_>,
-    a: &AttrSet,
-    b: &AttrSet,
-    c: &AttrSet,
-) -> Result<f64> {
-    let hac = entropy_ctx(ctx, &a.union(c))?;
-    let hbc = entropy_ctx(ctx, &b.union(c))?;
-    let habc = entropy_ctx(ctx, &a.union(b).union(c))?;
-    let hc = entropy_ctx(ctx, c)?;
+    let hac = entropy(src, &a.union(c))?;
+    let hbc = entropy(src, &b.union(c))?;
+    let habc = entropy(src, &a.union(b).union(c))?;
+    let hc = entropy(src, c)?;
     Ok(hac + hbc - habc - hc)
 }
 
 /// The conditional mutual information associated with an MVD
 /// `φ = C ↠ A | B`, namely `I(A; B | C)` over the empirical distribution of
-/// `r`.
+/// the source relation.
 ///
 /// By the chain rule this equals `I(C∪A; C∪B | C)`, so it does not matter
 /// that [`Mvd`] stores its sides inclusive of the separator; we evaluate on
 /// the exclusive sides, which touches fewer columns.
-pub fn mvd_cmi(r: &Relation, mvd: &Mvd) -> Result<f64> {
-    mvd_cmi_ctx(&AnalysisContext::new(r), mvd)
-}
-
-/// [`mvd_cmi`] over a shared [`AnalysisContext`].
-pub fn mvd_cmi_ctx(ctx: &AnalysisContext<'_>, mvd: &Mvd) -> Result<f64> {
-    conditional_mutual_information_ctx(ctx, &mvd.left_exclusive(), &mvd.right_exclusive(), &mvd.lhs)
+pub fn mvd_cmi<S: GroupSource>(src: &S, mvd: &Mvd) -> Result<f64> {
+    conditional_mutual_information(src, &mvd.left_exclusive(), &mvd.right_exclusive(), &mvd.lhs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ajd_relation::AttrId;
+    use ajd_relation::{AnalysisContext, AttrId, Relation};
 
     fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
         let s: Vec<AttrId> = schema.iter().map(|&i| AttrId(i)).collect();
@@ -202,6 +184,25 @@ mod tests {
         let direct =
             conditional_mutual_information(&r, &bag(&[0]), &bag(&[2]), &bag(&[1])).unwrap();
         assert!((via_mvd - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_and_fresh_cmis_are_bit_identical() {
+        let r = rel(
+            &[0, 1, 2],
+            &[&[0, 0, 0], &[0, 1, 1], &[1, 0, 1], &[1, 1, 0], &[2, 1, 1]],
+        );
+        let ctx = AnalysisContext::new(&r);
+        for (a, b, c) in [
+            (bag(&[0]), bag(&[1]), bag(&[2])),
+            (bag(&[0, 1]), bag(&[2]), AttrSet::empty()),
+            (bag(&[0]), bag(&[2]), bag(&[1])),
+        ] {
+            let fresh = conditional_mutual_information(&r, &a, &b, &c).unwrap();
+            let cached = conditional_mutual_information(&ctx, &a, &b, &c).unwrap();
+            assert_eq!(fresh.to_bits(), cached.to_bits());
+        }
+        assert!(ctx.stats().hits > 0, "the CMI terms must share groupings");
     }
 
     #[test]

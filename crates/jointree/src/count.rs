@@ -7,11 +7,13 @@
 //! linear in the sizes of the projections by dynamic programming over the
 //! join tree — the counting variant of Yannakakis' algorithm:
 //!
-//! 1. project `R` onto every bag;
+//! 1. group `R` by every bag and every edge separator (dense interned ids
+//!    from the columnar kernel — see [`ajd_relation::GroupIds`]);
 //! 2. process nodes bottom-up (children before parents); each node assigns
-//!    every tuple of its bag projection a weight equal to the product of the
-//!    counts its children report for the tuple's separator values;
-//! 3. each node sends its parent a map `separator value → Σ weights`;
+//!    every distinct bag tuple a weight equal to the product of the counts
+//!    its children report for the tuple's separator group;
+//! 3. each node sends its parent a flat `Vec<u128>` message indexed by the
+//!    separator's group ids;
 //! 4. the total at the root is `|⋈ᵢ R[Ωᵢ]|`.
 //!
 //! Because every projection originates from the same relation `R`, no
@@ -24,17 +26,14 @@
 //! ([`RelationError::CountOverflow`]) rather than clamp — a saturated count
 //! would silently report a wrong loss `ρ`.
 //!
-//! Two implementations are provided: [`count_acyclic_join`], which projects
-//! and hashes from scratch (the self-contained reference), and
-//! [`count_acyclic_join_ctx`], which runs the same dynamic program on the
-//! interned group ids of a shared [`AnalysisContext`] — messages become
-//! flat `Vec<u128>`s indexed by dense separator-group ids, and all grouping
-//! work is memoized across the many trees a discovery sweep evaluates.
+//! Every function is generic over [`GroupSource`]: pass `&Relation` for a
+//! self-contained one-shot computation, or a shared source (an
+//! `AnalysisContext`, via `ajd_core::Analyzer`) so the groupings — which a
+//! discovery sweep shares across many trees — are memoized.
 
 use crate::tree::JoinTree;
-use ajd_relation::hash::{map_with_capacity, FxHashMap};
 use ajd_relation::join::natural_join_all;
-use ajd_relation::{AnalysisContext, AttrSet, Relation, RelationError, Result, Value};
+use ajd_relation::{AttrSet, GroupSource, Relation, RelationError, Result};
 
 /// Error for a join size that exceeds `u128`.
 const OVERFLOW: RelationError = RelationError::CountOverflow("acyclic join size exceeds u128");
@@ -54,131 +53,44 @@ fn check_tree_covered(r: &Relation, tree: &JoinTree) -> Result<()> {
 /// Computes `|⋈ᵢ R[Ωᵢ]|` for the bags `Ωᵢ` of the join tree, without
 /// materialising the join.
 ///
+/// Runs the bottom-up dynamic program on **interned group ids**: each bag's
+/// distinct projection tuples are the source's [`ajd_relation::GroupIds`]
+/// groups, and the message a node sends its parent is a dense `Vec<u128>`
+/// indexed by the separator's group ids — no per-tuple hashing, no key
+/// allocation.  The id mappings (bag group → separator group) are recovered
+/// from the per-row id vectors in one linear pass per edge.
+///
 /// Returns [`RelationError::CountOverflow`] if the exact join size exceeds
-/// `u128`.  When evaluating several trees over the same relation, prefer
-/// [`count_acyclic_join_ctx`], which shares projection and grouping work
-/// through an [`AnalysisContext`].
-pub fn count_acyclic_join(r: &Relation, tree: &JoinTree) -> Result<u128> {
-    check_tree_covered(r, tree)?;
-
-    // Bag projections (set semantics).
-    let projections: Vec<Relation> = tree
-        .bags()
-        .iter()
-        .map(|b| r.try_project(b))
-        .collect::<Result<_>>()?;
-
-    let rooted = tree.rooted(0)?;
-    let order = rooted.order().to_vec();
-    let m = order.len();
-
-    // weight message each node sends to its parent:
-    //   separator-value -> sum of weights of consistent subtree extensions.
-    let mut messages: Vec<Option<FxHashMap<Box<[Value]>, u128>>> = vec![None; m];
-
-    // Process nodes in reverse DFS order so children are handled first.
-    for &node in order.iter().rev() {
-        let proj = &projections[node];
-        let children: Vec<usize> = (0..m)
-            .filter(|&v| rooted.parent_of(v) == Some(node))
-            .collect();
-
-        // Pre-compute, for every child, the positions (in this bag's schema)
-        // of the separator attributes shared with that child.
-        let child_keys: Vec<(usize, Vec<usize>)> = children
-            .iter()
-            .map(|&c| {
-                let sep = tree.bag(node).intersection(tree.bag(c));
-                let pos = proj
-                    .attr_positions(&sep)
-                    .expect("separator is a subset of the bag");
-                (c, pos)
-            })
-            .collect();
-
-        // Weight of each tuple of this bag's projection.
-        let parent = rooted.parent_of(node);
-        let parent_sep_pos: Option<Vec<usize>> = parent.map(|p| {
-            let sep = tree.bag(node).intersection(tree.bag(p));
-            proj.attr_positions(&sep)
-                .expect("separator is a subset of the bag")
-        });
-
-        let mut outgoing: FxHashMap<Box<[Value]>, u128> = map_with_capacity(proj.len());
-        let mut total_at_root: u128 = 0;
-        let mut key_buf: Vec<Value> = Vec::new();
-
-        for row in proj.iter_rows() {
-            let mut weight: u128 = 1;
-            for (c, key_pos) in &child_keys {
-                key_buf.clear();
-                key_buf.extend(key_pos.iter().map(|&p| row[p]));
-                let msg = messages[*c]
-                    .as_ref()
-                    .expect("children are processed before parents");
-                // Every separator value of a parent-bag tuple appears in the
-                // child projection because both are projections of the same R.
-                let w = msg.get(key_buf.as_slice()).copied().unwrap_or(0);
-                weight = weight.checked_mul(w).ok_or(OVERFLOW)?;
-            }
-            match &parent_sep_pos {
-                Some(pos) => {
-                    key_buf.clear();
-                    key_buf.extend(pos.iter().map(|&p| row[p]));
-                    let slot = outgoing
-                        .entry(key_buf.clone().into_boxed_slice())
-                        .or_insert(0);
-                    *slot = slot.checked_add(weight).ok_or(OVERFLOW)?;
-                }
-                None => total_at_root = total_at_root.checked_add(weight).ok_or(OVERFLOW)?,
-            }
-        }
-
-        if parent.is_some() {
-            messages[node] = Some(outgoing);
-        } else {
-            return Ok(total_at_root);
-        }
-    }
-    unreachable!("the root is always processed last and returns")
-}
-
-/// [`count_acyclic_join`] over a shared [`AnalysisContext`].
-///
-/// Runs the same bottom-up dynamic program, but on **interned group ids**:
-/// each bag's distinct projection tuples are the context's cached
-/// [`ajd_relation::GroupIds`] groups, and the message a node sends its
-/// parent is a dense `Vec<u128>` indexed by the separator's group ids —
-/// no per-tuple hashing, no key allocation.  The id mappings
-/// (bag group → separator group) are recovered from the cached per-row id
-/// vectors in one linear pass per edge.
-///
-/// The result is exactly [`count_acyclic_join`]'s (the join size is an
-/// integer, so the two implementations agree bit for bit); grouping work is
-/// shared with every other measure computed through `ctx` and with every
-/// other tree over the same relation.
-pub fn count_acyclic_join_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<u128> {
-    let r = ctx.relation();
+/// `u128`.
+pub fn count_acyclic_join<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<u128> {
+    let r = src.relation();
     check_tree_covered(r, tree)?;
 
     let bag_ids: Vec<_> = tree
         .bags()
         .iter()
-        .map(|b| ctx.group_ids(b))
+        .map(|b| src.group_ids(b))
         .collect::<Result<_>>()?;
 
     let rooted = tree.rooted(0)?;
     let order = rooted.order().to_vec();
     let m = order.len();
 
+    // One separator grouping per edge, shared by the two endpoints (fetched
+    // once so the uncached path does not group each separator twice).
+    let sep_ids: Vec<_> = (0..tree.num_edges())
+        .map(|e| src.group_ids(&tree.separator(e)))
+        .collect::<Result<_>>()?;
+    // The edge connecting `node` to its parent, if any.
+    let edge_of = |u: usize, v: usize| -> usize {
+        tree.edges()
+            .iter()
+            .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+            .expect("parent links follow tree edges")
+    };
+
     // Message from each node to its parent: weight per separator group id.
     let mut messages: Vec<Option<Vec<u128>>> = vec![None; m];
-
-    // Maps this node's bag-group ids to the group ids of `sep ⊆ bag`.
-    let id_map = |node: usize, sep: &AttrSet| -> Result<(Vec<u32>, usize)> {
-        let sep_ids = ctx.group_ids(sep)?;
-        Ok((bag_ids[node].map_to(&sep_ids), sep_ids.num_groups()))
-    };
 
     for &node in order.iter().rev() {
         let groups = bag_ids[node].num_groups();
@@ -190,8 +102,7 @@ pub fn count_acyclic_join_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Res
         // messages at the tuple's separator values.
         let mut weights: Vec<u128> = vec![1; groups];
         for &c in &children {
-            let sep = tree.bag(node).intersection(tree.bag(c));
-            let (map, _) = id_map(node, &sep)?;
+            let map = bag_ids[node].map_to(&sep_ids[edge_of(node, c)]);
             let msg = messages[c]
                 .take()
                 .expect("children are processed before parents");
@@ -202,9 +113,9 @@ pub fn count_acyclic_join_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Res
 
         match rooted.parent_of(node) {
             Some(p) => {
-                let sep = tree.bag(node).intersection(tree.bag(p));
-                let (map, sep_groups) = id_map(node, &sep)?;
-                let mut outgoing: Vec<u128> = vec![0; sep_groups];
+                let sep = &sep_ids[edge_of(node, p)];
+                let map = bag_ids[node].map_to(sep);
+                let mut outgoing: Vec<u128> = vec![0; sep.num_groups()];
                 for (g, &w) in weights.iter().enumerate() {
                     let slot = &mut outgoing[map[g] as usize];
                     *slot = slot.checked_add(w).ok_or(OVERFLOW)?;
@@ -231,24 +142,13 @@ pub fn count_acyclic_join_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Res
 /// exactly (the paper's setting) this is `|R|`.  Bag projections are
 /// set-semantic, so the join always contains that projection and the loss
 /// is never negative, duplicates or not.
-pub fn loss_acyclic(r: &Relation, tree: &JoinTree) -> Result<f64> {
+pub fn loss_acyclic<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<f64> {
+    let r = src.relation();
     if r.is_empty() {
         return Err(RelationError::EmptyInput("relation for loss computation"));
     }
-    let join_size = count_acyclic_join(r, tree)? as f64;
-    let base = r.group_counts(&tree.attributes())?.num_groups() as f64;
-    Ok((join_size - base) / base)
-}
-
-/// [`loss_acyclic`] over a shared [`AnalysisContext`]: the loss `ρ(R,S)` of
-/// eq. (1) with all projection/grouping work memoized in `ctx`.
-pub fn loss_acyclic_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<f64> {
-    let r = ctx.relation();
-    if r.is_empty() {
-        return Err(RelationError::EmptyInput("relation for loss computation"));
-    }
-    let join_size = count_acyclic_join_ctx(ctx, tree)? as f64;
-    let base = ctx.group_counts(&tree.attributes())?.num_groups() as f64;
+    let join_size = count_acyclic_join(src, tree)? as f64;
+    let base = src.group_counts(&tree.attributes())?.num_groups() as f64;
     Ok((join_size - base) / base)
 }
 
@@ -257,30 +157,14 @@ pub fn loss_acyclic_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<f6
 /// produces dangling intermediate tuples).
 ///
 /// Use [`count_acyclic_join`] when only the size is needed; the materialised
-/// join can be exponentially larger than `R`.
-pub fn acyclic_join(r: &Relation, tree: &JoinTree) -> Result<Relation> {
-    let projections: Vec<Relation> = tree
-        .bags()
-        .iter()
-        .map(|b| r.try_project(b))
-        .collect::<Result<_>>()?;
-    let rooted = tree.rooted(0)?;
-    let ordered: Vec<Relation> = rooted
-        .order()
-        .iter()
-        .map(|&u| projections[u].clone())
-        .collect();
-    natural_join_all(&ordered)
-}
-
-/// [`acyclic_join`] over a shared [`AnalysisContext`]: the bag projections
-/// come from the context's projection cache, so materialising the joins of
+/// join can be exponentially larger than `R`.  Over a caching source the bag
+/// projections come from the projection cache, so materialising the joins of
 /// several trees over one relation re-projects nothing.
-pub fn acyclic_join_ctx(ctx: &AnalysisContext<'_>, tree: &JoinTree) -> Result<Relation> {
+pub fn acyclic_join<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<Relation> {
     let projections: Vec<_> = tree
         .bags()
         .iter()
-        .map(|b| ctx.projection(b))
+        .map(|b| src.projection(b))
         .collect::<Result<_>>()?;
     let rooted = tree.rooted(0)?;
     let ordered: Vec<Relation> = rooted
@@ -303,7 +187,7 @@ pub fn loss_materialized(r: &Relation, schema: &[AttrSet]) -> Result<f64> {
 mod tests {
     use super::*;
     use ajd_relation::join::natural_join;
-    use ajd_relation::AttrId;
+    use ajd_relation::{AnalysisContext, AttrId};
 
     fn bag(ids: &[u32]) -> AttrSet {
         AttrSet::from_ids(ids.iter().copied())
@@ -420,7 +304,7 @@ mod tests {
     }
 
     #[test]
-    fn ctx_count_matches_uncached_on_assorted_trees() {
+    fn cached_count_matches_uncached_on_assorted_trees() {
         let r = random_like_relation();
         let ctx = AnalysisContext::new(&r);
         for t in [
@@ -435,12 +319,12 @@ mod tests {
             JoinTree::new(vec![bag(&[0, 1, 2]), bag(&[2, 3])], vec![(0, 1)]).unwrap(),
         ] {
             assert_eq!(
-                count_acyclic_join_ctx(&ctx, &t).unwrap(),
+                count_acyclic_join(&ctx, &t).unwrap(),
                 count_acyclic_join(&r, &t).unwrap(),
                 "context and uncached counts disagree for {t}"
             );
             assert_eq!(
-                loss_acyclic_ctx(&ctx, &t).unwrap(),
+                loss_acyclic(&ctx, &t).unwrap(),
                 loss_acyclic(&r, &t).unwrap()
             );
         }
@@ -449,7 +333,7 @@ mod tests {
     }
 
     #[test]
-    fn ctx_materialised_join_matches_uncached() {
+    fn cached_materialised_join_matches_uncached() {
         let r = random_like_relation();
         let ctx = AnalysisContext::new(&r);
         let trees = [
@@ -457,7 +341,7 @@ mod tests {
             JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
         ];
         for t in &trees {
-            assert!(acyclic_join_ctx(&ctx, t)
+            assert!(acyclic_join(&ctx, t)
                 .unwrap()
                 .set_eq(&acyclic_join(&r, t).unwrap()));
         }
@@ -467,12 +351,12 @@ mod tests {
     }
 
     #[test]
-    fn ctx_count_works_when_tree_covers_a_strict_subset() {
+    fn count_works_when_tree_covers_a_strict_subset() {
         let r = random_like_relation();
         let ctx = AnalysisContext::new(&r);
         let t = JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2])]).unwrap();
         assert_eq!(
-            count_acyclic_join_ctx(&ctx, &t).unwrap(),
+            count_acyclic_join(&ctx, &t).unwrap(),
             count_acyclic_join(&r, &t).unwrap()
         );
     }
@@ -496,7 +380,7 @@ mod tests {
         let err = count_acyclic_join(&r, &t).unwrap_err();
         assert!(matches!(err, RelationError::CountOverflow(_)), "{err}");
         let ctx = AnalysisContext::new(&r);
-        let err = count_acyclic_join_ctx(&ctx, &t).unwrap_err();
+        let err = count_acyclic_join(&ctx, &t).unwrap_err();
         assert!(matches!(err, RelationError::CountOverflow(_)), "{err}");
         assert!(loss_acyclic(&r, &t).is_err());
 
@@ -509,18 +393,13 @@ mod tests {
             (n as u128).pow(15),
             "15-bag count must still be exact"
         );
-        assert_eq!(
-            count_acyclic_join_ctx(&ctx, &t15).unwrap(),
-            (n as u128).pow(15)
-        );
+        assert_eq!(count_acyclic_join(&ctx, &t15).unwrap(), (n as u128).pow(15));
     }
 
     #[test]
     fn deep_tree_count_does_not_overflow_u64_semantics() {
-        // 6 singleton bags over a bijection-style relation: join size is N^6,
-        // which for N = 50 exceeds u64? (50^6 = 1.5e10, fits; use N=200 ->
-        // 6.4e13 still fits u64, but the point is exercising u128 paths and
-        // the star of singleton bags.)
+        // 6 singleton bags over a bijection-style relation: exercises the
+        // u128 accumulation paths and the path of singleton bags.
         let n = 20u32;
         let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![i; 6]).collect();
         let r = rel(

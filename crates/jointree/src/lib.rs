@@ -21,7 +21,10 @@
 //!   with its edges.
 //! * [`count_acyclic_join`] — the size of `⋈ᵢ R[Ωᵢ]` by bottom-up message
 //!   passing over the join tree, without materialising the join, from which
-//!   the loss `ρ(R,S)` (eq. 1) is computed exactly.
+//!   the loss `ρ(R,S)` (eq. 1) is computed exactly.  Like every measure in
+//!   the workspace it is generic over [`ajd_relation::GroupSource`]: pass a
+//!   `&Relation` for a one-shot count or a shared source (an
+//!   `AnalysisContext`, via `ajd_core::Analyzer`) for memoized groupings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,10 +35,7 @@ pub mod mvd;
 pub mod schema;
 pub mod tree;
 
-pub use count::{
-    acyclic_join, acyclic_join_ctx, count_acyclic_join, count_acyclic_join_ctx, loss_acyclic,
-    loss_acyclic_ctx,
-};
+pub use count::{acyclic_join, count_acyclic_join, loss_acyclic};
 pub use gyo::{gyo_reduction, GyoOutcome};
 pub use mvd::Mvd;
 pub use schema::Schema;

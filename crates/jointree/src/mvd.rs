@@ -11,8 +11,7 @@
 //! enumeration of a rooted tree.  Both forms are provided here.
 
 use crate::tree::{JoinTree, RootedTree};
-use ajd_relation::join::count_natural_join;
-use ajd_relation::{AnalysisContext, AttrSet, Relation, RelationError, Result};
+use ajd_relation::{AttrSet, GroupSource, RelationError, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -77,30 +76,23 @@ impl Mvd {
 
     /// Size of the two-way join `|R[C∪A] ⋈ R[C∪B]|`.
     ///
+    /// Runs on interned group ids: both side projections and the
+    /// shared-attribute co-grouping are recovered from per-row id vectors
+    /// (number of *distinct* side tuples per shared group, multiplied
+    /// pairwise).  Over a caching [`GroupSource`] the support MVDs of many
+    /// trees over one relation never re-group `R`.
+    ///
     /// Counted in `u128` with checked arithmetic (the join can reach `N²`,
     /// beyond `u64` at production scale); sizes beyond `u128` yield
     /// [`RelationError::CountOverflow`].
-    pub fn join_size(&self, r: &Relation) -> Result<u128> {
-        let left = r.try_project(&self.left)?;
-        let right = r.try_project(&self.right)?;
-        count_natural_join(&left, &right)
-    }
-
-    /// [`Mvd::join_size`] over a shared [`AnalysisContext`].
-    ///
-    /// Uses the context's interned group ids: both projections and the
-    /// shared-attribute co-grouping are recovered from cached per-row id
-    /// vectors, so evaluating the support MVDs of many trees over one
-    /// relation never re-projects `R`.  The result is exactly
-    /// [`Mvd::join_size`]'s.
-    pub fn join_size_ctx(&self, ctx: &AnalysisContext<'_>) -> Result<u128> {
+    pub fn join_size<S: GroupSource>(&self, src: &S) -> Result<u128> {
         let shared = self.left.intersection(&self.right);
-        let shared_ids = ctx.group_ids(&shared)?;
+        let shared_ids = src.group_ids(&shared)?;
         // Number of *distinct* side tuples per shared-attribute group:
         // map each side group to its shared group (`shared ⊆ side`), then
         // count how many side groups land on each shared group.
         let side_counts = |side: &AttrSet| -> Result<Vec<u64>> {
-            let side_ids = ctx.group_ids(side)?;
+            let side_ids = src.group_ids(side)?;
             let mut counts = vec![0u64; shared_ids.num_groups()];
             for sh in side_ids.map_to(&shared_ids) {
                 counts[sh as usize] += 1;
@@ -130,32 +122,21 @@ impl Mvd {
     /// the MVD's attributes — `|R|` in the paper's setting (a set relation
     /// the MVD fully covers).  The join always contains that projection, so
     /// the loss is never negative, duplicates or not.
-    pub fn loss(&self, r: &Relation) -> Result<f64> {
-        if r.is_empty() {
+    pub fn loss<S: GroupSource>(&self, src: &S) -> Result<f64> {
+        if src.relation().is_empty() {
             return Err(RelationError::EmptyInput("relation for MVD loss"));
         }
-        let join = self.join_size(r)? as f64;
-        let base = r.group_counts(&self.attributes())?.num_groups() as f64;
-        Ok((join - base) / base)
-    }
-
-    /// [`Mvd::loss`] over a shared [`AnalysisContext`].
-    pub fn loss_ctx(&self, ctx: &AnalysisContext<'_>) -> Result<f64> {
-        let r = ctx.relation();
-        if r.is_empty() {
-            return Err(RelationError::EmptyInput("relation for MVD loss"));
-        }
-        let join = self.join_size_ctx(ctx)? as f64;
-        let base = ctx.group_counts(&self.attributes())?.num_groups() as f64;
+        let join = self.join_size(src)? as f64;
+        let base = src.group_counts(&self.attributes())?.num_groups() as f64;
         Ok((join - base) / base)
     }
 
     /// `true` if the MVD holds in `R` (zero spurious tuples: the two-way
     /// join reproduces exactly the distinct tuples of `R` on the MVD's
     /// attributes).
-    pub fn holds_in(&self, r: &Relation) -> Result<bool> {
-        let base = r.group_counts(&self.attributes())?.num_groups() as u128;
-        Ok(self.join_size(r)? == base)
+    pub fn holds_in<S: GroupSource>(&self, src: &S) -> Result<bool> {
+        let base = src.group_counts(&self.attributes())?.num_groups() as u128;
+        Ok(self.join_size(src)? == base)
     }
 }
 
@@ -201,7 +182,7 @@ pub fn ordered_support(rooted: &RootedTree) -> Vec<Mvd> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ajd_relation::AttrId;
+    use ajd_relation::{AnalysisContext, AttrId, Relation};
 
     fn bag(ids: &[u32]) -> AttrSet {
         AttrSet::from_ids(ids.iter().copied())
@@ -261,7 +242,7 @@ mod tests {
     }
 
     #[test]
-    fn ctx_join_size_matches_uncached() {
+    fn cached_join_size_matches_uncached() {
         let r = rel(
             &[0, 1, 2],
             &[
@@ -283,11 +264,11 @@ mod tests {
         ];
         for m in &mvds {
             assert_eq!(
-                m.join_size_ctx(&ctx).unwrap(),
+                m.join_size(&ctx).unwrap(),
                 m.join_size(&r).unwrap(),
                 "context join size disagrees for {m}"
             );
-            assert_eq!(m.loss_ctx(&ctx).unwrap(), m.loss(&r).unwrap());
+            assert_eq!(m.loss(&ctx).unwrap(), m.loss(&r).unwrap());
         }
         assert!(ctx.stats().hits > 0, "separator groupings must be shared");
     }

@@ -118,7 +118,24 @@ proptest! {
         let counted = count_acyclic_join(&r, &tree).unwrap();
         let materialised = acyclic_join(&r, &tree).unwrap();
         prop_assert_eq!(counted, materialised.len() as u128);
-        prop_assert!(counted >= r.project(&tree.attributes()).len() as u128);
+        prop_assert!(counted >= r.project(&tree.attributes()).unwrap().len() as u128);
+    }
+
+    /// Join-size counting on **multiset** relations (duplicates kept) still
+    /// matches the materialised join of the set-semantic bag projections —
+    /// the observational contract of the columnar grouping kernel.
+    #[test]
+    fn counting_matches_materialisation_on_multisets(
+        bags in tree_edge_schema(4),
+        rows in prop::collection::vec(prop::collection::vec(0u32..4, 4), 1..40),
+    ) {
+        let schema: Vec<AttrId> = (0..4u32).map(AttrId::from).collect();
+        // No dedup: duplicates exercise the multiset grouping path.
+        let r = Relation::from_rows(schema, &rows).unwrap();
+        let tree = JoinTree::from_acyclic_schema(&bags).unwrap();
+        let counted = count_acyclic_join(&r, &tree).unwrap();
+        let materialised = acyclic_join(&r, &tree).unwrap();
+        prop_assert_eq!(counted, materialised.len() as u128);
     }
 
     /// Contracting any edge of a valid join tree keeps it valid and only

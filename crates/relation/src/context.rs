@@ -1,4 +1,4 @@
-//! Shared-computation analysis context.
+//! Shared-computation analysis context and the [`GroupSource`] abstraction.
 //!
 //! Every information measure in the paper (the entropies of eq. 4, the
 //! J-measure of eq. 7, the KL-divergence of Theorem 3.2, the per-MVD
@@ -8,141 +8,88 @@
 //! Evaluating many measures — or many candidate join trees, as schema
 //! discovery does — therefore recomputes the same groupings over and over.
 //!
-//! [`AnalysisContext`] is the memoization layer that eliminates that
-//! redundancy, in the spirit of the lattice-level entropy caching of Kenig
-//! et al. (*Mining Approximate Acyclic Schemes from Relations*, 2019):
+//! Two pieces live here:
 //!
-//! * a [`GroupCounts`] cache keyed by [`AttrSet`] (marginal multiplicities,
-//!   the basis of every entropy);
-//! * a [`GroupIds`] cache of **interned group keys**: every distinct
-//!   `Y`-projection of a tuple is assigned a dense `u32` id, and every row
-//!   of `R` is labelled with its group id.  Downstream algorithms (join-size
-//!   message passing, two-way join counting) can then work with dense
-//!   integer ids and flat vectors instead of hashing boxed key tuples;
-//! * a set-semantic projection cache (`Π_Y(R)` as [`Relation`]s).
-//!
-//! All three caches are guarded by [`parking_lot::RwLock`], so concurrent
-//! analysis threads (see `ajd-core`'s `BatchAnalyzer`) share one context:
-//! reads of already-memoized entries do not contend, and a raced miss at
-//! worst recomputes a deterministic value.
-//!
-//! Cached values are produced by exactly the same code paths as the
-//! uncached operations on [`Relation`], so every measure computed through a
-//! context is **bit-identical** to its uncached counterpart — a property
-//! the workspace's tests assert.
+//! * [`GroupSource`] — the capability every measure in the workspace is
+//!   written against: "give me group counts / interned group ids / a
+//!   projection for this attribute set".  A plain [`Relation`] implements it
+//!   by computing fresh (the one-shot path); an [`AnalysisContext`]
+//!   implements it by memoizing (the shared path).  Because both
+//!   implementations call the *same* columnar kernel, a measure computed
+//!   through a context is **bit-identical** to its uncached counterpart — a
+//!   property the workspace's tests assert.
+//! * [`AnalysisContext`] — the memoization layer, in the spirit of the
+//!   lattice-level entropy caching of Kenig et al. (*Mining Approximate
+//!   Acyclic Schemes from Relations*, 2019): caches of [`GroupCounts`],
+//!   interned [`GroupIds`] and set-semantic projections keyed by
+//!   [`AttrSet`], guarded by [`parking_lot::RwLock`] so concurrent analysis
+//!   threads (see `ajd-core`'s `BatchAnalyzer`) share one context.  Reads of
+//!   already-memoized entries do not contend, and a raced miss at worst
+//!   recomputes a deterministic value.
 
 use crate::attr::AttrSet;
 use crate::error::Result;
-use crate::hash::{map_with_capacity, FxHashMap};
-use crate::relation::{GroupCounts, Relation, Value};
+use crate::hash::FxHashMap;
+use crate::relation::{GroupCounts, GroupIds, Relation};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Interned group keys: a dense renaming of the distinct `Y`-projections of
-/// a relation's tuples.
+/// The grouping capability every measure is written against.
 ///
-/// For a relation `R` with `N` rows and an attribute set `Y`, the distinct
-/// projections `Π_Y(R)` are numbered `0..g` in order of first appearance;
-/// [`GroupIds::row_ids`] labels every row of `R` with its group id and
-/// [`GroupIds::counts`] holds the multiplicity of each group.  This is the
-/// same information as [`GroupCounts`], laid out for algorithms that want
-/// dense integer ids (vector-indexed messages, per-row co-grouping) instead
-/// of hash lookups on boxed key tuples.
-#[derive(Debug, Clone)]
-pub struct GroupIds {
-    attrs: AttrSet,
-    row_ids: Vec<u32>,
-    counts: Vec<u64>,
+/// Functions in `ajd-info`, `ajd-jointree` and `ajd-core` are generic over a
+/// `GroupSource`, so one implementation serves both the convenience path
+/// (`entropy(&r, …)` — compute from scratch) and the shared path
+/// (`entropy(&ctx, …)` or `Analyzer` methods — answer from the cache).  This
+/// replaces the former `foo` / `foo_ctx` function pairs.
+pub trait GroupSource {
+    /// The relation the groupings are taken over.
+    fn relation(&self) -> &Relation;
+
+    /// Multiplicities of the distinct `attrs`-projections of the relation's
+    /// tuples (see [`Relation::group_counts`]).
+    fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>>;
+
+    /// Interned group keys for `attrs` (see [`GroupIds`]).
+    fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>>;
+
+    /// Set-semantic projection `Π_attrs(R)`.
+    fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>>;
 }
 
-impl GroupIds {
-    fn build(r: &Relation, attrs: &AttrSet) -> Result<Self> {
-        let positions = r.attr_positions(attrs)?;
-        let mut intern: FxHashMap<Box<[Value]>, u32> = map_with_capacity(r.len().min(1 << 20));
-        let mut row_ids = Vec::with_capacity(r.len());
-        let mut counts: Vec<u64> = Vec::new();
-        let mut buf: Vec<Value> = vec![0; positions.len()];
-        for row in r.iter_rows() {
-            for (k, &p) in positions.iter().enumerate() {
-                buf[k] = row[p];
-            }
-            // Ids are dense u32s; beyond u32::MAX distinct groups a wrapped
-            // id would silently alias unrelated groups, so fail instead.
-            let next = u32::try_from(counts.len()).map_err(|_| {
-                crate::error::RelationError::CountOverflow(
-                    "number of distinct groups exceeds the u32 intern id space",
-                )
-            })?;
-            let id = *intern.entry(buf.clone().into_boxed_slice()).or_insert(next);
-            if id == next {
-                counts.push(0);
-            }
-            counts[id as usize] += 1;
-            row_ids.push(id);
-        }
-        Ok(GroupIds {
-            attrs: attrs.clone(),
-            row_ids,
-            counts,
-        })
+impl GroupSource for Relation {
+    fn relation(&self) -> &Relation {
+        self
     }
 
-    /// The attribute set the rows are grouped by.
-    pub fn attrs(&self) -> &AttrSet {
-        &self.attrs
+    fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
+        Relation::group_counts(self, attrs).map(Arc::new)
     }
 
-    /// Number of distinct groups `g = |Π_Y(R)|`.
-    pub fn num_groups(&self) -> usize {
-        self.counts.len()
+    fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
+        Relation::group_ids(self, attrs).map(Arc::new)
     }
 
-    /// The interned group id of every row of the source relation, in row
-    /// order (ids are assigned in order of first appearance).
-    pub fn row_ids(&self) -> &[u32] {
-        &self.row_ids
+    fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
+        Relation::project(self, attrs).map(Arc::new)
+    }
+}
+
+impl<S: GroupSource + ?Sized> GroupSource for &S {
+    fn relation(&self) -> &Relation {
+        (**self).relation()
     }
 
-    /// Multiplicity of each group, indexed by group id.
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
+    fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
+        (**self).group_counts(attrs)
     }
 
-    /// Total number of grouped rows (the `N` of the relation).
-    pub fn total(&self) -> u64 {
-        self.row_ids.len() as u64
+    fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
+        (**self).group_ids(attrs)
     }
 
-    /// Maps every group id of this (finer) grouping to the id of the group
-    /// it belongs to in a *coarser* grouping of the same relation
-    /// (`coarser.attrs() ⊆ self.attrs()`).
-    ///
-    /// Rows with equal projections onto `self.attrs()` agree on any subset
-    /// of those attributes, so any representative row determines the coarse
-    /// group; the map is recovered in one linear pass over the two per-row
-    /// id vectors.  This is the co-grouping primitive behind the interned
-    /// join-size algorithms in `ajd-jointree`.
-    ///
-    /// Panics if `coarser` does not group by a subset of this grouping's
-    /// attributes, or if the two groupings come from relations of different
-    /// sizes (programming errors — a silently wrong map would corrupt every
-    /// count derived from it).
-    pub fn map_to(&self, coarser: &GroupIds) -> Vec<u32> {
-        assert!(
-            coarser.attrs.is_subset_of(&self.attrs),
-            "map_to target must group by a subset of this grouping's attributes"
-        );
-        assert_eq!(
-            self.row_ids.len(),
-            coarser.row_ids.len(),
-            "map_to requires groupings of the same relation"
-        );
-        let mut map = vec![0u32; self.num_groups()];
-        for (&fine, &coarse) in self.row_ids.iter().zip(&coarser.row_ids) {
-            map[fine as usize] = coarse;
-        }
-        map
+    fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
+        (**self).projection(attrs)
     }
 }
 
@@ -181,8 +128,11 @@ impl CacheStats {
 /// touch the same attribute subset.  It is `Sync`: `ajd-core`'s
 /// `BatchAnalyzer` shares one context across `std::thread::scope` workers.
 ///
+/// Most callers never construct one directly: `ajd_core::Analyzer` owns a
+/// context and routes every measure through it.
+///
 /// ```
-/// use ajd_relation::{AnalysisContext, AttrId, AttrSet, Relation};
+/// use ajd_relation::{AnalysisContext, AttrId, AttrSet, GroupSource, Relation};
 ///
 /// let r = Relation::from_rows(vec![AttrId(0), AttrId(1)], &[
 ///     &[0, 0][..], &[0, 1][..], &[1, 0][..],
@@ -232,16 +182,12 @@ impl<'a> AnalysisContext<'a> {
 
     /// Memoized interned group keys (see [`GroupIds`]) for `attrs`.
     pub fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
-        self.memoized(&self.group_ids, attrs, |r, a| {
-            GroupIds::build(r, a).map(Arc::new)
-        })
+        self.memoized(&self.group_ids, attrs, |r, a| r.group_ids(a).map(Arc::new))
     }
 
     /// Memoized set-semantic projection `Π_attrs(R)`.
     pub fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
-        self.memoized(&self.projections, attrs, |r, a| {
-            r.try_project(a).map(Arc::new)
-        })
+        self.memoized(&self.projections, attrs, |r, a| r.project(a).map(Arc::new))
     }
 
     /// Snapshot of cache sizes and hit/miss counters.
@@ -277,10 +223,29 @@ impl<'a> AnalysisContext<'a> {
     }
 }
 
+impl GroupSource for AnalysisContext<'_> {
+    fn relation(&self) -> &Relation {
+        self.relation
+    }
+
+    fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
+        AnalysisContext::group_counts(self, attrs)
+    }
+
+    fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
+        AnalysisContext::group_ids(self, attrs)
+    }
+
+    fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
+        AnalysisContext::projection(self, attrs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::attr::AttrId;
+    use crate::relation::Value;
 
     fn sample() -> Relation {
         Relation::from_rows(
@@ -357,7 +322,7 @@ mod tests {
         let ctx = AnalysisContext::new(&r);
         let attrs = bag(&[0, 1]);
         let cached = ctx.projection(&attrs).unwrap();
-        let direct = r.try_project(&attrs).unwrap();
+        let direct = r.project(&attrs).unwrap();
         assert!(cached.set_eq(&direct));
         assert_eq!(cached.len(), direct.len());
     }
@@ -384,6 +349,22 @@ mod tests {
         assert!(ctx.group_ids(&bag(&[9])).is_err());
         assert!(ctx.projection(&bag(&[9])).is_err());
         assert_eq!(ctx.stats().group_count_entries, 0);
+    }
+
+    #[test]
+    fn group_source_is_object_agnostic() {
+        // The same generic function body works over a Relation (fresh
+        // computation) and a context (memoized), with identical results.
+        fn groups_via<S: GroupSource>(src: &S, attrs: &AttrSet) -> usize {
+            src.group_counts(attrs).unwrap().num_groups()
+        }
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        let attrs = bag(&[0, 1]);
+        assert_eq!(groups_via(&r, &attrs), groups_via(&ctx, &attrs));
+        // Blanket impl: references to sources are sources too.
+        assert_eq!(groups_via(&&r, &attrs), groups_via(&&ctx, &attrs));
+        assert_eq!(GroupSource::relation(&ctx).len(), r.len());
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub enum RelationError {
         /// Description of the valid range and the value received.
         detail: String,
     },
+    /// A filesystem read or write failed.
+    ///
+    /// Wraps the `std::io::Error` message (the error itself is neither
+    /// `Clone` nor `PartialEq`, which this enum is).
+    Io {
+        /// The path being read or written.
+        path: String,
+        /// The underlying I/O error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -80,6 +90,9 @@ impl fmt::Display for RelationError {
             }
             RelationError::InvalidParameter { what, detail } => {
                 write!(f, "invalid parameter {what}: {detail}")
+            }
+            RelationError::Io { path, detail } => {
+                write!(f, "i/o error on {path}: {detail}")
             }
         }
     }
@@ -114,6 +127,12 @@ mod tests {
         };
         assert!(e.to_string().contains("delta"));
         assert!(e.to_string().contains("(0,1)"));
+        let e = RelationError::Io {
+            path: "/tmp/data.csv".to_owned(),
+            detail: "permission denied".to_owned(),
+        };
+        assert!(e.to_string().contains("/tmp/data.csv"));
+        assert!(e.to_string().contains("permission denied"));
     }
 
     #[test]

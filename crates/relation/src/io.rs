@@ -1,10 +1,14 @@
 //! Ingesting delimited text data into dictionary-encoded relations.
 //!
 //! Real datasets arrive as CSV/TSV-like text.  [`read_delimited`] parses
-//! such text into a [`Catalog`] (attribute names from the header, one value
-//! dictionary per attribute) and a [`Relation`] of dictionary codes, which
-//! is the representation every analysis in this workspace operates on.
-//! [`write_delimited`] renders a relation back to text using a catalog.
+//! in-memory text into a [`Catalog`] (attribute names from the header, one
+//! value dictionary per attribute) and a [`Relation`] of dictionary codes,
+//! which is the representation every analysis in this workspace operates on;
+//! [`read_delimited_from`] does the same for a file on disk, **streaming**
+//! line by line through a `BufReader` straight into [`Relation::push_row`]
+//! so large datasets never need to be slurped into one string first.
+//! [`write_delimited`] renders a relation back to text using a catalog, and
+//! [`write_delimited_to`] streams it to a file.
 //!
 //! The parser is deliberately small: one character delimiter, no quoting, no
 //! escaping — sufficient for the synthetic and benchmark datasets used here.
@@ -14,8 +18,11 @@ use crate::catalog::Catalog;
 use crate::error::{RelationError, Result};
 use crate::relation::Relation;
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write as IoWrite};
+use std::path::Path;
 
-/// Options for [`read_delimited`].
+/// Options for [`read_delimited`] / [`read_delimited_from`].
 #[derive(Debug, Clone, Copy)]
 pub struct ReadOptions {
     /// Field delimiter (`,` for CSV, `\t` for TSV).
@@ -40,18 +47,29 @@ impl Default for ReadOptions {
     }
 }
 
-/// Parses delimited text into a catalog and a dictionary-encoded relation.
-///
-/// Empty lines are skipped.  Every data row must have exactly as many fields
-/// as the header (or as the first data row when there is no header).
-pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Relation)> {
-    let mut lines = text
-        .lines()
-        .map(|l| l.trim_end_matches('\r'))
-        .filter(|l| !l.trim().is_empty());
+/// Converts an I/O error into the crate error type, recording the path.
+fn io_error(path: &Path, err: std::io::Error) -> RelationError {
+    RelationError::Io {
+        path: path.display().to_string(),
+        detail: err.to_string(),
+    }
+}
+
+/// The streaming core shared by the in-memory and file-based readers: pulls
+/// lines one at a time, builds the catalog from the first non-empty line (or
+/// positional names), and pushes every data row straight into the relation.
+fn read_lines<I>(lines: I, options: ReadOptions) -> Result<(Catalog, Relation)>
+where
+    I: Iterator<Item = Result<String>>,
+{
+    let mut lines = lines.filter(|l| match l {
+        Ok(l) => !l.trim().is_empty(),
+        Err(_) => true,
+    });
 
     let split = |line: &str| -> Vec<String> {
-        line.split(options.delimiter)
+        line.trim_end_matches('\r')
+            .split(options.delimiter)
             .map(|f| {
                 if options.trim {
                     f.trim().to_owned()
@@ -64,8 +82,9 @@ pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Rela
 
     let first = lines
         .next()
+        .transpose()?
         .ok_or(RelationError::EmptyInput("delimited text with no rows"))?;
-    let first_fields = split(first);
+    let first_fields = split(&first);
     if first_fields.iter().any(String::is_empty) {
         return Err(RelationError::EmptyInput("empty field in first row"));
     }
@@ -103,7 +122,7 @@ pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Rela
         push(&mut catalog, &mut relation, &fields)?;
     }
     for line in lines {
-        let fields = split(line);
+        let fields = split(&line?);
         push(&mut catalog, &mut relation, &fields)?;
     }
 
@@ -113,6 +132,50 @@ pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Rela
         relation
     };
     Ok((catalog, relation))
+}
+
+/// Parses delimited text into a catalog and a dictionary-encoded relation.
+///
+/// Empty lines are skipped.  Every data row must have exactly as many fields
+/// as the header (or as the first data row when there is no header).
+pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Relation)> {
+    read_lines(text.lines().map(|l| Ok(l.to_owned())), options)
+}
+
+/// Reads a delimited file into a catalog and a dictionary-encoded relation,
+/// streaming line by line through a `BufReader` (the file is never held in
+/// memory as a whole).
+///
+/// I/O failures surface as [`RelationError::Io`]; parse failures are the
+/// same errors [`read_delimited`] produces.
+pub fn read_delimited_from<P: AsRef<Path>>(
+    path: P,
+    options: ReadOptions,
+) -> Result<(Catalog, Relation)> {
+    let path = path.as_ref();
+    let file = File::open(path).map_err(|e| io_error(path, e))?;
+    let reader = BufReader::new(file);
+    read_lines(
+        reader.lines().map(|l| l.map_err(|e| io_error(path, e))),
+        options,
+    )
+}
+
+/// Renders one row through the catalog, falling back to numeric codes for
+/// values without a label.
+fn render_row(catalog: &Catalog, relation: &Relation, row: &[u32], delimiter: char) -> String {
+    let rendered: Vec<String> = relation
+        .schema()
+        .iter()
+        .zip(row)
+        .map(|(&a, &v)| {
+            catalog
+                .value_label(a, v)
+                .map(str::to_owned)
+                .unwrap_or_else(|| v.to_string())
+        })
+        .collect();
+    rendered.join(&delimiter.to_string())
 }
 
 /// Renders a relation back to delimited text using the catalog's labels.
@@ -128,20 +191,35 @@ pub fn write_delimited(catalog: &Catalog, relation: &Relation, delimiter: char) 
         .collect::<Result<_>>()?;
     let _ = writeln!(out, "{}", names.join(&delimiter.to_string()));
     for row in relation.iter_rows() {
-        let rendered: Vec<String> = relation
-            .schema()
-            .iter()
-            .zip(row)
-            .map(|(&a, &v)| {
-                catalog
-                    .value_label(a, v)
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| v.to_string())
-            })
-            .collect();
-        let _ = writeln!(out, "{}", rendered.join(&delimiter.to_string()));
+        let _ = writeln!(out, "{}", render_row(catalog, relation, row, delimiter));
     }
     Ok(out)
+}
+
+/// Streams a relation to a delimited file through a `BufWriter`, row by row
+/// (the counterpart of [`read_delimited_from`]).
+///
+/// I/O failures surface as [`RelationError::Io`].
+pub fn write_delimited_to<P: AsRef<Path>>(
+    path: P,
+    catalog: &Catalog,
+    relation: &Relation,
+    delimiter: char,
+) -> Result<()> {
+    let path = path.as_ref();
+    let file = File::create(path).map_err(|e| io_error(path, e))?;
+    let mut writer = BufWriter::new(file);
+    let names: Vec<&str> = relation
+        .schema()
+        .iter()
+        .map(|&a| catalog.name(a))
+        .collect::<Result<_>>()?;
+    writeln!(writer, "{}", names.join(&delimiter.to_string())).map_err(|e| io_error(path, e))?;
+    for row in relation.iter_rows() {
+        writeln!(writer, "{}", render_row(catalog, relation, row, delimiter))
+            .map_err(|e| io_error(path, e))?;
+    }
+    writer.flush().map_err(|e| io_error(path, e))
 }
 
 #[cfg(test)]
@@ -156,6 +234,11 @@ seattle,usa,america
 haifa,israel,asia
 paris,france,europe
 ";
+
+    /// A scratch file path unique to this process and test.
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ajd_io_test_{}_{tag}.csv", std::process::id()))
+    }
 
     #[test]
     fn read_with_header_builds_catalog_and_relation() {
@@ -242,5 +325,62 @@ paris,france,europe
         let r = Relation::from_rows(vec![AttrId(0)], &[&[9u32][..]]).unwrap();
         let text = write_delimited(&catalog, &r, ',').unwrap();
         assert!(text.contains('9'));
+    }
+
+    #[test]
+    fn file_roundtrip_streams_both_ways() {
+        let path = temp_path("roundtrip");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let (catalog, r) = read_delimited_from(&path, ReadOptions::default()).unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(catalog.arity(), 3);
+        // Streamed read matches the in-memory read exactly.
+        let (_c2, r2) = read_delimited(SAMPLE, ReadOptions::default()).unwrap();
+        assert!(r.canonicalize().set_eq(&r2.canonicalize()));
+
+        // Write back out and re-read.
+        let out_path = temp_path("roundtrip_out");
+        write_delimited_to(&out_path, &catalog, &r, ',').unwrap();
+        let (_c3, r3) = read_delimited_from(&out_path, ReadOptions::default()).unwrap();
+        assert_eq!(r3.len(), r.len());
+        assert!(r3.canonicalize().set_eq(&r.canonicalize()));
+        // Streamed write matches the in-memory renderer byte for byte.
+        assert_eq!(
+            std::fs::read_to_string(&out_path).unwrap(),
+            write_delimited(&catalog, &r, ',').unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn file_read_honours_options() {
+        let path = temp_path("options");
+        std::fs::write(&path, "1\t2\n3\t4\n1\t2\n").unwrap();
+        let (catalog, r) = read_delimited_from(
+            &path,
+            ReadOptions {
+                delimiter: '\t',
+                has_header: false,
+                distinct: true,
+                ..ReadOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(catalog.name(AttrId(0)).unwrap(), "X0");
+        assert_eq!(r.len(), 2);
+        assert!(r.is_set());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err =
+            read_delimited_from("/nonexistent/ajd/input.csv", ReadOptions::default()).unwrap_err();
+        assert!(matches!(err, RelationError::Io { .. }), "{err}");
+        let catalog = Catalog::with_attributes(["a"]).unwrap();
+        let r = Relation::from_rows(vec![AttrId(0)], &[&[1u32][..]]).unwrap();
+        let err = write_delimited_to("/nonexistent/ajd/output.csv", &catalog, &r, ',').unwrap_err();
+        assert!(matches!(err, RelationError::Io { .. }), "{err}");
     }
 }

@@ -13,6 +13,13 @@
 //! * [`count_natural_join`] — cardinality of a two-way join without
 //!   materialising the output.
 //!
+//! Joins run on **dictionary codes**: the probe side's codes are remapped
+//! into the build side's code space through the column dictionaries (one
+//! dictionary lookup per *distinct* value, not per row), the per-row join
+//! key packs into a single `u64`, and rows whose key value does not occur on
+//! the other side are skipped before any hashing.  Raw-value hashing remains
+//! only as a fallback for keys too wide to pack.
+//!
 //! The asymptotically better way to compute the size of an *acyclic* join is
 //! message passing over the join tree; that lives in `ajd-jointree`
 //! (`count_acyclic_join`) because it needs the join-tree type, and is
@@ -23,6 +30,102 @@ use crate::error::{RelationError, Result};
 use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap};
 use crate::relation::{GroupCounts, Relation, Value};
 
+/// Sentinel key for probe rows whose shared values cannot occur in the build
+/// side (the key space is capped at `u64::MAX - 1`, so this never collides).
+const MISS: u64 = u64::MAX;
+
+/// Packed `u64` join keys of the two sides over their shared attributes, in
+/// the **left** relation's code space.
+///
+/// `left[i]` is the mixed-radix packing of row `i`'s shared-attribute codes;
+/// `right[j]` is the same packing of row `j`'s codes *after remapping into
+/// the left dictionaries* — [`MISS`] if some value of the row does not occur
+/// in the left relation at all (such a row can never join).  Returns `None`
+/// when the packed key space would exceed `u64` (dozens of huge shared
+/// columns); callers then fall back to hashing decoded keys.
+fn shared_code_keys(
+    left: &Relation,
+    right: &Relation,
+    shared: &AttrSet,
+) -> Result<Option<(Vec<u64>, Vec<u64>)>> {
+    let mut strides_fit = true;
+    let mut key_space: u128 = 1;
+    let left_pos = left.attr_positions(shared)?;
+    let right_pos = right.attr_positions(shared)?;
+    let mut domains: Vec<u64> = Vec::with_capacity(shared.len());
+    for &p in &left_pos {
+        let d = left.schema()[p];
+        let size = left.domain(d)?.len().max(1) as u128;
+        key_space = key_space.saturating_mul(size);
+        domains.push(size as u64);
+    }
+    if key_space > u64::MAX as u128 {
+        strides_fit = false;
+    }
+    if !strides_fit {
+        return Ok(None);
+    }
+
+    // Per shared attribute: right code → left code (or u32::MAX).
+    let mut remaps: Vec<Vec<u32>> = Vec::with_capacity(shared.len());
+    for (&lp, &rp) in left_pos.iter().zip(&right_pos) {
+        let attr_l = left.schema()[lp];
+        let attr_r = right.schema()[rp];
+        let remap: Vec<u32> = right
+            .domain(attr_r)?
+            .iter()
+            .map(|&v| {
+                left.code_of(attr_l, v)
+                    .expect("attribute comes from left's schema")
+                    .unwrap_or(u32::MAX)
+            })
+            .collect();
+        remaps.push(remap);
+    }
+
+    let n_left = left.len();
+    let mut left_keys: Vec<u64> = Vec::with_capacity(n_left);
+    for i in 0..n_left {
+        let mut key = 0u64;
+        for (k, &p) in left_pos.iter().enumerate() {
+            let codes = left
+                .column_codes(left.schema()[p])
+                .expect("own schema attribute");
+            key = key * domains[k] + codes[i] as u64;
+        }
+        left_keys.push(key);
+    }
+
+    let n_right = right.len();
+    let mut right_keys: Vec<u64> = Vec::with_capacity(n_right);
+    'rows: for j in 0..n_right {
+        let mut key = 0u64;
+        for (k, &p) in right_pos.iter().enumerate() {
+            let codes = right
+                .column_codes(right.schema()[p])
+                .expect("own schema attribute");
+            let mapped = remaps[k][codes[j] as usize];
+            if mapped == u32::MAX {
+                right_keys.push(MISS);
+                continue 'rows;
+            }
+            key = key * domains[k] + mapped as u64;
+        }
+        right_keys.push(key);
+    }
+
+    Ok(Some((left_keys, right_keys)))
+}
+
+/// Decoded (raw-value) join key of one row — the fallback key type.
+fn decoded_key(row: &[Value], positions: &[usize]) -> Box<[Value]> {
+    positions
+        .iter()
+        .map(|&p| row[p])
+        .collect::<Vec<_>>()
+        .into_boxed_slice()
+}
+
 /// Computes the natural join `left ⋈ right` on their shared attributes.
 ///
 /// If the relations share no attribute the result is the Cartesian product.
@@ -31,11 +134,7 @@ use crate::relation::{GroupCounts, Relation, Value};
 /// yields a set, so no deduplication is needed in that case).
 pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
     let shared = left.attrs().intersection(&right.attrs());
-    let left_key_pos = left.attr_positions(&shared)?;
-    let right_key_pos = right.attr_positions(&shared)?;
 
-    // Probe the smaller side? We always build on `right` for output-order
-    // stability; the paper's workloads have similarly-sized projections.
     let right_extra: Vec<AttrId> = right
         .schema()
         .iter()
@@ -50,34 +149,48 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
     let mut out_schema: Vec<AttrId> = left.schema().to_vec();
     out_schema.extend_from_slice(&right_extra);
     let mut out = Relation::new(out_schema)?;
-
-    // Build: shared-key → indices of matching right rows.
-    let mut build: FxHashMap<Box<[Value]>, Vec<u32>> = map_with_capacity(right.len());
-    let mut key = vec![0u32; shared.len()];
-    for (i, row) in right.iter_rows().enumerate() {
-        for (k, &p) in right_key_pos.iter().enumerate() {
-            key[k] = row[p];
-        }
-        build
-            .entry(key.clone().into_boxed_slice())
-            .or_default()
-            .push(i as u32);
-    }
-
-    // Probe.
     let mut out_row = vec![0u32; left.arity() + right_extra.len()];
-    for lrow in left.iter_rows() {
-        for (k, &p) in left_key_pos.iter().enumerate() {
-            key[k] = lrow[p];
-        }
-        if let Some(matches) = build.get(key.as_slice()) {
+
+    let emit =
+        |out: &mut Relation, out_row: &mut [u32], lrow: &[Value], matches: &[u32]| -> Result<()> {
             out_row[..left.arity()].copy_from_slice(lrow);
             for &ri in matches {
                 let rrow = right.row(ri as usize);
                 for (k, &p) in right_extra_pos.iter().enumerate() {
                     out_row[left.arity() + k] = rrow[p];
                 }
-                out.push_row(&out_row)?;
+                out.push_row(out_row)?;
+            }
+            Ok(())
+        };
+
+    if let Some((left_keys, right_keys)) = shared_code_keys(left, right, &shared)? {
+        // Build on `right` (output-order stability), keyed by packed codes.
+        let mut build: FxHashMap<u64, Vec<u32>> = map_with_capacity(right.len());
+        for (j, &key) in right_keys.iter().enumerate() {
+            if key != MISS {
+                build.entry(key).or_default().push(j as u32);
+            }
+        }
+        for (i, lrow) in left.iter_rows().enumerate() {
+            if let Some(matches) = build.get(&left_keys[i]) {
+                emit(&mut out, &mut out_row, lrow, matches)?;
+            }
+        }
+    } else {
+        // Fallback for very wide keys: hash decoded shared values.
+        let left_key_pos = left.attr_positions(&shared)?;
+        let right_key_pos = right.attr_positions(&shared)?;
+        let mut build: FxHashMap<Box<[Value]>, Vec<u32>> = map_with_capacity(right.len());
+        for (j, rrow) in right.iter_rows().enumerate() {
+            build
+                .entry(decoded_key(rrow, &right_key_pos))
+                .or_default()
+                .push(j as u32);
+        }
+        for lrow in left.iter_rows() {
+            if let Some(matches) = build.get(&decoded_key(lrow, &left_key_pos)) {
+                emit(&mut out, &mut out_row, lrow, matches)?;
             }
         }
     }
@@ -157,25 +270,31 @@ pub fn natural_join_all(relations: &[Relation]) -> Result<Relation> {
 /// with at least one tuple of `right` on their shared attributes.
 pub fn semijoin(left: &Relation, right: &Relation) -> Result<Relation> {
     let shared = left.attrs().intersection(&right.attrs());
-    let left_key_pos = left.attr_positions(&shared)?;
-    let right_key_pos = right.attr_positions(&shared)?;
-
-    let mut keys = set_with_capacity(right.len());
-    let mut key = vec![0u32; shared.len()];
-    for row in right.iter_rows() {
-        for (k, &p) in right_key_pos.iter().enumerate() {
-            key[k] = row[p];
-        }
-        keys.insert(key.clone().into_boxed_slice());
-    }
-
     let mut out = Relation::new(left.schema().to_vec())?;
-    for row in left.iter_rows() {
-        for (k, &p) in left_key_pos.iter().enumerate() {
-            key[k] = row[p];
+
+    if let Some((left_keys, right_keys)) = shared_code_keys(left, right, &shared)? {
+        let mut keys = set_with_capacity(right.len());
+        for &k in &right_keys {
+            if k != MISS {
+                keys.insert(k);
+            }
         }
-        if keys.contains(key.as_slice()) {
-            out.push_row(row)?;
+        for (i, row) in left.iter_rows().enumerate() {
+            if keys.contains(&left_keys[i]) {
+                out.push_row(row)?;
+            }
+        }
+    } else {
+        let left_key_pos = left.attr_positions(&shared)?;
+        let right_key_pos = right.attr_positions(&shared)?;
+        let mut keys = set_with_capacity(right.len());
+        for row in right.iter_rows() {
+            keys.insert(decoded_key(row, &right_key_pos));
+        }
+        for row in left.iter_rows() {
+            if keys.contains(&decoded_key(row, &left_key_pos)) {
+                out.push_row(row)?;
+            }
         }
     }
     Ok(out)
@@ -183,7 +302,7 @@ pub fn semijoin(left: &Relation, right: &Relation) -> Result<Relation> {
 
 /// Decomposes `r` onto a database schema: returns `[Π_{Ω₁}(R), …, Π_{Ω_m}(R)]`.
 pub fn decompose(r: &Relation, schema: &[AttrSet]) -> Result<Vec<Relation>> {
-    schema.iter().map(|bag| r.try_project(bag)).collect()
+    schema.iter().map(|bag| r.project(bag)).collect()
 }
 
 /// Computes the *loss* of a database schema with respect to `r`:
@@ -253,6 +372,20 @@ mod tests {
         let a = natural_join(&r, &s).unwrap();
         let b = natural_join(&s, &r).unwrap();
         assert!(a.set_eq(&b));
+    }
+
+    #[test]
+    fn join_handles_values_missing_from_either_dictionary() {
+        // Values 20 and 30 occur on only one side each: rows carrying them
+        // must silently not join (code remapping yields a MISS).
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let s = rel(&[1, 2], &[&[10, 5], &[30, 6]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains_row(&[1, 10, 5]));
+        let sj = semijoin(&r, &s).unwrap();
+        assert_eq!(sj.len(), 1);
+        assert!(sj.contains_row(&[1, 10]));
     }
 
     #[test]
@@ -332,12 +465,9 @@ mod tests {
     }
 
     fn synthetic_counts(attr: u32, counts: &[(Value, u64)]) -> GroupCounts {
-        let mut g = GroupCounts {
-            attrs: AttrSet::singleton(AttrId(attr)),
-            ..GroupCounts::default()
-        };
+        let mut g = GroupCounts::new(AttrSet::singleton(AttrId(attr)));
         for &(v, c) in counts {
-            g.counts.insert(vec![v].into_boxed_slice(), c);
+            g.insert(&[v], c);
             // `total` is metadata here; saturate so the synthetic overflow
             // scenarios below stay representable.
             g.total = g.total.saturating_add(c);

@@ -12,20 +12,27 @@
 //! * [`AttrId`] / [`AttrSet`] — attributes and sorted attribute sets with the
 //!   usual set algebra (union, intersection, difference).
 //! * [`Catalog`] — optional human-readable attribute names and per-attribute
-//!   value dictionaries for ingesting labelled data.
-//! * [`Relation`] — a set (or multiset) of tuples stored row-major over
-//!   `u32` dictionary codes, with projection, selection, grouping,
-//!   deduplication and canonicalisation.
-//! * [`join`] — hash-based natural joins, semijoins and join-size counting.
-//! * [`AnalysisContext`] — a shared-computation layer memoizing group
-//!   counts, interned group ids and projections per attribute set, so that
-//!   the many measures (and many candidate join trees) evaluated over one
-//!   relation never redo the same grouping work.
-//! * [`hash`] — a small Fx-style hasher used for all row grouping (the
-//!   default SipHash is needlessly slow for short integer rows).
+//!   label dictionaries for ingesting labelled data.
+//! * [`Relation`] — a **columnar, dictionary-encoded** relation store: each
+//!   attribute owns a per-column dictionary (raw value → dense `u32` code)
+//!   and a flat code column, while a row-major decoded mirror keeps the
+//!   familiar tuple API.  Projection, grouping, deduplication and joins all
+//!   run on the integer codes (dense mixed-radix counting or packed-`u64`
+//!   hashing — never a heap-allocated key per row).
+//! * [`GroupCounts`] / [`GroupIds`] — the two views of a grouping: decoded
+//!   multiplicity tables and dense interned ids with per-row labels.
+//! * [`join`] — natural joins, semijoins and join-size counting over
+//!   remapped dictionary codes.
+//! * [`GroupSource`] — the capability trait the measure stack is generic
+//!   over: a plain [`Relation`] computes groupings fresh, an
+//!   [`AnalysisContext`] memoizes them, and both run the same kernel so the
+//!   results are bit-identical.
+//! * [`hash`] — a small Fx-style hasher used for all residual hashing (the
+//!   default SipHash is needlessly slow for short integer keys).
 //!
-//! Everything is deterministic: iteration orders that can affect results
-//! (e.g. canonical forms) are explicitly sorted.
+//! Everything is deterministic: group ids follow first-appearance order and
+//! iteration orders that can affect results (e.g. canonical forms) are
+//! explicitly sorted.
 //!
 //! ## Example
 //!
@@ -41,8 +48,8 @@
 //! ]).unwrap();
 //!
 //! // Project onto {A,B} and join back with the projection onto {B,C}.
-//! let rab = r.project(&AttrSet::from_slice(&[a, b]));
-//! let rbc = r.project(&AttrSet::from_slice(&[b, c]));
+//! let rab = r.project(&AttrSet::from_slice(&[a, b])).unwrap();
+//! let rbc = r.project(&AttrSet::from_slice(&[b, c])).unwrap();
 //! let joined = ajd_relation::join::natural_join(&rab, &rbc).unwrap();
 //! assert!(joined.len() >= r.len());            // the join may add spurious tuples
 //! assert!(r.is_subset_of(&joined));            // but never loses any
@@ -62,7 +69,9 @@ pub mod relation;
 
 pub use attr::{AttrId, AttrSet};
 pub use catalog::{Catalog, ValueDict};
-pub use context::{AnalysisContext, CacheStats, GroupIds};
+pub use context::{AnalysisContext, CacheStats, GroupSource};
 pub use error::{RelationError, Result};
-pub use io::{read_delimited, write_delimited, ReadOptions};
-pub use relation::{GroupCounts, Relation, RowIter, Value};
+pub use io::{
+    read_delimited, read_delimited_from, write_delimited, write_delimited_to, ReadOptions,
+};
+pub use relation::{GroupCounts, GroupIds, Relation, RowIter, Value};

@@ -1,12 +1,27 @@
-//! Relation instances.
+//! Relation instances over a columnar, dictionary-encoded store.
 //!
 //! A [`Relation`] is the concrete representation of a relation instance `R`
-//! over a set of attributes `Ω` (the paper's `R ∈ Rel(Ω)`).  Tuples are
-//! stored row-major as dictionary codes (`u32`), giving compact,
-//! cache-friendly scans.  A relation may be a *set* (all rows distinct — the
-//! common case in the paper) or a *multiset* (duplicates allowed — used for
-//! empirical distributions of multisets of tuples); [`Relation::is_set`]
-//! distinguishes the two and [`Relation::distinct`] converts.
+//! over a set of attributes `Ω` (the paper's `R ∈ Rel(Ω)`).  Every quantity
+//! the paper defines — entropies, the J-measure, KL-to-tree, the exact loss
+//! `ρ` — reduces to *group counts* over projections of one relation, so the
+//! store is organised around making grouping cheap:
+//!
+//! * each attribute owns a **per-column dictionary** mapping its raw
+//!   [`Value`]s to dense `u32` codes (assigned in first-appearance order)
+//!   and a flat `Vec<u32>` **code column**;
+//! * a row-major decoded mirror backs the classic tuple API
+//!   ([`Relation::row`], [`Relation::iter_rows`]) so ingestion and
+//!   inspection look exactly like a row store;
+//! * grouping ([`Relation::group_counts`], [`Relation::group_ids`]),
+//!   projection and deduplication run on the integer codes: when the product
+//!   of the grouped domains is small the kernel counts into a dense
+//!   mixed-radix table (no hashing at all), otherwise it hashes a single
+//!   packed `u64` per row — never a heap-allocated key per row.
+//!
+//! A relation may be a *set* (all tuples distinct — the common case in the
+//! paper) or a *multiset* (duplicates allowed — used for empirical
+//! distributions of multisets of tuples); [`Relation::is_set`] distinguishes
+//! the two and [`Relation::distinct`] converts.
 
 use crate::attr::{AttrId, AttrSet};
 use crate::error::{RelationError, Result};
@@ -14,47 +29,307 @@ use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A dictionary-encoded attribute value.
+/// A raw attribute value.
+///
+/// Values are opaque `u32`s supplied by the caller (or by a
+/// [`crate::Catalog`] when ingesting labelled data); internally every column
+/// re-encodes them as dense dictionary codes.
 pub type Value = u32;
+
+/// Largest dense mixed-radix table the grouping kernel will allocate
+/// (entries, i.e. 4 bytes each).  Beyond this the kernel switches to hashing
+/// packed keys.
+const RADIX_TABLE_CAP: u128 = 1 << 26;
+
+/// One column of a [`Relation`]: a dictionary (code ⇄ value) plus the dense
+/// code of every row.
+#[derive(Debug, Clone, Default)]
+struct Column {
+    /// `code → value`, in first-appearance order.
+    values: Vec<Value>,
+    /// `value → code`.
+    index: FxHashMap<Value, u32>,
+    /// Per-row dictionary codes.
+    codes: Vec<u32>,
+}
+
+impl Column {
+    /// Interns `v`, returning its dense code.
+    fn encode(&mut self, v: Value) -> Result<u32> {
+        if let Some(&c) = self.index.get(&v) {
+            return Ok(c);
+        }
+        let code = u32::try_from(self.values.len()).map_err(|_| {
+            RelationError::CountOverflow("column dictionary exceeds the u32 code space")
+        })?;
+        self.values.push(v);
+        self.index.insert(v, code);
+        Ok(code)
+    }
+
+    /// Number of distinct values interned (the active domain size).
+    fn domain_size(&self) -> usize {
+        self.values.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grouping
+// ---------------------------------------------------------------------------
+
+/// Interned group keys: a dense renaming of the distinct `Y`-projections of
+/// a relation's tuples, with ids assigned in first-appearance order.
+///
+/// For a relation `R` with `N` rows and an attribute set `Y`, the distinct
+/// projections `Π_Y(R)` are numbered `0..g`; [`GroupIds::row_ids`] labels
+/// every row of `R` with its group id, [`GroupIds::counts`] holds the
+/// multiplicity of each group, and [`GroupIds::group_codes`] holds each
+/// group's dictionary-code tuple (the *code-level* view; decode through
+/// [`Relation::group_counts`] or [`GroupIds::decoded_group`] when raw values
+/// are needed).  This is the layout the join-size message passing and the
+/// two-way co-grouping algorithms in `ajd-jointree` consume: dense integer
+/// ids and flat vectors, no hash lookups on boxed key tuples.
+#[derive(Debug, Clone)]
+pub struct GroupIds {
+    attrs: AttrSet,
+    row_ids: Vec<u32>,
+    counts: Vec<u64>,
+    /// Flattened code tuples, `attrs.len()` codes per group.
+    group_codes: Vec<u32>,
+}
+
+impl GroupIds {
+    /// The attribute set the rows are grouped by.
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// Number of distinct groups `g = |Π_Y(R)|`.
+    pub fn num_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The interned group id of every row of the source relation, in row
+    /// order (ids are assigned in order of first appearance).
+    pub fn row_ids(&self) -> &[u32] {
+        &self.row_ids
+    }
+
+    /// Multiplicity of each group, indexed by group id.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of grouped rows (the `N` of the relation).
+    pub fn total(&self) -> u64 {
+        self.row_ids.len() as u64
+    }
+
+    /// The flattened dictionary-code tuples of all groups
+    /// (`attrs.len()` codes per group, ascending attribute order).
+    pub fn group_codes(&self) -> &[u32] {
+        &self.group_codes
+    }
+
+    /// The dictionary-code tuple of group `g`.
+    pub fn group_code(&self, g: usize) -> &[u32] {
+        let a = self.attrs.len();
+        &self.group_codes[g * a..(g + 1) * a]
+    }
+
+    /// Decodes group `g` back to raw values through the dictionaries of the
+    /// relation the grouping was built from.
+    ///
+    /// Errors if `r` does not contain the grouped attributes (i.e. it is not
+    /// the source relation or a schema-compatible copy).
+    pub fn decoded_group(&self, r: &Relation, g: usize) -> Result<Vec<Value>> {
+        let positions = r.attr_positions(&self.attrs)?;
+        self.group_code(g)
+            .iter()
+            .zip(&positions)
+            .map(|(&code, &p)| {
+                r.columns[p].values.get(code as usize).copied().ok_or(
+                    RelationError::SchemaMismatch {
+                        detail: "group code outside the relation's dictionary".to_owned(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Maps every group id of this (finer) grouping to the id of the group
+    /// it belongs to in a *coarser* grouping of the same relation
+    /// (`coarser.attrs() ⊆ self.attrs()`).
+    ///
+    /// Rows with equal projections onto `self.attrs()` agree on any subset
+    /// of those attributes, so any representative row determines the coarse
+    /// group; the map is recovered in one linear pass over the two per-row
+    /// id vectors.  This is the co-grouping primitive behind the interned
+    /// join-size algorithms in `ajd-jointree`.
+    ///
+    /// Panics if `coarser` does not group by a subset of this grouping's
+    /// attributes, or if the two groupings come from relations of different
+    /// sizes (programming errors — a silently wrong map would corrupt every
+    /// count derived from it).
+    pub fn map_to(&self, coarser: &GroupIds) -> Vec<u32> {
+        assert!(
+            coarser.attrs.is_subset_of(&self.attrs),
+            "map_to target must group by a subset of this grouping's attributes"
+        );
+        assert_eq!(
+            self.row_ids.len(),
+            coarser.row_ids.len(),
+            "map_to requires groupings of the same relation"
+        );
+        let mut map = vec![0u32; self.num_groups()];
+        for (&fine, &coarse) in self.row_ids.iter().zip(&coarser.row_ids) {
+            map[fine as usize] = coarse;
+        }
+        map
+    }
+}
 
 /// Counts of distinct grouped rows: the multiplicity of every distinct
 /// projection of a relation onto some attribute set.
 ///
 /// This is the basic object from which all marginal probabilities and
 /// entropies are computed: for `Y ⊆ Ω`, the empirical marginal is
-/// `P[Y=y] = count(y) / N`.
+/// `P[Y=y] = count(y) / N`.  Groups are stored in first-appearance order and
+/// expose both views the analysis stack needs: the **decoded** keys
+/// ([`GroupCounts::iter`], [`GroupCounts::key`], [`GroupCounts::count_of`])
+/// and the **code-level** keys ([`GroupCounts::key_codes`]).
+///
+/// The key → count lookup index is built **lazily** on the first
+/// [`GroupCounts::count_of`] call: the hot consumers (entropies) only scan
+/// the flat count vector, so a grouping with many distinct groups never
+/// pays for a hash table it will not probe.
 #[derive(Debug, Clone, Default)]
 pub struct GroupCounts {
     /// Attribute set the rows are grouped by (ascending attribute order).
     pub attrs: AttrSet,
-    /// Multiplicity of each distinct grouped row.
-    pub counts: FxHashMap<Box<[Value]>, u64>,
     /// Total number of rows that were grouped (the `N` of the relation).
     pub total: u64,
+    arity: usize,
+    /// Flattened decoded group keys, `arity` values per group.
+    keys: Vec<Value>,
+    /// Flattened dictionary-code group keys, `arity` codes per group.
+    key_codes: Vec<u32>,
+    /// Multiplicity of each group, indexed by group id.
+    counts: Vec<u64>,
+    /// Decoded key → group id, built on first point lookup.
+    index: std::sync::OnceLock<FxHashMap<Box<[Value]>, u32>>,
 }
 
 impl GroupCounts {
+    /// Creates an empty count table grouped by `attrs` (used by synthetic
+    /// constructions in tests and bounds code; relation-backed counts come
+    /// from [`Relation::group_counts`]).
+    pub fn new(attrs: AttrSet) -> Self {
+        GroupCounts {
+            arity: attrs.len(),
+            attrs,
+            ..GroupCounts::default()
+        }
+    }
+
+    /// Inserts (or overwrites) the multiplicity of a grouped key.
+    ///
+    /// `key` must have exactly `attrs.len()` values.  `total` is *not*
+    /// updated — synthetic counts manage it explicitly.
+    ///
+    /// Intended for tables built from scratch via [`GroupCounts::new`]
+    /// (synthetic counts in tests and bounds code): there is no backing
+    /// dictionary, so the inserted key doubles as its own code tuple.  Do
+    /// not mix inserts into counts produced by [`Relation::group_counts`] —
+    /// the code-level view ([`GroupCounts::key_codes`]) of inserted groups
+    /// would not correspond to any dictionary code.
+    pub fn insert(&mut self, key: &[Value], count: u64) {
+        assert_eq!(key.len(), self.arity, "group key arity mismatch");
+        if let Some(&g) = self.index().get(key) {
+            self.counts[g as usize] = count;
+            return;
+        }
+        let g = self.counts.len() as u32;
+        self.keys.extend_from_slice(key);
+        // Synthetic keys have no dictionary; mirror the values as codes so
+        // the code-level view stays well-formed.
+        self.key_codes.extend_from_slice(key);
+        self.counts.push(count);
+        self.index
+            .get_mut()
+            .expect("index() above initialised the lookup table")
+            .insert(key.to_vec().into_boxed_slice(), g);
+    }
+
+    /// Number of values per group key.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
     /// Number of distinct groups.
     pub fn num_groups(&self) -> usize {
         self.counts.len()
     }
 
-    /// Looks up the multiplicity of a specific grouped row.
-    pub fn count_of(&self, key: &[Value]) -> u64 {
-        self.counts.get(key).copied().unwrap_or(0)
+    /// The lazily-built decoded-key lookup table.
+    fn index(&self) -> &FxHashMap<Box<[Value]>, u32> {
+        self.index.get_or_init(|| {
+            let mut index: FxHashMap<Box<[Value]>, u32> = map_with_capacity(self.num_groups());
+            for g in 0..self.num_groups() {
+                index.insert(self.key(g).to_vec().into_boxed_slice(), g as u32);
+            }
+            index
+        })
     }
 
-    /// Iterates over `(group, count)` pairs in unspecified order.
+    /// Looks up the multiplicity of a specific decoded group key.
+    ///
+    /// The first call builds the lookup index (O(groups)); later calls are
+    /// O(1) hash probes.
+    pub fn count_of(&self, key: &[Value]) -> u64 {
+        self.index()
+            .get(key)
+            .map(|&g| self.counts[g as usize])
+            .unwrap_or(0)
+    }
+
+    /// The decoded key of group `g` (ascending attribute order).
+    pub fn key(&self, g: usize) -> &[Value] {
+        &self.keys[g * self.arity..(g + 1) * self.arity]
+    }
+
+    /// The dictionary-code key of group `g`.
+    pub fn key_codes(&self, g: usize) -> &[u32] {
+        &self.key_codes[g * self.arity..(g + 1) * self.arity]
+    }
+
+    /// Multiplicity of each group, indexed by group id (first-appearance
+    /// order).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Iterates over `(decoded key, count)` pairs in group-id
+    /// (first-appearance) order.
     pub fn iter(&self) -> impl Iterator<Item = (&[Value], u64)> + '_ {
-        self.counts.iter().map(|(k, &v)| (k.as_ref(), v))
+        (0..self.num_groups()).map(|g| (self.key(g), self.counts[g]))
     }
 }
 
-/// A relation instance: an ordered schema plus row-major tuple storage.
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+/// A relation instance: an ordered schema, per-column dictionaries with code
+/// columns, and a row-major decoded mirror for tuple access.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Relation {
     schema: Vec<AttrId>,
+    /// Row-major decoded tuples (the compatibility view behind
+    /// [`Relation::row`] / [`Relation::iter_rows`]).
     data: Vec<Value>,
+    /// The columnar dictionary-encoded store all grouping runs on.
+    columns: Vec<Column>,
     rows: usize,
 }
 
@@ -73,6 +348,7 @@ impl Relation {
             }
         }
         Ok(Relation {
+            columns: vec![Column::default(); schema.len()],
             schema,
             data: Vec::new(),
             rows: 0,
@@ -84,6 +360,9 @@ impl Relation {
     pub fn with_capacity(schema: Vec<AttrId>, rows: usize) -> Result<Self> {
         let mut r = Self::new(schema)?;
         r.data.reserve(rows * r.arity());
+        for c in &mut r.columns {
+            c.codes.reserve(rows);
+        }
         Ok(r)
     }
 
@@ -96,13 +375,17 @@ impl Relation {
         Ok(rel)
     }
 
-    /// Appends a tuple.
+    /// Appends a tuple, dictionary-encoding each value into its column.
     pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
         if row.len() != self.arity() {
             return Err(RelationError::ArityMismatch {
                 expected: self.arity(),
                 got: row.len(),
             });
+        }
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            let code = col.encode(v)?;
+            col.codes.push(code);
         }
         self.data.extend_from_slice(row);
         self.rows += 1;
@@ -142,7 +425,7 @@ impl Relation {
         self.rows == 0
     }
 
-    /// Returns the `i`-th tuple as a slice of dictionary codes.
+    /// Returns the `i`-th tuple as a slice of raw values.
     #[inline]
     pub fn row(&self, i: usize) -> &[Value] {
         let a = self.arity();
@@ -173,15 +456,200 @@ impl Relation {
         attrs.iter().map(|a| self.attr_pos(a)).collect()
     }
 
+    /// The active domain of an attribute: the distinct values it takes in
+    /// this relation, in first-appearance order (`Π_A(R)` as a value list).
+    ///
+    /// Served straight from the column dictionary — O(1), no scan.
+    pub fn domain(&self, attr: AttrId) -> Result<&[Value]> {
+        let pos = self.attr_pos(attr)?;
+        Ok(&self.columns[pos].values)
+    }
+
     /// Size of the active domain of an attribute: the number of distinct
     /// values it takes in this relation (`d_A = |Π_A(R)|` in the paper).
+    ///
+    /// O(1): the length of the column dictionary.
     pub fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        Ok(self.domain(attr)?.len())
+    }
+
+    /// The dense dictionary codes of a column, one per row.
+    ///
+    /// Codes are assigned in first-appearance order; decode through
+    /// [`Relation::domain`] (`domain(attr)[code as usize]`).
+    pub fn column_codes(&self, attr: AttrId) -> Result<&[u32]> {
         let pos = self.attr_pos(attr)?;
-        let mut seen = set_with_capacity(self.rows.min(1 << 16));
-        for row in self.iter_rows() {
-            seen.insert(row[pos]);
+        Ok(&self.columns[pos].codes)
+    }
+
+    /// Looks up the dictionary code of a raw value in a column, if the value
+    /// occurs in this relation.
+    pub fn code_of(&self, attr: AttrId, value: Value) -> Result<Option<u32>> {
+        let pos = self.attr_pos(attr)?;
+        Ok(self.columns[pos].index.get(&value).copied())
+    }
+
+    // ------------------------------------------------------------------
+    // Grouping (the columnar kernel)
+    // ------------------------------------------------------------------
+
+    /// Groups the tuples by their projection onto `attrs`, returning dense
+    /// interned group ids (see [`GroupIds`]).
+    ///
+    /// This is the grouping kernel every measure in the workspace reduces
+    /// to.  It runs entirely on dictionary codes: a single column *is* its
+    /// own grouping (the codes are already dense ids); several columns whose
+    /// domain-size product is small are counted through a dense mixed-radix
+    /// table with no hashing; wider keys are packed into one `u64` per row
+    /// and hashed without any per-row allocation.
+    pub fn group_ids(&self, attrs: &AttrSet) -> Result<GroupIds> {
+        let positions = self.attr_positions(attrs)?;
+        let k = positions.len();
+
+        // Zero attributes: every row projects to the empty tuple.
+        if k == 0 {
+            return Ok(GroupIds {
+                attrs: attrs.clone(),
+                row_ids: vec![0; self.rows],
+                counts: if self.rows == 0 {
+                    Vec::new()
+                } else {
+                    vec![self.rows as u64]
+                },
+                group_codes: Vec::new(),
+            });
         }
-        Ok(seen.len())
+
+        // One attribute: the code column is already a dense first-appearance
+        // numbering of the distinct values.
+        if k == 1 {
+            let col = &self.columns[positions[0]];
+            let d = col.domain_size();
+            let mut counts = vec![0u64; d];
+            for &c in &col.codes {
+                counts[c as usize] += 1;
+            }
+            return Ok(GroupIds {
+                attrs: attrs.clone(),
+                row_ids: col.codes.clone(),
+                counts,
+                group_codes: (0..d as u32).collect(),
+            });
+        }
+
+        let cols: Vec<&Column> = positions.iter().map(|&p| &self.columns[p]).collect();
+        let radix: u128 = cols.iter().map(|c| c.domain_size() as u128).product();
+        let dense_cap = RADIX_TABLE_CAP.min((self.rows as u128).saturating_mul(8).max(4096));
+
+        let mut row_ids: Vec<u32> = Vec::with_capacity(self.rows);
+        let mut counts: Vec<u64> = Vec::new();
+        let mut group_codes: Vec<u32> = Vec::new();
+
+        if radix <= dense_cap {
+            // Dense mixed-radix table: one array slot per possible code
+            // tuple, ids assigned in first-appearance order.
+            let mut table = vec![u32::MAX; radix as usize];
+            for i in 0..self.rows {
+                let mut key = 0usize;
+                for c in &cols {
+                    key = key * c.domain_size() + c.codes[i] as usize;
+                }
+                let mut id = table[key];
+                if id == u32::MAX {
+                    id = new_group_id(&counts)?;
+                    table[key] = id;
+                    counts.push(0);
+                    for c in &cols {
+                        group_codes.push(c.codes[i]);
+                    }
+                }
+                counts[id as usize] += 1;
+                row_ids.push(id);
+            }
+        } else {
+            let bits: Vec<u32> = cols.iter().map(|c| bit_width(c.domain_size())).collect();
+            if bits.iter().sum::<u32>() <= 64 {
+                // Pack the code tuple into one u64 and hash that — no
+                // allocation per row.
+                let mut intern: FxHashMap<u64, u32> = map_with_capacity(self.rows.min(1 << 20));
+                for i in 0..self.rows {
+                    let mut key = 0u64;
+                    for (c, &b) in cols.iter().zip(&bits) {
+                        key = (key << b) | c.codes[i] as u64;
+                    }
+                    let next = new_group_id(&counts)?;
+                    let id = *intern.entry(key).or_insert(next);
+                    if id == next {
+                        counts.push(0);
+                        for c in &cols {
+                            group_codes.push(c.codes[i]);
+                        }
+                    }
+                    counts[id as usize] += 1;
+                    row_ids.push(id);
+                }
+            } else {
+                // Very wide keys (only reachable with dozens of columns):
+                // hash the boxed code tuple.
+                let mut intern: FxHashMap<Box<[u32]>, u32> =
+                    map_with_capacity(self.rows.min(1 << 20));
+                let mut buf: Vec<u32> = vec![0; k];
+                for i in 0..self.rows {
+                    for (j, c) in cols.iter().enumerate() {
+                        buf[j] = c.codes[i];
+                    }
+                    let next = new_group_id(&counts)?;
+                    let id = *intern.entry(buf.clone().into_boxed_slice()).or_insert(next);
+                    if id == next {
+                        counts.push(0);
+                        group_codes.extend_from_slice(&buf);
+                    }
+                    counts[id as usize] += 1;
+                    row_ids.push(id);
+                }
+            }
+        }
+
+        Ok(GroupIds {
+            attrs: attrs.clone(),
+            row_ids,
+            counts,
+            group_codes,
+        })
+    }
+
+    /// Groups the tuples by their projection onto `attrs`, returning the
+    /// multiplicity of every distinct group (`R(Y=y)` cardinalities) with
+    /// decoded keys.
+    pub fn group_counts(&self, attrs: &AttrSet) -> Result<GroupCounts> {
+        let ids = self.group_ids(attrs)?;
+        Ok(self.decode_group_counts(&ids))
+    }
+
+    /// Decodes a [`GroupIds`] of this relation into a [`GroupCounts`]
+    /// (per-group decoded keys plus a point-lookup index).
+    pub fn decode_group_counts(&self, ids: &GroupIds) -> GroupCounts {
+        let positions = self
+            .attr_positions(ids.attrs())
+            .expect("grouping was built from this relation's attributes");
+        let arity = positions.len();
+        let groups = ids.num_groups();
+        let mut keys: Vec<Value> = Vec::with_capacity(groups * arity);
+        for g in 0..groups {
+            for (j, &p) in positions.iter().enumerate() {
+                let code = ids.group_codes[g * arity + j];
+                keys.push(self.columns[p].values[code as usize]);
+            }
+        }
+        GroupCounts {
+            attrs: ids.attrs().clone(),
+            total: self.rows as u64,
+            arity,
+            keys,
+            key_codes: ids.group_codes.clone(),
+            counts: ids.counts.clone(),
+            index: std::sync::OnceLock::new(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -190,27 +658,26 @@ impl Relation {
 
     /// `true` if all tuples are pairwise distinct (the relation is a set).
     pub fn is_set(&self) -> bool {
-        let mut seen = set_with_capacity(self.rows);
-        for row in self.iter_rows() {
-            if !seen.insert(row.to_vec().into_boxed_slice()) {
-                return false;
-            }
-        }
-        true
+        let ids = self
+            .group_ids(&self.attrs())
+            .expect("own attributes are always present");
+        ids.num_groups() == self.rows
     }
 
-    /// Returns a copy with duplicate tuples removed.
+    /// Returns a copy with duplicate tuples removed (first occurrence kept,
+    /// insertion order preserved).
     pub fn distinct(&self) -> Relation {
-        let mut seen = set_with_capacity(self.rows);
-        let mut out = Relation {
-            schema: self.schema.clone(),
-            data: Vec::with_capacity(self.data.len()),
-            rows: 0,
-        };
-        for row in self.iter_rows() {
-            if seen.insert(row.to_vec().into_boxed_slice()) {
-                out.data.extend_from_slice(row);
-                out.rows += 1;
+        let ids = self
+            .group_ids(&self.attrs())
+            .expect("own attributes are always present");
+        let mut seen = vec![false; ids.num_groups()];
+        let mut out = Relation::with_capacity(self.schema.clone(), ids.num_groups())
+            .expect("own schema is duplicate-free");
+        for (i, &id) in ids.row_ids().iter().enumerate() {
+            if !seen[id as usize] {
+                seen[id as usize] = true;
+                out.push_row(self.row(i))
+                    .expect("rows of the same relation share its arity");
             }
         }
         out
@@ -222,7 +689,21 @@ impl Relation {
         if row.len() != self.arity() {
             return false;
         }
-        self.iter_rows().any(|r| r == row)
+        // A tuple whose value is absent from some column dictionary cannot
+        // occur; otherwise compare dense codes row-wise.
+        let mut codes: Vec<u32> = Vec::with_capacity(row.len());
+        for (col, &v) in self.columns.iter().zip(row) {
+            match col.index.get(&v) {
+                Some(&c) => codes.push(c),
+                None => return false,
+            }
+        }
+        (0..self.rows).any(|i| {
+            self.columns
+                .iter()
+                .zip(&codes)
+                .all(|(col, &c)| col.codes[i] == c)
+        })
     }
 
     /// `true` if every tuple of `self` also appears in `other`
@@ -276,108 +757,77 @@ impl Relation {
             .map(|r| perm.iter().map(|&p| r[p]).collect())
             .collect();
         rows.sort_unstable();
-        let mut out = Relation {
-            schema: attrs.as_slice().to_vec(),
-            data: Vec::with_capacity(self.data.len()),
-            rows: 0,
-        };
+        let mut out = Relation::with_capacity(attrs.as_slice().to_vec(), rows.len())
+            .expect("attribute sets are duplicate-free");
         for r in rows {
-            out.data.extend_from_slice(&r);
-            out.rows += 1;
+            out.push_row(&r)
+                .expect("permuted rows keep the relation's arity");
         }
         out
     }
 
     // ------------------------------------------------------------------
-    // Projection / selection / grouping
+    // Projection / selection
     // ------------------------------------------------------------------
 
     /// Projection `Π_Y(R)` with set semantics (duplicates removed).
     ///
-    /// Panics never; attributes not in the schema yield an error through
-    /// [`Relation::try_project`]. This convenience wrapper expects `attrs ⊆
-    /// schema` and will panic otherwise (programming error).
-    pub fn project(&self, attrs: &AttrSet) -> Relation {
-        self.try_project(attrs)
-            .expect("projection attributes must be a subset of the relation schema")
-    }
-
-    /// Fallible projection `Π_Y(R)` with set semantics.
-    pub fn try_project(&self, attrs: &AttrSet) -> Result<Relation> {
+    /// Runs on the grouping kernel: the output rows are exactly the distinct
+    /// groups, decoded once each.  Errors if `attrs` is not a subset of the
+    /// schema — library code never panics on caller input.
+    pub fn project(&self, attrs: &AttrSet) -> Result<Relation> {
         let positions = self.attr_positions(attrs)?;
+        let ids = self.group_ids(attrs)?;
         let arity = positions.len();
-        let mut seen = set_with_capacity(self.rows);
-        let mut out = Relation {
-            schema: attrs.as_slice().to_vec(),
-            data: Vec::with_capacity(self.rows * arity),
-            rows: 0,
-        };
+        let mut out = Relation::with_capacity(attrs.as_slice().to_vec(), ids.num_groups())?;
         let mut buf: Vec<Value> = vec![0; arity];
-        for row in self.iter_rows() {
-            for (k, &p) in positions.iter().enumerate() {
-                buf[k] = row[p];
+        for g in 0..ids.num_groups() {
+            for (j, &p) in positions.iter().enumerate() {
+                buf[j] = self.columns[p].values[ids.group_codes[g * arity + j] as usize];
             }
-            if seen.insert(buf.clone().into_boxed_slice()) {
-                out.data.extend_from_slice(&buf);
-                out.rows += 1;
-            }
+            out.push_row(&buf)?;
         }
         Ok(out)
     }
 
     /// Projection with multiset (bag) semantics: keeps one output tuple per
     /// input tuple, duplicates included.
+    ///
+    /// Columnar fast path: every row is kept, so each projected column —
+    /// dictionary and code vector — carries over verbatim; only the decoded
+    /// row-major mirror is re-gathered.
     pub fn project_multiset(&self, attrs: &AttrSet) -> Result<Relation> {
         let positions = self.attr_positions(attrs)?;
         let arity = positions.len();
-        let mut out = Relation {
-            schema: attrs.as_slice().to_vec(),
-            data: Vec::with_capacity(self.rows * arity),
-            rows: 0,
-        };
+        let columns: Vec<Column> = positions.iter().map(|&p| self.columns[p].clone()).collect();
+        let mut data: Vec<Value> = Vec::with_capacity(self.rows * arity);
         for row in self.iter_rows() {
             for &p in &positions {
-                out.data.push(row[p]);
+                data.push(row[p]);
             }
-            out.rows += 1;
         }
-        Ok(out)
+        Ok(Relation {
+            schema: attrs.as_slice().to_vec(),
+            data,
+            columns,
+            rows: self.rows,
+        })
     }
 
     /// Selection `σ_{attr=value}(R)`.
     pub fn select_eq(&self, attr: AttrId, value: Value) -> Result<Relation> {
         let pos = self.attr_pos(attr)?;
-        let mut out = Relation {
-            schema: self.schema.clone(),
-            data: Vec::new(),
-            rows: 0,
+        let mut out = Relation::new(self.schema.clone())?;
+        // A value absent from the dictionary selects nothing.
+        let Some(&code) = self.columns[pos].index.get(&value) else {
+            return Ok(out);
         };
-        for row in self.iter_rows() {
-            if row[pos] == value {
-                out.data.extend_from_slice(row);
-                out.rows += 1;
+        for (i, &c) in self.columns[pos].codes.iter().enumerate() {
+            if c == code {
+                out.push_row(self.row(i))?;
             }
         }
         Ok(out)
-    }
-
-    /// Groups the tuples by their projection onto `attrs`, returning the
-    /// multiplicity of every distinct group (`R(Y=y)` cardinalities).
-    pub fn group_counts(&self, attrs: &AttrSet) -> Result<GroupCounts> {
-        let positions = self.attr_positions(attrs)?;
-        let mut counts: FxHashMap<Box<[Value]>, u64> = map_with_capacity(self.rows.min(1 << 20));
-        let mut buf: Vec<Value> = vec![0; positions.len()];
-        for row in self.iter_rows() {
-            for (k, &p) in positions.iter().enumerate() {
-                buf[k] = row[p];
-            }
-            *counts.entry(buf.clone().into_boxed_slice()).or_insert(0) += 1;
-        }
-        Ok(GroupCounts {
-            attrs: attrs.clone(),
-            counts,
-            total: self.rows as u64,
-        })
     }
 
     /// Reorders the columns of every tuple to the target schema (which must
@@ -395,19 +845,39 @@ impl Relation {
             .iter()
             .map(|&a| self.attr_pos(a).expect("checked above"))
             .collect();
-        let mut out = Relation {
-            schema: target.to_vec(),
-            data: Vec::with_capacity(self.data.len()),
-            rows: 0,
-        };
+        // Columns move wholesale (dictionaries included); only the decoded
+        // mirror is re-gathered.
+        let columns: Vec<Column> = perm.iter().map(|&p| self.columns[p].clone()).collect();
+        let mut data: Vec<Value> = Vec::with_capacity(self.data.len());
         for row in self.iter_rows() {
             for &p in &perm {
-                out.data.push(row[p]);
+                data.push(row[p]);
             }
-            out.rows += 1;
         }
-        Ok(out)
+        Ok(Relation {
+            schema: target.to_vec(),
+            data,
+            columns,
+            rows: self.rows,
+        })
     }
+}
+
+/// Allocates the next dense group id, failing (instead of wrapping into an
+/// aliased id) if the `u32` intern space is exhausted.
+fn new_group_id(counts: &[u64]) -> Result<u32> {
+    u32::try_from(counts.len()).map_err(|_| {
+        RelationError::CountOverflow("number of distinct groups exceeds the u32 intern id space")
+    })
+}
+
+/// Number of bits needed to represent every code of a domain of size `d`.
+///
+/// Takes `usize` so a full 2³²-entry dictionary (codes `0..=u32::MAX`)
+/// reports 32 bits instead of wrapping to 0 — an aliased packed key would
+/// silently merge unrelated groups.
+fn bit_width(d: usize) -> u32 {
+    usize::BITS - d.saturating_sub(1).leading_zeros()
 }
 
 impl fmt::Display for Relation {
@@ -508,13 +978,29 @@ mod tests {
     }
 
     #[test]
+    fn dictionary_codes_are_dense_and_decodable() {
+        let mut r = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        r.push_row(&[700, 9]).unwrap();
+        r.push_row(&[u32::MAX, 9]).unwrap();
+        r.push_row(&[700, 0]).unwrap();
+        assert_eq!(r.domain(AttrId(0)).unwrap(), &[700, u32::MAX]);
+        assert_eq!(r.domain(AttrId(1)).unwrap(), &[9, 0]);
+        assert_eq!(r.column_codes(AttrId(0)).unwrap(), &[0, 1, 0]);
+        assert_eq!(r.code_of(AttrId(0), u32::MAX).unwrap(), Some(1));
+        assert_eq!(r.code_of(AttrId(0), 3).unwrap(), None);
+        assert!(r.code_of(AttrId(7), 3).is_err());
+        // The decoded view round-trips the raw values untouched.
+        assert_eq!(r.row(1), &[u32::MAX, 9]);
+    }
+
+    #[test]
     fn projection_dedups() {
         let r = sample();
-        let pa = r.project(&AttrSet::singleton(AttrId(0)));
+        let pa = r.project(&AttrSet::singleton(AttrId(0))).unwrap();
         assert_eq!(pa.len(), 2);
-        let pac = r.project(&AttrSet::from_ids([0, 2]));
+        let pac = r.project(&AttrSet::from_ids([0, 2])).unwrap();
         assert_eq!(pac.len(), 2); // (0,0) and (1,1) only
-        let pall = r.project(&AttrSet::range(3));
+        let pall = r.project(&AttrSet::range(3)).unwrap();
         assert_eq!(pall.len(), 4);
     }
 
@@ -528,9 +1014,10 @@ mod tests {
     }
 
     #[test]
-    fn try_project_unknown_attr_errors() {
+    fn project_unknown_attr_errors() {
         let r = sample();
-        assert!(r.try_project(&AttrSet::singleton(AttrId(7))).is_err());
+        assert!(r.project(&AttrSet::singleton(AttrId(7))).is_err());
+        assert!(r.project_multiset(&AttrSet::singleton(AttrId(7))).is_err());
     }
 
     #[test]
@@ -541,6 +1028,7 @@ mod tests {
         for row in s.iter_rows() {
             assert_eq!(row[0], 1);
         }
+        assert_eq!(r.select_eq(AttrId(0), 99).unwrap().len(), 0);
         assert!(r.select_eq(AttrId(5), 0).is_err());
     }
 
@@ -556,6 +1044,61 @@ mod tests {
         let g2 = r.group_counts(&AttrSet::range(3)).unwrap();
         assert_eq!(g2.num_groups(), 4);
         assert!(g2.iter().all(|(_, c)| c == 1));
+    }
+
+    #[test]
+    fn group_counts_expose_decoded_and_code_views() {
+        let mut r = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        r.push_row(&[500, 7]).unwrap();
+        r.push_row(&[500, 7]).unwrap();
+        r.push_row(&[600, 7]).unwrap();
+        let g = r.group_counts(&AttrSet::from_ids([0, 1])).unwrap();
+        assert_eq!(g.arity(), 2);
+        assert_eq!(g.num_groups(), 2);
+        // First-appearance order: (500,7) then (600,7).
+        assert_eq!(g.key(0), &[500, 7]);
+        assert_eq!(g.key(1), &[600, 7]);
+        assert_eq!(g.key_codes(0), &[0, 0]);
+        assert_eq!(g.key_codes(1), &[1, 0]);
+        assert_eq!(g.counts(), &[2, 1]);
+        assert_eq!(g.count_of(&[500, 7]), 2);
+    }
+
+    #[test]
+    fn group_ids_expose_codes_and_decode() {
+        let r = sample();
+        let attrs = AttrSet::from_ids([0, 2]);
+        let ids = r.group_ids(&attrs).unwrap();
+        assert_eq!(ids.num_groups(), 2);
+        assert_eq!(ids.total(), 4);
+        assert_eq!(ids.group_codes().len(), 2 * 2);
+        assert_eq!(ids.decoded_group(&r, 0).unwrap(), vec![0, 0]);
+        assert_eq!(ids.decoded_group(&r, 1).unwrap(), vec![1, 1]);
+        // Rows with equal projections share an id; counts are per group.
+        assert_eq!(ids.row_ids(), &[0, 0, 1, 1]);
+        assert_eq!(ids.counts(), &[2, 2]);
+    }
+
+    #[test]
+    fn grouping_kernel_paths_agree() {
+        // Force the packed-u64 path by making the radix product enormous
+        // relative to the row count, and compare against the dense path on
+        // an identical relation with a tame domain.
+        let mut wide = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        let mut tame = Relation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        let rows: Vec<[Value; 2]> = (0..200u32).map(|i| [i % 7, (i * i) % 11]).collect();
+        for row in &rows {
+            // Spread the raw values so the dictionaries stay aligned but the
+            // wide relation *looks* like it has the same structure.
+            wide.push_row(&[row[0], row[1]]).unwrap();
+            tame.push_row(&[row[0], row[1]]).unwrap();
+        }
+        let attrs = AttrSet::from_ids([0, 1]);
+        let a = wide.group_ids(&attrs).unwrap();
+        let b = tame.group_ids(&attrs).unwrap();
+        assert_eq!(a.row_ids(), b.row_ids());
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.group_codes(), b.group_codes());
     }
 
     #[test]
@@ -576,7 +1119,7 @@ mod tests {
     #[test]
     fn subset_requires_same_attrs() {
         let r = sample();
-        let p = r.project(&AttrSet::from_ids([0, 1]));
+        let p = r.project(&AttrSet::from_ids([0, 1])).unwrap();
         assert!(!p.is_subset_of(&r));
     }
 
@@ -600,6 +1143,12 @@ mod tests {
         assert_eq!(reordered.row(2), &[1, 1, 0]);
         assert!(reordered.set_eq(&r));
         assert!(r.reorder_columns(&[AttrId(0), AttrId(1)]).is_err());
+        // The reordered relation's columnar view stays coherent.
+        assert_eq!(
+            reordered.domain(AttrId(2)).unwrap(),
+            r.domain(AttrId(2)).unwrap()
+        );
+        assert!(reordered.is_set());
     }
 
     #[test]
@@ -608,6 +1157,7 @@ mod tests {
         assert_eq!(r.active_domain_size(AttrId(0)).unwrap(), 2);
         assert_eq!(r.active_domain_size(AttrId(2)).unwrap(), 2);
         assert!(r.active_domain_size(AttrId(9)).is_err());
+        assert!(r.domain(AttrId(9)).is_err());
     }
 
     #[test]
@@ -615,8 +1165,33 @@ mod tests {
         let r = Relation::new(vec![AttrId(0)]).unwrap();
         assert!(r.is_empty());
         assert!(r.is_set());
-        assert_eq!(r.project(&AttrSet::singleton(AttrId(0))).len(), 0);
+        assert_eq!(r.project(&AttrSet::singleton(AttrId(0))).unwrap().len(), 0);
         assert_eq!(r.iter_rows().count(), 0);
+        assert_eq!(r.domain(AttrId(0)).unwrap().len(), 0);
+        let ids = r.group_ids(&AttrSet::empty()).unwrap();
+        assert_eq!(ids.num_groups(), 0);
+    }
+
+    #[test]
+    fn zero_arity_grouping_is_one_group() {
+        let r = sample();
+        let ids = r.group_ids(&AttrSet::empty()).unwrap();
+        assert_eq!(ids.num_groups(), 1);
+        assert_eq!(ids.counts(), &[4]);
+        let counts = r.group_counts(&AttrSet::empty()).unwrap();
+        assert_eq!(counts.count_of(&[]), 4);
+    }
+
+    #[test]
+    fn synthetic_group_counts_support_insert() {
+        let mut g = GroupCounts::new(AttrSet::singleton(AttrId(0)));
+        g.insert(&[7], 3);
+        g.insert(&[9], 1);
+        g.insert(&[7], 5); // overwrite
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.count_of(&[7]), 5);
+        assert_eq!(g.count_of(&[9]), 1);
+        assert_eq!(g.count_of(&[8]), 0);
     }
 
     #[test]
@@ -625,5 +1200,17 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("X0"));
         assert!(s.contains("4 rows"));
+    }
+
+    #[test]
+    fn bit_width_boundaries() {
+        assert_eq!(bit_width(1), 0);
+        assert_eq!(bit_width(2), 1);
+        assert_eq!(bit_width(3), 2);
+        assert_eq!(bit_width(4), 2);
+        assert_eq!(bit_width(5), 3);
+        assert_eq!(bit_width(u32::MAX as usize), 32);
+        // A full 2^32-entry dictionary must not wrap to width 0.
+        assert_eq!(bit_width(1usize << 32), 32);
     }
 }

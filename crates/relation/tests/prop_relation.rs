@@ -27,10 +27,10 @@ proptest! {
     #[test]
     fn projection_idempotent_and_shrinking(r in relation_strategy(3, 5, 40)) {
         let attrs = AttrSet::from_ids([0u32, 2]);
-        let p = r.project(&attrs);
+        let p = r.project(&attrs).unwrap();
         prop_assert!(p.len() <= r.len());
         prop_assert!(p.is_set());
-        let pp = p.project(&attrs);
+        let pp = p.project(&attrs).unwrap();
         prop_assert!(pp.set_eq(&p));
     }
 
@@ -39,8 +39,8 @@ proptest! {
     fn projection_composes(r in relation_strategy(4, 4, 40)) {
         let big = AttrSet::from_ids([0u32, 1, 3]);
         let small = AttrSet::from_ids([1u32, 3]);
-        let via_big = r.project(&big).project(&small);
-        let direct = r.project(&small);
+        let via_big = r.project(&big).unwrap().project(&small).unwrap();
+        let direct = r.project(&small).unwrap();
         prop_assert!(via_big.set_eq(&direct));
     }
 
@@ -50,8 +50,8 @@ proptest! {
     fn join_of_projections_contains_original(r in relation_strategy(3, 4, 30)) {
         let r = r.distinct();
         prop_assume!(!r.is_empty());
-        let left = r.project(&AttrSet::from_ids([0u32, 1]));
-        let right = r.project(&AttrSet::from_ids([1u32, 2]));
+        let left = r.project(&AttrSet::from_ids([0u32, 1])).unwrap();
+        let right = r.project(&AttrSet::from_ids([1u32, 2])).unwrap();
         let joined = natural_join(&left, &right).unwrap();
         prop_assert!(r.is_subset_of(&joined));
         prop_assert!(joined.is_set());
@@ -97,7 +97,7 @@ proptest! {
         prop_assert!(sj.is_subset_of(&a));
         if !a.is_empty() && !b2.is_empty() {
             let full = natural_join(&a, &b2).unwrap();
-            let proj = full.try_project(&a.attrs()).unwrap();
+            let proj = full.project(&a.attrs()).unwrap();
             prop_assert!(proj.set_eq(&sj));
         }
     }

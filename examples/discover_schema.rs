@@ -9,7 +9,6 @@
 //! below a budget, and we check what the certified and realised losses look
 //! like for each intermediate schema.
 
-use ajd::jointree::loss_acyclic;
 use ajd::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,18 +22,22 @@ fn main() {
         relation.len(),
         relation.arity()
     );
+    // One analyzer for every budget: mining sweeps and loss evaluations all
+    // draw from the same grouping cache.
+    let analyzer = Analyzer::new(&relation);
 
     for (label, threshold) in [
         ("strict (J <= 1e-6)", 1e-6),
         ("moderate (J <= 0.05)", 0.05),
         ("loose (J <= 0.5)", 0.5),
     ] {
-        let miner = SchemaMiner::new(DiscoveryConfig {
-            j_threshold: threshold,
-            ..DiscoveryConfig::default()
-        });
-        let mined = miner.mine(&relation).expect("mining succeeds");
-        let realised = loss_acyclic(&relation, &mined.tree).expect("loss of mined schema");
+        let mined = analyzer
+            .mine(DiscoveryConfig {
+                j_threshold: threshold,
+                ..DiscoveryConfig::default()
+            })
+            .expect("mining succeeds");
+        let realised = analyzer.loss(&mined.tree).expect("loss of mined schema");
         println!("\n=== budget: {label} ===");
         println!(
             "  bags: {:?}",

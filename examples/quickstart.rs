@@ -37,9 +37,11 @@ fn main() {
     ];
     let tree = JoinTree::from_acyclic_schema(&schema).expect("the two-bag schema is acyclic");
 
-    // One call computes the full report.
-    let analysis = LossAnalysis::new(&r, &tree).expect("relation and tree share attributes");
-    let report = analysis.report();
+    // One Analyzer owns the shared cache; one call computes the full report.
+    let analyzer = Analyzer::new(&r);
+    let report = analyzer
+        .analyze(&tree)
+        .expect("relation and tree share attributes");
     println!("{report}");
 
     // The headline quantities, spelled out.
@@ -63,7 +65,7 @@ fn main() {
     let trivial =
         JoinTree::from_acyclic_schema(&[AttrSet::from_slice(&[AttrId(0), AttrId(1), AttrId(2)])])
             .unwrap();
-    let lossless = LossAnalysis::new(&r, &trivial).unwrap().report();
+    let lossless = analyzer.analyze(&trivial).unwrap();
     println!(
         "\nFor the trivial schema {{ABC}}: rho = {:.4}, J = {:.4} (lossless: {})",
         lossless.rho,

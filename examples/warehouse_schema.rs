@@ -90,15 +90,18 @@ fn main() {
         ),
     ];
 
+    // One analyzer for the whole comparison: the candidate schemas share
+    // most of their bags, so the groupings are computed once.
+    let analyzer = Analyzer::new(&sales);
     println!(
         "\n{:<55} {:>10} {:>10} {:>12} {:>12}",
         "schema", "J (nats)", "rho", "rho>= (L4.1)", "spurious"
     );
     for (name, bags) in candidates {
         let tree = JoinTree::from_acyclic_schema(&bags).expect("candidate schemas are acyclic");
-        let report = LossAnalysis::new(&sales, &tree)
-            .expect("schema covers the sales attributes")
-            .report();
+        let report = analyzer
+            .analyze(&tree)
+            .expect("schema covers the sales attributes");
         println!(
             "{:<55} {:>10.4} {:>10.4} {:>12.4} {:>12}",
             name, report.j_measure, report.rho, report.rho_lower_bound, report.spurious
@@ -108,7 +111,9 @@ fn main() {
     // The dirty rows are why the snowflake schema is not perfectly lossless:
     // city almost determines region, but not quite.  Quantify that single
     // dependency with the best-MVD search restricted to the dimension table.
-    let dims_only = sales.project(&AttrSet::from_slice(&[product, city, region]));
+    let dims_only = sales
+        .project(&AttrSet::from_slice(&[product, city, region]))
+        .expect("dimension attributes are in the sales schema");
     let miner = SchemaMiner::new(DiscoveryConfig::default());
     if let Some((mvd, cmi)) = miner.best_mvd(&dims_only).expect("small arity") {
         println!(
@@ -118,8 +123,10 @@ fn main() {
 
     // Finally, let the miner propose a schema for the full relation under a
     // J budget, and show the loss it actually incurs.
-    let mined = miner.mine(&sales).expect("mining succeeds");
-    let realised = ajd::jointree::loss_acyclic(&sales, &mined.tree).unwrap();
+    let mined = analyzer
+        .mine(DiscoveryConfig::default())
+        .expect("mining succeeds");
+    let realised = analyzer.loss(&mined.tree).unwrap();
     println!(
         "\nmined schema ({} bags): J = {:.4} nats, certified rho >= {:.4}, realised rho = {:.4}",
         mined.bags().len(),

@@ -6,7 +6,9 @@
 //!
 //! The individual crates are:
 //!
-//! * [`relation`] (`ajd-relation`) — relations, projections, joins.
+//! * [`relation`] (`ajd-relation`) — the columnar, dictionary-encoded
+//!   relation store: projections, grouping, joins, and the shared
+//!   [`relation::AnalysisContext`] / [`relation::GroupSource`] layer.
 //! * [`jointree`] (`ajd-jointree`) — acyclic schemas, join trees, GYO, MVD
 //!   supports, acyclic join-size counting.
 //! * [`info`] (`ajd-info`) — entropies, mutual information, KL divergence,
@@ -14,8 +16,9 @@
 //! * [`random`] (`ajd-random`) — the random relation model and structured
 //!   relation generators.
 //! * [`bounds`] (`ajd-bounds`) — the paper's quantitative bounds.
-//! * [`core`] (`ajd-core`) — the high-level loss-analysis API and
-//!   approximate acyclic-schema discovery.
+//! * [`core`] (`ajd-core`) — the context-first [`core::Analyzer`] API:
+//!   one owner for the cached state of a relation, one entry point for
+//!   every measure, batch fan-out and approximate schema discovery.
 //!
 //! ## Quick start
 //!
@@ -28,7 +31,9 @@
 //! let schema = vec![AttrSet::singleton(AttrId(0)), AttrSet::singleton(AttrId(1))];
 //! let tree = JoinTree::from_acyclic_schema(&schema).unwrap();
 //!
-//! let report = LossAnalysis::new(&r, &tree).unwrap().report();
+//! // One Analyzer owns the cache; every measure routes through it.
+//! let analyzer = Analyzer::new(&r);
+//! let report = analyzer.analyze(&tree).unwrap();
 //! // For this family the lower bound of Lemma 4.1 is tight:
 //! // J = log N = log(1 + rho).
 //! assert!((report.j_measure - (report.rho + 1.0).ln()).abs() < 1e-9);
@@ -46,10 +51,13 @@ pub mod prelude {
     pub use ajd_bounds::{
         epsilon_star, j_lower_bound_on_loss, loss_upper_bound_from_j, Thm51Params,
     };
-    pub use ajd_core::analysis::{LossAnalysis, LossReport, MvdLoss};
-    pub use ajd_core::discovery::{DiscoveryConfig, SchemaMiner};
+    pub use ajd_core::{
+        Analyzer, BatchAnalyzer, DiscoveryConfig, LossReport, MvdLoss, SchemaMiner,
+    };
     pub use ajd_info::{conditional_mutual_information, entropy, j_measure, kl_divergence_to_tree};
     pub use ajd_jointree::{count_acyclic_join, JoinTree, Mvd, Schema};
     pub use ajd_random::{generators, ProductDomain, RandomRelationModel};
-    pub use ajd_relation::{AttrId, AttrSet, Catalog, Relation, Value};
+    pub use ajd_relation::{
+        AnalysisContext, AttrId, AttrSet, Catalog, GroupSource, Relation, Value,
+    };
 }

@@ -15,7 +15,7 @@ fn ajd_holds_iff_all_support_mvds_hold() {
     // Lossless case: a relation built as a join of two tables.
     let lossless = generators::conditional_product_relation(4, 3, 2);
     let tree = JoinTree::from_acyclic_schema(&[bag(&[0, 2]), bag(&[1, 2])]).unwrap();
-    let report = LossAnalysis::new(&lossless, &tree).unwrap().report();
+    let report = Analyzer::new(&lossless).analyze(&tree).unwrap();
     assert!(report.is_lossless());
     for mvd in support(&tree) {
         assert!(mvd.holds_in(&lossless).unwrap());
@@ -29,7 +29,7 @@ fn ajd_holds_iff_all_support_mvds_hold() {
         &rows.iter().map(Vec::as_slice).collect::<Vec<_>>(),
     )
     .unwrap();
-    let lossy_report = LossAnalysis::new(&lossy, &tree).unwrap().report();
+    let lossy_report = Analyzer::new(&lossy).analyze(&tree).unwrap();
     assert!(!lossy_report.is_lossless());
     assert!(support(&tree).iter().any(|m| !m.holds_in(&lossy).unwrap()));
     // Theorem 2.1 (Lee): J > 0 exactly in the lossy case.
@@ -68,7 +68,7 @@ fn employee_skills_languages_scenario() {
         AttrSet::from_slice(&[employee, language]),
     ])
     .unwrap();
-    let report = LossAnalysis::new(&r, &tree).unwrap().report();
+    let report = Analyzer::new(&r).analyze(&tree).unwrap();
 
     // carol's rows are the only violation: joining her (2 skills x 2
     // languages) block adds exactly 2 spurious tuples.
@@ -80,7 +80,7 @@ fn employee_skills_languages_scenario() {
     // skills and languages are a full product, makes the MVD hold exactly.
     let ann_only = r.select_eq(employee, 0).unwrap();
     assert!(ann_only.len() < r.len());
-    let ann_only_report = LossAnalysis::new(&ann_only, &tree).unwrap().report();
+    let ann_only_report = Analyzer::new(&ann_only).analyze(&tree).unwrap();
     assert!(ann_only_report.is_lossless());
 }
 
@@ -96,7 +96,7 @@ fn decompose_join_roundtrip_matches_counts() {
 
     let parts = decompose(&r, &tree.schema()).unwrap();
     let rejoined = natural_join_all(&parts).unwrap();
-    let report = LossAnalysis::new(&r, &tree).unwrap().report();
+    let report = Analyzer::new(&r).analyze(&tree).unwrap();
 
     assert_eq!(rejoined.len() as u128, report.join_size);
     assert!(r.is_subset_of(&rejoined));
@@ -160,7 +160,7 @@ fn catalog_labels_survive_analysis() {
         AttrSet::from_slice(&[country, continent]),
     ])
     .unwrap();
-    let report = LossAnalysis::new(&r, &tree).unwrap().report();
+    let report = Analyzer::new(&r).analyze(&tree).unwrap();
     assert!(report.is_lossless());
     assert_eq!(catalog.value_label(city, 0), Some("haifa"));
     assert_eq!(catalog.domain_size(country).unwrap(), 3);

@@ -68,7 +68,7 @@ proptest! {
     ) {
         let r = sample_relation(d, n, seed);
         let tree = tree_for(shape);
-        let report = LossAnalysis::new(&r, &tree).unwrap().report();
+        let report = Analyzer::new(&r).analyze(&tree).unwrap();
         // Lemma 4.1.
         prop_assert!(report.j_measure <= report.log1p_rho + 1e-9,
             "Lemma 4.1 violated: J = {} > log(1+rho) = {}", report.j_measure, report.log1p_rho);
@@ -113,12 +113,12 @@ proptest! {
         // directions on the sampled relation and on its lossless closure.
         let r = sample_relation(d, n, seed);
         let tree = tree_for(shape);
-        let rep = LossAnalysis::new(&r, &tree).unwrap().report();
+        let rep = Analyzer::new(&r).analyze(&tree).unwrap();
         prop_assert_eq!(rep.is_lossless(), rep.j_measure.abs() < 1e-9);
 
         // The acyclic join of the projections always models the tree.
         let closure = acyclic_join(&r, &tree).unwrap();
-        let closure_rep = LossAnalysis::new(&closure, &tree).unwrap().report();
+        let closure_rep = Analyzer::new(&closure).analyze(&tree).unwrap();
         prop_assert!(closure_rep.is_lossless());
         prop_assert!(closure_rep.j_measure.abs() < 1e-9);
     }
@@ -134,7 +134,7 @@ proptest! {
             AttrSet::singleton(AttrId(0)),
             AttrSet::singleton(AttrId(1)),
         ]).unwrap();
-        let rep = LossAnalysis::new(&r, &tree).unwrap().report();
+        let rep = Analyzer::new(&r).analyze(&tree).unwrap();
         prop_assert!((rep.j_measure - (n as f64).ln()).abs() < 1e-9);
         prop_assert!((rep.rho - (n as f64 - 1.0)).abs() < 1e-9);
         prop_assert!(rep.lemma41_gap().abs() < 1e-9);

@@ -12,7 +12,7 @@ fn prelude_doc_example_runs_and_is_tight() {
     let schema = vec![AttrSet::singleton(AttrId(0)), AttrSet::singleton(AttrId(1))];
     let tree = JoinTree::from_acyclic_schema(&schema).unwrap();
 
-    let report = LossAnalysis::new(&r, &tree).unwrap().report();
+    let report = Analyzer::new(&r).analyze(&tree).unwrap();
     // For this family the lower bound of Lemma 4.1 is tight:
     // J = log N = log(1 + rho).
     assert!((report.j_measure - (report.rho + 1.0).ln()).abs() < 1e-9);
