@@ -12,6 +12,7 @@ use ajd_bench::stats::Summary;
 use ajd_bench::table::{f, Table};
 use ajd_core::{Analyzer, DiscoveryConfig};
 use ajd_random::generators::markov_chain_relation;
+use ajd_relation::ThreadBudget;
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -54,9 +55,10 @@ fn main() {
                         .expect("generator parameters are valid");
                     // One shared analyzer per trial: candidate scoring during
                     // mining and the final loss evaluation reuse the same
-                    // groupings.  (Trials are already parallel; Analyzer::mine
-                    // scores candidates sequentially.)
-                    let analyzer = Analyzer::new(&r);
+                    // groupings.  The trial loop owns the machine's thread
+                    // budget, so each per-trial analyzer runs serially —
+                    // one coherent budget, no stacked thread pools.
+                    let analyzer = Analyzer::with_thread_budget(&r, ThreadBudget::serial());
                     let mined = analyzer
                         .mine(DiscoveryConfig {
                             j_threshold,

@@ -12,7 +12,7 @@ use ajd_bench::table::{f, Table};
 use ajd_core::Analyzer;
 use ajd_jointree::JoinTree;
 use ajd_random::{ProductDomain, RandomRelationModel};
-use ajd_relation::AttrSet;
+use ajd_relation::{AttrSet, ThreadBudget};
 
 fn bag(ids: &[u32]) -> AttrSet {
     AttrSet::from_ids(ids.iter().copied())
@@ -64,7 +64,9 @@ fn main() {
                 // One shared analyzer: J and KL need the same bag/separator
                 // marginals, so the two "different code paths" of the
                 // theorem share their grouping work (not their arithmetic).
-                let analyzer = Analyzer::new(&r);
+                // Trials already own the machine's cores; keep each
+                // per-trial analyzer's kernel serial (one coherent budget).
+                let analyzer = Analyzer::with_thread_budget(&r, ThreadBudget::serial());
                 let j = analyzer.j_measure(tree).expect("j measure");
                 let kl = analyzer.kl(tree).expect("kl divergence");
                 (j, (j - kl).abs())

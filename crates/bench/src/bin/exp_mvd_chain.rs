@@ -14,7 +14,7 @@ use ajd_bench::table::{f, Table};
 use ajd_core::Analyzer;
 use ajd_jointree::JoinTree;
 use ajd_random::{ProductDomain, RandomRelationModel};
-use ajd_relation::AttrSet;
+use ajd_relation::{AttrSet, ThreadBudget};
 
 fn pair_bags(m: usize) -> Vec<AttrSet> {
     // m bags over m+1 attributes: {X0X1, X1X2, ..., X_{m-1}X_m}.
@@ -63,7 +63,10 @@ fn main() {
             let model = RandomRelationModel::new(domain);
             let rows = parallel_trials(args.trials, args.seed ^ ((m as u64) << 4), |_, rng| {
                 let r = model.sample(rng, n).expect("N within domain");
-                let rep = Analyzer::new(&r).analyze(&tree).expect("analysis");
+                // Trials already own the machine's cores; serial kernel per trial.
+                let rep = Analyzer::with_thread_budget(&r, ThreadBudget::serial())
+                    .analyze(&tree)
+                    .expect("analysis");
                 (rep.j_measure, rep.prop51_bound, rep.log1p_rho)
             });
             let lhs: Vec<f64> = rows.iter().map(|(j, _, _)| *j).collect();

@@ -14,7 +14,7 @@ use ajd_bench::table::{f, Table};
 use ajd_core::Analyzer;
 use ajd_jointree::JoinTree;
 use ajd_random::generators::approximate_mvd_relation;
-use ajd_relation::AttrSet;
+use ajd_relation::{AttrSet, ThreadBudget};
 
 fn bag(ids: &[u32]) -> AttrSet {
     AttrSet::from_ids(ids.iter().copied())
@@ -52,7 +52,10 @@ fn main() {
             |_, rng| {
                 let r = approximate_mvd_relation(rng, d_a, d_b, d_c, per_a, per_b, noise)
                     .expect("generator parameters are valid");
-                let rep = Analyzer::new(&r).analyze(&tree).expect("analysis");
+                // Trials already own the machine's cores; serial kernel per trial.
+                let rep = Analyzer::with_thread_budget(&r, ThreadBudget::serial())
+                    .analyze(&tree)
+                    .expect("analysis");
                 let pb = rep.probabilistic_bounds(delta).expect("delta is in (0,1)");
                 (
                     r.len() as f64,

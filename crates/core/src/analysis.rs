@@ -319,10 +319,23 @@ pub struct Analyzer<'a> {
 }
 
 impl<'a> Analyzer<'a> {
-    /// Creates an analyzer over `r` with an empty cache.
+    /// Creates an analyzer over `r` with an empty cache and the default
+    /// [`ThreadBudget`](ajd_relation::ThreadBudget) (the machine's available
+    /// parallelism) for computing cache misses.
     pub fn new(r: &'a Relation) -> Self {
         Analyzer {
             ctx: Arc::new(AnalysisContext::new(r)),
+        }
+    }
+
+    /// Creates an analyzer whose cache misses are computed under an explicit
+    /// [`ThreadBudget`](ajd_relation::ThreadBudget) — use
+    /// [`ajd_relation::ThreadBudget::serial`] when the caller already owns
+    /// the parallelism (e.g. per-trial analyzers inside a parallel
+    /// experiment loop).
+    pub fn with_thread_budget(r: &'a Relation, budget: ajd_relation::ThreadBudget) -> Self {
+        Analyzer {
+            ctx: Arc::new(AnalysisContext::with_thread_budget(r, budget)),
         }
     }
 
@@ -451,12 +464,13 @@ impl<'a> Analyzer<'a> {
     /// Mines an approximate acyclic schema (Chow–Liu + greedy coarsening,
     /// see [`crate::SchemaMiner`]) through this analyzer's cache.
     ///
-    /// Candidate scoring is sequential here — callers commonly analyse many
-    /// relations in their own parallel loops; use
-    /// [`crate::SchemaMiner::mine_with`] with a multi-threaded
-    /// [`Analyzer::batch`] to parallelise each round instead.
+    /// Candidate scoring fans out over the analyzer's thread budget
+    /// (default: available parallelism); construct the analyzer with
+    /// [`Analyzer::with_thread_budget`] and a serial budget when an outer
+    /// loop already owns the parallelism.  The mined schema is identical at
+    /// any budget.
     pub fn mine(&self, config: crate::DiscoveryConfig) -> Result<crate::MinedSchema> {
-        crate::SchemaMiner::new(config).mine_with(&self.batch().with_threads(1))
+        crate::SchemaMiner::new(config).mine_with(&self.batch())
     }
 }
 

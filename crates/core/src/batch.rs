@@ -8,8 +8,9 @@
 //! co-owns one [`AnalysisContext`] (usually the one behind a
 //! [`crate::Analyzer`] — see [`crate::Analyzer::batch`]) so all of that work
 //! is paid for once, and fans the per-tree evaluation out over
-//! `std::thread::scope` workers that share the context's `RwLock`-guarded
-//! caches.
+//! `std::thread::scope` workers that share the context's striped,
+//! single-flight caches (two workers racing on the same cold attribute set
+//! never compute it twice — one computes, the other blocks on that entry).
 //!
 //! Results are exactly those of the corresponding one-shot calls
 //! ([`crate::Analyzer::analyze`], `j_measure(&r, …)`, `loss_acyclic(&r, …)`):
@@ -18,7 +19,10 @@
 
 use crate::analysis::{report_for, LossReport};
 use ajd_jointree::{count_acyclic_join, loss_acyclic, JoinTree};
-use ajd_relation::{AnalysisContext, CacheStats, Relation, Result};
+use ajd_relation::{
+    AnalysisContext, AttrSet, CacheStats, GroupCounts, GroupIds, GroupSource, Relation, Result,
+    ThreadBudget,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -51,26 +55,41 @@ pub struct BatchAnalyzer<'a> {
 
 impl<'a> BatchAnalyzer<'a> {
     /// Creates a standalone batch analyzer over `r` (fresh cache) using all
-    /// available parallelism.  To share a cache with other analysis of the
-    /// same relation, go through [`crate::Analyzer::batch`] instead.
+    /// available parallelism — the workspace's default [`ThreadBudget`].
+    /// To share a cache with other analysis of the same relation, go
+    /// through [`crate::Analyzer::batch`] instead.
     pub fn new(r: &'a Relation) -> Self {
         Self::from_shared(Arc::new(AnalysisContext::new(r)))
     }
 
-    /// Wraps a co-owned context (the handle behind [`crate::Analyzer`]).
+    /// Wraps a co-owned context (the handle behind [`crate::Analyzer`]),
+    /// inheriting the context's thread budget — an analyzer configured
+    /// serial (e.g. per-trial inside a parallel experiment loop) produces
+    /// serial batches, not full-fan-out ones.
     pub(crate) fn from_shared(ctx: Arc<AnalysisContext<'a>>) -> Self {
-        BatchAnalyzer {
-            ctx,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        }
+        let threads = ctx.thread_budget().get();
+        BatchAnalyzer { ctx, threads }
     }
 
-    /// Caps the number of worker threads (1 forces sequential evaluation).
+    /// Sets the batch's [`ThreadBudget`] (1 forces fully sequential
+    /// evaluation).
+    ///
+    /// This is the **one coherent knob**: `threads` caps the *total* the
+    /// batch may use.  During a sweep the tree-level fan-out takes
+    /// `w ≤ threads` workers and each worker computes cache misses under
+    /// the per-worker kernel share `threads / w` (passed call-locally —
+    /// the shared context is never mutated), so the two layers never
+    /// multiply into `threads²` OS threads and a temporary batch never
+    /// retunes the [`crate::Analyzer`] it borrowed its cache from.
+    /// Results are bit-identical at any setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = ThreadBudget::new(threads).get();
         self
+    }
+
+    /// The tree-level fan-out budget this batch runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The relation being analysed.
@@ -89,46 +108,60 @@ impl<'a> BatchAnalyzer<'a> {
         self.ctx.stats()
     }
 
-    /// Full [`LossReport`] of one tree through the shared cache.
+    /// Full [`LossReport`] of one tree through the shared cache, computing
+    /// any misses under this batch's thread budget (a single tree has no
+    /// fan-out to share with, so the kernel gets the whole budget).
     pub fn analyze(&self, tree: &JoinTree) -> Result<LossReport> {
-        report_for(&*self.ctx, tree)
+        let src = BudgetedContext {
+            ctx: &self.ctx,
+            budget: ThreadBudget::new(self.threads),
+        };
+        report_for(&src, tree)
     }
 
     /// Full [`LossReport`]s of many trees, evaluated in parallel over the
     /// shared cache; results are in input order.
     pub fn analyze_all(&self, trees: &[JoinTree]) -> Vec<Result<LossReport>> {
-        self.parallel_map(trees, |tree| self.analyze(tree))
+        self.parallel_map(trees, |src, tree| report_for(src, tree))
     }
 
     /// J-measures (eq. 7) of many trees, in parallel, in input order.
     pub fn j_measures(&self, trees: &[JoinTree]) -> Vec<Result<f64>> {
-        self.parallel_map(trees, |tree| {
-            ajd_info::jmeasure::j_measure(&*self.ctx, tree)
-        })
+        self.parallel_map(trees, |src, tree| ajd_info::jmeasure::j_measure(src, tree))
     }
 
     /// Exact losses `ρ(R,S)` (eq. 1) of many trees, in parallel, in input
     /// order.
     pub fn losses(&self, trees: &[JoinTree]) -> Vec<Result<f64>> {
-        self.parallel_map(trees, |tree| loss_acyclic(&*self.ctx, tree))
+        self.parallel_map(trees, |src, tree| loss_acyclic(src, tree))
     }
 
     /// Exact acyclic join sizes of many trees, in parallel, in input order.
     pub fn join_sizes(&self, trees: &[JoinTree]) -> Vec<Result<u128>> {
-        self.parallel_map(trees, |tree| count_acyclic_join(&*self.ctx, tree))
+        self.parallel_map(trees, |src, tree| count_acyclic_join(src, tree))
     }
 
     /// Work-stealing fan-out over `std::thread::scope`: workers pull tree
     /// indices from a shared counter, so a few expensive trees do not stall
     /// the rest of the batch behind a static partition.
+    ///
+    /// Each worker evaluates through a [`BudgetedContext`] carrying the
+    /// per-worker kernel share `self.threads / workers`, so the fan-out and
+    /// the grouping kernel split one budget instead of multiplying — the
+    /// share travels with the call, and the shared context's standing
+    /// budget is never touched (concurrent sweeps cannot interfere).
     fn parallel_map<T, F>(&self, trees: &[JoinTree], f: F) -> Vec<Result<T>>
     where
         T: Send,
-        F: Fn(&JoinTree) -> Result<T> + Sync,
+        F: for<'s> Fn(&'s BudgetedContext<'s, 'a>, &JoinTree) -> Result<T> + Sync,
     {
         let workers = self.threads.min(trees.len().max(1));
+        let src = BudgetedContext {
+            ctx: &self.ctx,
+            budget: ThreadBudget::new((self.threads / workers).max(1)),
+        };
         if workers <= 1 || trees.len() <= 1 {
-            return trees.iter().map(&f).collect();
+            return trees.iter().map(|tree| f(&src, tree)).collect();
         }
         let results: Mutex<Vec<(usize, Result<T>)>> = Mutex::new(Vec::with_capacity(trees.len()));
         let next: Mutex<usize> = Mutex::new(0);
@@ -144,7 +177,7 @@ impl<'a> BatchAnalyzer<'a> {
                         *guard += 1;
                         i
                     };
-                    let out = f(&trees[i]);
+                    let out = f(&src, &trees[i]);
                     results.lock().push((i, out));
                 });
             }
@@ -152,6 +185,34 @@ impl<'a> BatchAnalyzer<'a> {
         let mut collected = results.into_inner();
         collected.sort_by_key(|(i, _)| *i);
         collected.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+/// A [`GroupSource`] view of a shared [`AnalysisContext`] that computes
+/// cache misses under an explicit per-sweep kernel [`ThreadBudget`] —
+/// call-local state, so handing a budget share to one sweep's workers
+/// cannot disturb the context's standing budget or any concurrent sweep.
+/// Hits and memoized values are exactly the context's.
+struct BudgetedContext<'b, 'a> {
+    ctx: &'b AnalysisContext<'a>,
+    budget: ThreadBudget,
+}
+
+impl GroupSource for BudgetedContext<'_, '_> {
+    fn relation(&self) -> &Relation {
+        self.ctx.relation()
+    }
+
+    fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
+        self.ctx.group_counts_budgeted(attrs, self.budget)
+    }
+
+    fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
+        self.ctx.group_ids_budgeted(attrs, self.budget)
+    }
+
+    fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
+        self.ctx.projection_budgeted(attrs, self.budget)
     }
 }
 
@@ -282,6 +343,41 @@ mod tests {
             assert!(*rho >= 0.0, "loss must never be negative, got {rho}");
             assert_eq!(rho.to_bits(), report.as_ref().unwrap().rho.to_bits());
         }
+    }
+
+    /// Regression: `with_threads` used to write the shared context's kernel
+    /// budget permanently, so a throwaway `analyzer.batch().with_threads(1)`
+    /// silently serialised every later miss of the analyzer it borrowed its
+    /// cache from.  The per-sweep kernel share now travels call-locally
+    /// (`BudgetedContext`); the shared context is never written at all.
+    #[test]
+    fn temporary_batch_does_not_retune_the_shared_context() {
+        let r = sample_relation(11);
+        let analyzer = Analyzer::new(&r);
+        let before = analyzer.context().thread_budget();
+        let batch = analyzer.batch().with_threads(1);
+        // Configuring the batch leaves the context untouched…
+        assert_eq!(analyzer.context().thread_budget(), before);
+        // …and so does running a sweep through it (the share is call-local).
+        let _ = batch.j_measures(&sweep_trees());
+        assert_eq!(analyzer.context().thread_budget(), before);
+        drop(batch);
+        assert_eq!(analyzer.context().thread_budget(), before);
+    }
+
+    /// A serial analyzer hands out serial batches: `from_shared` inherits
+    /// the context's budget instead of resetting to the machine default,
+    /// so per-trial analyzers inside an already-parallel loop never fan
+    /// out behind the caller's back.
+    #[test]
+    fn batch_inherits_the_analyzers_thread_budget() {
+        let r = sample_relation(13);
+        let serial = Analyzer::with_thread_budget(&r, ajd_relation::ThreadBudget::serial());
+        assert_eq!(serial.batch().threads(), 1);
+        let wide = Analyzer::with_thread_budget(&r, ajd_relation::ThreadBudget::new(3));
+        assert_eq!(wide.batch().threads(), 3);
+        // An explicit with_threads still overrides the inherited value.
+        assert_eq!(serial.batch().with_threads(2).threads(), 2);
     }
 
     #[test]

@@ -168,12 +168,18 @@ impl SchemaMiner {
     /// All candidate scoring runs through one [`BatchAnalyzer`] cache: the
     /// candidate trees of every contraction round share almost all of their
     /// bags and separators, so their J-measures are answered mostly from
-    /// cache.  Scoring is sequential here — callers commonly mine many
-    /// relations in their own parallel loops; pass a
-    /// [`BatchAnalyzer::with_threads`] to [`SchemaMiner::mine_with`] to
-    /// parallelise each round's candidate evaluation instead.
+    /// cache.  Scoring fans out over the batch's default
+    /// [`ThreadBudget`](ajd_relation::ThreadBudget)
+    /// (the machine's available parallelism); callers that already
+    /// parallelise at a coarser grain — e.g. mining many relations at once —
+    /// should pass a `BatchAnalyzer::with_threads(1)` to
+    /// [`SchemaMiner::mine_with`] instead of stacking thread pools.
+    ///
+    /// (A previous revision hardwired `with_threads(1)` here, silently
+    /// serialising every mine; the regression test below pins the default
+    /// budget to [`BatchAnalyzer::new`]'s.)
     pub fn mine(&self, r: &Relation) -> Result<MinedSchema> {
-        self.mine_with(&BatchAnalyzer::new(r).with_threads(1))
+        self.mine_with(&BatchAnalyzer::new(r))
     }
 
     /// [`SchemaMiner::mine`] over a caller-supplied [`BatchAnalyzer`],
@@ -426,6 +432,50 @@ mod tests {
         });
         let r3 = conditional_product_relation(2, 2, 2);
         assert!(limited.best_mvd(&r3).is_err());
+    }
+
+    /// Satellite regression: `mine` used to hardwire `with_threads(1)`,
+    /// silently serialising candidate scoring.  It must now (a) agree
+    /// exactly with an explicitly-constructed default `BatchAnalyzer`, and
+    /// (b) inherit that analyzer's default budget, which on a multi-core
+    /// host is > 1.
+    #[test]
+    fn mine_uses_the_default_batch_thread_budget() {
+        let r =
+            markov_chain_relation(&mut StdRng::seed_from_u64(13), 5, 5, 600, 0.3, false).unwrap();
+        let miner = SchemaMiner::new(DiscoveryConfig {
+            j_threshold: 0.1,
+            ..DiscoveryConfig::default()
+        });
+
+        let batch = BatchAnalyzer::new(&r);
+        // The default budget is the machine's available parallelism —
+        // strictly greater than one on any multi-core host.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(batch.threads(), cores);
+        if cores > 1 {
+            assert!(batch.threads() > 1, "multi-core default budget must be > 1");
+        }
+
+        // `mine` and `mine_with(default batch)` are the same computation —
+        // identical tree, bit-identical J (determinism is independent of
+        // the thread budget).
+        let via_mine = miner.mine(&r).unwrap();
+        let via_batch = miner.mine_with(&batch).unwrap();
+        assert_eq!(via_mine.tree.bags(), via_batch.tree.bags());
+        assert_eq!(via_mine.tree.edges(), via_batch.tree.edges());
+        assert_eq!(via_mine.j_measure.to_bits(), via_batch.j_measure.to_bits());
+        assert_eq!(
+            via_mine.rho_lower_bound.to_bits(),
+            via_batch.rho_lower_bound.to_bits()
+        );
+
+        // And both agree with a deliberately serial mine.
+        let serial = miner
+            .mine_with(&BatchAnalyzer::new(&r).with_threads(1))
+            .unwrap();
+        assert_eq!(via_mine.tree.bags(), serial.tree.bags());
+        assert_eq!(via_mine.j_measure.to_bits(), serial.j_measure.to_bits());
     }
 
     #[test]

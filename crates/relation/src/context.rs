@@ -22,18 +22,24 @@
 //!   lattice-level entropy caching of Kenig et al. (*Mining Approximate
 //!   Acyclic Schemes from Relations*, 2019): caches of [`GroupCounts`],
 //!   interned [`GroupIds`] and set-semantic projections keyed by
-//!   [`AttrSet`], guarded by [`parking_lot::RwLock`] so concurrent analysis
-//!   threads (see `ajd-core`'s `BatchAnalyzer`) share one context.  Reads of
-//!   already-memoized entries do not contend, and a raced miss at worst
-//!   recomputes a deterministic value.
+//!   [`AttrSet`], **striped** across several `RwLock`-guarded shards (so
+//!   writes on unrelated attribute sets do not contend) with **per-key
+//!   single-flight** misses: when several threads race on the same cold
+//!   `AttrSet`, exactly one computes the grouping and the rest block on
+//!   that entry alone — never on the whole map, and never recomputing the
+//!   same expensive grouping N times.  Misses are computed through the
+//!   context's [`ThreadBudget`] (the chunked parallel kernel), which keeps
+//!   results bit-identical to the serial path at any budget.
 
 use crate::attr::AttrSet;
 use crate::error::Result;
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHasher};
+use crate::parallel::ThreadBudget;
 use crate::relation::{GroupCounts, GroupIds, Relation};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The grouping capability every measure is written against.
 ///
@@ -120,13 +126,66 @@ impl CacheStats {
     }
 }
 
+/// Number of shards each cache map is striped across (a power of two; the
+/// shard is picked by the key's Fx hash).  Striping means two writers
+/// memoizing *different* attribute sets rarely touch the same lock.
+const CACHE_STRIPES: usize = 16;
+
+/// One memoization slot: filled exactly once, by the single thread that
+/// computes the value (the "leader"); racing threads block on this slot —
+/// not on the shard map — until the leader finishes.
+type Slot<T> = Arc<OnceLock<Result<Arc<T>>>>;
+
+/// A striped, single-flight memoization map keyed by [`AttrSet`].
+#[derive(Debug)]
+struct StripedCache<T> {
+    shards: Vec<RwLock<FxHashMap<AttrSet, Slot<T>>>>,
+}
+
+impl<T> StripedCache<T> {
+    fn new() -> Self {
+        StripedCache {
+            shards: (0..CACHE_STRIPES)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, attrs: &AttrSet) -> &RwLock<FxHashMap<AttrSet, Slot<T>>> {
+        let mut h = FxHasher::default();
+        attrs.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (CACHE_STRIPES - 1)]
+    }
+
+    /// Number of *completed, successful* entries (in-flight slots and
+    /// removed error slots do not count).
+    fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|slot| slot.get().is_some_and(|r| r.is_ok()))
+                    .count()
+            })
+            .sum()
+    }
+}
+
 /// Memoized group counts, interned group ids and projections of one
 /// relation — the shared-computation substrate of the measurement stack.
 ///
 /// A context borrows its relation and is cheap to create (empty caches); it
 /// pays for itself as soon as two measures — or two candidate join trees —
 /// touch the same attribute subset.  It is `Sync`: `ajd-core`'s
-/// `BatchAnalyzer` shares one context across `std::thread::scope` workers.
+/// `BatchAnalyzer` shares one context across `std::thread::scope` workers,
+/// and concurrent misses on the same attribute set are **single-flight** —
+/// exactly one thread computes, the others block on that entry and receive
+/// the same `Arc`.
+///
+/// Misses are computed through the context's [`ThreadBudget`] (defaulting
+/// to the machine's available parallelism), which the chunked kernel keeps
+/// bit-identical to serial results.
 ///
 /// Most callers never construct one directly: `ajd_core::Analyzer` owns a
 /// context and routes every measure through it.
@@ -147,23 +206,34 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct AnalysisContext<'a> {
     relation: &'a Relation,
-    group_counts: RwLock<FxHashMap<AttrSet, Arc<GroupCounts>>>,
-    group_ids: RwLock<FxHashMap<AttrSet, Arc<GroupIds>>>,
-    projections: RwLock<FxHashMap<AttrSet, Arc<Relation>>>,
+    group_counts: StripedCache<GroupCounts>,
+    group_ids: StripedCache<GroupIds>,
+    projections: StripedCache<Relation>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Thread budget for computing misses, as a raw count (atomic so a
+    /// shared context's budget can be retuned through an `Arc`).
+    threads: AtomicUsize,
 }
 
 impl<'a> AnalysisContext<'a> {
-    /// Creates an empty context over `r`.
+    /// Creates an empty context over `r` with the default
+    /// [`ThreadBudget`] (the machine's available parallelism).
     pub fn new(r: &'a Relation) -> Self {
+        Self::with_thread_budget(r, ThreadBudget::default())
+    }
+
+    /// Creates an empty context over `r` that computes misses under the
+    /// given [`ThreadBudget`].
+    pub fn with_thread_budget(r: &'a Relation, budget: ThreadBudget) -> Self {
         AnalysisContext {
             relation: r,
-            group_counts: RwLock::new(FxHashMap::default()),
-            group_ids: RwLock::new(FxHashMap::default()),
-            projections: RwLock::new(FxHashMap::default()),
+            group_counts: StripedCache::new(),
+            group_ids: StripedCache::new(),
+            projections: StripedCache::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            threads: AtomicUsize::new(budget.get()),
         }
     }
 
@@ -172,22 +242,71 @@ impl<'a> AnalysisContext<'a> {
         self.relation
     }
 
+    /// The thread budget used to compute cache misses.
+    pub fn thread_budget(&self) -> ThreadBudget {
+        ThreadBudget::new(self.threads.load(Ordering::Relaxed))
+    }
+
+    /// Retunes the miss-computation thread budget (affects future misses;
+    /// values already cached are untouched — results are bit-identical at
+    /// any budget anyway).
+    pub fn set_thread_budget(&self, budget: ThreadBudget) {
+        self.threads.store(budget.get(), Ordering::Relaxed);
+    }
+
     /// Memoized [`Relation::group_counts`]: multiplicities of the distinct
     /// `attrs`-projections of the relation's tuples.
     pub fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
+        self.group_counts_budgeted(attrs, self.thread_budget())
+    }
+
+    /// [`AnalysisContext::group_counts`] with an explicit per-call kernel
+    /// budget overriding the context's standing one — how callers that
+    /// split a total budget across layers (e.g. a batch sweep giving each
+    /// fan-out worker its share) pass the share down without mutating the
+    /// shared context.  The cached value is identical either way.
+    pub fn group_counts_budgeted(
+        &self,
+        attrs: &AttrSet,
+        budget: ThreadBudget,
+    ) -> Result<Arc<GroupCounts>> {
         self.memoized(&self.group_counts, attrs, |r, a| {
-            r.group_counts(a).map(Arc::new)
+            r.group_counts_with(a, budget).map(Arc::new)
         })
     }
 
     /// Memoized interned group keys (see [`GroupIds`]) for `attrs`.
     pub fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
-        self.memoized(&self.group_ids, attrs, |r, a| r.group_ids(a).map(Arc::new))
+        self.group_ids_budgeted(attrs, self.thread_budget())
+    }
+
+    /// [`AnalysisContext::group_ids`] with an explicit per-call kernel
+    /// budget (see [`AnalysisContext::group_counts_budgeted`]).
+    pub fn group_ids_budgeted(
+        &self,
+        attrs: &AttrSet,
+        budget: ThreadBudget,
+    ) -> Result<Arc<GroupIds>> {
+        self.memoized(&self.group_ids, attrs, |r, a| {
+            r.group_ids_with(a, budget).map(Arc::new)
+        })
     }
 
     /// Memoized set-semantic projection `Π_attrs(R)`.
     pub fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
-        self.memoized(&self.projections, attrs, |r, a| r.project(a).map(Arc::new))
+        self.projection_budgeted(attrs, self.thread_budget())
+    }
+
+    /// [`AnalysisContext::projection`] with an explicit per-call kernel
+    /// budget (see [`AnalysisContext::group_counts_budgeted`]).
+    pub fn projection_budgeted(
+        &self,
+        attrs: &AttrSet,
+        budget: ThreadBudget,
+    ) -> Result<Arc<Relation>> {
+        self.memoized(&self.projections, attrs, |r, a| {
+            r.project_with(a, budget).map(Arc::new)
+        })
     }
 
     /// Snapshot of cache sizes and hit/miss counters.
@@ -195,31 +314,67 @@ impl<'a> AnalysisContext<'a> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            group_count_entries: self.group_counts.read().len(),
-            group_id_entries: self.group_ids.read().len(),
-            projection_entries: self.projections.read().len(),
+            group_count_entries: self.group_counts.entries(),
+            group_id_entries: self.group_ids.entries(),
+            projection_entries: self.projections.entries(),
         }
     }
 
-    /// Generic read-mostly memoization: serve from the cache under a read
-    /// lock; on a miss, compute outside any lock and insert under a write
-    /// lock.  A raced miss recomputes a deterministic value and keeps the
-    /// first insertion, so all callers observe the same `Arc`.
+    /// Striped single-flight memoization.
+    ///
+    /// Lookup takes a read lock on the key's shard only; a cold key
+    /// installs an empty [`Slot`] under a brief shard write lock and then
+    /// races on the slot's `OnceLock` **outside any map lock** — exactly
+    /// one thread (the leader) runs `compute`, every other thread blocks on
+    /// that slot alone and receives the leader's `Arc`.  Errors are not
+    /// memoized: the leader removes the failed slot so later calls retry
+    /// (threads already blocked on it still observe the error).
     fn memoized<T>(
         &self,
-        cache: &RwLock<FxHashMap<AttrSet, Arc<T>>>,
+        cache: &StripedCache<T>,
         attrs: &AttrSet,
         compute: impl FnOnce(&Relation, &AttrSet) -> Result<Arc<T>>,
     ) -> Result<Arc<T>> {
-        if let Some(hit) = cache.read().get(attrs) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+        let shard = cache.shard(attrs);
+        let slot: Slot<T> = {
+            let fast = shard.read().get(attrs).cloned();
+            match fast {
+                Some(slot) => slot,
+                None => Arc::clone(shard.write().entry(attrs.clone()).or_default()),
+            }
+        };
+        if let Some(done) = slot.get() {
+            if done.is_ok() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return done.clone();
         }
-        let value = compute(self.relation, attrs)?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut guard = cache.write();
-        let entry = guard.entry(attrs.clone()).or_insert(value);
-        Ok(Arc::clone(entry))
+        let mut led = false;
+        let result = slot
+            .get_or_init(|| {
+                led = true;
+                let out = compute(self.relation, attrs);
+                if out.is_ok() {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                out
+            })
+            .clone();
+        if !led {
+            // Either the fast path raced with a completing leader or this
+            // thread blocked on the in-flight slot: served without work.
+            if result.is_ok() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if result.is_err() {
+            // Do not memoize failures; drop the slot (only if it is still
+            // ours — a retry may have installed a fresh one meanwhile).
+            let mut guard = shard.write();
+            if guard.get(attrs).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
+                guard.remove(attrs);
+            }
+        }
+        result
     }
 }
 
@@ -386,6 +541,151 @@ mod tests {
         });
         assert_eq!(ctx.stats().group_count_entries, sets.len());
         assert_eq!(ctx.stats().group_id_entries, sets.len());
+    }
+
+    /// A relation large enough that a grouping takes measurable time, so
+    /// pre-fix the 8-thread race below would reliably observe duplicated
+    /// misses.
+    fn stress_relation() -> Relation {
+        let mut r = Relation::new(vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)]).unwrap();
+        let mut x = 1u32;
+        for _ in 0..20_000 {
+            // Deterministic xorshift-style scramble; four correlated columns.
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            r.push_row(&[x % 37, (x >> 8) % 23, (x >> 16) % 11, x % 5])
+                .unwrap();
+        }
+        r
+    }
+
+    /// Satellite regression: 8 threads hammering one *cold* context on the
+    /// same attribute sets must produce exactly one miss per distinct set —
+    /// the single-flight entry guarantees at most one thread ever computes
+    /// a given `AttrSet` (pre-fix, every racing thread recomputed the same
+    /// grouping and `misses` was a multiple of the set count).
+    #[test]
+    fn cold_context_races_observe_one_miss_per_distinct_set() {
+        let r = stress_relation();
+        let ctx = AnalysisContext::new(&r);
+        let sets: Vec<AttrSet> = vec![
+            bag(&[0, 1]),
+            bag(&[1, 2]),
+            bag(&[2, 3]),
+            bag(&[0, 2]),
+            bag(&[1, 3]),
+            bag(&[0, 1, 2, 3]),
+        ];
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait(); // release all threads into the cold cache at once
+                    for attrs in &sets {
+                        let c = ctx.group_counts(attrs).unwrap();
+                        assert_eq!(c.total, r.len() as u64);
+                    }
+                });
+            }
+        });
+        let stats = ctx.stats();
+        assert_eq!(
+            stats.misses,
+            sets.len() as u64,
+            "every distinct attribute set must be computed exactly once"
+        );
+        assert_eq!(stats.hits, (8 - 1) * sets.len() as u64);
+        assert_eq!(stats.group_count_entries, sets.len());
+    }
+
+    /// The single-flight guarantee holds per cache: group counts, group ids
+    /// and projections each compute once per distinct set under the same
+    /// 8-thread hammering.
+    #[test]
+    fn cold_context_races_single_flight_across_all_caches() {
+        let r = stress_relation();
+        let ctx = AnalysisContext::new(&r);
+        let sets: Vec<AttrSet> = vec![bag(&[0, 1]), bag(&[2, 3]), bag(&[0, 3])];
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    for attrs in &sets {
+                        ctx.group_counts(attrs).unwrap();
+                        ctx.group_ids(attrs).unwrap();
+                        ctx.projection(attrs).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = ctx.stats();
+        assert_eq!(stats.misses, 3 * sets.len() as u64);
+        assert_eq!(stats.group_count_entries, sets.len());
+        assert_eq!(stats.group_id_entries, sets.len());
+        assert_eq!(stats.projection_entries, sets.len());
+    }
+
+    /// Racing threads on one cold set all receive the *same* `Arc` (the
+    /// leader's), not clones of equal values.
+    #[test]
+    fn racing_threads_share_the_leaders_arc() {
+        let r = stress_relation();
+        let ctx = AnalysisContext::new(&r);
+        let attrs = bag(&[0, 1, 2]);
+        let barrier = std::sync::Barrier::new(4);
+        let arcs: Vec<Arc<GroupCounts>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        ctx.group_counts(&attrs).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in arcs.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
+        assert_eq!(ctx.stats().misses, 1);
+    }
+
+    /// Errors are not memoized: a failed lookup leaves no entry behind and
+    /// the next call retries (and fails again, deterministically).
+    #[test]
+    fn errors_retry_instead_of_poisoning() {
+        let r = sample();
+        let ctx = AnalysisContext::new(&r);
+        for _ in 0..2 {
+            assert!(ctx.group_counts(&bag(&[9])).is_err());
+            assert_eq!(ctx.stats().group_count_entries, 0);
+            assert_eq!(ctx.stats().misses, 0);
+        }
+        // A successful lookup after the failures works normally.
+        assert!(ctx.group_counts(&bag(&[0])).is_ok());
+        assert_eq!(ctx.stats().group_count_entries, 1);
+    }
+
+    /// The context budget knob is observable and retunable, and a non-serial
+    /// budget yields bit-identical groupings (the determinism contract).
+    #[test]
+    fn thread_budget_is_tunable_and_result_invariant() {
+        let r = stress_relation();
+        let serial_ctx = AnalysisContext::with_thread_budget(&r, ThreadBudget::serial());
+        assert!(serial_ctx.thread_budget().is_serial());
+        let par_ctx = AnalysisContext::with_thread_budget(&r, ThreadBudget::new(4));
+        assert_eq!(par_ctx.thread_budget().get(), 4);
+        for attrs in [bag(&[0, 1]), bag(&[0, 1, 2, 3])] {
+            let a = serial_ctx.group_ids(&attrs).unwrap();
+            let b = par_ctx.group_ids(&attrs).unwrap();
+            assert_eq!(a.row_ids(), b.row_ids());
+            assert_eq!(a.counts(), b.counts());
+            assert_eq!(a.group_codes(), b.group_codes());
+        }
+        par_ctx.set_thread_budget(ThreadBudget::serial());
+        assert!(par_ctx.thread_budget().is_serial());
     }
 
     #[test]

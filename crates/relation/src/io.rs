@@ -17,6 +17,7 @@
 use crate::catalog::Catalog;
 use crate::error::{RelationError, Result};
 use crate::relation::Relation;
+use std::borrow::Cow;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write as IoWrite};
@@ -55,21 +56,58 @@ fn io_error(path: &Path, err: std::io::Error) -> RelationError {
     }
 }
 
+/// Wraps a line iterator so that **only the final line** sheds a single
+/// trailing `'\r'`.
+///
+/// `str::lines` / `BufRead::lines` consume `\r\n` pairs, so an interior
+/// line can only end in `'\r'` if that `'\r'` is field data (e.g. the
+/// bytes `b"x\r\r\n"` are the field `x\r`) — stripping there would corrupt
+/// it.  The one place a *line-ending* `'\r'` survives the line splitters
+/// is a CRLF file whose final line hits EOF without a `'\n'`; that is the
+/// only line this adapter touches.
+fn strip_final_carriage_return<'s, I>(lines: I) -> impl Iterator<Item = Result<Cow<'s, str>>>
+where
+    I: Iterator<Item = Result<Cow<'s, str>>>,
+{
+    let mut lines = lines.peekable();
+    std::iter::from_fn(move || {
+        let line = lines.next()?;
+        let is_last = lines.peek().is_none();
+        Some(line.map(|l| {
+            if is_last && l.ends_with('\r') {
+                // '\r' is one byte, so the slice boundary is valid.
+                match l {
+                    Cow::Borrowed(s) => Cow::Borrowed(&s[..s.len() - 1]),
+                    Cow::Owned(mut s) => {
+                        s.pop();
+                        Cow::Owned(s)
+                    }
+                }
+            } else {
+                l
+            }
+        }))
+    })
+}
+
 /// The streaming core shared by the in-memory and file-based readers: pulls
 /// lines one at a time, builds the catalog from the first non-empty line (or
 /// positional names), and pushes every data row straight into the relation.
-fn read_lines<I>(lines: I, options: ReadOptions) -> Result<(Catalog, Relation)>
+///
+/// Lines arrive as `Cow<str>` so the in-memory reader lends borrowed
+/// slices (no per-line copy) while the file reader hands over the owned
+/// `String`s its `BufReader` produces.
+fn read_lines<'s, I>(lines: I, options: ReadOptions) -> Result<(Catalog, Relation)>
 where
-    I: Iterator<Item = Result<String>>,
+    I: Iterator<Item = Result<Cow<'s, str>>>,
 {
-    let mut lines = lines.filter(|l| match l {
+    let mut lines = strip_final_carriage_return(lines).filter(|l| match l {
         Ok(l) => !l.trim().is_empty(),
         Err(_) => true,
     });
 
     let split = |line: &str| -> Vec<String> {
-        line.trim_end_matches('\r')
-            .split(options.delimiter)
+        line.split(options.delimiter)
             .map(|f| {
                 if options.trim {
                     f.trim().to_owned()
@@ -139,7 +177,7 @@ where
 /// Empty lines are skipped.  Every data row must have exactly as many fields
 /// as the header (or as the first data row when there is no header).
 pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Relation)> {
-    read_lines(text.lines().map(|l| Ok(l.to_owned())), options)
+    read_lines(text.lines().map(|l| Ok(Cow::Borrowed(l))), options)
 }
 
 /// Reads a delimited file into a catalog and a dictionary-encoded relation,
@@ -156,7 +194,9 @@ pub fn read_delimited_from<P: AsRef<Path>>(
     let file = File::open(path).map_err(|e| io_error(path, e))?;
     let reader = BufReader::new(file);
     read_lines(
-        reader.lines().map(|l| l.map_err(|e| io_error(path, e))),
+        reader
+            .lines()
+            .map(|l| l.map(Cow::Owned).map_err(|e| io_error(path, e))),
         options,
     )
 }
@@ -371,6 +411,127 @@ paris,france,europe
         assert_eq!(r.len(), 2);
         assert!(r.is_set());
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression (CRLF handling): a file with `\r\n` line endings — and a
+    /// final line terminated by a bare `\r` at EOF — parses identically to
+    /// its `\n`-only counterpart; no field ever carries a stray `\r`.
+    #[test]
+    fn crlf_input_parses_like_lf_input() {
+        let crlf = "city,country\r\nhaifa,israel\r\nseattle,usa\r";
+        let lf = "city,country\nhaifa,israel\nseattle,usa\n";
+
+        // In-memory reader.
+        let (cat_a, r_a) = read_delimited(crlf, ReadOptions::default()).unwrap();
+        let (cat_b, r_b) = read_delimited(lf, ReadOptions::default()).unwrap();
+        assert_eq!(r_a.len(), 2);
+        assert!(r_a.canonicalize().set_eq(&r_b.canonicalize()));
+        assert_eq!(cat_a.value_label(AttrId(1), 1), Some("usa"));
+        assert_eq!(cat_b.value_label(AttrId(1), 1), Some("usa"));
+
+        // Streaming file reader, with trimming off so a stray `\r` would be
+        // visible in the label (it must not be).
+        let path = temp_path("crlf");
+        std::fs::write(&path, crlf).unwrap();
+        let (cat_f, r_f) = read_delimited_from(
+            &path,
+            ReadOptions {
+                trim: false,
+                ..ReadOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r_f.len(), 2);
+        assert_eq!(cat_f.value_label(AttrId(1), 1), Some("usa"));
+        assert!(r_f.canonicalize().set_eq(&r_a.canonicalize()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A lone trailing `\r` on the **final** line is a line ending;
+    /// additional `\r`s are data (the seed's `trim_end_matches('\r')`
+    /// silently ate all of them).
+    #[test]
+    fn only_one_trailing_carriage_return_is_stripped() {
+        // Final line ends `\r\r` at EOF: one `\r` is the (half) line
+        // ending, the other belongs to the field.
+        let text = "a\nx\r\r";
+        let (catalog, r) = read_delimited(
+            text,
+            ReadOptions {
+                trim: false,
+                ..ReadOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(catalog.value_label(AttrId(0), 0), Some("x\r"));
+    }
+
+    /// An **interior** CRLF line whose field data ends in `\r` (bytes
+    /// `x\r\r\n`) keeps that `\r`: the line splitter already consumed the
+    /// `\r\n` terminator, so what remains is data and must not be stripped.
+    #[test]
+    fn interior_carriage_return_data_is_preserved() {
+        let text = "a\nx\r\r\ny\n";
+        let (catalog, r) = read_delimited(
+            text,
+            ReadOptions {
+                trim: false,
+                ..ReadOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(catalog.value_label(AttrId(0), 0), Some("x\r"));
+        assert_eq!(catalog.value_label(AttrId(0), 1), Some("y"));
+    }
+
+    /// Regression (trailing newline): presence or absence of a final
+    /// newline must not change the parse — no phantom empty row, no lost
+    /// last row.
+    #[test]
+    fn trailing_final_newline_is_ignored() {
+        for (with_nl, without_nl) in [
+            ("a,b\n1,2\n3,4\n", "a,b\n1,2\n3,4"),
+            ("a,b\r\n1,2\r\n", "a,b\r\n1,2"),
+        ] {
+            let (_c1, r1) = read_delimited(with_nl, ReadOptions::default()).unwrap();
+            let (_c2, r2) = read_delimited(without_nl, ReadOptions::default()).unwrap();
+            assert_eq!(r1.len(), r2.len());
+            assert!(r1.canonicalize().set_eq(&r2.canonicalize()));
+
+            let path = temp_path("trailing_nl");
+            std::fs::write(&path, without_nl).unwrap();
+            let (_c3, r3) = read_delimited_from(&path, ReadOptions::default()).unwrap();
+            assert_eq!(r3.len(), r1.len());
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// Regression (ragged rows): both too-few and too-many fields surface
+    /// as [`RelationError::ArityMismatch`] from the streaming reader — never
+    /// a silently truncated or padded tuple.
+    #[test]
+    fn ragged_file_rows_error_instead_of_misparsing() {
+        for (tag, body) in [
+            ("short", "a,b\n1,2\n3\n"),
+            ("long", "a,b\n1,2\n3,4,5\n"),
+            ("crlf_short", "a,b\r\n1,2\r\n3\r\n"),
+        ] {
+            let path = temp_path(&format!("ragged_{tag}"));
+            std::fs::write(&path, body).unwrap();
+            let err = read_delimited_from(&path, ReadOptions::default()).unwrap_err();
+            assert!(
+                matches!(err, RelationError::ArityMismatch { .. }),
+                "{tag}: expected ArityMismatch, got {err}"
+            );
+            let _ = std::fs::remove_file(&path);
+            // The in-memory reader agrees.
+            assert!(matches!(
+                read_delimited(body, ReadOptions::default()).unwrap_err(),
+                RelationError::ArityMismatch { .. }
+            ));
+        }
     }
 
     #[test]

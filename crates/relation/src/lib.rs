@@ -27,12 +27,18 @@
 //!   over: a plain [`Relation`] computes groupings fresh, an
 //!   [`AnalysisContext`] memoizes them, and both run the same kernel so the
 //!   results are bit-identical.
+//! * [`ThreadBudget`] — the single parallelism knob: the grouping kernel
+//!   ([`Relation::group_ids_with`]) shards its row scan across a thread
+//!   budget and merges chunk results in chunk order, so parallel groupings
+//!   are **bit-identical** to serial ones; [`AnalysisContext`] computes its
+//!   cache misses under the same budget with per-key single-flight (at most
+//!   one thread ever computes a given attribute set).
 //! * [`hash`] — a small Fx-style hasher used for all residual hashing (the
 //!   default SipHash is needlessly slow for short integer keys).
 //!
-//! Everything is deterministic: group ids follow first-appearance order and
-//! iteration orders that can affect results (e.g. canonical forms) are
-//! explicitly sorted.
+//! Everything is deterministic: group ids follow first-appearance order
+//! (regardless of the thread budget) and iteration orders that can affect
+//! results (e.g. canonical forms) are explicitly sorted.
 //!
 //! ## Example
 //!
@@ -65,6 +71,7 @@ pub mod error;
 pub mod hash;
 pub mod io;
 pub mod join;
+pub mod parallel;
 pub mod relation;
 
 pub use attr::{AttrId, AttrSet};
@@ -74,4 +81,5 @@ pub use error::{RelationError, Result};
 pub use io::{
     read_delimited, read_delimited_from, write_delimited, write_delimited_to, ReadOptions,
 };
+pub use parallel::ThreadBudget;
 pub use relation::{GroupCounts, GroupIds, Relation, RowIter, Value};

@@ -26,7 +26,9 @@
 use crate::attr::{AttrId, AttrSet};
 use crate::error::{RelationError, Result};
 use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap};
+use crate::parallel::{chunk_bounds, ThreadBudget};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
 use std::fmt;
 
 /// A raw attribute value.
@@ -489,6 +491,33 @@ impl Relation {
         Ok(self.columns[pos].index.get(&value).copied())
     }
 
+    /// Verifies the **dictionary occupancy invariant**: every code of every
+    /// column dictionary occurs in at least one row, and the value → code
+    /// index is exactly the inverse of the code → value table.
+    ///
+    /// Every constructor in this crate (row pushes, projections, joins,
+    /// column moves) preserves this invariant; the single-column
+    /// [`Relation::group_ids`] fast path *relies* on it (the code column is
+    /// taken to be its own grouping, so a zero-occurrence code would
+    /// fabricate a phantom group).  Exposed so tests — and any future
+    /// constructor that builds columns wholesale — can check themselves
+    /// against it; O(rows × arity).
+    pub fn dictionaries_fully_occupied(&self) -> bool {
+        self.columns.iter().all(|col| {
+            if col.index.len() != col.values.len() || col.codes.len() != self.rows {
+                return false;
+            }
+            let mut seen = vec![false; col.values.len()];
+            for &c in &col.codes {
+                match seen.get_mut(c as usize) {
+                    Some(slot) => *slot = true,
+                    None => return false, // code outside the dictionary
+                }
+            }
+            seen.into_iter().all(|s| s)
+        })
+    }
+
     // ------------------------------------------------------------------
     // Grouping (the columnar kernel)
     // ------------------------------------------------------------------
@@ -529,6 +558,15 @@ impl Relation {
             for &c in &col.codes {
                 counts[c as usize] += 1;
             }
+            // Every dictionary code must occur in at least one row (the
+            // occupancy invariant every constructor preserves); a
+            // zero-occurrence code would make this fast path fabricate an
+            // empty group that no row maps to.
+            debug_assert!(
+                counts.iter().all(|&c| c > 0),
+                "column dictionary holds zero-occurrence codes; \
+                 single-column grouping would emit phantom groups"
+            );
             return Ok(GroupIds {
                 attrs: attrs.clone(),
                 row_ids: col.codes.clone(),
@@ -538,77 +576,140 @@ impl Relation {
         }
 
         let cols: Vec<&Column> = positions.iter().map(|&p| &self.columns[p]).collect();
-        let radix: u128 = cols.iter().map(|c| c.domain_size() as u128).product();
-        let dense_cap = RADIX_TABLE_CAP.min((self.rows as u128).saturating_mul(8).max(4096));
+        let span = group_span(&cols, 0, self.rows)?;
+        Ok(GroupIds {
+            attrs: attrs.clone(),
+            row_ids: span.row_ids,
+            counts: span.counts,
+            group_codes: span.group_codes,
+        })
+    }
 
-        let mut row_ids: Vec<u32> = Vec::with_capacity(self.rows);
+    /// [`Relation::group_ids`] under a [`ThreadBudget`]: the grouping kernel
+    /// partitions the row scan across up to `budget` worker threads (never
+    /// sharding below [`crate::parallel::MIN_CHUNK_ROWS`] rows per worker)
+    /// and merges the per-chunk groupings **in chunk order**, so the result
+    /// is bit-identical to the serial kernel at any budget.
+    pub fn group_ids_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupIds> {
+        let workers = budget.workers_for_rows(self.rows);
+        if workers <= 1 {
+            return self.group_ids(attrs);
+        }
+        self.group_ids_chunked(attrs, workers)
+    }
+
+    /// The chunked parallel grouping kernel behind
+    /// [`Relation::group_ids_with`], with the worker count fixed by the
+    /// caller (no minimum-chunk clamp — exposed so the determinism property
+    /// is testable on small relations).  One OS thread is spawned per
+    /// chunk, so `workers` is clamped to the row count and to
+    /// [`crate::parallel::MAX_CHUNK_WORKERS`] — an absurd request cannot
+    /// exhaust the process's thread limit.
+    ///
+    /// Rows are partitioned into `workers` contiguous chunks; each chunk is
+    /// grouped independently through the same dense mixed-radix / packed
+    /// `u64` paths as the serial kernel, then the per-chunk group tables are
+    /// merged **in chunk order**.  A group's first appearance across the
+    /// whole relation is in the earliest chunk that contains it, and within
+    /// that chunk the local first-appearance order equals the global row
+    /// order — so the merged numbering, counts, group codes and remapped
+    /// per-row ids are **bit-identical** to [`Relation::group_ids`].
+    ///
+    /// Zero- and one-attribute groupings delegate to the serial fast paths
+    /// (a code column already *is* its grouping; there is nothing to shard).
+    pub fn group_ids_chunked(&self, attrs: &AttrSet, workers: usize) -> Result<GroupIds> {
+        let positions = self.attr_positions(attrs)?;
+        let k = positions.len();
+        if k <= 1 || workers <= 1 || self.rows == 0 {
+            return self.group_ids(attrs);
+        }
+        let cols: Vec<&Column> = positions.iter().map(|&p| &self.columns[p]).collect();
+        let chunks = chunk_bounds(
+            self.rows,
+            workers
+                .min(self.rows)
+                .min(crate::parallel::MAX_CHUNK_WORKERS),
+        );
+
+        // Pass 1 (parallel): group every chunk independently.
+        let cols_ref = &cols;
+        let spans: Result<Vec<SpanGroups>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, end)| scope.spawn(move || group_span(cols_ref, start, end)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("grouping worker panicked"))
+                .collect()
+        });
+        let spans = spans?;
+
+        // Pass 2 (serial, chunk order): merge the chunk group tables into
+        // the global first-appearance numbering.
+        let bits: Vec<u32> = cols.iter().map(|c| bit_width(c.domain_size())).collect();
+        let packable = bits.iter().sum::<u32>() <= 64;
+        let total_local: usize = spans.iter().map(|s| s.counts.len()).sum();
         let mut counts: Vec<u64> = Vec::new();
         let mut group_codes: Vec<u32> = Vec::new();
-
-        if radix <= dense_cap {
-            // Dense mixed-radix table: one array slot per possible code
-            // tuple, ids assigned in first-appearance order.
-            let mut table = vec![u32::MAX; radix as usize];
-            for i in 0..self.rows {
-                let mut key = 0usize;
-                for c in &cols {
-                    key = key * c.domain_size() + c.codes[i] as usize;
-                }
-                let mut id = table[key];
-                if id == u32::MAX {
-                    id = new_group_id(&counts)?;
-                    table[key] = id;
-                    counts.push(0);
-                    for c in &cols {
-                        group_codes.push(c.codes[i]);
-                    }
-                }
-                counts[id as usize] += 1;
-                row_ids.push(id);
-            }
-        } else {
-            let bits: Vec<u32> = cols.iter().map(|c| bit_width(c.domain_size())).collect();
-            if bits.iter().sum::<u32>() <= 64 {
-                // Pack the code tuple into one u64 and hash that — no
-                // allocation per row.
-                let mut intern: FxHashMap<u64, u32> = map_with_capacity(self.rows.min(1 << 20));
-                for i in 0..self.rows {
+        let mut packed: FxHashMap<u64, u32> =
+            map_with_capacity(if packable { total_local } else { 0 });
+        let mut wide: FxHashMap<Box<[u32]>, u32> =
+            map_with_capacity(if packable { 0 } else { total_local });
+        let mut local_to_global: Vec<Vec<u32>> = Vec::with_capacity(spans.len());
+        for span in &spans {
+            let groups = span.counts.len();
+            let mut map = Vec::with_capacity(groups);
+            for g in 0..groups {
+                let codes = &span.group_codes[g * k..(g + 1) * k];
+                let id = if packable {
                     let mut key = 0u64;
-                    for (c, &b) in cols.iter().zip(&bits) {
-                        key = (key << b) | c.codes[i] as u64;
+                    for (&c, &b) in codes.iter().zip(&bits) {
+                        key = (key << b) | c as u64;
                     }
-                    let next = new_group_id(&counts)?;
-                    let id = *intern.entry(key).or_insert(next);
-                    if id == next {
-                        counts.push(0);
-                        for c in &cols {
-                            group_codes.push(c.codes[i]);
+                    match packed.entry(key) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(v) => {
+                            let id = new_group_id(&counts)?;
+                            v.insert(id);
+                            counts.push(0);
+                            group_codes.extend_from_slice(codes);
+                            id
                         }
                     }
-                    counts[id as usize] += 1;
-                    row_ids.push(id);
-                }
-            } else {
-                // Very wide keys (only reachable with dozens of columns):
-                // hash the boxed code tuple.
-                let mut intern: FxHashMap<Box<[u32]>, u32> =
-                    map_with_capacity(self.rows.min(1 << 20));
-                let mut buf: Vec<u32> = vec![0; k];
-                for i in 0..self.rows {
-                    for (j, c) in cols.iter().enumerate() {
-                        buf[j] = c.codes[i];
+                } else {
+                    match wide.entry(codes.to_vec().into_boxed_slice()) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(v) => {
+                            let id = new_group_id(&counts)?;
+                            v.insert(id);
+                            counts.push(0);
+                            group_codes.extend_from_slice(codes);
+                            id
+                        }
                     }
-                    let next = new_group_id(&counts)?;
-                    let id = *intern.entry(buf.clone().into_boxed_slice()).or_insert(next);
-                    if id == next {
-                        counts.push(0);
-                        group_codes.extend_from_slice(&buf);
-                    }
-                    counts[id as usize] += 1;
-                    row_ids.push(id);
-                }
+                };
+                counts[id as usize] += span.counts[g];
+                map.push(id);
             }
+            local_to_global.push(map);
         }
+
+        // Pass 3 (parallel): rewrite each chunk's local row ids through its
+        // local → global map, into disjoint slices of the output.
+        let mut row_ids = vec![0u32; self.rows];
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut row_ids;
+            for (span, map) in spans.iter().zip(&local_to_global) {
+                let (head, tail) = rest.split_at_mut(span.row_ids.len());
+                rest = tail;
+                scope.spawn(move || {
+                    for (out, &local) in head.iter_mut().zip(&span.row_ids) {
+                        *out = map[local as usize];
+                    }
+                });
+            }
+        });
 
         Ok(GroupIds {
             attrs: attrs.clone(),
@@ -623,6 +724,14 @@ impl Relation {
     /// decoded keys.
     pub fn group_counts(&self, attrs: &AttrSet) -> Result<GroupCounts> {
         let ids = self.group_ids(attrs)?;
+        Ok(self.decode_group_counts(&ids))
+    }
+
+    /// [`Relation::group_counts`] under a [`ThreadBudget`] (see
+    /// [`Relation::group_ids_with`]); bit-identical to the serial result at
+    /// any budget.
+    pub fn group_counts_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupCounts> {
+        let ids = self.group_ids_with(attrs, budget)?;
         Ok(self.decode_group_counts(&ids))
     }
 
@@ -776,8 +885,16 @@ impl Relation {
     /// groups, decoded once each.  Errors if `attrs` is not a subset of the
     /// schema — library code never panics on caller input.
     pub fn project(&self, attrs: &AttrSet) -> Result<Relation> {
+        self.project_with(attrs, ThreadBudget::serial())
+    }
+
+    /// [`Relation::project`] under a [`ThreadBudget`]: the deduplicating
+    /// grouping pass runs on the parallel kernel, the (identical) distinct
+    /// groups are decoded serially.  Output is bit-identical to
+    /// [`Relation::project`] at any budget.
+    pub fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
         let positions = self.attr_positions(attrs)?;
-        let ids = self.group_ids(attrs)?;
+        let ids = self.group_ids_with(attrs, budget)?;
         let arity = positions.len();
         let mut out = Relation::with_capacity(attrs.as_slice().to_vec(), ids.num_groups())?;
         let mut buf: Vec<Value> = vec![0; arity];
@@ -861,6 +978,108 @@ impl Relation {
             rows: self.rows,
         })
     }
+}
+
+/// The grouping of one contiguous row span: local first-appearance ids per
+/// row, per-group multiplicities and flattened code tuples.  Produced by
+/// [`group_span`] for the serial kernel (the full span) and for every chunk
+/// of the parallel kernel.
+struct SpanGroups {
+    /// Local group id of every row in the span, in row order.
+    row_ids: Vec<u32>,
+    /// Multiplicity of each local group.
+    counts: Vec<u64>,
+    /// Flattened code tuples, `cols.len()` codes per local group.
+    group_codes: Vec<u32>,
+}
+
+/// Groups the rows `start..end` by the code tuples of `cols`, assigning
+/// dense ids in first-appearance order *within the span*.
+///
+/// This is the multi-column grouping kernel shared by the serial path
+/// (span = all rows) and the chunked parallel path (span = one chunk): a
+/// dense mixed-radix table when the domain product is small relative to the
+/// span, a hashed packed `u64` per row when the code tuple fits 64 bits,
+/// and a hashed boxed tuple as the wide-key fallback.
+fn group_span(cols: &[&Column], start: usize, end: usize) -> Result<SpanGroups> {
+    let rows = end - start;
+    let radix: u128 = cols.iter().map(|c| c.domain_size() as u128).product();
+    let dense_cap = RADIX_TABLE_CAP.min((rows as u128).saturating_mul(8).max(4096));
+
+    let mut row_ids: Vec<u32> = Vec::with_capacity(rows);
+    let mut counts: Vec<u64> = Vec::new();
+    let mut group_codes: Vec<u32> = Vec::new();
+
+    if radix <= dense_cap {
+        // Dense mixed-radix table: one array slot per possible code tuple,
+        // ids assigned in first-appearance order.
+        let mut table = vec![u32::MAX; radix as usize];
+        for i in start..end {
+            let mut key = 0usize;
+            for c in cols {
+                key = key * c.domain_size() + c.codes[i] as usize;
+            }
+            let mut id = table[key];
+            if id == u32::MAX {
+                id = new_group_id(&counts)?;
+                table[key] = id;
+                counts.push(0);
+                for c in cols {
+                    group_codes.push(c.codes[i]);
+                }
+            }
+            counts[id as usize] += 1;
+            row_ids.push(id);
+        }
+    } else {
+        let bits: Vec<u32> = cols.iter().map(|c| bit_width(c.domain_size())).collect();
+        if bits.iter().sum::<u32>() <= 64 {
+            // Pack the code tuple into one u64 and hash that — no
+            // allocation per row.
+            let mut intern: FxHashMap<u64, u32> = map_with_capacity(rows.min(1 << 20));
+            for i in start..end {
+                let mut key = 0u64;
+                for (c, &b) in cols.iter().zip(&bits) {
+                    key = (key << b) | c.codes[i] as u64;
+                }
+                let next = new_group_id(&counts)?;
+                let id = *intern.entry(key).or_insert(next);
+                if id == next {
+                    counts.push(0);
+                    for c in cols {
+                        group_codes.push(c.codes[i]);
+                    }
+                }
+                counts[id as usize] += 1;
+                row_ids.push(id);
+            }
+        } else {
+            // Very wide keys (only reachable with dozens of columns):
+            // hash the boxed code tuple.
+            let k = cols.len();
+            let mut intern: FxHashMap<Box<[u32]>, u32> = map_with_capacity(rows.min(1 << 20));
+            let mut buf: Vec<u32> = vec![0; k];
+            for i in start..end {
+                for (j, c) in cols.iter().enumerate() {
+                    buf[j] = c.codes[i];
+                }
+                let next = new_group_id(&counts)?;
+                let id = *intern.entry(buf.clone().into_boxed_slice()).or_insert(next);
+                if id == next {
+                    counts.push(0);
+                    group_codes.extend_from_slice(&buf);
+                }
+                counts[id as usize] += 1;
+                row_ids.push(id);
+            }
+        }
+    }
+
+    Ok(SpanGroups {
+        row_ids,
+        counts,
+        group_codes,
+    })
 }
 
 /// Allocates the next dense group id, failing (instead of wrapping into an

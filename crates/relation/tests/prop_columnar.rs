@@ -169,7 +169,57 @@ fn check_equivalence(r: &Relation, attrs: &AttrSet) -> Result<(), String> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dictionary occupancy invariant: every constructor's output has every
+    /// dictionary code occurring in at least one row.  The single-column
+    /// `group_ids` fast path treats the code column as its own grouping, so
+    /// a constructor leaving zero-occurrence codes behind (e.g. a careless
+    /// column-wholesale copy) would make it emit phantom groups — this
+    /// property pins every constructor to the invariant, and additionally
+    /// checks the fast path's counts are all positive.
+    #[test]
+    fn every_constructor_preserves_dictionary_occupancy(
+        r in relation_strategy(3, 4, 40, false),
+        s in relation_strategy(3, 6, 40, false),
+    ) {
+        let half = AttrSet::from_ids([0u32, 1]);
+
+        let mut outputs: Vec<(&str, Relation)> = vec![
+            ("from_rows", r.clone()),
+            ("distinct", r.distinct()),
+            ("canonicalize", r.canonicalize()),
+            ("project", r.project(&half).unwrap()),
+            ("project_multiset", r.project_multiset(&half).unwrap()),
+            ("select_eq", r.select_eq(AttrId(0), 1).unwrap()),
+            (
+                "reorder_columns",
+                r.reorder_columns(&[AttrId(2), AttrId(0), AttrId(1)]).unwrap(),
+            ),
+        ];
+        // Joins exercise the code-remap path: `s` shares attrs {0,1} with
+        // `r` but draws from a larger domain, so remapping misses (probe
+        // values absent from the build dictionaries) are common.
+        let s01 = s.project(&half).unwrap();
+        outputs.push(("natural_join", ajd_relation::join::natural_join(&r, &s01).unwrap()));
+        outputs.push(("semijoin", ajd_relation::join::semijoin(&r, &s01).unwrap()));
+
+        for (what, out) in &outputs {
+            prop_assert!(
+                out.dictionaries_fully_occupied(),
+                "{what} produced zero-occurrence dictionary codes"
+            );
+            // The single-column fast path must never fabricate empty groups.
+            for attr in out.schema() {
+                let ids = out.group_ids(&AttrSet::singleton(*attr)).unwrap();
+                prop_assert!(
+                    ids.counts().iter().all(|&c| c > 0),
+                    "{what}: single-column grouping on {attr} emitted an empty group"
+                );
+                prop_assert_eq!(ids.num_groups(), out.domain(*attr).unwrap().len());
+            }
+        }
+    }
 
     /// Dense small values: the grouping kernel's mixed-radix path.
     #[test]
