@@ -33,7 +33,7 @@ use ajd_info::{kl_divergence_to_tree, kl_report, mutual_information, mvd_cmi, Kl
 use ajd_jointree::mvd::ordered_support;
 use ajd_jointree::{count_acyclic_join, loss_acyclic, JoinTree, Mvd};
 use ajd_relation::{
-    AnalysisContext, AttrSet, CacheStats, GroupSource, Relation, RelationError, Result,
+    AnalysisContext, AttrSet, CacheStats, GroupKernel, GroupSource, Relation, RelationError, Result,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -212,26 +212,26 @@ impl fmt::Display for LossReport {
 /// *set* relation; call [`Relation::distinct`] first if your data has
 /// duplicates and you want those guarantees.
 pub(crate) fn report_for<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<LossReport> {
-    let r = src.relation();
-    if r.is_empty() {
+    if src.is_empty() {
         return Err(RelationError::EmptyInput("relation for loss analysis"));
     }
-    if tree.attributes() != r.attrs() {
+    let relation_attrs = src.attrs();
+    if tree.attributes() != relation_attrs {
         return Err(RelationError::SchemaMismatch {
             detail: format!(
                 "join tree covers {} but the relation has attributes {}",
                 tree.attributes(),
-                r.attrs()
+                relation_attrs
             ),
         });
     }
 
-    let n = r.len() as u64;
+    let n = src.num_rows() as u64;
     // For a set relation this is `n`; for a multiset it is the size of
     // `distinct(R)`, the baseline the rejoined (set-semantic) join must be
     // compared against.  (The full-relation group counts also back `H(Ω)`
     // and the KL sum, so this grouping is shared, not extra.)
-    let distinct_n = src.group_counts(&r.attrs())?.num_groups() as u64;
+    let distinct_n = src.group_counts(&relation_attrs)?.num_groups() as u64;
     let join_size = count_acyclic_join(src, tree)?;
     let spurious = join_size
         .checked_sub(distinct_n as u128)
@@ -247,7 +247,7 @@ pub(crate) fn report_for<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<Los
     let marginal_support = |attrs: &AttrSet| -> Result<u64> {
         match attrs.as_slice() {
             [] => Ok(1),
-            [single] => Ok(r.active_domain_size(*single)? as u64),
+            [single] => Ok(src.active_domain_size(*single)? as u64),
             _ => Ok(src.group_counts(attrs)?.num_groups() as u64),
         }
     };
@@ -314,17 +314,18 @@ pub(crate) fn report_for<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<Los
 /// assert!(analyzer.cache_stats().hits > 0);
 /// ```
 #[derive(Debug)]
-pub struct Analyzer<'a> {
-    ctx: Arc<AnalysisContext<'a>>,
+pub struct Analyzer<'a, S = Relation> {
+    ctx: Arc<AnalysisContext<'a, S>>,
 }
 
-impl<'a> Analyzer<'a> {
-    /// Creates an analyzer over `r` with an empty cache and the default
-    /// [`ThreadBudget`](ajd_relation::ThreadBudget) (the machine's available
-    /// parallelism) for computing cache misses.
-    pub fn new(r: &'a Relation) -> Self {
+impl<'a, S: GroupKernel> Analyzer<'a, S> {
+    /// Creates an analyzer over `src` — a flat [`Relation`] or an
+    /// [`ajd_relation::ShardedRelation`] — with an empty cache and the
+    /// default [`ThreadBudget`](ajd_relation::ThreadBudget) (the machine's
+    /// available parallelism) for computing cache misses.
+    pub fn new(src: &'a S) -> Self {
         Analyzer {
-            ctx: Arc::new(AnalysisContext::new(r)),
+            ctx: Arc::new(AnalysisContext::new(src)),
         }
     }
 
@@ -333,26 +334,26 @@ impl<'a> Analyzer<'a> {
     /// [`ajd_relation::ThreadBudget::serial`] when the caller already owns
     /// the parallelism (e.g. per-trial analyzers inside a parallel
     /// experiment loop).
-    pub fn with_thread_budget(r: &'a Relation, budget: ajd_relation::ThreadBudget) -> Self {
+    pub fn with_thread_budget(src: &'a S, budget: ajd_relation::ThreadBudget) -> Self {
         Analyzer {
-            ctx: Arc::new(AnalysisContext::with_thread_budget(r, budget)),
+            ctx: Arc::new(AnalysisContext::with_thread_budget(src, budget)),
         }
     }
 
     /// The shared context handle (for constructs that want to co-own it).
-    pub(crate) fn shared(&self) -> Arc<AnalysisContext<'a>> {
+    pub(crate) fn shared(&self) -> Arc<AnalysisContext<'a, S>> {
         Arc::clone(&self.ctx)
     }
 
-    /// The relation being analysed.
-    pub fn relation(&self) -> &'a Relation {
-        self.ctx.relation()
+    /// The grouping source being analysed.
+    pub fn source(&self) -> &'a S {
+        self.ctx.source()
     }
 
     /// The underlying shared context, for advanced composition (e.g. calling
     /// the free measure functions of `ajd-info` / `ajd-jointree` directly
     /// against this analyzer's cache).
-    pub fn context(&self) -> &AnalysisContext<'a> {
+    pub fn context(&self) -> &AnalysisContext<'a, S> {
         &self.ctx
     }
 
@@ -457,7 +458,7 @@ impl<'a> Analyzer<'a> {
 
     /// A [`crate::BatchAnalyzer`] sharing this analyzer's cache: evaluate
     /// many trees in parallel, every grouping still paid for once.
-    pub fn batch(&self) -> crate::BatchAnalyzer<'a> {
+    pub fn batch(&self) -> crate::BatchAnalyzer<'a, S> {
         crate::BatchAnalyzer::from_shared(self.shared())
     }
 
@@ -471,6 +472,14 @@ impl<'a> Analyzer<'a> {
     /// any budget.
     pub fn mine(&self, config: crate::DiscoveryConfig) -> Result<crate::MinedSchema> {
         crate::SchemaMiner::new(config).mine_with(&self.batch())
+    }
+}
+
+impl<'a> Analyzer<'a, Relation> {
+    /// The flat relation being analysed (for analyzers over an
+    /// [`ajd_relation::ShardedRelation`], use [`Analyzer::source`]).
+    pub fn relation(&self) -> &'a Relation {
+        self.ctx.relation()
     }
 }
 

@@ -20,8 +20,8 @@
 use crate::analysis::{report_for, LossReport};
 use ajd_jointree::{count_acyclic_join, loss_acyclic, JoinTree};
 use ajd_relation::{
-    AnalysisContext, AttrSet, CacheStats, GroupCounts, GroupIds, GroupSource, Relation, Result,
-    ThreadBudget,
+    AnalysisContext, AttrId, AttrSet, CacheStats, GroupCounts, GroupIds, GroupKernel, GroupSource,
+    Relation, Result, ThreadBudget,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -48,25 +48,26 @@ use std::sync::Arc;
 /// assert_eq!(reports[1].as_ref().unwrap().spurious, 0);
 /// ```
 #[derive(Debug)]
-pub struct BatchAnalyzer<'a> {
-    ctx: Arc<AnalysisContext<'a>>,
+pub struct BatchAnalyzer<'a, S = Relation> {
+    ctx: Arc<AnalysisContext<'a, S>>,
     threads: usize,
 }
 
-impl<'a> BatchAnalyzer<'a> {
-    /// Creates a standalone batch analyzer over `r` (fresh cache) using all
-    /// available parallelism — the workspace's default [`ThreadBudget`].
-    /// To share a cache with other analysis of the same relation, go
-    /// through [`crate::Analyzer::batch`] instead.
-    pub fn new(r: &'a Relation) -> Self {
-        Self::from_shared(Arc::new(AnalysisContext::new(r)))
+impl<'a, S: GroupKernel> BatchAnalyzer<'a, S> {
+    /// Creates a standalone batch analyzer over `src` — a flat
+    /// [`Relation`] or an [`ajd_relation::ShardedRelation`] — with a fresh
+    /// cache, using all available parallelism (the workspace's default
+    /// [`ThreadBudget`]).  To share a cache with other analysis of the same
+    /// relation, go through [`crate::Analyzer::batch`] instead.
+    pub fn new(src: &'a S) -> Self {
+        Self::from_shared(Arc::new(AnalysisContext::new(src)))
     }
 
     /// Wraps a co-owned context (the handle behind [`crate::Analyzer`]),
     /// inheriting the context's thread budget — an analyzer configured
     /// serial (e.g. per-trial inside a parallel experiment loop) produces
     /// serial batches, not full-fan-out ones.
-    pub(crate) fn from_shared(ctx: Arc<AnalysisContext<'a>>) -> Self {
+    pub(crate) fn from_shared(ctx: Arc<AnalysisContext<'a, S>>) -> Self {
         let threads = ctx.thread_budget().get();
         BatchAnalyzer { ctx, threads }
     }
@@ -92,14 +93,14 @@ impl<'a> BatchAnalyzer<'a> {
         self.threads
     }
 
-    /// The relation being analysed.
-    pub fn relation(&self) -> &'a Relation {
-        self.ctx.relation()
+    /// The grouping source being analysed.
+    pub fn source(&self) -> &'a S {
+        self.ctx.source()
     }
 
     /// The shared context; useful for mixing one-off generic measure calls
     /// into a batch, or for inspecting [`AnalysisContext::stats`].
-    pub fn context(&self) -> &AnalysisContext<'a> {
+    pub fn context(&self) -> &AnalysisContext<'a, S> {
         &self.ctx
     }
 
@@ -153,7 +154,7 @@ impl<'a> BatchAnalyzer<'a> {
     fn parallel_map<T, F>(&self, trees: &[JoinTree], f: F) -> Vec<Result<T>>
     where
         T: Send,
-        F: for<'s> Fn(&'s BudgetedContext<'s, 'a>, &JoinTree) -> Result<T> + Sync,
+        F: for<'s> Fn(&'s BudgetedContext<'s, 'a, S>, &JoinTree) -> Result<T> + Sync,
     {
         let workers = self.threads.min(trees.len().max(1));
         let src = BudgetedContext {
@@ -188,19 +189,35 @@ impl<'a> BatchAnalyzer<'a> {
     }
 }
 
+impl<'a> BatchAnalyzer<'a, Relation> {
+    /// The flat relation being analysed (for batches over an
+    /// [`ajd_relation::ShardedRelation`], use [`BatchAnalyzer::source`]).
+    pub fn relation(&self) -> &'a Relation {
+        self.ctx.relation()
+    }
+}
+
 /// A [`GroupSource`] view of a shared [`AnalysisContext`] that computes
 /// cache misses under an explicit per-sweep kernel [`ThreadBudget`] —
 /// call-local state, so handing a budget share to one sweep's workers
 /// cannot disturb the context's standing budget or any concurrent sweep.
 /// Hits and memoized values are exactly the context's.
-struct BudgetedContext<'b, 'a> {
-    ctx: &'b AnalysisContext<'a>,
+struct BudgetedContext<'b, 'a, S = Relation> {
+    ctx: &'b AnalysisContext<'a, S>,
     budget: ThreadBudget,
 }
 
-impl GroupSource for BudgetedContext<'_, '_> {
-    fn relation(&self) -> &Relation {
-        self.ctx.relation()
+impl<S: GroupKernel> GroupSource for BudgetedContext<'_, '_, S> {
+    fn schema(&self) -> &[AttrId] {
+        self.ctx.source().schema()
+    }
+
+    fn num_rows(&self) -> usize {
+        self.ctx.source().num_rows()
+    }
+
+    fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        self.ctx.source().active_domain_size(attr)
     }
 
     fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {

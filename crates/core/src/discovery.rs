@@ -107,11 +107,10 @@ impl SchemaMiner {
 
     /// The Chow–Liu construction over any [`GroupSource`].
     fn chow_liu_tree_with<S: GroupSource>(&self, src: &S) -> Result<JoinTree> {
-        let r = src.relation();
-        if r.is_empty() {
+        if src.is_empty() {
             return Err(RelationError::EmptyInput("relation for schema discovery"));
         }
-        let attrs: Vec<AttrId> = r.attrs().iter().collect();
+        let attrs: Vec<AttrId> = src.attrs().iter().collect();
         let n = attrs.len();
         if n == 1 {
             return JoinTree::new(vec![AttrSet::singleton(attrs[0])], vec![]);
@@ -184,8 +183,11 @@ impl SchemaMiner {
 
     /// [`SchemaMiner::mine`] over a caller-supplied [`BatchAnalyzer`],
     /// sharing its cache (and its thread budget) with any other analysis of
-    /// the same relation.
-    pub fn mine_with(&self, batch: &BatchAnalyzer<'_>) -> Result<MinedSchema> {
+    /// the same source — flat or sharded.
+    pub fn mine_with<S: ajd_relation::GroupKernel>(
+        &self,
+        batch: &BatchAnalyzer<'_, S>,
+    ) -> Result<MinedSchema> {
         let ctx = batch.context();
         let mut tree = self.chow_liu_tree_with(&ctx)?;
         let mut j = j_measure(&ctx, &tree)?;

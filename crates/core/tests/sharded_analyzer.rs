@@ -1,0 +1,201 @@
+//! End-to-end equality of the full measure stack over sharded vs flat
+//! inputs.
+//!
+//! `Analyzer`, `BatchAnalyzer` and `SchemaMiner` are generic over
+//! [`ajd_relation::GroupKernel`]; these tests pin that an
+//! [`ajd_relation::ShardedRelation`] drops into all of them **unchanged**
+//! and produces bit-identical reports — every float compared by bit
+//! pattern, not tolerance — on a warehouse-style fixture (the
+//! `warehouse_schema` example's shape: orders × products × a dirty
+//! city → region hierarchy).
+//!
+//! The CI `sharded-matrix` job runs this suite under
+//! `AJD_TEST_SHARDS={1,3,8}` × `AJD_TEST_THREADS={1,4}`; the environment
+//! values extend the fixed shard-count / budget lists below.
+
+use ajd_core::{Analyzer, BatchAnalyzer, DiscoveryConfig, SchemaMiner};
+use ajd_jointree::JoinTree;
+use ajd_relation::{AttrId, AttrSet, Relation, ShardedRelation};
+
+/// Reads a positive integer from the environment (the CI matrix knobs).
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 3, 5];
+    if let Some(n) = env_usize("AJD_TEST_SHARDS") {
+        if n > 0 && !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+fn batch_threads() -> Vec<usize> {
+    let mut threads = vec![1usize, 4];
+    if let Some(n) = env_usize("AJD_TEST_THREADS") {
+        if n > 0 && !threads.contains(&n) {
+            threads.push(n);
+        }
+    }
+    threads
+}
+
+fn bag(ids: &[u32]) -> AttrSet {
+    AttrSet::from_ids(ids.iter().copied())
+}
+
+/// A denormalised warehouse "sales" relation over
+/// (order, product, city, region): region is a function of city except for
+/// a few dirty rows, products are sold independently of geography.
+/// Deterministic xorshift so every run (and every matrix cell) sees the
+/// same fixture.
+fn warehouse_fixture(rows: u32, dirty: u32) -> Relation {
+    let schema: Vec<AttrId> = (0..4usize).map(AttrId::from).collect();
+    let mut r = Relation::with_capacity(schema, rows as usize).unwrap();
+    let mut x = 0x2545_f491u32;
+    for o in 0..rows {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        let product = x % 8;
+        let city = (x >> 8) % 12;
+        let region = if o < dirty {
+            (city % 3 + 1) % 3
+        } else {
+            city % 3
+        };
+        r.push_row(&[o, product, city, region]).unwrap();
+    }
+    r
+}
+
+/// The candidate schemas the warehouse example weighs against each other.
+fn candidate_trees() -> Vec<JoinTree> {
+    vec![
+        // Snowflake: facts + city→region dimension.
+        JoinTree::new(vec![bag(&[0, 1, 2]), bag(&[2, 3])], vec![(0, 1)]).unwrap(),
+        // Star on the order key.
+        JoinTree::star(vec![bag(&[0, 1]), bag(&[0, 2]), bag(&[0, 3])]).unwrap(),
+        // Path through the hierarchy.
+        JoinTree::path(vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])]).unwrap(),
+        // The trivial single-bag (lossless) schema.
+        JoinTree::new(vec![bag(&[0, 1, 2, 3])], vec![]).unwrap(),
+    ]
+}
+
+/// Every field of two loss reports must agree bit for bit.
+fn assert_reports_identical(a: &ajd_core::LossReport, b: &ajd_core::LossReport, what: &str) {
+    assert_eq!(a.n, b.n, "{what}: n");
+    assert_eq!(a.distinct_n, b.distinct_n, "{what}: distinct_n");
+    assert_eq!(a.join_size, b.join_size, "{what}: join_size");
+    assert_eq!(a.spurious, b.spurious, "{what}: spurious");
+    assert_eq!(a.rho.to_bits(), b.rho.to_bits(), "{what}: rho");
+    assert_eq!(
+        a.j_measure.to_bits(),
+        b.j_measure.to_bits(),
+        "{what}: j_measure"
+    );
+    assert_eq!(a.kl_nats.to_bits(), b.kl_nats.to_bits(), "{what}: kl");
+    assert_eq!(
+        a.prop51_bound.to_bits(),
+        b.prop51_bound.to_bits(),
+        "{what}: prop51"
+    );
+    assert_eq!(a.per_mvd.len(), b.per_mvd.len(), "{what}: per_mvd length");
+    for (ma, mb) in a.per_mvd.iter().zip(&b.per_mvd) {
+        assert_eq!(
+            ma.cmi_nats.to_bits(),
+            mb.cmi_nats.to_bits(),
+            "{what}: per-MVD cmi"
+        );
+        assert_eq!(ma.rho.to_bits(), mb.rho.to_bits(), "{what}: per-MVD rho");
+        assert_eq!(ma.domain_sizes, mb.domain_sizes, "{what}: per-MVD domains");
+    }
+}
+
+#[test]
+fn analyzer_reports_identical_on_sharded_and_flat_warehouse() {
+    let flat = warehouse_fixture(2000, 25);
+    let flat_analyzer = Analyzer::new(&flat);
+    for n in shard_counts() {
+        let sharded: ShardedRelation = flat.clone().into_shards(n).unwrap();
+        let sharded_analyzer = Analyzer::new(&sharded);
+        for (i, tree) in candidate_trees().iter().enumerate() {
+            let a = flat_analyzer.analyze(tree).unwrap();
+            let b = sharded_analyzer.analyze(tree).unwrap();
+            assert_reports_identical(&a, &b, &format!("shards={n} tree={i}"));
+        }
+        // Scalar measures route through the same generic path.
+        let y = bag(&[2, 3]);
+        assert_eq!(
+            flat_analyzer.entropy(&y).unwrap().to_bits(),
+            sharded_analyzer.entropy(&y).unwrap().to_bits()
+        );
+        assert!(sharded_analyzer.cache_stats().hits > 0);
+    }
+}
+
+#[test]
+fn batch_analyzer_over_shards_matches_flat_at_every_thread_budget() {
+    let flat = warehouse_fixture(1500, 10);
+    let trees = candidate_trees();
+    let flat_reports = BatchAnalyzer::new(&flat)
+        .with_threads(1)
+        .analyze_all(&trees);
+    for n in shard_counts() {
+        let sharded = flat.clone().into_shards(n).unwrap();
+        for t in batch_threads() {
+            let batch = BatchAnalyzer::new(&sharded).with_threads(t);
+            let reports = batch.analyze_all(&trees);
+            for (i, (a, b)) in flat_reports.iter().zip(&reports).enumerate() {
+                assert_reports_identical(
+                    a.as_ref().unwrap(),
+                    b.as_ref().unwrap(),
+                    &format!("shards={n} threads={t} tree={i}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mining_a_sharded_warehouse_finds_the_flat_schema() {
+    let flat = warehouse_fixture(800, 5);
+    let config = DiscoveryConfig {
+        j_threshold: 0.05,
+        ..DiscoveryConfig::default()
+    };
+    let flat_mined = SchemaMiner::new(config.clone()).mine(&flat).unwrap();
+    for n in shard_counts() {
+        let sharded = flat.clone().into_shards(n).unwrap();
+        let mined = SchemaMiner::new(config.clone())
+            .mine_with(&BatchAnalyzer::new(&sharded))
+            .unwrap();
+        assert_eq!(
+            mined.j_measure.to_bits(),
+            flat_mined.j_measure.to_bits(),
+            "shards={n}: mined J differs"
+        );
+        assert_eq!(
+            mined.tree.bags(),
+            flat_mined.tree.bags(),
+            "shards={n}: mined schema differs"
+        );
+    }
+}
+
+#[test]
+fn sharded_analyzer_via_analyzer_mine_matches_flat() {
+    let flat = warehouse_fixture(600, 3);
+    let sharded = flat.clone().into_shards(4).unwrap();
+    let a = Analyzer::new(&flat)
+        .mine(DiscoveryConfig::default())
+        .unwrap();
+    let b = Analyzer::new(&sharded)
+        .mine(DiscoveryConfig::default())
+        .unwrap();
+    assert_eq!(a.j_measure.to_bits(), b.j_measure.to_bits());
+    assert_eq!(a.tree.bags(), b.tree.bags());
+}

@@ -59,36 +59,35 @@ impl TreeFactoredDistribution {
     /// the J-measure of the tree needs, so computing both costs one grouping
     /// pass per attribute set.
     pub fn new<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<Self> {
-        let r = src.relation();
-        if r.is_empty() {
+        if src.is_empty() {
             return Err(RelationError::EmptyInput(
                 "relation for tree-factorised distribution",
             ));
         }
-        if tree.attributes() != r.attrs() {
+        if tree.attributes() != src.attrs() {
             return Err(RelationError::SchemaMismatch {
                 detail: format!(
                     "join tree attributes {} differ from relation attributes {}",
                     tree.attributes(),
-                    r.attrs()
+                    src.attrs()
                 ),
             });
         }
         let mut bag_counts = Vec::with_capacity(tree.num_nodes());
         for bag in tree.bags() {
-            let pos = r.attr_positions(bag)?;
+            let pos = src.attr_positions(bag)?;
             let counts = src.group_counts(bag)?;
             bag_counts.push((pos, counts));
         }
         let mut sep_counts = Vec::with_capacity(tree.num_edges());
         for e in 0..tree.num_edges() {
             let sep = tree.separator(e);
-            let pos = r.attr_positions(&sep)?;
+            let pos = src.attr_positions(&sep)?;
             let counts = src.group_counts(&sep)?;
             sep_counts.push((pos, counts));
         }
         Ok(TreeFactoredDistribution {
-            n: r.len() as u64,
+            n: src.num_rows() as u64,
             bag_counts,
             sep_counts,
         })
@@ -144,15 +143,15 @@ pub fn kl_divergence_to_tree<S: GroupSource>(src: &S, tree: &JoinTree) -> Result
 /// Over a caching [`GroupSource`] the full-relation group counts (also the
 /// `H(Ω)` marginal) and every bag/separator marginal come from the cache.
 pub fn kl_report<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<KlReport> {
-    let r = src.relation();
     let factored = TreeFactoredDistribution::new(src, tree)?;
-    let full = src.group_counts(&r.attrs())?;
-    let n = r.len() as f64;
+    let attrs = src.attrs();
+    let full = src.group_counts(&attrs)?;
+    let n = src.num_rows() as f64;
     let mut kl = 0.0f64;
     // The grouped keys are in ascending-attribute order; log_prob expects the
     // source column order, so reorder via the positions of the grouped attrs.
-    let positions = r.attr_positions(&r.attrs())?;
-    let mut reordered = vec![0u32; r.arity()];
+    let positions = src.attr_positions(&attrs)?;
+    let mut reordered = vec![0u32; src.arity()];
     for (key, count) in full.iter() {
         // `key[i]` is the value of the i-th attribute in ascending order,
         // which lives at column `positions[i]` of the source relation.

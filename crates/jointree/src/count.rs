@@ -38,9 +38,9 @@ use ajd_relation::{AttrSet, GroupSource, Relation, RelationError, Result};
 /// Error for a join size that exceeds `u128`.
 const OVERFLOW: RelationError = RelationError::CountOverflow("acyclic join size exceeds u128");
 
-fn check_tree_covered(r: &Relation, tree: &JoinTree) -> Result<()> {
+fn check_tree_covered(relation_attrs: &AttrSet, tree: &JoinTree) -> Result<()> {
     let tree_attrs = tree.attributes();
-    if !tree_attrs.is_subset_of(&r.attrs()) {
+    if !tree_attrs.is_subset_of(relation_attrs) {
         return Err(RelationError::SchemaMismatch {
             detail: format!(
                 "join tree attributes {tree_attrs} are not covered by the relation schema"
@@ -63,8 +63,7 @@ fn check_tree_covered(r: &Relation, tree: &JoinTree) -> Result<()> {
 /// Returns [`RelationError::CountOverflow`] if the exact join size exceeds
 /// `u128`.
 pub fn count_acyclic_join<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<u128> {
-    let r = src.relation();
-    check_tree_covered(r, tree)?;
+    check_tree_covered(&src.attrs(), tree)?;
 
     let bag_ids: Vec<_> = tree
         .bags()
@@ -143,8 +142,7 @@ pub fn count_acyclic_join<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<u1
 /// set-semantic, so the join always contains that projection and the loss
 /// is never negative, duplicates or not.
 pub fn loss_acyclic<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<f64> {
-    let r = src.relation();
-    if r.is_empty() {
+    if src.is_empty() {
         return Err(RelationError::EmptyInput("relation for loss computation"));
     }
     let join_size = count_acyclic_join(src, tree)? as f64;

@@ -123,7 +123,7 @@ impl Mvd {
     /// the MVD fully covers).  The join always contains that projection, so
     /// the loss is never negative, duplicates or not.
     pub fn loss<S: GroupSource>(&self, src: &S) -> Result<f64> {
-        if src.relation().is_empty() {
+        if src.is_empty() {
             return Err(RelationError::EmptyInput("relation for MVD loss"));
         }
         let join = self.join_size(src)? as f64;

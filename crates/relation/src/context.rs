@@ -31,8 +31,8 @@
 //!   context's [`ThreadBudget`] (the chunked parallel kernel), which keeps
 //!   results bit-identical to the serial path at any budget.
 
-use crate::attr::AttrSet;
-use crate::error::Result;
+use crate::attr::{AttrId, AttrSet};
+use crate::error::{RelationError, Result};
 use crate::hash::{FxHashMap, FxHasher};
 use crate::parallel::ThreadBudget;
 use crate::relation::{GroupCounts, GroupIds, Relation};
@@ -44,13 +44,27 @@ use std::sync::{Arc, OnceLock};
 /// The grouping capability every measure is written against.
 ///
 /// Functions in `ajd-info`, `ajd-jointree` and `ajd-core` are generic over a
-/// `GroupSource`, so one implementation serves both the convenience path
-/// (`entropy(&r, …)` — compute from scratch) and the shared path
-/// (`entropy(&ctx, …)` or `Analyzer` methods — answer from the cache).  This
-/// replaces the former `foo` / `foo_ctx` function pairs.
+/// `GroupSource`, so one implementation serves the convenience path
+/// (`entropy(&r, …)` — compute from scratch), the shared path
+/// (`entropy(&ctx, …)` or `Analyzer` methods — answer from the cache) *and*
+/// the sharded path (`entropy(&sharded, …)` — shard-local grouping with a
+/// shard-order merge).  This replaces the former `foo` / `foo_ctx` function
+/// pairs.
+///
+/// A source is *not* required to hold its rows in one flat buffer — a
+/// [`crate::ShardedRelation`] has no single backing [`Relation`] — so the
+/// trait exposes the schema-level facts the measure stack needs (schema,
+/// row count, active domain sizes) instead of a backing-relation accessor.
 pub trait GroupSource {
-    /// The relation the groupings are taken over.
-    fn relation(&self) -> &Relation;
+    /// The column order of the source (its schema).
+    fn schema(&self) -> &[AttrId];
+
+    /// Number of tuples `N = |R|` (with multiplicity for multisets).
+    fn num_rows(&self) -> usize;
+
+    /// Size of the active domain of an attribute: the number of distinct
+    /// values it takes in the source (`d_A = |Π_A(R)|` in the paper).
+    fn active_domain_size(&self, attr: AttrId) -> Result<usize>;
 
     /// Multiplicities of the distinct `attrs`-projections of the relation's
     /// tuples (see [`Relation::group_counts`]).
@@ -61,11 +75,68 @@ pub trait GroupSource {
 
     /// Set-semantic projection `Π_attrs(R)`.
     fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>>;
+
+    /// The attribute set of the source (schema as a set).
+    fn attrs(&self) -> AttrSet {
+        AttrSet::from_slice(self.schema())
+    }
+
+    /// Number of attributes per tuple.
+    fn arity(&self) -> usize {
+        self.schema().len()
+    }
+
+    /// `true` if the source holds no tuples.
+    fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// Positions (column indices) of each attribute of `attrs` in the
+    /// source's column order, in the order of `attrs` (ascending id).
+    fn attr_positions(&self, attrs: &AttrSet) -> Result<Vec<usize>> {
+        let schema = self.schema();
+        attrs
+            .iter()
+            .map(|a| {
+                schema
+                    .iter()
+                    .position(|&b| b == a)
+                    .ok_or(RelationError::UnknownAttribute(a))
+            })
+            .collect()
+    }
+}
+
+/// The budget-aware grouping kernel a memoizing [`AnalysisContext`] computes
+/// its cache misses through.
+///
+/// Implemented by the two storage layouts of the workspace — the flat
+/// [`Relation`] (chunked row-scan kernel) and the [`crate::ShardedRelation`]
+/// (shard-local grouping + shard-order merge).  Both are **bit-identical**
+/// to the serial flat kernel at any budget, so a context over either layout
+/// serves the same values.
+pub trait GroupKernel: GroupSource + Sync {
+    /// [`GroupSource::group_counts`] computed under a [`ThreadBudget`].
+    fn group_counts_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupCounts>;
+
+    /// [`GroupSource::group_ids`] computed under a [`ThreadBudget`].
+    fn group_ids_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupIds>;
+
+    /// [`GroupSource::projection`] computed under a [`ThreadBudget`].
+    fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation>;
 }
 
 impl GroupSource for Relation {
-    fn relation(&self) -> &Relation {
-        self
+    fn schema(&self) -> &[AttrId] {
+        Relation::schema(self)
+    }
+
+    fn num_rows(&self) -> usize {
+        self.len()
+    }
+
+    fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        Relation::active_domain_size(self, attr)
     }
 
     fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
@@ -81,9 +152,31 @@ impl GroupSource for Relation {
     }
 }
 
+impl GroupKernel for Relation {
+    fn group_counts_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupCounts> {
+        Relation::group_counts_with(self, attrs, budget)
+    }
+
+    fn group_ids_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupIds> {
+        Relation::group_ids_with(self, attrs, budget)
+    }
+
+    fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
+        Relation::project_with(self, attrs, budget)
+    }
+}
+
 impl<S: GroupSource + ?Sized> GroupSource for &S {
-    fn relation(&self) -> &Relation {
-        (**self).relation()
+    fn schema(&self) -> &[AttrId] {
+        (**self).schema()
+    }
+
+    fn num_rows(&self) -> usize {
+        (**self).num_rows()
+    }
+
+    fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        (**self).active_domain_size(attr)
     }
 
     fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
@@ -204,8 +297,8 @@ impl<T> StripedCache<T> {
 /// assert_eq!(ctx.stats().hits, 1);
 /// ```
 #[derive(Debug)]
-pub struct AnalysisContext<'a> {
-    relation: &'a Relation,
+pub struct AnalysisContext<'a, S: ?Sized = Relation> {
+    source: &'a S,
     group_counts: StripedCache<GroupCounts>,
     group_ids: StripedCache<GroupIds>,
     projections: StripedCache<Relation>,
@@ -216,18 +309,18 @@ pub struct AnalysisContext<'a> {
     threads: AtomicUsize,
 }
 
-impl<'a> AnalysisContext<'a> {
-    /// Creates an empty context over `r` with the default
+impl<'a, S: GroupKernel + ?Sized> AnalysisContext<'a, S> {
+    /// Creates an empty context over `src` with the default
     /// [`ThreadBudget`] (the machine's available parallelism).
-    pub fn new(r: &'a Relation) -> Self {
-        Self::with_thread_budget(r, ThreadBudget::default())
+    pub fn new(src: &'a S) -> Self {
+        Self::with_thread_budget(src, ThreadBudget::default())
     }
 
-    /// Creates an empty context over `r` that computes misses under the
+    /// Creates an empty context over `src` that computes misses under the
     /// given [`ThreadBudget`].
-    pub fn with_thread_budget(r: &'a Relation, budget: ThreadBudget) -> Self {
+    pub fn with_thread_budget(src: &'a S, budget: ThreadBudget) -> Self {
         AnalysisContext {
-            relation: r,
+            source: src,
             group_counts: StripedCache::new(),
             group_ids: StripedCache::new(),
             projections: StripedCache::new(),
@@ -237,9 +330,10 @@ impl<'a> AnalysisContext<'a> {
         }
     }
 
-    /// The relation this context memoizes computations over.
-    pub fn relation(&self) -> &'a Relation {
-        self.relation
+    /// The grouping source (flat [`Relation`] or
+    /// [`crate::ShardedRelation`]) this context memoizes computations over.
+    pub fn source(&self) -> &'a S {
+        self.source
     }
 
     /// The thread budget used to compute cache misses.
@@ -333,7 +427,7 @@ impl<'a> AnalysisContext<'a> {
         &self,
         cache: &StripedCache<T>,
         attrs: &AttrSet,
-        compute: impl FnOnce(&Relation, &AttrSet) -> Result<Arc<T>>,
+        compute: impl FnOnce(&S, &AttrSet) -> Result<Arc<T>>,
     ) -> Result<Arc<T>> {
         let shard = cache.shard(attrs);
         let slot: Slot<T> = {
@@ -353,7 +447,7 @@ impl<'a> AnalysisContext<'a> {
         let result = slot
             .get_or_init(|| {
                 led = true;
-                let out = compute(self.relation, attrs);
+                let out = compute(self.source, attrs);
                 if out.is_ok() {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                 }
@@ -378,9 +472,26 @@ impl<'a> AnalysisContext<'a> {
     }
 }
 
-impl GroupSource for AnalysisContext<'_> {
-    fn relation(&self) -> &Relation {
-        self.relation
+impl<'a> AnalysisContext<'a, Relation> {
+    /// The flat relation this context memoizes computations over (for
+    /// contexts over a [`crate::ShardedRelation`], use
+    /// [`AnalysisContext::source`]).
+    pub fn relation(&self) -> &'a Relation {
+        self.source
+    }
+}
+
+impl<S: GroupKernel + ?Sized> GroupSource for AnalysisContext<'_, S> {
+    fn schema(&self) -> &[AttrId] {
+        self.source.schema()
+    }
+
+    fn num_rows(&self) -> usize {
+        self.source.num_rows()
+    }
+
+    fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        self.source.active_domain_size(attr)
     }
 
     fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
@@ -519,7 +630,8 @@ mod tests {
         assert_eq!(groups_via(&r, &attrs), groups_via(&ctx, &attrs));
         // Blanket impl: references to sources are sources too.
         assert_eq!(groups_via(&&r, &attrs), groups_via(&&ctx, &attrs));
-        assert_eq!(GroupSource::relation(&ctx).len(), r.len());
+        assert_eq!(GroupSource::num_rows(&ctx), r.len());
+        assert_eq!(GroupSource::schema(&ctx), r.schema());
     }
 
     #[test]

@@ -7,8 +7,20 @@
 //! [`read_delimited_from`] does the same for a file on disk, **streaming**
 //! line by line through a `BufReader` straight into [`Relation::push_row`]
 //! so large datasets never need to be slurped into one string first.
-//! [`write_delimited`] renders a relation back to text using a catalog, and
-//! [`write_delimited_to`] streams it to a file.
+//! [`read_delimited_sharded`] streams the same way but cuts the rows into a
+//! [`ShardedRelation`] under a [`ShardPolicy`], so an input larger than one
+//! flat buffer should hold lands directly in shard-local storage — no flat
+//! row buffer is ever built (`distinct` reads are the one exception: global
+//! dedup keeps an in-memory set of the distinct rows, see
+//! [`read_delimited_sharded`]).  [`write_delimited`] renders a relation
+//! back to text using a catalog, and [`write_delimited_to`] streams it to a
+//! file.
+//!
+//! Degenerate inputs are well-formed, not errors: a header-only input
+//! yields the empty relation over the header's schema, and an entirely
+//! empty input yields the empty relation over the empty schema — the same
+//! answers for the flat and the sharded reader (pinned by regression
+//! tests).
 //!
 //! The parser is deliberately small: one character delimiter, no quoting, no
 //! escaping — sufficient for the synthetic and benchmark datasets used here.
@@ -16,7 +28,9 @@
 
 use crate::catalog::Catalog;
 use crate::error::{RelationError, Result};
-use crate::relation::Relation;
+use crate::hash::FxHashSet;
+use crate::relation::{Relation, Value};
+use crate::shard::ShardedRelation;
 use std::borrow::Cow;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -45,6 +59,154 @@ impl Default for ReadOptions {
             distinct: false,
             trim: true,
         }
+    }
+}
+
+/// How [`read_delimited_sharded`] cuts the streamed rows into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Cut a new shard after every `n` ingested rows (clamped to at least
+    /// one row per shard; the final shard holds the remainder).  With
+    /// `distinct` reads, only *kept* rows count towards the quota.
+    RowCount(usize),
+}
+
+impl ShardPolicy {
+    /// Rows each full shard holds under this policy.
+    fn rows_per_shard(self) -> usize {
+        match self {
+            ShardPolicy::RowCount(n) => n.max(1),
+        }
+    }
+}
+
+/// Where encoded rows land: the flat and sharded readers share the whole
+/// line-splitting / catalog-encoding pipeline of [`read_lines`] and differ
+/// only in this sink.
+trait RowSink {
+    /// The finished product ([`Relation`] or [`ShardedRelation`]).
+    type Out;
+
+    /// Called exactly once, as soon as the schema (header or positional
+    /// names) is known — also for inputs with no data rows, so degenerate
+    /// inputs still produce a well-formed empty result.
+    fn init(&mut self, schema: Vec<crate::AttrId>) -> Result<()>;
+
+    /// One encoded data row.
+    fn push(&mut self, row: &[Value]) -> Result<()>;
+
+    /// Finishes the build (flushing any partial shard).
+    fn finish(self) -> Result<Self::Out>;
+}
+
+/// Sink of the flat readers: one [`Relation`], optional post-hoc dedup.
+struct FlatSink {
+    distinct: bool,
+    relation: Option<Relation>,
+}
+
+impl FlatSink {
+    fn new(distinct: bool) -> Self {
+        FlatSink {
+            distinct,
+            relation: None,
+        }
+    }
+}
+
+impl RowSink for FlatSink {
+    type Out = Relation;
+
+    fn init(&mut self, schema: Vec<crate::AttrId>) -> Result<()> {
+        self.relation = Some(Relation::new(schema)?);
+        Ok(())
+    }
+
+    fn push(&mut self, row: &[Value]) -> Result<()> {
+        self.relation
+            .as_mut()
+            .expect("init runs before the first row")
+            .push_row(row)
+    }
+
+    fn finish(self) -> Result<Relation> {
+        let relation = self.relation.expect("init runs even for empty input");
+        Ok(if self.distinct {
+            relation.distinct()
+        } else {
+            relation
+        })
+    }
+}
+
+/// Sink of the sharded reader: rows accumulate in a current shard that is
+/// sealed into the [`ShardedRelation`] whenever the policy quota fills.
+/// `distinct` dedups **streaming** (first occurrence kept, like the flat
+/// reader's post-hoc dedup) so duplicate rows never inflate a shard.
+struct ShardedSink {
+    distinct: bool,
+    rows_per_shard: usize,
+    schema: Vec<crate::AttrId>,
+    seen: FxHashSet<Box<[Value]>>,
+    current: Option<Relation>,
+    out: Option<ShardedRelation>,
+}
+
+impl ShardedSink {
+    fn new(distinct: bool, policy: ShardPolicy) -> Self {
+        ShardedSink {
+            distinct,
+            rows_per_shard: policy.rows_per_shard(),
+            schema: Vec::new(),
+            seen: FxHashSet::default(),
+            current: None,
+            out: None,
+        }
+    }
+}
+
+impl RowSink for ShardedSink {
+    type Out = ShardedRelation;
+
+    fn init(&mut self, schema: Vec<crate::AttrId>) -> Result<()> {
+        self.out = Some(ShardedRelation::new(schema.clone())?);
+        self.schema = schema;
+        Ok(())
+    }
+
+    fn push(&mut self, row: &[Value]) -> Result<()> {
+        if self.distinct {
+            // Probe before boxing: a duplicate row (the common case on
+            // highly-duplicated streams) must not cost a heap allocation.
+            if self.seen.contains(row) {
+                return Ok(());
+            }
+            self.seen.insert(row.to_vec().into_boxed_slice());
+        }
+        if self.current.is_none() {
+            self.current = Some(Relation::with_capacity(
+                self.schema.clone(),
+                self.rows_per_shard,
+            )?);
+        }
+        let current = self.current.as_mut().expect("just installed above");
+        current.push_row(row)?;
+        if current.len() >= self.rows_per_shard {
+            let full = self.current.take().expect("just pushed into it");
+            self.out
+                .as_mut()
+                .expect("init runs before the first row")
+                .append_shard(full)?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<ShardedRelation> {
+        let mut out = self.out.expect("init runs even for empty input");
+        if let Some(tail) = self.current.take() {
+            out.append_shard(tail)?;
+        }
+        Ok(out)
     }
 }
 
@@ -90,16 +252,23 @@ where
     })
 }
 
-/// The streaming core shared by the in-memory and file-based readers: pulls
-/// lines one at a time, builds the catalog from the first non-empty line (or
-/// positional names), and pushes every data row straight into the relation.
+/// The streaming core shared by every reader (in-memory, file-based, flat,
+/// sharded): pulls lines one at a time, builds the catalog from the first
+/// non-empty line (or positional names), and pushes every encoded data row
+/// straight into the [`RowSink`].
+///
+/// Inputs with no data rows are not errors: a header-only input initialises
+/// the sink with the header's schema, and an entirely empty input
+/// initialises it with the empty schema — either way the sink finishes into
+/// a well-formed empty relation.
 ///
 /// Lines arrive as `Cow<str>` so the in-memory reader lends borrowed
 /// slices (no per-line copy) while the file reader hands over the owned
 /// `String`s its `BufReader` produces.
-fn read_lines<'s, I>(lines: I, options: ReadOptions) -> Result<(Catalog, Relation)>
+fn read_lines<'s, I, K>(lines: I, options: ReadOptions, mut sink: K) -> Result<(Catalog, K::Out)>
 where
     I: Iterator<Item = Result<Cow<'s, str>>>,
+    K: RowSink,
 {
     let mut lines = strip_final_carriage_return(lines).filter(|l| match l {
         Ok(l) => !l.trim().is_empty(),
@@ -118,10 +287,12 @@ where
             .collect()
     };
 
-    let first = lines
-        .next()
-        .transpose()?
-        .ok_or(RelationError::EmptyInput("delimited text with no rows"))?;
+    let Some(first) = lines.next().transpose()? else {
+        // No lines at all: nothing declares a schema, so the well-formed
+        // result is the empty relation over the empty schema.
+        sink.init(Vec::new())?;
+        return Ok((Catalog::new(), sink.finish()?));
+    };
     let first_fields = split(&first);
     if first_fields.iter().any(String::is_empty) {
         return Err(RelationError::EmptyInput("empty field in first row"));
@@ -143,8 +314,8 @@ where
 
     let arity = catalog.arity();
     let schema: Vec<crate::AttrId> = (0..arity).map(crate::AttrId::from).collect();
-    let mut relation = Relation::new(schema)?;
-    let push = |catalog: &mut Catalog, relation: &mut Relation, fields: &[String]| -> Result<()> {
+    sink.init(schema)?;
+    let push = |catalog: &mut Catalog, sink: &mut K, fields: &[String]| -> Result<()> {
         if fields.len() != arity {
             return Err(RelationError::ArityMismatch {
                 expected: arity,
@@ -153,31 +324,32 @@ where
         }
         let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
         let row = catalog.encode_row(&refs)?;
-        relation.push_row(&row)
+        sink.push(&row)
     };
 
     if let Some(fields) = pending_first_row.take() {
-        push(&mut catalog, &mut relation, &fields)?;
+        push(&mut catalog, &mut sink, &fields)?;
     }
     for line in lines {
         let fields = split(&line?);
-        push(&mut catalog, &mut relation, &fields)?;
+        push(&mut catalog, &mut sink, &fields)?;
     }
 
-    let relation = if options.distinct {
-        relation.distinct()
-    } else {
-        relation
-    };
-    Ok((catalog, relation))
+    Ok((catalog, sink.finish()?))
 }
 
 /// Parses delimited text into a catalog and a dictionary-encoded relation.
 ///
 /// Empty lines are skipped.  Every data row must have exactly as many fields
-/// as the header (or as the first data row when there is no header).
+/// as the header (or as the first data row when there is no header).  A
+/// header-only input yields the empty relation over the header's schema; an
+/// entirely empty input yields the empty relation over the empty schema.
 pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Relation)> {
-    read_lines(text.lines().map(|l| Ok(Cow::Borrowed(l))), options)
+    read_lines(
+        text.lines().map(|l| Ok(Cow::Borrowed(l))),
+        options,
+        FlatSink::new(options.distinct),
+    )
 }
 
 /// Reads a delimited file into a catalog and a dictionary-encoded relation,
@@ -185,7 +357,8 @@ pub fn read_delimited(text: &str, options: ReadOptions) -> Result<(Catalog, Rela
 /// memory as a whole).
 ///
 /// I/O failures surface as [`RelationError::Io`]; parse failures are the
-/// same errors [`read_delimited`] produces.
+/// same errors [`read_delimited`] produces, and degenerate inputs (empty
+/// file, header-only file) yield the same well-formed empty relations.
 pub fn read_delimited_from<P: AsRef<Path>>(
     path: P,
     options: ReadOptions,
@@ -198,6 +371,41 @@ pub fn read_delimited_from<P: AsRef<Path>>(
             .lines()
             .map(|l| l.map(Cow::Owned).map_err(|e| io_error(path, e))),
         options,
+        FlatSink::new(options.distinct),
+    )
+}
+
+/// Reads a delimited file straight into a [`ShardedRelation`], streaming
+/// line by line and cutting shards under the given [`ShardPolicy`] — the
+/// ingestion path for inputs that should never be materialised as one flat
+/// buffer.
+///
+/// The result is row-for-row (and dictionary-for-dictionary) equivalent to
+/// [`read_delimited_from`] followed by [`Relation::into_shards`]: collecting
+/// the shards reproduces the flat read exactly, and every grouping over the
+/// sharded relation is bit-identical to the flat one.
+///
+/// `options.distinct` dedups during the stream (first occurrence kept), so
+/// only kept rows count towards the shard quota.  Global dedup is
+/// inherently global state: the reader keeps one in-memory set of the
+/// distinct rows seen so far (O(distinct rows × arity)).  For streams whose
+/// *distinct* tuples exceed memory, read with `distinct: false` and dedup
+/// analytically instead ([`crate::ShardedRelation::distinct`], or grouping,
+/// which never materialises duplicate rows).
+pub fn read_delimited_sharded<P: AsRef<Path>>(
+    path: P,
+    options: ReadOptions,
+    policy: ShardPolicy,
+) -> Result<(Catalog, ShardedRelation)> {
+    let path = path.as_ref();
+    let file = File::open(path).map_err(|e| io_error(path, e))?;
+    let reader = BufReader::new(file);
+    read_lines(
+        reader
+            .lines()
+            .map(|l| l.map(Cow::Owned).map_err(|e| io_error(path, e))),
+        options,
+        ShardedSink::new(options.distinct, policy),
     )
 }
 
@@ -328,10 +536,140 @@ paris,france,europe
         assert!(read_delimited(text, ReadOptions::default()).is_err());
     }
 
+    /// Regression (degenerate inputs): an entirely empty input — no header,
+    /// no rows — is a well-formed empty relation over the empty schema, not
+    /// an error, for the in-memory, file and sharded readers alike.
     #[test]
-    fn empty_input_is_rejected() {
-        assert!(read_delimited("", ReadOptions::default()).is_err());
-        assert!(read_delimited("\n\n", ReadOptions::default()).is_err());
+    fn empty_input_yields_empty_relation() {
+        for text in ["", "\n\n", "   \n"] {
+            let (catalog, r) = read_delimited(text, ReadOptions::default()).unwrap();
+            assert_eq!(catalog.arity(), 0);
+            assert_eq!(r.arity(), 0);
+            assert!(r.is_empty());
+
+            let path = temp_path("empty_input");
+            std::fs::write(&path, text).unwrap();
+            let (catalog_f, r_f) = read_delimited_from(&path, ReadOptions::default()).unwrap();
+            assert_eq!(catalog_f.arity(), 0);
+            assert!(r_f.is_empty());
+            let (catalog_s, s) =
+                read_delimited_sharded(&path, ReadOptions::default(), ShardPolicy::RowCount(2))
+                    .unwrap();
+            assert_eq!(catalog_s.arity(), 0);
+            assert!(s.is_empty());
+            assert_eq!(s.num_shards(), 0);
+            assert!(s.collect().unwrap().is_empty());
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// Regression (degenerate inputs): a header-only input declares a schema
+    /// and yields the empty relation **over that schema** — again for all
+    /// three readers, with or without `distinct`.
+    #[test]
+    fn header_only_input_yields_empty_relation_over_the_declared_schema() {
+        for text in ["city,country\n", "city,country", "city,country\r\n\n"] {
+            for distinct in [false, true] {
+                let options = ReadOptions {
+                    distinct,
+                    ..ReadOptions::default()
+                };
+                let (catalog, r) = read_delimited(text, options).unwrap();
+                assert_eq!(catalog.arity(), 2);
+                assert_eq!(catalog.attr("country").unwrap(), AttrId(1));
+                assert_eq!(r.arity(), 2);
+                assert!(r.is_empty());
+
+                let path = temp_path("header_only");
+                std::fs::write(&path, text).unwrap();
+                let (catalog_f, r_f) = read_delimited_from(&path, options).unwrap();
+                assert_eq!(catalog_f.arity(), 2);
+                assert!(r_f.is_empty());
+                assert_eq!(r_f.arity(), 2);
+                let (catalog_s, s) =
+                    read_delimited_sharded(&path, options, ShardPolicy::RowCount(3)).unwrap();
+                assert_eq!(catalog_s.arity(), 2);
+                assert!(s.is_empty());
+                assert_eq!(s.arity(), 2);
+                assert_eq!(s.num_shards(), 0);
+                let back = s.collect().unwrap();
+                assert!(back.is_empty());
+                assert_eq!(back.schema(), r_f.schema());
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    /// The sharded reader is equivalent to the flat reader: collecting the
+    /// shards reproduces the flat read byte for byte (rows, schema and
+    /// dictionary code columns), at every shard size.
+    #[test]
+    fn sharded_reader_matches_flat_reader() {
+        let path = temp_path("sharded_reader");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let (flat_catalog, flat) = read_delimited_from(&path, ReadOptions::default()).unwrap();
+        for rows_per_shard in [1usize, 2, 3, 100] {
+            let (catalog, sharded) = read_delimited_sharded(
+                &path,
+                ReadOptions::default(),
+                ShardPolicy::RowCount(rows_per_shard),
+            )
+            .unwrap();
+            assert_eq!(catalog.arity(), flat_catalog.arity());
+            assert_eq!(sharded.len(), flat.len());
+            assert_eq!(sharded.num_shards(), flat.len().div_ceil(rows_per_shard));
+            let back = sharded.collect().unwrap();
+            assert_eq!(back.schema(), flat.schema());
+            for (a, b) in back.iter_rows().zip(flat.iter_rows()) {
+                assert_eq!(a, b);
+            }
+            for &attr in flat.schema() {
+                assert_eq!(
+                    back.column_codes(attr).unwrap(),
+                    flat.column_codes(attr).unwrap()
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// `distinct` reads dedup identically in the flat and sharded readers
+    /// (first occurrence kept), and only kept rows fill shard quotas.
+    #[test]
+    fn sharded_distinct_read_matches_flat_distinct_read() {
+        let path = temp_path("sharded_distinct");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let options = ReadOptions {
+            distinct: true,
+            ..ReadOptions::default()
+        };
+        let (_c, flat) = read_delimited_from(&path, options).unwrap();
+        assert_eq!(flat.len(), 3);
+        let (_c2, sharded) =
+            read_delimited_sharded(&path, options, ShardPolicy::RowCount(2)).unwrap();
+        assert_eq!(sharded.len(), 3);
+        assert!(sharded.is_set());
+        // 3 kept rows at 2 rows/shard → 2 shards, not 2 full ones.
+        assert_eq!(sharded.num_shards(), 2);
+        let back = sharded.collect().unwrap();
+        for (a, b) in back.iter_rows().zip(flat.iter_rows()) {
+            assert_eq!(a, b);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A zero-row shard quota is clamped to one row per shard instead of
+    /// looping forever or panicking.
+    #[test]
+    fn zero_row_shard_policy_is_clamped() {
+        let path = temp_path("zero_policy");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let (_c, sharded) =
+            read_delimited_sharded(&path, ReadOptions::default(), ShardPolicy::RowCount(0))
+                .unwrap();
+        assert_eq!(sharded.len(), 4);
+        assert_eq!(sharded.num_shards(), 4);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

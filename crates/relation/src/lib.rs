@@ -33,6 +33,12 @@
 //!   are **bit-identical** to serial ones; [`AnalysisContext`] computes its
 //!   cache misses under the same budget with per-key single-flight (at most
 //!   one thread ever computes a given attribute set).
+//! * [`ShardedRelation`] — an ordered list of self-contained
+//!   [`RelationShard`]s (each a columnar [`Relation`] with its own
+//!   dictionaries) that groups shard-locally and merges per-shard group
+//!   tables in shard order, so every grouping — and therefore every measure
+//!   in the workspace — is **bit-identical** to the flat relation at any
+//!   shard count and any thread budget.
 //! * [`hash`] — a small Fx-style hasher used for all residual hashing (the
 //!   default SipHash is needlessly slow for short integer keys).
 //!
@@ -73,13 +79,16 @@ pub mod io;
 pub mod join;
 pub mod parallel;
 pub mod relation;
+pub mod shard;
 
 pub use attr::{AttrId, AttrSet};
 pub use catalog::{Catalog, ValueDict};
-pub use context::{AnalysisContext, CacheStats, GroupSource};
+pub use context::{AnalysisContext, CacheStats, GroupKernel, GroupSource};
 pub use error::{RelationError, Result};
 pub use io::{
-    read_delimited, read_delimited_from, write_delimited, write_delimited_to, ReadOptions,
+    read_delimited, read_delimited_from, read_delimited_sharded, write_delimited,
+    write_delimited_to, ReadOptions, ShardPolicy,
 };
 pub use parallel::ThreadBudget;
 pub use relation::{GroupCounts, GroupIds, Relation, RowIter, Value};
+pub use shard::{RelationShard, ShardedRelation};

@@ -159,6 +159,29 @@ impl GroupIds {
             .collect()
     }
 
+    /// Assembles a grouping from its parts (used by the sharded relation's
+    /// shard-order merge; the flat kernels build theirs inline).
+    pub(crate) fn from_parts(
+        attrs: AttrSet,
+        row_ids: Vec<u32>,
+        counts: Vec<u64>,
+        group_codes: Vec<u32>,
+    ) -> Self {
+        GroupIds {
+            attrs,
+            row_ids,
+            counts,
+            group_codes,
+        }
+    }
+
+    /// Decomposes the grouping into `(row_ids, counts, group_codes)` — the
+    /// sharded merge consumes per-shard groupings wholesale instead of
+    /// copying their vectors.
+    pub(crate) fn into_parts(self) -> (Vec<u32>, Vec<u64>, Vec<u32>) {
+        (self.row_ids, self.counts, self.group_codes)
+    }
+
     /// Maps every group id of this (finer) grouping to the id of the group
     /// it belongs to in a *coarser* grouping of the same relation
     /// (`coarser.attrs() ⊆ self.attrs()`).
@@ -261,6 +284,27 @@ impl GroupCounts {
             .get_mut()
             .expect("index() above initialised the lookup table")
             .insert(key.to_vec().into_boxed_slice(), g);
+    }
+
+    /// Assembles a decoded count table from its parts (used by the sharded
+    /// relation, which decodes group codes through its global dictionaries;
+    /// the flat path goes through [`Relation::decode_group_counts`]).
+    pub(crate) fn from_parts(
+        attrs: AttrSet,
+        total: u64,
+        keys: Vec<Value>,
+        key_codes: Vec<u32>,
+        counts: Vec<u64>,
+    ) -> Self {
+        GroupCounts {
+            arity: attrs.len(),
+            attrs,
+            total,
+            keys,
+            key_codes,
+            counts,
+            index: std::sync::OnceLock::new(),
+        }
     }
 
     /// Number of values per group key.
@@ -645,72 +689,8 @@ impl Relation {
         });
         let spans = spans?;
 
-        // Pass 2 (serial, chunk order): merge the chunk group tables into
-        // the global first-appearance numbering.
         let bits: Vec<u32> = cols.iter().map(|c| bit_width(c.domain_size())).collect();
-        let packable = bits.iter().sum::<u32>() <= 64;
-        let total_local: usize = spans.iter().map(|s| s.counts.len()).sum();
-        let mut counts: Vec<u64> = Vec::new();
-        let mut group_codes: Vec<u32> = Vec::new();
-        let mut packed: FxHashMap<u64, u32> =
-            map_with_capacity(if packable { total_local } else { 0 });
-        let mut wide: FxHashMap<Box<[u32]>, u32> =
-            map_with_capacity(if packable { 0 } else { total_local });
-        let mut local_to_global: Vec<Vec<u32>> = Vec::with_capacity(spans.len());
-        for span in &spans {
-            let groups = span.counts.len();
-            let mut map = Vec::with_capacity(groups);
-            for g in 0..groups {
-                let codes = &span.group_codes[g * k..(g + 1) * k];
-                let id = if packable {
-                    let mut key = 0u64;
-                    for (&c, &b) in codes.iter().zip(&bits) {
-                        key = (key << b) | c as u64;
-                    }
-                    match packed.entry(key) {
-                        Entry::Occupied(e) => *e.get(),
-                        Entry::Vacant(v) => {
-                            let id = new_group_id(&counts)?;
-                            v.insert(id);
-                            counts.push(0);
-                            group_codes.extend_from_slice(codes);
-                            id
-                        }
-                    }
-                } else {
-                    match wide.entry(codes.to_vec().into_boxed_slice()) {
-                        Entry::Occupied(e) => *e.get(),
-                        Entry::Vacant(v) => {
-                            let id = new_group_id(&counts)?;
-                            v.insert(id);
-                            counts.push(0);
-                            group_codes.extend_from_slice(codes);
-                            id
-                        }
-                    }
-                };
-                counts[id as usize] += span.counts[g];
-                map.push(id);
-            }
-            local_to_global.push(map);
-        }
-
-        // Pass 3 (parallel): rewrite each chunk's local row ids through its
-        // local → global map, into disjoint slices of the output.
-        let mut row_ids = vec![0u32; self.rows];
-        std::thread::scope(|scope| {
-            let mut rest: &mut [u32] = &mut row_ids;
-            for (span, map) in spans.iter().zip(&local_to_global) {
-                let (head, tail) = rest.split_at_mut(span.row_ids.len());
-                rest = tail;
-                scope.spawn(move || {
-                    for (out, &local) in head.iter_mut().zip(&span.row_ids) {
-                        *out = map[local as usize];
-                    }
-                });
-            }
-        });
-
+        let (row_ids, counts, group_codes) = merge_spans(k, &bits, &spans, self.rows, spans.len())?;
         Ok(GroupIds {
             attrs: attrs.clone(),
             row_ids,
@@ -983,14 +963,128 @@ impl Relation {
 /// The grouping of one contiguous row span: local first-appearance ids per
 /// row, per-group multiplicities and flattened code tuples.  Produced by
 /// [`group_span`] for the serial kernel (the full span) and for every chunk
-/// of the parallel kernel.
-struct SpanGroups {
+/// of the parallel kernel; the sharded relation builds one per shard (with
+/// group codes remapped into its global dictionaries) and feeds them to the
+/// same [`merge_spans`] discipline.
+pub(crate) struct SpanGroups {
     /// Local group id of every row in the span, in row order.
-    row_ids: Vec<u32>,
+    pub(crate) row_ids: Vec<u32>,
     /// Multiplicity of each local group.
-    counts: Vec<u64>,
+    pub(crate) counts: Vec<u64>,
     /// Flattened code tuples, `cols.len()` codes per local group.
-    group_codes: Vec<u32>,
+    pub(crate) group_codes: Vec<u32>,
+}
+
+/// Merges per-span group tables — whose `group_codes` all live in one common
+/// code space — **in span order** into the global first-appearance
+/// numbering, then rewrites every span's local row ids through its
+/// local → global map into one flat id vector.
+///
+/// This is the deterministic merge discipline shared by the chunked parallel
+/// kernel (spans = row chunks of one relation, codes = that relation's
+/// dictionary codes) and by [`crate::ShardedRelation`] (spans = shards,
+/// codes = the global shard-order dictionaries): a group's first appearance
+/// across the whole input lies in the earliest span that contains it, and
+/// within a span the local first-appearance order equals the row order — so
+/// the merged numbering, counts, group codes and per-row ids are
+/// bit-identical to grouping the concatenated rows serially.
+///
+/// `bits` gives the bit width of each grouped column's (common-code-space)
+/// domain; when the widths pack into 64 bits the merge interns packed keys,
+/// otherwise boxed tuples.  `rewrite_workers` caps the scoped threads the
+/// per-span row-id rewrite may fan out over; it is clamped to the span
+/// count and to [`crate::parallel::MAX_CHUNK_WORKERS`], so a many-shard
+/// input can never spawn one thread per shard (pass 1 for a fully inline
+/// rewrite).
+pub(crate) fn merge_spans(
+    k: usize,
+    bits: &[u32],
+    spans: &[SpanGroups],
+    total_rows: usize,
+    rewrite_workers: usize,
+) -> Result<(Vec<u32>, Vec<u64>, Vec<u32>)> {
+    debug_assert_eq!(bits.len(), k);
+    let packable = bits.iter().sum::<u32>() <= 64;
+    let total_local: usize = spans.iter().map(|s| s.counts.len()).sum();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut group_codes: Vec<u32> = Vec::new();
+    let mut packed: FxHashMap<u64, u32> = map_with_capacity(if packable { total_local } else { 0 });
+    let mut wide: FxHashMap<Box<[u32]>, u32> =
+        map_with_capacity(if packable { 0 } else { total_local });
+    let mut local_to_global: Vec<Vec<u32>> = Vec::with_capacity(spans.len());
+    for span in spans {
+        let groups = span.counts.len();
+        let mut map = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let codes = &span.group_codes[g * k..(g + 1) * k];
+            let id = if packable {
+                let mut key = 0u64;
+                for (&c, &b) in codes.iter().zip(bits) {
+                    key = (key << b) | c as u64;
+                }
+                match packed.entry(key) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(v) => {
+                        let id = new_group_id(&counts)?;
+                        v.insert(id);
+                        counts.push(0);
+                        group_codes.extend_from_slice(codes);
+                        id
+                    }
+                }
+            } else {
+                match wide.entry(codes.to_vec().into_boxed_slice()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(v) => {
+                        let id = new_group_id(&counts)?;
+                        v.insert(id);
+                        counts.push(0);
+                        group_codes.extend_from_slice(codes);
+                        id
+                    }
+                }
+            };
+            counts[id as usize] += span.counts[g];
+            map.push(id);
+        }
+        local_to_global.push(map);
+    }
+
+    // Rewrite each span's local row ids through its local → global map,
+    // into disjoint slices of the output.  Spans are partitioned into at
+    // most `workers` contiguous runs — never one thread per span, which for
+    // a many-shard relation would spawn thousands of OS threads.
+    let mut row_ids = vec![0u32; total_rows];
+    let workers = rewrite_workers
+        .min(spans.len())
+        .clamp(1, crate::parallel::MAX_CHUNK_WORKERS);
+    fn rewrite_run(out: &mut [u32], run: &[SpanGroups], maps: &[Vec<u32>]) {
+        let mut rest = out;
+        for (span, map) in run.iter().zip(maps) {
+            let (head, tail) = rest.split_at_mut(span.row_ids.len());
+            rest = tail;
+            for (slot, &local) in head.iter_mut().zip(&span.row_ids) {
+                *slot = map[local as usize];
+            }
+        }
+    }
+    if workers <= 1 {
+        rewrite_run(&mut row_ids, spans, &local_to_global);
+    } else {
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut row_ids;
+            for (s0, s1) in chunk_bounds(spans.len(), workers) {
+                let run = &spans[s0..s1];
+                let maps = &local_to_global[s0..s1];
+                let run_rows: usize = run.iter().map(|s| s.row_ids.len()).sum();
+                let (head, tail) = rest.split_at_mut(run_rows);
+                rest = tail;
+                scope.spawn(move || rewrite_run(head, run, maps));
+            }
+        });
+    }
+
+    Ok((row_ids, counts, group_codes))
 }
 
 /// Groups the rows `start..end` by the code tuples of `cols`, assigning
@@ -1095,7 +1189,7 @@ fn new_group_id(counts: &[u64]) -> Result<u32> {
 /// Takes `usize` so a full 2³²-entry dictionary (codes `0..=u32::MAX`)
 /// reports 32 bits instead of wrapping to 0 — an aliased packed key would
 /// silently merge unrelated groups.
-fn bit_width(d: usize) -> u32 {
+pub(crate) fn bit_width(d: usize) -> u32 {
     usize::BITS - d.saturating_sub(1).leading_zeros()
 }
 

@@ -1,0 +1,870 @@
+//! Sharded relations: shard-local grouping with a deterministic
+//! shard-order merge.
+//!
+//! The chunked parallel kernel (PR 4) proved the load-bearing fact of this
+//! module: disjoint row spans of a relation can be grouped independently and
+//! their group tables merged **in span order** without changing a single
+//! bit of the result — first-appearance numbering, counts, codes and
+//! per-row ids all come out identical to the serial scan.  A
+//! [`ShardedRelation`] lifts that span boundary from a transient scheduling
+//! detail into a first-class storage layout:
+//!
+//! * each [`RelationShard`] is a fully self-contained columnar
+//!   [`Relation`] — its own per-column dictionaries, its own code columns —
+//!   so a shard can be built, stored, shipped or dropped without touching
+//!   any other shard (the memory model for inputs larger than one machine's
+//!   RAM or one NUMA node's locality domain);
+//! * the [`ShardedRelation`] owns only the *global* per-attribute
+//!   dictionaries (built in shard order, so they equal the flat relation's
+//!   first-appearance dictionaries) plus one local → global code remap per
+//!   shard column — a few words per distinct value, never per row;
+//! * grouping runs shard-local (each shard through the ordinary
+//!   [`Relation::group_ids_with`] kernel, fanned out over the
+//!   [`ThreadBudget`]) and the per-shard group tables are merged in shard
+//!   order through the exact same `merge_spans` discipline the chunked
+//!   kernel uses — so [`ShardedRelation::group_ids`] /
+//!   [`ShardedRelation::group_counts`] are **bit-identical** to the flat
+//!   [`Relation`] at any shard count and any thread budget (property-tested
+//!   in `tests/prop_sharded.rs`).
+//!
+//! Because the whole measure stack is generic over
+//! [`GroupSource`], a sharded relation drops into `ajd-info`,
+//! `ajd-jointree` and `ajd_core::Analyzer` unchanged, and
+//! [`GroupKernel`] lets an `AnalysisContext` memoize over it exactly as
+//! over a flat relation.
+//!
+//! [`ShardedRelation::append_shard`] accepts a freshly ingested batch as a
+//! new shard without touching existing ones — the first step toward the
+//! roadmap's incremental maintenance (keep per-shard group tables, re-merge
+//! instead of regrouping).
+
+use crate::attr::{AttrId, AttrSet};
+use crate::context::{GroupKernel, GroupSource};
+use crate::error::{RelationError, Result};
+use crate::hash::FxHashMap;
+use crate::parallel::{chunk_bounds, ThreadBudget, MAX_CHUNK_WORKERS};
+use crate::relation::{bit_width, merge_spans, GroupCounts, GroupIds, Relation, SpanGroups, Value};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A global (cross-shard) attribute dictionary: raw value → dense code, in
+/// shard-order first appearance — exactly the code assignment the flat
+/// relation's column dictionary would make on the concatenated rows.
+#[derive(Debug, Clone, Default)]
+struct GlobalDict {
+    /// `code → value`, in first-appearance order across shards.
+    values: Vec<Value>,
+    /// `value → code`.
+    index: FxHashMap<Value, u32>,
+}
+
+impl GlobalDict {
+    /// Interns `v`, returning its dense global code.
+    fn intern(&mut self, v: Value) -> Result<u32> {
+        if let Some(&c) = self.index.get(&v) {
+            return Ok(c);
+        }
+        let code = u32::try_from(self.values.len()).map_err(|_| {
+            RelationError::CountOverflow("global shard dictionary exceeds the u32 code space")
+        })?;
+        self.values.push(v);
+        self.index.insert(v, code);
+        Ok(code)
+    }
+}
+
+/// One shard of a [`ShardedRelation`]: a self-contained columnar span with
+/// its own dictionaries, plus its global row offset.
+///
+/// A shard is just a [`Relation`] — every kernel, constructor and invariant
+/// of the flat store applies verbatim within the shard.  Shards never
+/// reference each other; only the owning [`ShardedRelation`] knows how
+/// their local dictionary codes map into the global code space.
+#[derive(Debug, Clone)]
+pub struct RelationShard {
+    /// The shard's rows, dictionary-encoded against the shard's own
+    /// (local, first-appearance) dictionaries.
+    local: Relation,
+    /// Global index of this shard's first row (shards concatenate in order).
+    row_offset: usize,
+}
+
+impl RelationShard {
+    /// The shard's rows as a self-contained flat relation.
+    pub fn relation(&self) -> &Relation {
+        &self.local
+    }
+
+    /// Number of rows in this shard.
+    pub fn len(&self) -> usize {
+        self.local.len()
+    }
+
+    /// `true` if the shard holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.local.is_empty()
+    }
+
+    /// Global index of this shard's first row.
+    pub fn row_offset(&self) -> usize {
+        self.row_offset
+    }
+}
+
+/// An ordered list of [`RelationShard`]s behaving, for every measure in the
+/// workspace, exactly like the flat [`Relation`] of their concatenated rows.
+///
+/// ```
+/// use ajd_relation::{AttrSet, GroupSource, Relation, AttrId};
+///
+/// let flat = Relation::from_rows(vec![AttrId(0), AttrId(1)], &[
+///     &[10, 0][..], &[20, 0][..], &[10, 1][..], &[30, 1][..],
+/// ]).unwrap();
+/// let sharded = flat.clone().into_shards(3).unwrap();
+/// assert_eq!(sharded.num_shards(), 3);
+///
+/// // Grouping is bit-identical to the flat relation…
+/// let y = AttrSet::singleton(AttrId(0));
+/// let a = flat.group_ids(&y).unwrap();
+/// let b = sharded.group_ids(&y).unwrap();
+/// assert_eq!(a.row_ids(), b.row_ids());
+/// assert_eq!(a.counts(), b.counts());
+///
+/// // …and the round trip reproduces the flat store, dictionaries included.
+/// let back = sharded.collect().unwrap();
+/// assert_eq!(back.column_codes(AttrId(0)).unwrap(),
+///            flat.column_codes(AttrId(0)).unwrap());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShardedRelation {
+    schema: Vec<AttrId>,
+    shards: Vec<RelationShard>,
+    /// Global per-attribute dictionaries, indexed by schema position.
+    dicts: Vec<GlobalDict>,
+    /// `remaps[s][col][local_code]` = global code, per shard and column.
+    remaps: Vec<Vec<Vec<u32>>>,
+    rows: usize,
+}
+
+impl ShardedRelation {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Creates an empty sharded relation over the given schema (column
+    /// order is preserved as given).
+    pub fn new(schema: Vec<AttrId>) -> Result<Self> {
+        let mut seen = AttrSet::empty();
+        for &a in &schema {
+            if !seen.insert(a) {
+                return Err(RelationError::DuplicateAttribute(a));
+            }
+        }
+        Ok(ShardedRelation {
+            dicts: vec![GlobalDict::default(); schema.len()],
+            schema,
+            shards: Vec::new(),
+            remaps: Vec::new(),
+            rows: 0,
+        })
+    }
+
+    /// Builds a sharded relation from explicit shards (all must share the
+    /// schema, in the same column order).
+    pub fn from_shards<I: IntoIterator<Item = Relation>>(
+        schema: Vec<AttrId>,
+        shards: I,
+    ) -> Result<Self> {
+        let mut out = Self::new(schema)?;
+        for shard in shards {
+            out.append_shard(shard)?;
+        }
+        Ok(out)
+    }
+
+    /// Appends a batch of rows as a **new shard**, leaving every existing
+    /// shard untouched: only the global dictionaries grow (by the shard's
+    /// previously unseen values) and one local → global remap is recorded.
+    ///
+    /// This is the ingestion path for incremental maintenance: appends
+    /// never rewrite shard-local state, so per-shard group tables stay
+    /// valid and only the shard-order merge needs redoing.
+    ///
+    /// The shard's schema must equal this relation's schema, including
+    /// column order (reorder with [`Relation::reorder_columns`] first if
+    /// needed).
+    pub fn append_shard(&mut self, shard: Relation) -> Result<()> {
+        if shard.schema() != self.schema.as_slice() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "shard schema {:?} does not match the sharded relation's {:?}",
+                    shard.schema(),
+                    self.schema
+                ),
+            });
+        }
+        // Extend the global dictionaries in the shard's local-dictionary
+        // order.  Local dictionaries are first-appearance ordered, so new
+        // values enter the global dictionary exactly in the order of their
+        // first appearance in the concatenated rows — the invariant the
+        // bit-identity of the merge rests on.
+        let mut remap: Vec<Vec<u32>> = Vec::with_capacity(self.schema.len());
+        for (pos, &attr) in self.schema.iter().enumerate() {
+            let locals = shard
+                .domain(attr)
+                .expect("schema equality guarantees the attribute");
+            let dict = &mut self.dicts[pos];
+            let mut map = Vec::with_capacity(locals.len());
+            for &v in locals {
+                map.push(dict.intern(v)?);
+            }
+            remap.push(map);
+        }
+        let row_offset = self.rows;
+        self.rows += shard.len();
+        self.remaps.push(remap);
+        self.shards.push(RelationShard {
+            local: shard,
+            row_offset,
+        });
+        Ok(())
+    }
+
+    /// Concatenates all shards back into one flat [`Relation`].
+    ///
+    /// Rows are pushed in shard order, so the result's dictionaries, code
+    /// columns and row order are exactly those of the flat relation the
+    /// shards were split from (or would have been built as).
+    pub fn collect(&self) -> Result<Relation> {
+        let mut out = Relation::with_capacity(self.schema.clone(), self.rows)?;
+        for shard in &self.shards {
+            for row in shard.local.iter_rows() {
+                out.push_row(row)?;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The column order of this relation.
+    #[inline]
+    pub fn schema(&self) -> &[AttrId] {
+        &self.schema
+    }
+
+    /// The attribute set of this relation (schema as a set).
+    pub fn attrs(&self) -> AttrSet {
+        AttrSet::from_slice(&self.schema)
+    }
+
+    /// Number of attributes per tuple.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Total number of tuples across all shards.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` if no shard holds any tuple.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of shards (empty shards included).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in shard (concatenation) order.
+    pub fn shards(&self) -> &[RelationShard] {
+        &self.shards
+    }
+
+    /// One shard by index.
+    pub fn shard(&self, s: usize) -> &RelationShard {
+        &self.shards[s]
+    }
+
+    /// Position of an attribute in this relation's column order.
+    pub fn attr_pos(&self, attr: AttrId) -> Result<usize> {
+        self.schema
+            .iter()
+            .position(|&a| a == attr)
+            .ok_or(RelationError::UnknownAttribute(attr))
+    }
+
+    /// Positions (column indices) of each attribute of `attrs`, in the
+    /// order of `attrs` (ascending attribute id).
+    pub fn attr_positions(&self, attrs: &AttrSet) -> Result<Vec<usize>> {
+        attrs.iter().map(|a| self.attr_pos(a)).collect()
+    }
+
+    /// The global active domain of an attribute: the distinct values it
+    /// takes across all shards, in shard-order first appearance — the same
+    /// list the flat relation's dictionary would hold.  O(1), no scan.
+    pub fn domain(&self, attr: AttrId) -> Result<&[Value]> {
+        let pos = self.attr_pos(attr)?;
+        Ok(&self.dicts[pos].values)
+    }
+
+    /// Size of the global active domain of an attribute.  O(1).
+    pub fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        Ok(self.domain(attr)?.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Grouping (shard-local kernel + shard-order merge)
+    // ------------------------------------------------------------------
+
+    /// Groups the concatenated tuples by their projection onto `attrs`,
+    /// serially; bit-identical to [`Relation::group_ids`] on the collected
+    /// flat relation.
+    pub fn group_ids(&self, attrs: &AttrSet) -> Result<GroupIds> {
+        self.group_ids_with(attrs, ThreadBudget::serial())
+    }
+
+    /// [`ShardedRelation::group_ids`] under a [`ThreadBudget`]: shards are
+    /// grouped shard-locally (fanned out over up to `budget` workers, each
+    /// shard running the ordinary flat kernel under its share of the
+    /// budget) and the per-shard group tables are merged **in shard
+    /// order** — the same discipline as the chunked kernel, so the result
+    /// is bit-identical to the flat relation at any shard count and any
+    /// budget.
+    pub fn group_ids_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupIds> {
+        let positions = self.attr_positions(attrs)?;
+        let k = positions.len();
+        // Zero attributes: every row projects to the empty tuple.
+        if k == 0 {
+            return Ok(GroupIds::from_parts(
+                attrs.clone(),
+                vec![0; self.rows],
+                if self.rows == 0 {
+                    Vec::new()
+                } else {
+                    vec![self.rows as u64]
+                },
+                Vec::new(),
+            ));
+        }
+        let spans = self.shard_spans(attrs, &positions, budget)?;
+        let bits: Vec<u32> = positions
+            .iter()
+            .map(|&p| bit_width(self.dicts[p].values.len()))
+            .collect();
+        let (row_ids, counts, group_codes) =
+            merge_spans(k, &bits, &spans, self.rows, budget.get())?;
+        Ok(GroupIds::from_parts(
+            attrs.clone(),
+            row_ids,
+            counts,
+            group_codes,
+        ))
+    }
+
+    /// The shard-local pass: one [`SpanGroups`] per shard, group codes
+    /// remapped from the shard's local dictionaries into the global code
+    /// space (row ids stay shard-local; the merge rewrites them).
+    fn shard_spans(
+        &self,
+        attrs: &AttrSet,
+        positions: &[usize],
+        budget: ThreadBudget,
+    ) -> Result<Vec<SpanGroups>> {
+        let nshards = self.shards.len();
+        let workers = budget.get().min(nshards).min(MAX_CHUNK_WORKERS);
+        if workers <= 1 {
+            return (0..nshards)
+                .map(|s| self.span_for_shard(s, attrs, positions, budget))
+                .collect();
+        }
+        // Fan out over the shards, work-stealing so a few large shards do
+        // not stall the rest; each shard's kernel gets the per-worker share
+        // of the budget (layers divide one budget, never multiply).
+        let share = ThreadBudget::new((budget.get() / workers).max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Result<SpanGroups>>> =
+            (0..nshards).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    if s >= nshards {
+                        break;
+                    }
+                    let out = self.span_for_shard(s, attrs, positions, share);
+                    slots[s]
+                        .set(out)
+                        .unwrap_or_else(|_| unreachable!("shard index claimed twice"));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every shard slot is filled by exactly one worker")
+            })
+            .collect()
+    }
+
+    /// Groups one shard through the flat kernel and remaps its group codes
+    /// into the global dictionaries.
+    fn span_for_shard(
+        &self,
+        s: usize,
+        attrs: &AttrSet,
+        positions: &[usize],
+        budget: ThreadBudget,
+    ) -> Result<SpanGroups> {
+        let ids = self.shards[s].local.group_ids_with(attrs, budget)?;
+        let (row_ids, counts, local_codes) = ids.into_parts();
+        let k = positions.len();
+        let remap = &self.remaps[s];
+        let mut group_codes = Vec::with_capacity(local_codes.len());
+        for (j, &c) in local_codes.iter().enumerate() {
+            group_codes.push(remap[positions[j % k]][c as usize]);
+        }
+        Ok(SpanGroups {
+            row_ids,
+            counts,
+            group_codes,
+        })
+    }
+
+    /// Groups by `attrs` and decodes the distinct groups through the global
+    /// dictionaries; bit-identical to [`Relation::group_counts`] on the
+    /// collected flat relation.
+    pub fn group_counts(&self, attrs: &AttrSet) -> Result<GroupCounts> {
+        self.group_counts_with(attrs, ThreadBudget::serial())
+    }
+
+    /// [`ShardedRelation::group_counts`] under a [`ThreadBudget`] (see
+    /// [`ShardedRelation::group_ids_with`]).
+    pub fn group_counts_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupCounts> {
+        let ids = self.group_ids_with(attrs, budget)?;
+        Ok(self.decode_group_counts(&ids))
+    }
+
+    /// Decodes a [`GroupIds`] of this sharded relation into a
+    /// [`GroupCounts`] through the global dictionaries.
+    pub fn decode_group_counts(&self, ids: &GroupIds) -> GroupCounts {
+        let positions = self
+            .attr_positions(ids.attrs())
+            .expect("grouping was built from this relation's attributes");
+        let arity = positions.len();
+        let groups = ids.num_groups();
+        let mut keys: Vec<Value> = Vec::with_capacity(groups * arity);
+        for g in 0..groups {
+            for (j, &p) in positions.iter().enumerate() {
+                let code = ids.group_codes()[g * arity + j];
+                keys.push(self.dicts[p].values[code as usize]);
+            }
+        }
+        GroupCounts::from_parts(
+            ids.attrs().clone(),
+            self.rows as u64,
+            keys,
+            ids.group_codes().to_vec(),
+            ids.counts().to_vec(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Set semantics / projection
+    // ------------------------------------------------------------------
+
+    /// Projection `Π_Y(R)` with set semantics, as a flat [`Relation`]
+    /// (distinct projections are almost always far smaller than the
+    /// input); bit-identical to [`Relation::project`] on the collected
+    /// flat relation.
+    pub fn project(&self, attrs: &AttrSet) -> Result<Relation> {
+        self.project_with(attrs, ThreadBudget::serial())
+    }
+
+    /// [`ShardedRelation::project`] under a [`ThreadBudget`].
+    pub fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
+        let positions = self.attr_positions(attrs)?;
+        let ids = self.group_ids_with(attrs, budget)?;
+        let arity = positions.len();
+        let mut out = Relation::with_capacity(attrs.as_slice().to_vec(), ids.num_groups())?;
+        let mut buf: Vec<Value> = vec![0; arity];
+        for g in 0..ids.num_groups() {
+            for (j, &p) in positions.iter().enumerate() {
+                buf[j] = self.dicts[p].values[ids.group_codes()[g * arity + j] as usize];
+            }
+            out.push_row(&buf)?;
+        }
+        Ok(out)
+    }
+
+    /// `true` if the concatenated tuples are pairwise distinct.
+    pub fn is_set(&self) -> bool {
+        let ids = self
+            .group_ids(&self.attrs())
+            .expect("own attributes are always present");
+        ids.num_groups() == self.rows
+    }
+
+    /// The distinct tuples across all shards as a flat [`Relation`] (first
+    /// occurrence kept, concatenation order preserved, columns in this
+    /// relation's schema order) — row-for-row identical to
+    /// [`Relation::distinct`] on the collected flat relation.
+    pub fn distinct(&self) -> Relation {
+        let attrs = self.attrs();
+        let ids = self
+            .group_ids(&attrs)
+            .expect("own attributes are always present");
+        // Group codes are in ascending-attribute order; `order[p]` is the
+        // index within that order of the attribute at schema position `p`.
+        let order: Vec<usize> = self
+            .schema
+            .iter()
+            .map(|&a| {
+                attrs
+                    .as_slice()
+                    .iter()
+                    .position(|&b| b == a)
+                    .expect("own schema is covered by own attribute set")
+            })
+            .collect();
+        let arity = self.arity();
+        let mut out = Relation::with_capacity(self.schema.clone(), ids.num_groups())
+            .expect("own schema is duplicate-free");
+        let mut buf: Vec<Value> = vec![0; arity];
+        for g in 0..ids.num_groups() {
+            let codes = ids.group_code(g);
+            for (p, slot) in buf.iter_mut().enumerate() {
+                *slot = self.dicts[p].values[codes[order[p]] as usize];
+            }
+            out.push_row(&buf)
+                .expect("decoded group rows keep the relation's arity");
+        }
+        out
+    }
+}
+
+impl Relation {
+    /// Splits this relation into `n` contiguous, near-equal row shards
+    /// (`n` is clamped to at least 1; when `n` exceeds the row count the
+    /// surplus shards are empty), each a self-contained columnar
+    /// [`RelationShard`] with its own dictionaries.
+    ///
+    /// The round trip [`ShardedRelation::collect`] reproduces this relation
+    /// exactly, and every grouping over the shards is bit-identical to
+    /// grouping this relation directly.
+    pub fn into_shards(self, n: usize) -> Result<ShardedRelation> {
+        let schema = self.schema().to_vec();
+        let mut out = ShardedRelation::new(schema.clone())?;
+        for (start, end) in chunk_bounds(self.len(), n.max(1)) {
+            let mut shard = Relation::with_capacity(schema.clone(), end - start)?;
+            for i in start..end {
+                shard.push_row(self.row(i))?;
+            }
+            out.append_shard(shard)?;
+        }
+        Ok(out)
+    }
+}
+
+impl GroupSource for ShardedRelation {
+    fn schema(&self) -> &[AttrId] {
+        ShardedRelation::schema(self)
+    }
+
+    fn num_rows(&self) -> usize {
+        self.len()
+    }
+
+    fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        ShardedRelation::active_domain_size(self, attr)
+    }
+
+    fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
+        ShardedRelation::group_counts(self, attrs).map(Arc::new)
+    }
+
+    fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
+        ShardedRelation::group_ids(self, attrs).map(Arc::new)
+    }
+
+    fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
+        ShardedRelation::project(self, attrs).map(Arc::new)
+    }
+}
+
+impl GroupKernel for ShardedRelation {
+    fn group_counts_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupCounts> {
+        ShardedRelation::group_counts_with(self, attrs, budget)
+    }
+
+    fn group_ids_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupIds> {
+        ShardedRelation::group_ids_with(self, attrs, budget)
+    }
+
+    fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
+        ShardedRelation::project_with(self, attrs, budget)
+    }
+}
+
+impl fmt::Display for ShardedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardedRelation(")?;
+        for (i, a) in self.schema.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")[{} rows / {} shards]", self.rows, self.shards.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        Relation::from_rows(
+            vec![AttrId(0), AttrId(1), AttrId(2)],
+            &[
+                &[5, 0, 9][..],
+                &[5, 1, 9][..],
+                &[7, 0, 8][..],
+                &[7, 1, 8][..],
+                &[5, 0, 9][..], // duplicate: multiset
+            ],
+        )
+        .unwrap()
+    }
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn into_shards_and_collect_roundtrip() {
+        let flat = sample();
+        for n in [1usize, 2, 3, 5, 9] {
+            let sharded = flat.clone().into_shards(n).unwrap();
+            assert_eq!(sharded.num_shards(), n);
+            assert_eq!(sharded.len(), flat.len());
+            let back = sharded.collect().unwrap();
+            assert_eq!(back.len(), flat.len());
+            assert_eq!(back.schema(), flat.schema());
+            for (a, b) in back.iter_rows().zip(flat.iter_rows()) {
+                assert_eq!(a, b);
+            }
+            // Dictionaries are reproduced exactly, not just the rows.
+            for &attr in flat.schema() {
+                assert_eq!(back.domain(attr).unwrap(), flat.domain(attr).unwrap());
+                assert_eq!(
+                    back.column_codes(attr).unwrap(),
+                    flat.column_codes(attr).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn global_dictionaries_match_flat_dictionaries() {
+        let flat = sample();
+        let sharded = flat.clone().into_shards(3).unwrap();
+        for &attr in flat.schema() {
+            assert_eq!(sharded.domain(attr).unwrap(), flat.domain(attr).unwrap());
+            assert_eq!(
+                sharded.active_domain_size(attr).unwrap(),
+                flat.active_domain_size(attr).unwrap()
+            );
+        }
+        assert!(sharded.domain(AttrId(9)).is_err());
+    }
+
+    #[test]
+    fn grouping_is_bit_identical_to_flat() {
+        let flat = sample();
+        for n in [1usize, 2, 4, 7] {
+            let sharded = flat.clone().into_shards(n).unwrap();
+            for attrs in [
+                AttrSet::empty(),
+                bag(&[0]),
+                bag(&[1]),
+                bag(&[0, 2]),
+                bag(&[0, 1, 2]),
+            ] {
+                let a = flat.group_ids(&attrs).unwrap();
+                for budget in [ThreadBudget::serial(), ThreadBudget::new(4)] {
+                    let b = sharded.group_ids_with(&attrs, budget).unwrap();
+                    assert_eq!(a.row_ids(), b.row_ids(), "n={n} attrs={attrs}");
+                    assert_eq!(a.counts(), b.counts(), "n={n} attrs={attrs}");
+                    assert_eq!(a.group_codes(), b.group_codes(), "n={n} attrs={attrs}");
+                }
+                let ca = flat.group_counts(&attrs).unwrap();
+                let cb = sharded.group_counts(&attrs).unwrap();
+                assert_eq!(ca.total, cb.total);
+                assert_eq!(ca.counts(), cb.counts());
+                for g in 0..ca.num_groups() {
+                    assert_eq!(ca.key(g), cb.key(g));
+                    assert_eq!(ca.key_codes(g), cb.key_codes(g));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_and_distinct_match_flat() {
+        let flat = sample();
+        let sharded = flat.clone().into_shards(2).unwrap();
+        let attrs = bag(&[0, 1]);
+        let pa = flat.project(&attrs).unwrap();
+        let pb = sharded.project(&attrs).unwrap();
+        assert_eq!(pa.len(), pb.len());
+        for (a, b) in pa.iter_rows().zip(pb.iter_rows()) {
+            assert_eq!(a, b);
+        }
+        let da = flat.distinct();
+        let db = sharded.distinct();
+        assert_eq!(da.len(), db.len());
+        assert_eq!(da.schema(), db.schema());
+        for (a, b) in da.iter_rows().zip(db.iter_rows()) {
+            assert_eq!(a, b);
+        }
+        assert!(!sharded.is_set());
+        assert!(flat.distinct().into_shards(2).unwrap().is_set());
+    }
+
+    #[test]
+    fn append_shard_rejects_schema_mismatch() {
+        let mut sharded = ShardedRelation::new(vec![AttrId(0), AttrId(1)]).unwrap();
+        let wrong_set = Relation::new(vec![AttrId(0), AttrId(2)]).unwrap();
+        assert!(sharded.append_shard(wrong_set).is_err());
+        // Same attribute set, different column order: also rejected.
+        let wrong_order = Relation::new(vec![AttrId(1), AttrId(0)]).unwrap();
+        assert!(sharded.append_shard(wrong_order).is_err());
+        let ok = Relation::from_rows(vec![AttrId(0), AttrId(1)], &[&[1, 2][..]]).unwrap();
+        sharded.append_shard(ok).unwrap();
+        assert_eq!(sharded.len(), 1);
+        assert_eq!(sharded.shard(0).row_offset(), 0);
+    }
+
+    #[test]
+    fn append_as_new_shard_extends_analysis_state() {
+        // Appending a batch leaves prior shards untouched and the merged
+        // grouping equals the flat relation over all rows seen so far.
+        let schema = vec![AttrId(0), AttrId(1)];
+        let mut sharded = ShardedRelation::new(schema.clone()).unwrap();
+        let mut flat = Relation::new(schema.clone()).unwrap();
+        let batches: Vec<Vec<[Value; 2]>> = vec![
+            vec![[1, 10], [2, 10]],
+            vec![],
+            vec![[1, 20], [3, 30], [2, 10]],
+            vec![[4, 10]],
+        ];
+        for batch in batches {
+            let rows: Vec<&[Value]> = batch.iter().map(|r| &r[..]).collect();
+            let shard = Relation::from_rows(schema.clone(), &rows).unwrap();
+            for row in &batch {
+                flat.push_row(row).unwrap();
+            }
+            sharded.append_shard(shard).unwrap();
+            for attrs in [bag(&[0]), bag(&[1]), bag(&[0, 1])] {
+                let a = flat.group_ids(&attrs).unwrap();
+                let b = sharded.group_ids(&attrs).unwrap();
+                assert_eq!(a.row_ids(), b.row_ids());
+                assert_eq!(a.counts(), b.counts());
+                assert_eq!(a.group_codes(), b.group_codes());
+            }
+        }
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.shard(2).row_offset(), 2);
+    }
+
+    #[test]
+    fn empty_sharded_relation_behaves() {
+        let sharded = ShardedRelation::new(vec![AttrId(0)]).unwrap();
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.num_shards(), 0);
+        assert!(sharded.is_set());
+        let ids = sharded.group_ids(&bag(&[0])).unwrap();
+        assert_eq!(ids.num_groups(), 0);
+        assert_eq!(sharded.project(&bag(&[0])).unwrap().len(), 0);
+        assert_eq!(sharded.collect().unwrap().len(), 0);
+        // An empty relation still shards (into empty shards).
+        let empty = Relation::new(vec![AttrId(0)])
+            .unwrap()
+            .into_shards(3)
+            .unwrap();
+        assert_eq!(empty.num_shards(), 3);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn duplicate_schema_rejected() {
+        assert!(ShardedRelation::new(vec![AttrId(0), AttrId(0)]).is_err());
+    }
+
+    /// Regression: a shard count far above `MAX_CHUNK_WORKERS` under a
+    /// parallel budget must not fan the merge rewrite out one-thread-per-
+    /// shard (the rewrite is capped and partitioned into contiguous runs) —
+    /// and the result stays bit-identical to the flat kernel.
+    #[test]
+    fn thousands_of_shards_group_without_thread_explosion() {
+        let schema = vec![AttrId(0), AttrId(1)];
+        let mut flat = Relation::new(schema).unwrap();
+        for i in 0..4000u32 {
+            flat.push_row(&[i % 97, (i * i) % 53]).unwrap();
+        }
+        let sharded = flat.clone().into_shards(2000).unwrap();
+        assert_eq!(sharded.num_shards(), 2000);
+        let attrs = bag(&[0, 1]);
+        let a = flat.group_ids(&attrs).unwrap();
+        for budget in [ThreadBudget::serial(), ThreadBudget::new(8)] {
+            let b = sharded.group_ids_with(&attrs, budget).unwrap();
+            assert_eq!(a.row_ids(), b.row_ids());
+            assert_eq!(a.counts(), b.counts());
+            assert_eq!(a.group_codes(), b.group_codes());
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let sharded = sample().into_shards(2).unwrap();
+        assert!(sharded.group_ids(&bag(&[9])).is_err());
+        assert!(sharded.group_counts(&bag(&[9])).is_err());
+        assert!(sharded.project(&bag(&[9])).is_err());
+    }
+
+    #[test]
+    fn group_source_metadata_matches_flat() {
+        let flat = sample();
+        let sharded = flat.clone().into_shards(2).unwrap();
+        assert_eq!(GroupSource::schema(&sharded), GroupSource::schema(&flat));
+        assert_eq!(
+            GroupSource::num_rows(&sharded),
+            GroupSource::num_rows(&flat)
+        );
+        assert_eq!(GroupSource::attrs(&sharded), flat.attrs());
+        assert_eq!(GroupSource::arity(&sharded), 3);
+        assert_eq!(
+            GroupSource::attr_positions(&sharded, &bag(&[0, 2])).unwrap(),
+            vec![0, 2]
+        );
+        assert!(GroupSource::attr_positions(&sharded, &bag(&[9])).is_err());
+    }
+
+    #[test]
+    fn display_mentions_rows_and_shards() {
+        let sharded = sample().into_shards(2).unwrap();
+        let s = format!("{sharded}");
+        assert!(s.contains("5 rows"));
+        assert!(s.contains("2 shards"));
+    }
+}

@@ -58,6 +58,7 @@ pub mod prelude {
     pub use ajd_jointree::{count_acyclic_join, JoinTree, Mvd, Schema};
     pub use ajd_random::{generators, ProductDomain, RandomRelationModel};
     pub use ajd_relation::{
-        AnalysisContext, AttrId, AttrSet, Catalog, GroupSource, Relation, Value,
+        AnalysisContext, AttrId, AttrSet, Catalog, GroupKernel, GroupSource, Relation,
+        RelationShard, ShardedRelation, Value,
     };
 }
