@@ -1,0 +1,62 @@
+//! A minimal blocking client for the line-delimited JSON protocol.
+//!
+//! [`Client`] wraps one TCP connection: [`Client::request`] writes one
+//! frame and reads one response line, in order.  It is deliberately thin —
+//! the protocol is plain enough to speak with `nc` — but having a typed
+//! client keeps the integration tests and the example honest about what a
+//! third-party implementation needs: a socket, a line buffer, and a JSON
+//! parser.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One blocking connection to an `ajd-server`.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request frame and blocks for its response frame.
+    ///
+    /// The server answers every line with exactly one line (even protocol
+    /// errors come back as error frames), so request/response pairing is
+    /// positional.
+    pub fn request(&mut self, frame: &Json) -> io::Result<Json> {
+        self.request_line(&frame.to_string())
+    }
+
+    /// Sends one raw request line (no trailing newline) and blocks for the
+    /// response frame.  Useful for testing how the server answers
+    /// deliberately malformed lines.
+    pub fn request_line(&mut self, line: &str) -> io::Result<Json> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(response.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server sent invalid JSON: {e}"),
+            )
+        })
+    }
+}

@@ -1,0 +1,601 @@
+//! The wire protocol: frame shapes, the error envelope, and request
+//! parsing.
+//!
+//! `ajd-server` speaks **line-delimited JSON**: one request object per
+//! line, one response object per line, always in the order requests were
+//! received on that connection.  The normative specification — every
+//! frame, field, type and error code — lives in
+//! [`docs/PROTOCOL.md`](https://example.invalid/ajd) at the repository
+//! root, and the spec's own JSON examples are round-trip-tested against a
+//! live server in `tests/protocol_spec.rs`.  This module is the
+//! implementation: [`Request::parse`] turns a parsed [`Json`] frame into a
+//! typed request (or a structured [`ErrorCode`]), and the `*_frame`
+//! helpers build the response envelopes.
+//!
+//! Versioning rule: every response carries `"v": 1`
+//! ([`PROTOCOL_VERSION`]).  Requests may carry `"v"`; a request with a
+//! version *greater* than the server's is answered with
+//! `unsupported_version` (an omitted `"v"` means "the server's version").
+//! Within one major version, servers may add response fields but never
+//! remove or re-type them, and unknown *request* fields are ignored —
+//! clients must tolerate new fields.
+
+use crate::json::Json;
+use ajd_relation::RelationError;
+
+/// The protocol version this server speaks (the `"v"` field of every
+/// response).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable error codes of the error envelope.
+///
+/// An error frame never closes the connection: the client may keep
+/// pipelining requests after receiving one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not a JSON object, or a required field was missing or
+    /// of the wrong type.
+    BadRequest,
+    /// The request's `"v"` is newer than the server's [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// The `"op"` field named no known operation.
+    UnknownOp,
+    /// The `"relation"` field named no catalog entry.
+    UnknownRelation,
+    /// An attribute name in `"attrs"` or `"schema"` is not an attribute of
+    /// the addressed relation.
+    UnknownAttribute,
+    /// The `"schema"` field does not describe an acyclic schema covering
+    /// exactly the relation's attributes.
+    InvalidSchema,
+    /// The addressed relation holds no tuples, so the requested measure is
+    /// undefined.
+    EmptyRelation,
+    /// The admission queue for this request class is full; retry later.
+    Busy,
+    /// The measurement itself failed (e.g. a join-size count overflowing
+    /// `u128`).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::UnknownRelation => "unknown_relation",
+            ErrorCode::UnknownAttribute => "unknown_attribute",
+            ErrorCode::InvalidSchema => "invalid_schema",
+            ErrorCode::EmptyRelation => "empty_relation",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A structured request failure: code + human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable detail (never required for dispatch).
+    pub message: String,
+}
+
+impl Failure {
+    /// Builds a failure from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Failure {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a library error onto the wire's error vocabulary.
+    pub fn from_relation_error(err: &RelationError) -> Self {
+        let code = match err {
+            RelationError::UnknownName(_) | RelationError::UnknownAttribute(_) => {
+                ErrorCode::UnknownAttribute
+            }
+            RelationError::SchemaMismatch { .. }
+            | RelationError::DuplicateAttribute(_)
+            | RelationError::ArityMismatch { .. } => ErrorCode::InvalidSchema,
+            RelationError::EmptyInput(_) => ErrorCode::EmptyRelation,
+            RelationError::CountOverflow(_)
+            | RelationError::InvalidParameter { .. }
+            | RelationError::DomainExhausted { .. }
+            | RelationError::Io { .. } => ErrorCode::Internal,
+        };
+        Failure::new(code, err.to_string())
+    }
+}
+
+/// A parsed request frame: the operation plus the optional `"id"` echo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The client's correlation id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The operation to perform.
+    pub request: Request,
+}
+
+/// The operations of the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// List the served relations.
+    Catalog,
+    /// Cache and admission counters, optionally filtered to one relation.
+    Stats {
+        /// Restrict the per-relation section to this entry.
+        relation: Option<String>,
+    },
+    /// Entropy `H(attrs)` in nats.
+    Entropy {
+        /// Catalog entry to measure.
+        relation: String,
+        /// Attribute names (possibly empty: `H(∅) = 0`).
+        attrs: Vec<String>,
+    },
+    /// The exact loss `ρ(R,S)` of an acyclic schema.
+    Loss {
+        /// Catalog entry to measure.
+        relation: String,
+        /// Schema bags as arrays of attribute names.
+        schema: Vec<Vec<String>>,
+    },
+    /// The J-measure `J(T)` of an acyclic schema, in nats.
+    JMeasure {
+        /// Catalog entry to measure.
+        relation: String,
+        /// Schema bags as arrays of attribute names.
+        schema: Vec<Vec<String>>,
+    },
+    /// The full loss report (loss, J, KL, bounds, per-MVD breakdown).
+    Analyze {
+        /// Catalog entry to measure.
+        relation: String,
+        /// Schema bags as arrays of attribute names.
+        schema: Vec<Vec<String>>,
+    },
+    /// Mine an approximate acyclic schema.
+    Mine {
+        /// Catalog entry to mine.
+        relation: String,
+        /// Stop coarsening once `J ≤ j_threshold` (nats); server default
+        /// when omitted.
+        j_threshold: Option<f64>,
+        /// Bag-size cap; unlimited when omitted.
+        max_bag_size: Option<usize>,
+    },
+}
+
+impl Request {
+    /// The `"op"` value naming this request on the wire.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Catalog => "catalog",
+            Request::Stats { .. } => "stats",
+            Request::Entropy { .. } => "entropy",
+            Request::Loss { .. } => "loss",
+            Request::JMeasure { .. } => "j",
+            Request::Analyze { .. } => "analyze",
+            Request::Mine { .. } => "mine",
+        }
+    }
+
+    /// Parses one request frame.  On failure the error is structured
+    /// (`Failure`) and the caller still gets the `"id"` (when one could be
+    /// extracted) so the error frame can be correlated.
+    pub fn parse(frame: &Json) -> (Option<Json>, Result<Request, Failure>) {
+        let Some(_) = frame.as_obj() else {
+            return (
+                None,
+                Err(Failure::new(
+                    ErrorCode::BadRequest,
+                    "a request frame must be a JSON object",
+                )),
+            );
+        };
+        let id = frame.get("id").cloned();
+        (id, Self::parse_fields(frame))
+    }
+
+    fn parse_fields(frame: &Json) -> Result<Request, Failure> {
+        if let Some(v) = frame.get("v") {
+            let Some(v) = v.as_u64() else {
+                return Err(Failure::new(
+                    ErrorCode::BadRequest,
+                    "field \"v\" must be a non-negative integer",
+                ));
+            };
+            if v > PROTOCOL_VERSION {
+                return Err(Failure::new(
+                    ErrorCode::UnsupportedVersion,
+                    format!("this server speaks protocol version {PROTOCOL_VERSION}, got {v}"),
+                ));
+            }
+        }
+        let Some(op) = frame.get("op") else {
+            return Err(Failure::new(
+                ErrorCode::BadRequest,
+                "missing required field \"op\"",
+            ));
+        };
+        let Some(op) = op.as_str() else {
+            return Err(Failure::new(
+                ErrorCode::BadRequest,
+                "field \"op\" must be a string",
+            ));
+        };
+        match op {
+            "catalog" => Ok(Request::Catalog),
+            "stats" => Ok(Request::Stats {
+                relation: optional_string(frame, "relation")?,
+            }),
+            "entropy" => Ok(Request::Entropy {
+                relation: required_string(frame, "relation")?,
+                attrs: string_array(frame, "attrs")?,
+            }),
+            "loss" => Ok(Request::Loss {
+                relation: required_string(frame, "relation")?,
+                schema: schema_field(frame)?,
+            }),
+            "j" => Ok(Request::JMeasure {
+                relation: required_string(frame, "relation")?,
+                schema: schema_field(frame)?,
+            }),
+            "analyze" => Ok(Request::Analyze {
+                relation: required_string(frame, "relation")?,
+                schema: schema_field(frame)?,
+            }),
+            "mine" => Ok(Request::Mine {
+                relation: required_string(frame, "relation")?,
+                j_threshold: optional_f64(frame, "j_threshold")?,
+                max_bag_size: optional_usize(frame, "max_bag_size")?,
+            }),
+            other => Err(Failure::new(
+                ErrorCode::UnknownOp,
+                format!("unknown op \"{other}\""),
+            )),
+        }
+    }
+}
+
+fn required_string(frame: &Json, field: &str) -> Result<String, Failure> {
+    match frame.get(field) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(Failure::new(
+            ErrorCode::BadRequest,
+            format!("field \"{field}\" must be a string"),
+        )),
+        None => Err(Failure::new(
+            ErrorCode::BadRequest,
+            format!("missing required field \"{field}\""),
+        )),
+    }
+}
+
+fn optional_string(frame: &Json, field: &str) -> Result<Option<String>, Failure> {
+    match frame.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(Failure::new(
+            ErrorCode::BadRequest,
+            format!("field \"{field}\" must be a string when present"),
+        )),
+    }
+}
+
+fn optional_f64(frame: &Json, field: &str) -> Result<Option<f64>, Failure> {
+    match frame.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if n.is_finite() => Ok(Some(*n)),
+        Some(_) => Err(Failure::new(
+            ErrorCode::BadRequest,
+            format!("field \"{field}\" must be a finite number when present"),
+        )),
+    }
+}
+
+fn optional_usize(frame: &Json, field: &str) -> Result<Option<usize>, Failure> {
+    match frame.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) => Ok(Some(n as usize)),
+            None => Err(Failure::new(
+                ErrorCode::BadRequest,
+                format!("field \"{field}\" must be a non-negative integer when present"),
+            )),
+        },
+    }
+}
+
+fn string_array(frame: &Json, field: &str) -> Result<Vec<String>, Failure> {
+    let Some(value) = frame.get(field) else {
+        return Err(Failure::new(
+            ErrorCode::BadRequest,
+            format!("missing required field \"{field}\""),
+        ));
+    };
+    let Some(items) = value.as_arr() else {
+        return Err(Failure::new(
+            ErrorCode::BadRequest,
+            format!("field \"{field}\" must be an array of strings"),
+        ));
+    };
+    items
+        .iter()
+        .map(|item| {
+            item.as_str().map(str::to_owned).ok_or_else(|| {
+                Failure::new(
+                    ErrorCode::BadRequest,
+                    format!("field \"{field}\" must contain only strings"),
+                )
+            })
+        })
+        .collect()
+}
+
+fn schema_field(frame: &Json) -> Result<Vec<Vec<String>>, Failure> {
+    let Some(value) = frame.get("schema") else {
+        return Err(Failure::new(
+            ErrorCode::BadRequest,
+            "missing required field \"schema\"",
+        ));
+    };
+    let Some(bags) = value.as_arr() else {
+        return Err(Failure::new(
+            ErrorCode::BadRequest,
+            "field \"schema\" must be an array of attribute-name arrays",
+        ));
+    };
+    if bags.is_empty() {
+        return Err(Failure::new(
+            ErrorCode::InvalidSchema,
+            "a schema needs at least one bag",
+        ));
+    }
+    bags.iter()
+        .map(|bag| {
+            let Some(names) = bag.as_arr() else {
+                return Err(Failure::new(
+                    ErrorCode::BadRequest,
+                    "each schema bag must be an array of attribute names",
+                ));
+            };
+            if names.is_empty() {
+                return Err(Failure::new(
+                    ErrorCode::InvalidSchema,
+                    "schema bags must be non-empty",
+                ));
+            }
+            names
+                .iter()
+                .map(|n| {
+                    n.as_str().map(str::to_owned).ok_or_else(|| {
+                        Failure::new(
+                            ErrorCode::BadRequest,
+                            "schema bags must contain only strings",
+                        )
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds a success frame: `{"v":1,("id":…,)"ok":true,…fields}`.
+pub fn ok_frame(id: Option<Json>, fields: Vec<(String, Json)>) -> Json {
+    let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 3);
+    pairs.push(("v".to_owned(), Json::Num(PROTOCOL_VERSION as f64)));
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), id));
+    }
+    pairs.push(("ok".to_owned(), Json::Bool(true)));
+    pairs.extend(fields);
+    Json::Obj(pairs)
+}
+
+/// Builds an error frame:
+/// `{"v":1,("id":…,)"ok":false,"error":{"code":…,"message":…}}`.
+pub fn error_frame(id: Option<Json>, failure: &Failure) -> Json {
+    let mut pairs: Vec<(String, Json)> = Vec::with_capacity(4);
+    pairs.push(("v".to_owned(), Json::Num(PROTOCOL_VERSION as f64)));
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), id));
+    }
+    pairs.push(("ok".to_owned(), Json::Bool(false)));
+    pairs.push((
+        "error".to_owned(),
+        Json::obj([
+            ("code", Json::str(failure.code.as_str())),
+            ("message", Json::str(failure.message.clone())),
+        ]),
+    ));
+    Json::Obj(pairs)
+}
+
+/// Renders a `u128` protocol field (join sizes can exceed `2^53`, the
+/// largest integer a JSON number transports exactly) as the decimal string
+/// the spec mandates.
+pub fn u128_field(value: u128) -> Json {
+    Json::str(value.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(line: &str) -> Request {
+        let frame = Json::parse(line).unwrap();
+        let (_, req) = Request::parse(&frame);
+        req.unwrap()
+    }
+
+    fn parse_err(line: &str) -> Failure {
+        let frame = Json::parse(line).unwrap();
+        let (_, req) = Request::parse(&frame);
+        req.unwrap_err()
+    }
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_ok(r#"{"op":"catalog"}"#), Request::Catalog);
+        assert_eq!(
+            parse_ok(r#"{"op":"stats"}"#),
+            Request::Stats { relation: None }
+        );
+        assert_eq!(
+            parse_ok(r#"{"op":"stats","relation":"sales"}"#),
+            Request::Stats {
+                relation: Some("sales".into())
+            }
+        );
+        assert_eq!(
+            parse_ok(r#"{"op":"entropy","relation":"sales","attrs":["city","region"]}"#),
+            Request::Entropy {
+                relation: "sales".into(),
+                attrs: vec!["city".into(), "region".into()],
+            }
+        );
+        assert_eq!(
+            parse_ok(r#"{"op":"loss","relation":"sales","schema":[["a","b"],["b","c"]]}"#),
+            Request::Loss {
+                relation: "sales".into(),
+                schema: vec![vec!["a".into(), "b".into()], vec!["b".into(), "c".into()]],
+            }
+        );
+        assert!(matches!(
+            parse_ok(r#"{"op":"j","relation":"r","schema":[["a"]]}"#),
+            Request::JMeasure { .. }
+        ));
+        assert!(matches!(
+            parse_ok(r#"{"op":"analyze","relation":"r","schema":[["a"]]}"#),
+            Request::Analyze { .. }
+        ));
+        assert_eq!(
+            parse_ok(r#"{"op":"mine","relation":"r","j_threshold":0.05,"max_bag_size":3}"#),
+            Request::Mine {
+                relation: "r".into(),
+                j_threshold: Some(0.05),
+                max_bag_size: Some(3),
+            }
+        );
+        assert_eq!(
+            parse_ok(r#"{"op":"mine","relation":"r"}"#),
+            Request::Mine {
+                relation: "r".into(),
+                j_threshold: None,
+                max_bag_size: None,
+            }
+        );
+    }
+
+    #[test]
+    fn id_is_extracted_even_from_bad_requests() {
+        let frame = Json::parse(r#"{"id":7,"op":"nope"}"#).unwrap();
+        let (id, req) = Request::parse(&frame);
+        assert_eq!(id, Some(Json::Num(7.0)));
+        assert_eq!(req.unwrap_err().code, ErrorCode::UnknownOp);
+    }
+
+    #[test]
+    fn version_gate() {
+        assert!(matches!(
+            parse_ok(r#"{"v":1,"op":"catalog"}"#),
+            Request::Catalog
+        ));
+        assert_eq!(
+            parse_err(r#"{"v":2,"op":"catalog"}"#).code,
+            ErrorCode::UnsupportedVersion
+        );
+        assert_eq!(
+            parse_err(r#"{"v":"one","op":"catalog"}"#).code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn field_type_errors_are_bad_request() {
+        assert_eq!(parse_err(r#"{"op":5}"#).code, ErrorCode::BadRequest);
+        assert_eq!(
+            parse_err(r#"{"nop":"catalog"}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"loss","relation":"r"}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"loss","relation":"r","schema":"ab"}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"loss","relation":"r","schema":[]}"#).code,
+            ErrorCode::InvalidSchema
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"loss","relation":"r","schema":[[]]}"#).code,
+            ErrorCode::InvalidSchema
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"entropy","relation":"r","attrs":[1]}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"mine","relation":"r","max_bag_size":-1}"#).code,
+            ErrorCode::BadRequest
+        );
+        let (_, req) = Request::parse(&Json::Num(4.0));
+        assert_eq!(req.unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn frames_have_the_documented_envelope() {
+        let ok = ok_frame(
+            Some(Json::Num(3.0)),
+            vec![("x".to_owned(), Json::Bool(true))],
+        );
+        assert_eq!(ok.to_string(), r#"{"v":1,"id":3,"ok":true,"x":true}"#);
+        let err = error_frame(None, &Failure::new(ErrorCode::Busy, "queue full"));
+        assert_eq!(
+            err.to_string(),
+            r#"{"v":1,"ok":false,"error":{"code":"busy","message":"queue full"}}"#
+        );
+    }
+
+    #[test]
+    fn relation_errors_map_onto_wire_codes() {
+        use ajd_relation::AttrId;
+        let cases = [
+            (
+                RelationError::UnknownName("q".into()),
+                ErrorCode::UnknownAttribute,
+            ),
+            (
+                RelationError::UnknownAttribute(AttrId(3)),
+                ErrorCode::UnknownAttribute,
+            ),
+            (
+                RelationError::SchemaMismatch { detail: "x".into() },
+                ErrorCode::InvalidSchema,
+            ),
+            (RelationError::EmptyInput("r"), ErrorCode::EmptyRelation),
+            (RelationError::CountOverflow("join"), ErrorCode::Internal),
+        ];
+        for (err, code) in cases {
+            assert_eq!(Failure::from_relation_error(&err).code, code, "{err}");
+        }
+    }
+
+    #[test]
+    fn u128_fields_are_decimal_strings() {
+        assert_eq!(u128_field(0).to_string(), "\"0\"");
+        assert_eq!(
+            u128_field(u128::MAX).to_string(),
+            format!("\"{}\"", u128::MAX)
+        );
+    }
+}

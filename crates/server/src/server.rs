@@ -1,0 +1,748 @@
+//! The server core: per-relation analyzers, request dispatch, and the
+//! threaded TCP accept loop.
+//!
+//! A [`Server`] borrows a slice of [`RelationStore`]s built by the caller
+//! and constructs, once at startup, one [`Analyzer`] (with its shared,
+//! single-flight [`AnalysisContext`](ajd_relation::AnalysisContext) cache)
+//! per entry.  Every request against the same relation then flows through
+//! the same memoized grouping cache — N concurrent cold queries on one
+//! attribute set cost exactly one computation, and the `stats` frame
+//! proves it with hit/miss counters.
+//!
+//! Dispatch is transport-free: [`Server::handle_line`] maps one request
+//! line to one response frame and is what both the TCP loop and the
+//! integration tests call.  [`Server::serve`] adds the wire: a blocking
+//! accept loop that spawns one scoped thread per connection, reading
+//! line-delimited JSON requests and writing one response line each, in
+//! order.  A malformed line is answered with an error frame — the
+//! connection is **never** closed on a protocol error.
+
+use crate::admission::{Admission, AdmissionConfig, PoolStats};
+use crate::json::Json;
+use crate::protocol::{error_frame, ok_frame, u128_field, ErrorCode, Failure, Request};
+use crate::store::{RelationStore, StoreData};
+use ajd_core::{Analyzer, DiscoveryConfig, LossReport, SchemaMiner};
+use ajd_jointree::JoinTree;
+use ajd_relation::{AttrSet, CacheStats, Catalog, Relation, ShardedRelation, ThreadBudget};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Server tuning knobs.  The admission config sizes the two request-class
+/// pools and the per-request kernel thread budgets; see
+/// [`AdmissionConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Admission pools and kernel thread budgets.
+    pub admission: AdmissionConfig,
+}
+
+/// A cooperative stop signal for [`Server::serve`].
+///
+/// `serve` blocks in `accept`; to stop it, call [`ShutdownToken::signal`]
+/// with the listener's address — it sets the flag and opens (then
+/// immediately drops) one dummy connection so the accept loop wakes up,
+/// observes the flag, and returns after in-flight connections finish.
+#[derive(Debug, Default)]
+pub struct ShutdownToken {
+    flag: AtomicBool,
+}
+
+impl ShutdownToken {
+    /// A token in the "keep running" state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` once [`ShutdownToken::signal`] has been called.
+    pub fn is_signalled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown of the server accepting on `addr`.
+    pub fn signal(&self, addr: SocketAddr) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; the connection is dropped unused.
+        drop(TcpStream::connect(addr));
+    }
+}
+
+/// One catalog entry's long-lived analyzer: the two kernel instantiations
+/// the storage layouts need.
+enum EntryAnalyzer<'a> {
+    Flat(Analyzer<'a, Relation>),
+    Sharded(Analyzer<'a, ShardedRelation>),
+}
+
+struct Entry<'a> {
+    store: &'a RelationStore,
+    analyzer: EntryAnalyzer<'a>,
+}
+
+/// Runs `$body` with `$an` bound to the entry's analyzer, whichever kernel
+/// it is instantiated over (the body must be generic in the source type).
+macro_rules! with_analyzer {
+    ($entry:expr, |$an:ident| $body:expr) => {
+        match &$entry.analyzer {
+            EntryAnalyzer::Flat($an) => $body,
+            EntryAnalyzer::Sharded($an) => $body,
+        }
+    };
+}
+
+/// The query front-end: a catalog of relations, one shared analysis cache
+/// per entry, and budget-aware admission control.
+///
+/// The server borrows its stores (`'a`), which keeps ownership simple and
+/// self-reference-free: build the stores, then the server, then serve.
+/// See the crate docs for a complete transport-free example.
+pub struct Server<'a> {
+    entries: Vec<Entry<'a>>,
+    admission: Admission,
+    config: AdmissionConfig,
+}
+
+impl<'a> Server<'a> {
+    /// Builds a server over `stores` (one analyzer + cache per entry).
+    ///
+    /// Point-query analyzers compute cache misses under the
+    /// `point_threads` budget of the (clamped) admission config.  Fails
+    /// with [`ErrorCode::InvalidSchema`]-class library errors only if two
+    /// stores share a name.
+    pub fn new(
+        stores: &'a [RelationStore],
+        config: ServerConfig,
+    ) -> Result<Self, ajd_relation::RelationError> {
+        let admission_config = config.admission.clamped();
+        let point_budget = ThreadBudget::new(admission_config.point_threads);
+        let mut entries = Vec::with_capacity(stores.len());
+        for store in stores {
+            if entries
+                .iter()
+                .any(|e: &Entry<'_>| e.store.name() == store.name())
+            {
+                return Err(ajd_relation::RelationError::SchemaMismatch {
+                    detail: format!("duplicate relation name '{}' in catalog", store.name()),
+                });
+            }
+            let analyzer = match store.data() {
+                StoreData::Flat(r) => {
+                    EntryAnalyzer::Flat(Analyzer::with_thread_budget(r, point_budget))
+                }
+                StoreData::Sharded(s) => {
+                    EntryAnalyzer::Sharded(Analyzer::with_thread_budget(s, point_budget))
+                }
+            };
+            entries.push(Entry { store, analyzer });
+        }
+        Ok(Server {
+            entries,
+            admission: Admission::new(&admission_config),
+            config: admission_config,
+        })
+    }
+
+    /// The admission config the server runs with (after clamping).
+    pub fn admission_config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (transport-free)
+    // ------------------------------------------------------------------
+
+    /// Answers one request line with one response frame.
+    ///
+    /// This is the whole protocol minus the socket: parse, dispatch,
+    /// envelope.  Errors — including a line that is not valid JSON — come
+    /// back as structured error frames, never panics.
+    pub fn handle_line(&self, line: &str) -> Json {
+        let frame = match Json::parse(line) {
+            Ok(frame) => frame,
+            Err(err) => {
+                return error_frame(
+                    None,
+                    &Failure::new(ErrorCode::BadRequest, format!("invalid JSON: {err}")),
+                )
+            }
+        };
+        let (id, parsed) = Request::parse(&frame);
+        let request = match parsed {
+            Ok(request) => request,
+            Err(failure) => return error_frame(id.clone(), &failure),
+        };
+        match self.dispatch(&request) {
+            Ok(fields) => ok_frame(id, fields),
+            Err(failure) => error_frame(id, &failure),
+        }
+    }
+
+    fn dispatch(&self, request: &Request) -> Result<Vec<(String, Json)>, Failure> {
+        match request {
+            Request::Catalog => Ok(self.catalog_fields()),
+            Request::Stats { relation } => self.stats_fields(relation.as_deref()),
+            Request::Entropy { relation, attrs } => {
+                let _slot = self.admit_point()?;
+                let entry = self.find(relation)?;
+                let set = entry
+                    .store
+                    .catalog()
+                    .attrs(attrs.iter())
+                    .map_err(|e| Failure::from_relation_error(&e))?;
+                let nats = with_analyzer!(entry, |an| an.entropy(&set))
+                    .map_err(|e| Failure::from_relation_error(&e))?;
+                Ok(vec![
+                    ("op".to_owned(), Json::str("entropy")),
+                    ("relation".to_owned(), Json::str(relation.clone())),
+                    (
+                        "attrs".to_owned(),
+                        Json::Arr(attrs.iter().map(Json::str).collect()),
+                    ),
+                    ("entropy_nats".to_owned(), Json::Num(nats)),
+                ])
+            }
+            Request::Loss { relation, schema } => {
+                let _slot = self.admit_point()?;
+                let entry = self.find(relation)?;
+                let tree = resolve_schema(entry.store, schema)?;
+                let rho = with_analyzer!(entry, |an| an.loss(&tree))
+                    .map_err(|e| Failure::from_relation_error(&e))?;
+                Ok(vec![
+                    ("op".to_owned(), Json::str("loss")),
+                    ("relation".to_owned(), Json::str(relation.clone())),
+                    ("rho".to_owned(), Json::Num(rho)),
+                    ("log1p_rho".to_owned(), Json::Num(rho.ln_1p())),
+                ])
+            }
+            Request::JMeasure { relation, schema } => {
+                let _slot = self.admit_point()?;
+                let entry = self.find(relation)?;
+                let tree = resolve_schema(entry.store, schema)?;
+                let j = with_analyzer!(entry, |an| an.j_measure(&tree))
+                    .map_err(|e| Failure::from_relation_error(&e))?;
+                Ok(vec![
+                    ("op".to_owned(), Json::str("j")),
+                    ("relation".to_owned(), Json::str(relation.clone())),
+                    ("j_nats".to_owned(), Json::Num(j)),
+                ])
+            }
+            Request::Analyze { relation, schema } => {
+                let _slot = self.admit_point()?;
+                let entry = self.find(relation)?;
+                let tree = resolve_schema(entry.store, schema)?;
+                let report = with_analyzer!(entry, |an| an.analyze(&tree))
+                    .map_err(|e| Failure::from_relation_error(&e))?;
+                Ok(vec![
+                    ("op".to_owned(), Json::str("analyze")),
+                    ("relation".to_owned(), Json::str(relation.clone())),
+                    (
+                        "report".to_owned(),
+                        report_json(entry.store.catalog(), &report),
+                    ),
+                ])
+            }
+            Request::Mine {
+                relation,
+                j_threshold,
+                max_bag_size,
+            } => {
+                let _slot = self.admit_mine()?;
+                let entry = self.find(relation)?;
+                let mut config = DiscoveryConfig::default();
+                if let Some(t) = j_threshold {
+                    config.j_threshold = *t;
+                }
+                if let Some(b) = max_bag_size {
+                    config.max_bag_size = *b;
+                }
+                let miner = SchemaMiner::new(config);
+                let mined = with_analyzer!(entry, |an| miner
+                    .mine_with(&an.batch().with_threads(self.config.mine_threads)))
+                .map_err(|e| Failure::from_relation_error(&e))?;
+                let catalog = entry.store.catalog();
+                let schema_json = Json::Arr(
+                    mined
+                        .tree
+                        .bags()
+                        .iter()
+                        .map(|bag| attr_names_json(catalog, bag))
+                        .collect(),
+                );
+                Ok(vec![
+                    ("op".to_owned(), Json::str("mine")),
+                    ("relation".to_owned(), Json::str(relation.clone())),
+                    ("schema".to_owned(), schema_json),
+                    (
+                        "num_bags".to_owned(),
+                        Json::Num(mined.tree.bags().len() as f64),
+                    ),
+                    ("j_nats".to_owned(), Json::Num(mined.j_measure)),
+                    (
+                        "rho_lower_bound".to_owned(),
+                        Json::Num(mined.rho_lower_bound),
+                    ),
+                ])
+            }
+        }
+    }
+
+    fn catalog_fields(&self) -> Vec<(String, Json)> {
+        let relations: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|entry| {
+                let store = entry.store;
+                Json::obj([
+                    ("name", Json::str(store.name())),
+                    ("rows", Json::Num(store.data().num_rows() as f64)),
+                    ("arity", Json::Num(store.data().arity() as f64)),
+                    ("sharded", Json::Bool(store.data().is_sharded())),
+                    ("shards", Json::Num(store.data().num_shards() as f64)),
+                    (
+                        "attributes",
+                        Json::Arr(store.attribute_names().iter().map(Json::str).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        vec![
+            ("op".to_owned(), Json::str("catalog")),
+            ("relations".to_owned(), Json::Arr(relations)),
+        ]
+    }
+
+    fn stats_fields(&self, relation: Option<&str>) -> Result<Vec<(String, Json)>, Failure> {
+        // An empty catalog is a legal server state: the admission section
+        // still answers and `relations` is simply `[]`.
+        let selected: Vec<&Entry<'a>> = match relation {
+            None => self.entries.iter().collect(),
+            Some(name) => vec![self.find(name)?],
+        };
+        let relations: Vec<Json> = selected
+            .iter()
+            .map(|entry| {
+                let cache = with_analyzer!(entry, |an| an.cache_stats());
+                Json::obj([
+                    ("name", Json::str(entry.store.name())),
+                    ("cache", cache_json(&cache)),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("op".to_owned(), Json::str("stats")),
+            (
+                "admission".to_owned(),
+                Json::obj([
+                    ("point", pool_json(&self.admission.point.stats())),
+                    ("mine", pool_json(&self.admission.mine.stats())),
+                ]),
+            ),
+            ("relations".to_owned(), Json::Arr(relations)),
+        ])
+    }
+
+    fn find(&self, name: &str) -> Result<&Entry<'a>, Failure> {
+        self.entries
+            .iter()
+            .find(|e| e.store.name() == name)
+            .ok_or_else(|| {
+                Failure::new(
+                    ErrorCode::UnknownRelation,
+                    format!("no relation named '{name}' in the catalog"),
+                )
+            })
+    }
+
+    fn admit_point(&self) -> Result<crate::admission::PoolGuard<'_>, Failure> {
+        self.admission.point.admit().ok_or_else(|| {
+            Failure::new(
+                ErrorCode::Busy,
+                "point-query pool saturated and its wait queue is full; retry later",
+            )
+        })
+    }
+
+    fn admit_mine(&self) -> Result<crate::admission::PoolGuard<'_>, Failure> {
+        self.admission.mine.admit().ok_or_else(|| {
+            Failure::new(
+                ErrorCode::Busy,
+                "mine pool saturated and its wait queue is full; retry later",
+            )
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Transport
+    // ------------------------------------------------------------------
+
+    /// Serves connections from `listener` until `shutdown` is signalled.
+    ///
+    /// Each connection gets its own scoped thread reading line-delimited
+    /// JSON requests and writing one response frame per line, in request
+    /// order.  Returns once the accept loop has stopped **and** every
+    /// connection thread has finished.
+    pub fn serve(&self, listener: TcpListener, shutdown: &ShutdownToken) {
+        std::thread::scope(|scope| {
+            for stream in listener.incoming() {
+                if shutdown.is_signalled() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                scope.spawn(move || self.serve_connection(stream));
+            }
+        });
+    }
+
+    fn serve_connection(&self, stream: TcpStream) {
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { return };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let frame = self.handle_line(&line);
+            if writeln!(writer, "{frame}").is_err() || writer.flush().is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Resolves a wire schema (bags of attribute names) against a store:
+/// names → [`AttrSet`]s, cover check, then join-tree construction (which
+/// enforces the running-intersection property).
+fn resolve_schema(store: &RelationStore, schema: &[Vec<String>]) -> Result<JoinTree, Failure> {
+    let catalog = store.catalog();
+    let mut bags = Vec::with_capacity(schema.len());
+    let mut cover = AttrSet::empty();
+    for bag in schema {
+        let set = catalog
+            .attrs(bag.iter())
+            .map_err(|e| Failure::from_relation_error(&e))?;
+        cover = cover.union(&set);
+        bags.push(set);
+    }
+    let arity = store.data().arity();
+    if cover.len() != arity {
+        return Err(Failure::new(
+            ErrorCode::InvalidSchema,
+            format!(
+                "schema covers {} of the relation's {} attributes; bags must cover the schema exactly",
+                cover.len(),
+                arity
+            ),
+        ));
+    }
+    JoinTree::from_acyclic_schema(&bags)
+        .map_err(|e| Failure::new(ErrorCode::InvalidSchema, e.to_string()))
+}
+
+fn attr_names_json(catalog: &Catalog, set: &AttrSet) -> Json {
+    Json::Arr(
+        set.iter()
+            .map(|id| {
+                Json::str(
+                    catalog
+                        .name(id)
+                        .expect("attribute ids come from this catalog"),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn cache_json(stats: &CacheStats) -> Json {
+    Json::obj([
+        ("hits", Json::Num(stats.hits as f64)),
+        ("misses", Json::Num(stats.misses as f64)),
+        (
+            "group_count_entries",
+            Json::Num(stats.group_count_entries as f64),
+        ),
+        ("group_id_entries", Json::Num(stats.group_id_entries as f64)),
+        (
+            "projection_entries",
+            Json::Num(stats.projection_entries as f64),
+        ),
+    ])
+}
+
+fn pool_json(stats: &PoolStats) -> Json {
+    Json::obj([
+        ("slots", Json::Num(stats.slots as f64)),
+        ("queue_depth", Json::Num(stats.queue_depth as f64)),
+        ("in_flight", Json::Num(stats.in_flight as f64)),
+        ("waiting", Json::Num(stats.waiting as f64)),
+        ("peak_in_flight", Json::Num(stats.peak_in_flight as f64)),
+        ("admitted", Json::Num(stats.admitted as f64)),
+        ("queued", Json::Num(stats.queued as f64)),
+        ("rejected", Json::Num(stats.rejected as f64)),
+    ])
+}
+
+fn report_json(catalog: &Catalog, report: &LossReport) -> Json {
+    let per_mvd: Vec<Json> = report
+        .per_mvd
+        .iter()
+        .map(|m| {
+            Json::obj([
+                ("lhs", attr_names_json(catalog, &m.mvd.lhs)),
+                ("left", attr_names_json(catalog, &m.mvd.left)),
+                ("right", attr_names_json(catalog, &m.mvd.right)),
+                ("cmi_nats", Json::Num(m.cmi_nats)),
+                ("rho", Json::Num(m.rho)),
+                ("log1p_rho", Json::Num(m.log1p_rho)),
+                (
+                    "domain_sizes",
+                    Json::Arr(vec![
+                        Json::Num(m.domain_sizes.0 as f64),
+                        Json::Num(m.domain_sizes.1 as f64),
+                        Json::Num(m.domain_sizes.2 as f64),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("rows", Json::Num(report.n as f64)),
+        ("distinct_rows", Json::Num(report.distinct_n as f64)),
+        ("num_bags", Json::Num(report.num_bags as f64)),
+        ("join_size", u128_field(report.join_size)),
+        ("spurious", u128_field(report.spurious)),
+        ("rho", Json::Num(report.rho)),
+        ("log1p_rho", Json::Num(report.log1p_rho)),
+        ("j_nats", Json::Num(report.j_measure)),
+        ("kl_nats", Json::Num(report.kl_nats)),
+        ("rho_lower_bound", Json::Num(report.rho_lower_bound)),
+        ("lossless", Json::Bool(report.is_lossless())),
+        (
+            "theorem22",
+            Json::obj([
+                ("max_cmi", Json::Num(report.theorem22.max_cmi)),
+                ("j", Json::Num(report.theorem22.j)),
+                ("sum_cmi", Json::Num(report.theorem22.sum_cmi)),
+            ]),
+        ),
+        ("prop51_bound", Json::Num(report.prop51_bound)),
+        ("per_mvd", Json::Arr(per_mvd)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajd_relation::ReadOptions;
+
+    const CSV: &str = "\
+course,teacher,room
+db,ann,r1
+db,ann,r2
+os,bob,r1
+os,bob,r2
+";
+
+    fn stores() -> Vec<RelationStore> {
+        vec![RelationStore::from_delimited("courses", CSV, ReadOptions::default()).unwrap()]
+    }
+
+    fn ok_get<'j>(frame: &'j Json, field: &str) -> &'j Json {
+        assert_eq!(
+            frame.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "expected ok frame, got {frame}"
+        );
+        frame.get(field).expect(field)
+    }
+
+    #[test]
+    fn catalog_lists_entries() {
+        let stores = stores();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server.handle_line(r#"{"op":"catalog"}"#);
+        let relations = ok_get(&frame, "relations").as_arr().unwrap();
+        assert_eq!(relations.len(), 1);
+        assert_eq!(
+            relations[0].get("name").and_then(Json::as_str),
+            Some("courses")
+        );
+        assert_eq!(relations[0].get("rows").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            relations[0].get("sharded").and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn stats_on_empty_catalog_does_not_panic() {
+        let stores: Vec<RelationStore> = Vec::new();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server.handle_line(r#"{"op":"stats"}"#);
+        let relations = ok_get(&frame, "relations").as_arr().unwrap();
+        assert!(relations.is_empty());
+        assert!(frame.get("admission").is_some());
+        // Catalog on an empty catalog is likewise just empty, not an error.
+        let frame = server.handle_line(r#"{"op":"catalog"}"#);
+        assert!(ok_get(&frame, "relations").as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lossless_schema_reports_zero_loss() {
+        let stores = stores();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        // course ↠ teacher | room holds: teacher is determined by course.
+        let frame = server.handle_line(
+            r#"{"op":"loss","relation":"courses","schema":[["course","teacher"],["course","room"]]}"#,
+        );
+        assert_eq!(ok_get(&frame, "rho").as_f64(), Some(0.0));
+        let frame = server.handle_line(
+            r#"{"op":"analyze","relation":"courses","schema":[["course","teacher"],["course","room"]]}"#,
+        );
+        let report = ok_get(&frame, "report");
+        assert_eq!(report.get("lossless").and_then(Json::as_bool), Some(true));
+        assert_eq!(report.get("join_size").and_then(Json::as_str), Some("4"));
+        assert_eq!(report.get("spurious").and_then(Json::as_str), Some("0"));
+    }
+
+    #[test]
+    fn lossy_schema_reports_positive_loss_and_consistent_j() {
+        let stores =
+            vec![
+                RelationStore::from_delimited("r", "a,b\n0,0\n1,1\n", ReadOptions::default())
+                    .unwrap(),
+            ];
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server.handle_line(r#"{"op":"analyze","relation":"r","schema":[["a"],["b"]]}"#);
+        let report = ok_get(&frame, "report");
+        assert_eq!(report.get("rho").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(report.get("join_size").and_then(Json::as_str), Some("4"));
+        let j = report.get("j_nats").and_then(Json::as_f64).unwrap();
+        let frame = server.handle_line(r#"{"op":"j","relation":"r","schema":[["a"],["b"]]}"#);
+        assert_eq!(ok_get(&frame, "j_nats").as_f64(), Some(j));
+    }
+
+    #[test]
+    fn entropy_matches_uniform_distribution() {
+        let stores = stores();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame =
+            server.handle_line(r#"{"op":"entropy","relation":"courses","attrs":["course"]}"#);
+        let h = ok_get(&frame, "entropy_nats").as_f64().unwrap();
+        assert!((h - 2.0f64.ln()).abs() < 1e-12, "H(course) = ln 2, got {h}");
+        // H(∅) = 0.
+        let frame = server.handle_line(r#"{"op":"entropy","relation":"courses","attrs":[]}"#);
+        assert_eq!(ok_get(&frame, "entropy_nats").as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn error_frames_are_structured() {
+        let stores = stores();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let cases = [
+            (
+                r#"{"op":"loss","relation":"nope","schema":[["course"]]}"#,
+                "unknown_relation",
+            ),
+            (
+                r#"{"op":"entropy","relation":"courses","attrs":["flavour"]}"#,
+                "unknown_attribute",
+            ),
+            (
+                r#"{"op":"loss","relation":"courses","schema":[["course","teacher"]]}"#,
+                "invalid_schema",
+            ),
+            (r#"{"op":"stats","relation":"nope"}"#, "unknown_relation"),
+            (r#"not json"#, "bad_request"),
+            (r#"{"op":"warp"}"#, "unknown_op"),
+            (r#"{"v":99,"op":"catalog"}"#, "unsupported_version"),
+        ];
+        for (line, code) in cases {
+            let frame = server.handle_line(line);
+            assert_eq!(
+                frame.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{line}"
+            );
+            let error = frame.get("error").expect("error object");
+            assert_eq!(
+                error.get("code").and_then(Json::as_str),
+                Some(code),
+                "{line}"
+            );
+            assert!(error.get("message").and_then(Json::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn mine_finds_the_lossless_schema() {
+        let stores = stores();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server.handle_line(r#"{"op":"mine","relation":"courses","max_bag_size":2}"#);
+        let j = ok_get(&frame, "j_nats").as_f64().unwrap();
+        assert!(
+            j.abs() < 1e-12,
+            "courses has a lossless 2-attr schema, J = {j}"
+        );
+        let schema = frame.get("schema").and_then(Json::as_arr).unwrap();
+        assert!(!schema.is_empty());
+    }
+
+    #[test]
+    fn point_queries_share_one_cache() {
+        let stores = stores();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let line = r#"{"op":"loss","relation":"courses","schema":[["course","teacher"],["course","room"]]}"#;
+        server.handle_line(line);
+        let frame = server.handle_line(r#"{"op":"stats","relation":"courses"}"#);
+        let relations = ok_get(&frame, "relations").as_arr().unwrap();
+        let cache = relations[0].get("cache").unwrap();
+        let misses_cold = cache.get("misses").and_then(Json::as_u64).unwrap();
+        assert!(misses_cold > 0, "cold query must miss");
+        // Re-issue the same query: every grouping is now memoized.
+        server.handle_line(line);
+        let frame = server.handle_line(r#"{"op":"stats","relation":"courses"}"#);
+        let relations = ok_get(&frame, "relations").as_arr().unwrap();
+        let cache = relations[0].get("cache").unwrap();
+        let misses_warm = cache.get("misses").and_then(Json::as_u64).unwrap();
+        assert_eq!(misses_warm, misses_cold, "warm query must not miss");
+        assert!(cache.get("hits").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_at_startup() {
+        let stores = vec![
+            RelationStore::from_delimited("r", "a\n1\n", ReadOptions::default()).unwrap(),
+            RelationStore::from_delimited("r", "a\n2\n", ReadOptions::default()).unwrap(),
+        ];
+        assert!(Server::new(&stores, ServerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn sharded_and_flat_entries_agree() {
+        let mut text = String::from("a,b,c\n");
+        for i in 0..40 {
+            text.push_str(&format!("{},{},{}\n", i % 5, i % 5, i % 4));
+        }
+        let flat = RelationStore::from_delimited("flat", &text, ReadOptions::default()).unwrap();
+        let (catalog, relation) =
+            ajd_relation::io::read_delimited(&text, ReadOptions::default()).unwrap();
+        let sharded =
+            RelationStore::sharded("sharded", catalog, relation.into_shards(3).unwrap()).unwrap();
+        let stores = vec![flat, sharded];
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let q = |name: &str| {
+            let frame = server.handle_line(&format!(
+                r#"{{"op":"analyze","relation":"{name}","schema":[["a","b"],["b","c"]]}}"#
+            ));
+            ok_get(&frame, "report").to_string()
+        };
+        assert_eq!(
+            q("flat"),
+            q("sharded"),
+            "shard layout must not change any measure"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Executes `docs/PROTOCOL.md` against a live server.
+//!
+//! The spec's fenced code blocks ARE the test vectors: the block tagged
+//! `csv fixture` is the catalog, every block tagged `json request` or
+//! `text request` is a request line, and each is answered by the next
+//! block tagged `json response`.  Each pair runs against a **fresh**
+//! server (with the admission config the spec pins), so the examples are
+//! deterministic and the document cannot drift from the implementation.
+
+use ajd_relation::ReadOptions;
+use ajd_server::{AdmissionConfig, Json, RelationStore, Server, ServerConfig};
+
+const SPEC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+/// A fenced code block: info string (the text after ```) and body.
+struct Block {
+    info: String,
+    body: String,
+}
+
+fn fenced_blocks(markdown: &str) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Block> = None;
+    for line in markdown.lines() {
+        match current.as_mut() {
+            None => {
+                if let Some(info) = line.strip_prefix("```") {
+                    if !info.trim().is_empty() {
+                        current = Some(Block {
+                            info: info.trim().to_owned(),
+                            body: String::new(),
+                        });
+                    }
+                }
+            }
+            Some(block) => {
+                if line.trim_end() == "```" {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    block.body.push_str(line);
+                    block.body.push('\n');
+                }
+            }
+        }
+    }
+    blocks
+}
+
+/// The admission config the spec's examples are pinned to.
+fn pinned_config() -> ServerConfig {
+    ServerConfig {
+        admission: AdmissionConfig {
+            point_slots: 4,
+            mine_slots: 2,
+            queue_depth: 8,
+            point_threads: 1,
+            mine_threads: 1,
+        },
+    }
+}
+
+#[test]
+fn every_spec_example_is_live() {
+    let blocks = fenced_blocks(SPEC);
+    let fixture = blocks
+        .iter()
+        .find(|b| b.info == "csv fixture")
+        .expect("the spec must contain a `csv fixture` block");
+
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    let mut pending_request: Option<&str> = None;
+    for block in &blocks {
+        match block.info.as_str() {
+            "json request" | "text request" => {
+                assert!(
+                    pending_request.is_none(),
+                    "two request blocks in a row in the spec (around {:?})",
+                    block.body.trim()
+                );
+                pending_request = Some(block.body.trim_end_matches('\n'));
+            }
+            "json response" => {
+                let request = pending_request
+                    .take()
+                    .expect("a `json response` block must follow a request block");
+                pairs.push((request, block.body.trim_end_matches('\n')));
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        pending_request.is_none(),
+        "a request block at the end of the spec has no response"
+    );
+    assert!(
+        pairs.len() >= 12,
+        "the spec documents at least 12 worked examples, found {}",
+        pairs.len()
+    );
+
+    for (request, expected) in pairs {
+        assert!(
+            !request.contains('\n'),
+            "request examples must be single lines: {request:?}"
+        );
+        // Fresh server per example: the spec's frames are cold-state.
+        let stores =
+            vec![
+                RelationStore::from_delimited("courses", &fixture.body, ReadOptions::default())
+                    .expect("spec fixture must load"),
+            ];
+        let server = Server::new(&stores, pinned_config()).expect("server over spec fixture");
+        let actual = server.handle_line(request);
+        let expected_json = Json::parse(expected)
+            .unwrap_or_else(|e| panic!("spec response is not valid JSON ({e}): {expected}"));
+        assert_eq!(
+            actual.to_string(),
+            expected_json.to_string(),
+            "\nspec drift for request:\n  {request}\nexpected:\n  {expected}\ngot:\n  {actual}\n"
+        );
+    }
+}
+
+/// Every `json request` block in the spec must itself be valid JSON (the
+/// deliberately-malformed example is tagged `text request` instead).
+#[test]
+fn spec_request_blocks_are_valid_json() {
+    for block in fenced_blocks(SPEC) {
+        if block.info == "json request" || block.info == "json response" {
+            let body = block.body.trim();
+            Json::parse(body)
+                .unwrap_or_else(|e| panic!("spec block is not valid JSON ({e}): {body}"));
+        }
+    }
+}

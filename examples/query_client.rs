@@ -1,0 +1,55 @@
+//! Query a running `ajd-server` (see the `serve_catalog` example).
+//!
+//! ```text
+//! cargo run --release --example query_client -- ADDR [REQUEST ...]
+//!
+//!   ADDR      e.g. 127.0.0.1:4321
+//!   REQUEST   one JSON request per argument; with none given, request
+//!             lines are read from stdin (one per line)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! query_client 127.0.0.1:4321 '{"op":"catalog"}'
+//! query_client 127.0.0.1:4321 \
+//!   '{"op":"loss","relation":"orders","schema":[["id","item"],["item","price"]]}'
+//! echo '{"op":"stats"}' | query_client 127.0.0.1:4321
+//! ```
+
+use ajd::server::Client;
+use std::io::BufRead;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: query_client ADDR ['{{\"op\":...}}' ...]");
+        std::process::exit(2);
+    };
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let requests: Vec<String> = args.collect();
+    let mut run = |line: &str| {
+        if line.trim().is_empty() {
+            return;
+        }
+        match client.request_line(line) {
+            Ok(response) => println!("{response}"),
+            Err(e) => {
+                eprintln!("transport error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if requests.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            run(&line.expect("stdin"));
+        }
+    } else {
+        for request in &requests {
+            run(request);
+        }
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`core`] (`ajd-core`) — the context-first [`core::Analyzer`] API:
 //!   one owner for the cached state of a relation, one entry point for
 //!   every measure, batch fan-out and approximate schema discovery.
+//! * [`server`] (`ajd-server`) — loss-as-a-service: a threaded TCP query
+//!   front-end over a catalog of relations, speaking the line-delimited
+//!   JSON protocol of `docs/PROTOCOL.md`, with budget-aware admission
+//!   control and per-relation shared analysis caches.
 //!
 //! ## Quick start
 //!
@@ -45,6 +49,7 @@ pub use ajd_info as info;
 pub use ajd_jointree as jointree;
 pub use ajd_random as random;
 pub use ajd_relation as relation;
+pub use ajd_server as server;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -58,7 +63,8 @@ pub mod prelude {
     pub use ajd_jointree::{count_acyclic_join, JoinTree, Mvd, Schema};
     pub use ajd_random::{generators, ProductDomain, RandomRelationModel};
     pub use ajd_relation::{
-        AnalysisContext, AttrId, AttrSet, Catalog, GroupKernel, GroupSource, Relation,
-        RelationShard, ShardedRelation, Value,
+        AnalysisContext, AttrId, AttrSet, Catalog, GroupKernel, GroupSource, ReadOptions, Relation,
+        RelationShard, ShardPolicy, ShardedRelation, Value,
     };
+    pub use ajd_server::{RelationStore, Server, ServerConfig, ShutdownToken};
 }
