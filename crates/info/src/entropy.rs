@@ -50,8 +50,9 @@ pub fn conditional_entropy<S: GroupSource>(src: &S, a: &AttrSet, b: &AttrSet) ->
 /// Entropy from an iterator of positive counts with the given total.
 ///
 /// Exposed for the statistics of the random relation model (where counts
-/// may come from histograms rather than relations).
-pub fn entropy_of_count_values<I: IntoIterator<Item = u64>>(counts: I, total: u64) -> f64 {
+/// may come from histograms rather than relations).  `total` is `u128` to
+/// match [`GroupCounts::total`], which never saturates.
+pub fn entropy_of_count_values<I: IntoIterator<Item = u64>>(counts: I, total: u128) -> f64 {
     if total == 0 {
         return 0.0;
     }

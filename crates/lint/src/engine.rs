@@ -1,0 +1,362 @@
+//! The lint driver: file walking, waiver resolution, report assembly.
+//!
+//! ## Waivers
+//!
+//! A finding is suppressed only by an inline annotation:
+//!
+//! ```text
+//! // ajd: allow(rule-id, "why this occurrence is correct")
+//! ```
+//!
+//! placed either at the end of the offending line or on a comment-only
+//! line directly above it (several waiver lines may stack).  A file-wide
+//! exception uses `allow-file` and is intended for files whose whole idiom
+//! triggers a rule (none currently).  Waivers are themselves linted: a
+//! waiver that does not parse, names an unknown rule, or omits the reason
+//! is a [`MALFORMED_WAIVER`] finding; a waiver that suppresses nothing is
+//! a [`STALE_WAIVER`] finding.  The tree therefore carries no silent and
+//! no dead exceptions.
+
+use crate::lexer::scrub;
+use crate::rules::{check_file, FileModel, Finding, MALFORMED_WAIVER, RULES, STALE_WAIVER};
+use std::path::{Path, PathBuf};
+
+/// A parsed `ajd: allow(...)` annotation.
+#[derive(Debug, Clone)]
+struct Waiver {
+    /// 1-based line the comment sits on.
+    line: usize,
+    rule: String,
+    reason: String,
+    file_level: bool,
+    used: bool,
+}
+
+/// A suppressed finding, kept in the report so `--json` shows the full
+/// audit trail (what was waived, where, and why).
+#[derive(Debug, Clone)]
+pub struct WaivedFinding {
+    /// The finding that the waiver matched.
+    pub finding: Finding,
+    /// The written justification from the waiver.
+    pub reason: String,
+}
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived violations — the pass fails (under `--deny`) iff nonempty.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by a waiver, with their reasons.
+    pub waived: Vec<WaivedFinding>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// `true` when there are no unwaived findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{} [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "ajd-lint: {} file(s), {} finding(s), {} waived\n",
+            self.files,
+            self.findings.len(),
+            self.waived.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report (stable field order).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"v\":1,\"files\":");
+        out.push_str(&self.files.to_string());
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("],\"waived\":[");
+        for (i, w) in self.waived.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"reason\":{}}}",
+                json_str(w.finding.rule),
+                json_str(&w.finding.path),
+                w.finding.line,
+                json_str(&w.reason)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the report contains no exotic content).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lints one in-memory source file (the fixture-test entry point).
+pub fn lint_source(path: &str, source: &str) -> Report {
+    lint_files(&[(path.to_owned(), source.to_owned())])
+}
+
+/// Lints a set of `(workspace-relative path, source)` pairs.
+pub fn lint_files(files: &[(String, String)]) -> Report {
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    for (path, source) in files {
+        lint_one(path, source, &mut report);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Parses the waivers of a scrubbed file and reports malformed ones.
+fn parse_waivers(file: &FileModel, report: &mut Report) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        for comment in &line.comments {
+            let trimmed = comment.trim();
+            let Some(rest) = trimmed.strip_prefix("ajd:") else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let (file_level, body) = if let Some(b) = rest.strip_prefix("allow-file(") {
+                (true, b)
+            } else if let Some(b) = rest.strip_prefix("allow(") {
+                (false, b)
+            } else {
+                report.findings.push(Finding {
+                    rule: MALFORMED_WAIVER,
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`ajd:` comment is not of the form `ajd: allow(rule-id, \
+                         \"reason\")`: `{trimmed}`"
+                    ),
+                });
+                continue;
+            };
+            let Some(body) = body.trim_end().strip_suffix(')') else {
+                report.findings.push(Finding {
+                    rule: MALFORMED_WAIVER,
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    message: "waiver is missing its closing `)`".to_owned(),
+                });
+                continue;
+            };
+            let (rule, reason) = match body.split_once(',') {
+                Some((r, rest)) => (r.trim(), rest.trim()),
+                None => (body.trim(), ""),
+            };
+            // Comment bodies are preserved verbatim by the lexer, so the
+            // reason is readable here: a non-empty double-quoted string.
+            let reason_text = reason
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .filter(|r| !r.trim().is_empty());
+            if !known_rule(rule) {
+                report.findings.push(Finding {
+                    rule: MALFORMED_WAIVER,
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    message: format!("waiver names unknown rule `{rule}`"),
+                });
+                continue;
+            }
+            let Some(reason_text) = reason_text else {
+                report.findings.push(Finding {
+                    rule: MALFORMED_WAIVER,
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "waiver for `{rule}` carries no quoted reason; every exception \
+                         must be justified in-tree"
+                    ),
+                });
+                continue;
+            };
+            waivers.push(Waiver {
+                line: idx + 1,
+                rule: rule.to_owned(),
+                reason: reason_text.to_owned(),
+                file_level,
+                used: false,
+            });
+        }
+    }
+    waivers
+}
+
+fn lint_one(path: &str, source: &str, report: &mut Report) {
+    let file = FileModel {
+        path: path.to_owned(),
+        lines: scrub(source),
+    };
+    let mut waivers = parse_waivers(&file, report);
+    let findings = check_file(&file);
+
+    for f in findings {
+        let idx = waiver_for(&file, &mut waivers, &f);
+        match idx {
+            Some(i) => {
+                waivers[i].used = true;
+                report.waived.push(WaivedFinding {
+                    reason: waivers[i].reason.clone(),
+                    finding: f,
+                });
+            }
+            None => report.findings.push(f),
+        }
+    }
+
+    for w in &waivers {
+        if !w.used {
+            report.findings.push(Finding {
+                rule: STALE_WAIVER,
+                path: file.path.clone(),
+                line: w.line,
+                message: format!(
+                    "waiver for `{}` suppresses nothing; the violation it covered is \
+                     gone — delete the waiver",
+                    w.rule
+                ),
+            });
+        }
+    }
+}
+
+/// Finds a waiver matching finding `f`: file-level, same-line, or on the
+/// contiguous run of comment-only lines directly above.
+fn waiver_for(file: &FileModel, waivers: &mut [Waiver], f: &Finding) -> Option<usize> {
+    // Meta findings are never waivable — fix the waiver instead.
+    if f.rule == MALFORMED_WAIVER || f.rule == STALE_WAIVER {
+        return None;
+    }
+    if let Some(i) = waivers
+        .iter()
+        .position(|w| w.file_level && w.rule == f.rule)
+    {
+        return Some(i);
+    }
+    if let Some(i) = waivers
+        .iter()
+        .position(|w| !w.file_level && w.line == f.line && w.rule == f.rule)
+    {
+        return Some(i);
+    }
+    // Walk up over comment-only lines.
+    let mut line = f.line;
+    while line > 1 {
+        line -= 1;
+        let model = &file.lines[line - 1];
+        let comment_only = model.scrubbed.trim().is_empty() && !model.comments.is_empty();
+        if !comment_only {
+            break;
+        }
+        if let Some(i) = waivers
+            .iter()
+            .position(|w| !w.file_level && w.line == line && w.rule == f.rule)
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------
+
+/// Directories (relative to the workspace root) the lint walks.  `shims/`
+/// is deliberately excluded: those crates emulate external dependencies
+/// and are not subject to workspace law.
+const WALK_ROOTS: &[&str] = &["src", "tests", "examples", "crates"];
+
+/// Recursively collects the workspace's `.rs` files in sorted order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "shims" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace `.rs` file under `root` (`src/`, `tests/`,
+/// `examples/`, `crates/`; shims and build artifacts excluded).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut paths = Vec::new();
+    for sub in WALK_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push((rel, source));
+    }
+    Ok(lint_files(&files))
+}

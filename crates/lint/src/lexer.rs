@@ -1,0 +1,391 @@
+//! A hand-rolled Rust source scrubber.
+//!
+//! The rule engine never wants to see the *contents* of comments, string
+//! literals or char literals: a `thread::spawn` inside a doc comment or a
+//! `.unwrap()` inside a raw-string test fixture is not a violation.  This
+//! module reduces a `.rs` file to a per-line model:
+//!
+//! * `scrubbed` — the code with comments removed and string/char literal
+//!   contents blanked (the delimiting quotes are kept, so patterns like
+//!   `.expect("` still read naturally at call sites).
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` (or
+//!   `#[test]`) item, tracked by brace depth so nested test modules and
+//!   test functions inside production files are excluded from
+//!   production-only rules.
+//! * `comments` — the bodies of `//` line comments on the line, from which
+//!   the engine parses `ajd: allow(...)` waivers.  Doc comments (`///`,
+//!   `//!`) yield bodies starting with `/` or `!` and therefore never parse
+//!   as waivers, so documentation *about* the waiver syntax is inert.
+//!
+//! The lexer understands line comments, nested block comments, cooked
+//! strings with escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth),
+//! byte and raw-byte strings, char and byte-char literals, and tells
+//! lifetimes (`'a`) apart from char literals (`'x'`).  It is resilient by
+//! construction: on malformed input it degrades to emitting characters
+//! verbatim rather than panicking.
+
+/// The per-line result of scrubbing one source file.
+#[derive(Debug, Clone)]
+pub struct LineModel {
+    /// Code with comments stripped and literal contents blanked.
+    pub scrubbed: String,
+    /// Whether the line is inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+    /// Bodies of `//` comments that end on this line.
+    pub comments: Vec<String>,
+}
+
+/// Lexer state between characters.
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    BlockComment(u32),
+    /// Cooked string; `true` while the next char is escaped.
+    Str(bool),
+    /// Raw string terminated by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scrubs `source` into per-line models (comments out, literals blanked,
+/// test regions marked).  Line numbering matches the input exactly, so a
+/// finding at `lines[i]` reports source line `i + 1`.
+pub fn scrub(source: &str) -> Vec<LineModel> {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut lines: Vec<LineModel> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_comments: Vec<String> = Vec::new();
+    let mut comment_buf = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(LineModel {
+                scrubbed: std::mem::take(&mut cur),
+                in_test: false,
+                comments: std::mem::take(&mut cur_comments),
+            });
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                cur_comments.push(std::mem::take(&mut comment_buf));
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    comment_buf.clear();
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if (c == 'r' || (c == 'b' && next == Some('r')))
+                    && !(i > 0 && is_ident(chars[i - 1]))
+                {
+                    // Candidate raw (byte) string: r", r#", br", br##"…
+                    let mut j = if c == 'r' { i + 1 } else { i + 2 };
+                    let mut hashes = 0u32;
+                    while j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '"' {
+                        cur.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        // Raw identifier (r#foo) or a plain ident char.
+                        cur.push(c);
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur.push('"');
+                    state = State::Str(false);
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: step over the escape body
+                        // (`\'`, `\n`, `\x7f`, `\u{…}`), then expect the
+                        // closing quote; on malformed input fall back to
+                        // emitting the quote verbatim.
+                        let mut j = i + 2;
+                        match chars.get(j) {
+                            Some('x') => j += 3,
+                            Some('u') => {
+                                while j < n && chars[j] != '}' && j < i + 12 {
+                                    j += 1;
+                                }
+                                j += 1;
+                            }
+                            Some(_) => j += 1,
+                            None => {}
+                        }
+                        if chars.get(j) == Some(&'\'') {
+                            cur.push_str("''");
+                            i = j + 1;
+                        } else {
+                            cur.push(c);
+                            i += 1;
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                        cur.push_str("''");
+                        i += 3;
+                    } else {
+                        // Lifetime or loop label: emit verbatim.
+                        cur.push(c);
+                        i += 1;
+                    }
+                } else {
+                    cur.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_buf.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                    i += 1;
+                } else if c == '\\' {
+                    state = State::Str(true);
+                    i += 1;
+                } else if c == '"' {
+                    cur.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let h = hashes as usize;
+                    let closed = (1..=h).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        cur.push('"');
+                        state = State::Code;
+                        i += 1 + h;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if matches!(state, State::LineComment) {
+        cur_comments.push(std::mem::take(&mut comment_buf));
+    }
+    if !cur.is_empty() || !cur_comments.is_empty() || lines.is_empty() {
+        flush_line!();
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Marks every line inside a `#[cfg(test)]` / `#[test]` item.
+///
+/// A test attribute arms a pending flag; the next `{` opens a region at the
+/// current brace depth; the matching `}` closes it.  Regions nest (a
+/// `#[cfg(test)]` module inside another one is one stack entry deeper), and
+/// an attribute consumed by a braceless item (`#[cfg(test)] use foo;`)
+/// disarms at the `;`.
+fn mark_test_regions(lines: &mut [LineModel]) {
+    let mut depth: i64 = 0;
+    let mut regions: Vec<i64> = Vec::new();
+    let mut pending = false;
+    for line in lines.iter_mut() {
+        // `active` latches if the line is inside a region at any point, so
+        // a region opened *and* closed on one line (`fn t() { … }` under
+        // `#[test]`) still marks that line.
+        let mut active = !regions.is_empty();
+        let s: Vec<char> = line.scrubbed.chars().collect();
+        let mut touched_test = false;
+        let mut i = 0;
+        while i < s.len() {
+            if s[i] == '#' {
+                let rest: String = s[i..].iter().collect();
+                if rest.starts_with("#[cfg(test")
+                    || rest.starts_with("#[test]")
+                    || rest.starts_with("#[cfg(all(test")
+                    || rest.starts_with("#[cfg(any(test")
+                {
+                    pending = true;
+                    touched_test = true;
+                }
+                i += 1;
+                continue;
+            }
+            match s[i] {
+                '{' => {
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                }
+                ';' => {
+                    // A `;` before any `{` means the attribute decorated a
+                    // braceless item (`#[cfg(test)] use …;`).
+                    pending = false;
+                }
+                _ => {}
+            }
+            if !regions.is_empty() {
+                active = true;
+            }
+            i += 1;
+        }
+        line.in_test = active || pending || touched_test;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrubbed(src: &str) -> Vec<String> {
+        scrub(src).into_iter().map(|l| l.scrubbed).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_and_captured() {
+        let lines = scrub("let x = 1; // thread::spawn here\n");
+        assert_eq!(lines[0].scrubbed, "let x = 1; ");
+        assert_eq!(lines[0].comments, vec![" thread::spawn here".to_owned()]);
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let s = scrubbed("a /* one /* two */ still */ b\nc /* open\n.unwrap()\n*/ d\n");
+        assert_eq!(s[0], "a  b");
+        assert_eq!(s[1], "c ");
+        assert_eq!(s[2], "");
+        assert_eq!(s[3], " d");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_remain() {
+        let s = scrubbed(r#"call(".unwrap() inside", x);"#);
+        assert_eq!(s[0], r#"call("", x);"#);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let s = scrubbed("let f = r#\"fn bad() { x.unwrap() }\"#;\n");
+        assert_eq!(s[0], "let f = \"\";");
+        let s = scrubbed("let g = br##\"thread::spawn(\"##;\n");
+        assert_eq!(s[0], "let g = \"\";");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = scrubbed(r#"let x = "a\"b.unwrap()"; y();"#);
+        assert_eq!(s[0], r#"let x = ""; y();"#);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = scrubbed("fn f<'a>(x: &'a str) -> char { '[' }\n");
+        assert_eq!(s[0], "fn f<'a>(x: &'a str) -> char { '' }");
+        let s = scrubbed(r"let q = '\''; let b = b'['; let u = '\u{1F600}';");
+        assert_eq!(s[0], "let q = ''; let b = b''; let u = '';");
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked_with_nesting() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn helper() {}\n\
+                       #[cfg(test)]\n\
+                       mod inner { fn deep() {} }\n\
+                       fn late() {}\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let lines = scrub(src);
+        let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(
+            flags,
+            vec![false, true, true, true, true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn test_attribute_marks_single_function() {
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn prod() {}\n";
+        let lines = scrub(src);
+        assert!(lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n";
+        let lines = scrub(src);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_plain_comment_waivers() {
+        let lines = scrub("/// ajd: allow(x, \"y\")\nfn f() {}\n");
+        assert_eq!(lines[0].comments, vec!["/ ajd: allow(x, \"y\")".to_owned()]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let s = scrubbed("let r#fn = 1; let r = 2;\n");
+        assert_eq!(s[0], "let r#fn = 1; let r = 2;");
+    }
+
+    #[test]
+    fn file_without_trailing_newline_keeps_last_line() {
+        let lines = scrub("let a = 1;");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].scrubbed, "let a = 1;");
+    }
+}

@@ -1,0 +1,44 @@
+//! `ajd-lint` — the workspace's determinism & exact-counting law, as code.
+//!
+//! The workspace's core guarantees are conventions a type checker cannot
+//! see: bit-identical flat ≡ sharded grouping (so hash-map iteration order
+//! must never leak into results), overflow-*erroring* `u128` counting (the
+//! exact ρ/J/loss quantities of Kenig & Weinberger make silent clamping a
+//! correctness bug, not a style nit), panic-free structured server errors,
+//! and one budgeted door to parallelism.  This crate turns those
+//! conventions into a machine-checked pass:
+//!
+//! * a hand-rolled lexer ([`lexer`]) that strips comments, blanks string
+//!   and char literals, and tracks `#[cfg(test)]` regions;
+//! * a mechanical rule engine ([`rules`]) over the scrubbed lines;
+//! * a driver ([`engine`]) with inline waivers
+//!   (`// ajd: allow(rule-id, "reason")`), so every exception is visible
+//!   and justified in-tree — and itself linted (`malformed-waiver`,
+//!   `stale-waiver`).
+//!
+//! Three enforcement surfaces share this library: the `ajd-lint` CLI
+//! (`cargo run -p ajd-lint -- --deny`, `--json` for machine output), the
+//! workspace integration test `tests/lint_workspace.rs` (so tier-1
+//! `cargo test` enforces the pass forever), and the `lint` CI job.  The
+//! rule catalog with examples and waiver syntax lives in `docs/LINTS.md`.
+//!
+//! ```
+//! use ajd_lint::lint_source;
+//!
+//! let report = lint_source(
+//!     "crates/server/src/demo.rs",
+//!     "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+//! );
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "panic-in-server");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_files, lint_source, lint_workspace, Report, WaivedFinding};
+pub use rules::{Finding, RuleInfo, RULES};

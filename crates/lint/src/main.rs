@@ -1,0 +1,102 @@
+//! The `ajd-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ajd-lint --              # report findings, exit 0
+//! cargo run -p ajd-lint -- --deny       # exit 1 on any unwaived finding
+//! cargo run -p ajd-lint -- --json       # machine-readable report
+//! cargo run -p ajd-lint -- --list-rules # rule catalog
+//! cargo run -p ajd-lint -- --root DIR   # lint another workspace root
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: ajd-lint [--deny] [--json] [--list-rules] [--root DIR]\n\
+     Lints every workspace .rs file against the determinism & counting rules\n\
+     (see docs/LINTS.md). Waive a finding inline with\n\
+     `// ajd: allow(rule-id, \"reason\")`."
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory argument\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in ajd_lint::RULES {
+            println!("{:<22} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root
+        .or_else(|| std::env::current_dir().ok().and_then(find_workspace_root))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let report = match ajd_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!(
+                "ajd-lint: cannot walk workspace at {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,581 @@
+//! The rule set: what each rule matches, where it applies, and why.
+//!
+//! Every rule is deliberately **mechanical**: it matches token patterns on
+//! scrubbed source lines (see [`crate::lexer`]), not types.  That makes the
+//! pass fast, dependency-free and predictable — and it means the rules are
+//! calibrated to this workspace's idioms rather than to Rust in general.
+//! Anything the pattern catches that is genuinely fine gets an inline
+//! waiver (`// ajd: allow(rule-id, "reason")`), so every exception is
+//! visible and justified in-tree.  The full catalog with examples lives in
+//! `docs/LINTS.md`.
+
+use crate::lexer::LineModel;
+
+/// A single rule violation (or meta finding) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULES`] or the meta rules
+    /// `malformed-waiver` / `stale-waiver`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Static description of one rule, for `--list-rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The waivable identifier.
+    pub id: &'static str,
+    /// One-line rationale.
+    pub summary: &'static str,
+}
+
+/// Iterating a hash-keyed container yields platform/seed-dependent order.
+pub const HASH_ITER_ORDER: &str = "hash-iter-order";
+/// Saturating/wrapping arithmetic and narrowing casts silently corrupt
+/// exact counts.
+pub const SILENT_ARITHMETIC: &str = "silent-arithmetic";
+/// The server must answer structured error frames, never panic.
+pub const PANIC_IN_SERVER: &str = "panic-in-server";
+/// All parallelism flows through `ThreadBudget` (parallel.rs).
+pub const RAW_SPAWN: &str = "raw-spawn";
+/// Kernel crates must not read clocks or ambient randomness.
+pub const NONDETERMINISM_SOURCE: &str = "nondeterminism-source";
+/// Crate roots must carry the workspace's safety/docs attributes.
+pub const CRATE_HEADER_POLICY: &str = "crate-header-policy";
+/// Meta rule: a waiver comment that does not parse.
+pub const MALFORMED_WAIVER: &str = "malformed-waiver";
+/// Meta rule: a waiver that suppresses nothing.
+pub const STALE_WAIVER: &str = "stale-waiver";
+
+/// All lintable rules, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: HASH_ITER_ORDER,
+        summary: "iteration over FxHashMap/HashMap/HashSet in a determinism-critical crate \
+                  without an adjacent sort",
+    },
+    RuleInfo {
+        id: SILENT_ARITHMETIC,
+        summary: "saturating_*/wrapping_* arithmetic or a narrowing cast of a count-like \
+                  value on an exact-counting path",
+    },
+    RuleInfo {
+        id: PANIC_IN_SERVER,
+        summary: "unwrap/expect/panic!/indexing in non-test ajd-server code (errors must \
+                  become protocol frames)",
+    },
+    RuleInfo {
+        id: RAW_SPAWN,
+        summary: "std::thread::spawn / thread::Builder outside parallel.rs (parallelism \
+                  must flow through ThreadBudget)",
+    },
+    RuleInfo {
+        id: NONDETERMINISM_SOURCE,
+        summary: "Instant::now/SystemTime/ambient RNG inside a kernel crate",
+    },
+    RuleInfo {
+        id: CRATE_HEADER_POLICY,
+        summary: "crate root missing #![forbid(unsafe_code)] or the adopted missing_docs \
+                  level",
+    },
+];
+
+/// Crates whose first-appearance orderings are part of the public contract
+/// (flat ≡ sharded bit-identity, deterministic wire frames).
+const DETERMINISM_CRATES: &[&str] = &["relation", "jointree", "info", "core", "server"];
+/// Crates on the exact ρ/J/loss counting path.
+const COUNTING_CRATES: &[&str] = &["relation", "jointree", "info", "core", "server"];
+/// Crates whose outputs must be reproducible bit-for-bit from inputs alone.
+const KERNEL_CRATES: &[&str] = &["relation", "jointree", "info", "core"];
+/// Crates that have adopted `#![deny(missing_docs)]` (ratchet: once a crate
+/// lands here it cannot regress to `warn`).
+const MISSING_DOCS_DENY: &[&str] = &["relation", "core", "server", "lint"];
+
+/// A scrubbed file plus the path-derived facts the rules dispatch on.
+pub struct FileModel {
+    /// Workspace-relative path, `/` separators.
+    pub path: String,
+    /// Per-line scrubbed code (see [`crate::lexer::scrub`]).
+    pub lines: Vec<LineModel>,
+}
+
+impl FileModel {
+    /// The short crate name (`crates/relation/…` → `relation`; the root
+    /// facade's `src`/`tests`/`examples` → `ajd`).
+    pub fn crate_name(&self) -> &str {
+        if let Some(rest) = self.path.strip_prefix("crates/") {
+            rest.split('/').next().unwrap_or("")
+        } else {
+            "ajd"
+        }
+    }
+
+    /// Whether the file is production source (under a `src/` directory) as
+    /// opposed to integration tests, benches or examples.
+    pub fn is_src(&self) -> bool {
+        self.path.starts_with("src/") || self.path.contains("/src/")
+    }
+
+    fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of every occurrence of `pat` in `line`.
+fn occurrences<'a>(line: &'a str, pat: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        let found = line[from..].find(pat)?;
+        let at = from + found;
+        from = at + pat.len();
+        Some(at)
+    })
+}
+
+/// The identifier (possibly a `self.field` style word) ending at byte
+/// offset `end` of `line`, or `""`.
+fn word_ending_at(line: &str, end: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    &line[start..end]
+}
+
+/// Runs every applicable rule over one file.
+pub fn check_file(file: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    crate_header_policy(file, &mut findings);
+    hash_iter_order(file, &mut findings);
+    silent_arithmetic(file, &mut findings);
+    panic_in_server(file, &mut findings);
+    raw_spawn(file, &mut findings);
+    nondeterminism_source(file, &mut findings);
+    findings
+}
+
+fn finding(file: &FileModel, line: usize, rule: &'static str, message: String) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------
+// crate-header-policy
+// ---------------------------------------------------------------------
+
+fn crate_header_policy(file: &FileModel, out: &mut Vec<Finding>) {
+    if file.file_name() != "lib.rs" || !file.is_src() {
+        return;
+    }
+    let has = |pat: &str| file.lines.iter().any(|l| l.scrubbed.contains(pat));
+    if !has("#![forbid(unsafe_code)]") {
+        out.push(finding(
+            file,
+            1,
+            CRATE_HEADER_POLICY,
+            "crate root is missing `#![forbid(unsafe_code)]` — the whole workspace is \
+             safe Rust by policy"
+                .to_owned(),
+        ));
+    }
+    let deny_adopted = MISSING_DOCS_DENY.contains(&file.crate_name());
+    if deny_adopted {
+        if !has("#![deny(missing_docs)]") {
+            out.push(finding(
+                file,
+                1,
+                CRATE_HEADER_POLICY,
+                format!(
+                    "crate `{}` has adopted `#![deny(missing_docs)]` and its root must \
+                     keep it (the docs ratchet never loosens)",
+                    file.crate_name()
+                ),
+            ));
+        }
+    } else if !has("missing_docs") {
+        out.push(finding(
+            file,
+            1,
+            CRATE_HEADER_POLICY,
+            "crate root carries no missing_docs lint at all; at least \
+             `#![warn(missing_docs)]` is required"
+                .to_owned(),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// hash-iter-order
+// ---------------------------------------------------------------------
+
+/// Type/constructor markers that bind a name to a hash-keyed container.
+const HASH_MARKERS: &[&str] = &[
+    "FxHashMap",
+    "FxHashSet",
+    "HashMap",
+    "HashSet",
+    "map_with_capacity",
+    "set_with_capacity",
+];
+
+/// Methods whose results observe the container's internal order.
+const ORDER_SENSITIVE: &[&str] = &[
+    ".iter()",
+    ".keys()",
+    ".values()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Collects identifiers bound to hash containers: `let` bindings whose
+/// declaring line mentions a hash marker, plus struct-field / parameter
+/// style `name: …HashMap<…>` declarations.
+fn hash_bound_names(file: &FileModel) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in &file.lines {
+        let s = &line.scrubbed;
+        if !HASH_MARKERS.iter().any(|m| s.contains(m)) {
+            continue;
+        }
+        if let Some(pos) = s.find("let ") {
+            let rest = &s[pos + 4..];
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let ident: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !ident.is_empty() {
+                names.push(ident);
+                continue;
+            }
+        }
+        // Field / parameter declaration: `name: Type` where Type carries a
+        // hash marker after the colon.
+        let trimmed = s.trim_start();
+        let trimmed = trimmed.strip_prefix("pub ").unwrap_or(trimmed);
+        let ident: String = trimmed.chars().take_while(|&c| is_ident_char(c)).collect();
+        if !ident.is_empty() {
+            if let Some(colon) = trimmed[ident.len()..].strip_prefix(':') {
+                if HASH_MARKERS.iter().any(|m| colon.contains(m)) {
+                    names.push(ident);
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// `true` when the iteration's order-dependence is visibly neutralised:
+/// the surrounding lines sort the result or collect into an ordered
+/// (BTree) container.
+fn order_neutralised(file: &FileModel, idx: usize) -> bool {
+    file.lines[idx..file.lines.len().min(idx + 3)]
+        .iter()
+        .any(|l| l.scrubbed.contains("sort") || l.scrubbed.contains("BTree"))
+}
+
+fn hash_iter_order(file: &FileModel, out: &mut Vec<Finding>) {
+    if !DETERMINISM_CRATES.contains(&file.crate_name()) || !file.is_src() {
+        return;
+    }
+    let names = hash_bound_names(file);
+    if names.is_empty() {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let s = &line.scrubbed;
+        for name in &names {
+            // `name.iter()` and friends, with a word boundary before name.
+            for method in ORDER_SENSITIVE {
+                let pat = format!("{name}{method}");
+                for at in occurrences(s, &pat) {
+                    // Word boundary: `self.build.iter()` matches (prev char
+                    // is `.`), `rebuild.iter()` must not match `build`.
+                    let bounded = at == 0 || !is_ident_char(s.as_bytes()[at - 1] as char);
+                    if bounded && !order_neutralised(file, idx) {
+                        out.push(finding(
+                            file,
+                            idx + 1,
+                            HASH_ITER_ORDER,
+                            format!(
+                                "`{name}{method}` iterates a hash-keyed container whose \
+                                 order is not deterministic; sort the result, iterate an \
+                                 ordered mirror, or waive with a written reason"
+                            ),
+                        ));
+                    }
+                }
+            }
+            // `for … in name` / `for … in &name`.
+            if let Some(for_pos) = s.find("for ") {
+                if let Some(in_rel) = s[for_pos..].find(" in ") {
+                    let expr = s[for_pos + in_rel + 4..].trim_start();
+                    let expr = expr.strip_prefix("&mut ").unwrap_or(expr);
+                    let expr = expr.strip_prefix('&').unwrap_or(expr);
+                    if expr.starts_with(name.as_str())
+                        && !expr[name.len()..]
+                            .chars()
+                            .next()
+                            .is_some_and(|c| is_ident_char(c) || c == '.')
+                        && !order_neutralised(file, idx)
+                    {
+                        out.push(finding(
+                            file,
+                            idx + 1,
+                            HASH_ITER_ORDER,
+                            format!(
+                                "`for … in {name}` iterates a hash-keyed container whose \
+                                 order is not deterministic; sort first or waive with a \
+                                 written reason"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// silent-arithmetic
+// ---------------------------------------------------------------------
+
+const SILENT_OPS: &[&str] = &[
+    ".saturating_add(",
+    ".saturating_sub(",
+    ".saturating_mul(",
+    ".saturating_pow(",
+    ".wrapping_add(",
+    ".wrapping_sub(",
+    ".wrapping_mul(",
+    ".wrapping_pow(",
+    ".wrapping_neg(",
+    ".wrapping_shl(",
+    ".wrapping_shr(",
+];
+
+/// Integer targets a count must never be silently narrowed into.
+const NARROW_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
+];
+
+/// Identifier fragments that mark a value as count-carrying.
+const COUNT_WORDS: &[&str] = &["count", "total", "size"];
+
+fn silent_arithmetic(file: &FileModel, out: &mut Vec<Finding>) {
+    if !COUNTING_CRATES.contains(&file.crate_name()) || !file.is_src() {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        let s = &line.scrubbed;
+        // Saturating/wrapping calls are flagged even inside `#[cfg(test)]`
+        // regions: a test helper that silently saturates a count corrupts
+        // the very fixtures the overflow regressions depend on (the
+        // original `g.total.saturating_add(c)` bug lived in a test helper).
+        for op in SILENT_OPS {
+            for _ in occurrences(s, op) {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    SILENT_ARITHMETIC,
+                    format!(
+                        "`{}` silently clamps or wraps; exact counting paths must use \
+                         checked arithmetic and surface `CountOverflow` (waive only for \
+                         hashing / capacity heuristics, with the reason written down)",
+                        op.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+        // Narrowing casts are production-only: test assertions narrow
+        // known-small literals all the time.
+        if line.in_test {
+            continue;
+        }
+        for at in occurrences(s, " as ") {
+            let target: String = s[at + 4..]
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect();
+            if !NARROW_TARGETS.contains(&target.as_str()) {
+                continue;
+            }
+            let source = word_ending_at(s, at).to_ascii_lowercase();
+            if COUNT_WORDS.iter().any(|w| source.contains(w)) {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    SILENT_ARITHMETIC,
+                    format!(
+                        "`{source} as {target}` can silently truncate a count; convert \
+                         with checked/widening conversions or waive with the range \
+                         argument written down"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// panic-in-server
+// ---------------------------------------------------------------------
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".unwrap_err()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn panic_in_server(file: &FileModel, out: &mut Vec<Finding>) {
+    if file.crate_name() != "server" || !file.is_src() {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let s = &line.scrubbed;
+        for pat in PANIC_PATTERNS {
+            for at in occurrences(s, pat) {
+                // `self.expect(…)` is the JSON parser's own fallible
+                // method, not Option/Result::expect.
+                if *pat == ".expect(" && word_ending_at(s, at) == "self" {
+                    continue;
+                }
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    PANIC_IN_SERVER,
+                    format!(
+                        "`{}` in non-test server code: a panic tears down the connection \
+                         thread instead of answering a structured error frame",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+        // Indexing / slicing: `expr[…]` panics on out-of-bounds.
+        for (i, c) in s.char_indices() {
+            if c != '[' || i == 0 {
+                continue;
+            }
+            let prev = s.as_bytes()[i - 1] as char;
+            if is_ident_char(prev) || prev == ')' || prev == ']' {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    PANIC_IN_SERVER,
+                    "indexing/slicing (`…[…]`) panics out of bounds in non-test server \
+                     code; use `.get(…)` and answer an error frame, or waive with the \
+                     bounds argument written down"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// raw-spawn
+// ---------------------------------------------------------------------
+
+fn raw_spawn(file: &FileModel, out: &mut Vec<Finding>) {
+    if file.file_name() == "parallel.rs" && file.crate_name() == "relation" {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let s = &line.scrubbed;
+        for pat in ["thread::spawn(", "thread::Builder"] {
+            for _ in occurrences(s, pat) {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    RAW_SPAWN,
+                    format!(
+                        "`{pat}` bypasses `ThreadBudget`; all workspace parallelism is \
+                         budgeted and flows through `ajd-relation`'s parallel.rs (scoped \
+                         spawns under a budget-derived worker count are fine)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// nondeterminism-source
+// ---------------------------------------------------------------------
+
+const NONDET_PATTERNS: &[&str] = &[
+    "Instant::now(",
+    "SystemTime",
+    "thread_rng(",
+    "from_entropy(",
+    "rand::random",
+    "RandomState",
+];
+
+fn nondeterminism_source(file: &FileModel, out: &mut Vec<Finding>) {
+    if !KERNEL_CRATES.contains(&file.crate_name()) || !file.is_src() {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in NONDET_PATTERNS {
+            for _ in occurrences(&line.scrubbed, pat) {
+                out.push(finding(
+                    file,
+                    idx + 1,
+                    NONDETERMINISM_SOURCE,
+                    format!(
+                        "`{pat}` reads a clock or ambient randomness inside a kernel \
+                         crate; kernel outputs must be a pure function of their inputs \
+                         (seeded RNG and caller-supplied time are fine)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique() {
+        let mut ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

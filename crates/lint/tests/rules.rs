@@ -1,0 +1,525 @@
+//! Fixture-based positive/negative tests for every rule, plus the waiver
+//! machinery and the lexer edge cases the rules depend on.
+//!
+//! Each fixture is a small source file handed to [`ajd_lint::lint_source`]
+//! under a path that places it in the crate/section the rule targets.  The
+//! waiver comments under test live *inside* the fixture strings — the
+//! lexer blanks string contents, so nothing here trips the workspace's own
+//! lint pass.
+
+use ajd_lint::{lint_source, Report};
+
+fn rules_of(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[track_caller]
+fn assert_clean(path: &str, source: &str) {
+    let report = lint_source(path, source);
+    assert!(
+        report.is_clean(),
+        "expected no findings for {path}, got:\n{}",
+        report.render_text()
+    );
+}
+
+#[track_caller]
+fn assert_finds(path: &str, source: &str, rule: &str, line: usize) {
+    let report = lint_source(path, source);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == rule && f.line == line),
+        "expected a `{rule}` finding at {path}:{line}, got:\n{}",
+        report.render_text()
+    );
+}
+
+// ---------------------------------------------------------------------
+// hash-iter-order
+// ---------------------------------------------------------------------
+
+#[test]
+fn hash_iter_order_flags_unsorted_iteration() {
+    let src = "fn f() {\n\
+               let m: FxHashMap<u32, u32> = FxHashMap::default();\n\
+               for (k, v) in &m {\n\
+               use_pair(k, v);\n\
+               }\n\
+               }\n";
+    assert_finds("crates/relation/src/demo.rs", src, "hash-iter-order", 3);
+    // Method-style iteration is caught too.
+    let src = "fn f() {\n\
+               let seen: HashSet<u64> = HashSet::new();\n\
+               let v: Vec<u64> = seen.iter().copied().collect();\n\
+               v\n\
+               }\n";
+    assert_finds("crates/core/src/demo.rs", src, "hash-iter-order", 3);
+}
+
+#[test]
+fn hash_iter_order_accepts_sorted_and_out_of_scope_twins() {
+    // Adjacent sort neutralises the order-dependence.
+    let src = "fn f() {\n\
+               let m: FxHashMap<u32, u32> = FxHashMap::default();\n\
+               let mut pairs: Vec<_> = m.iter().collect();\n\
+               pairs.sort();\n\
+               }\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+    // Collecting into a BTree container restores a canonical order.
+    let src = "fn f() {\n\
+               let m: HashMap<u32, u32> = HashMap::new();\n\
+               let ordered: BTreeMap<_, _> = m.iter().collect();\n\
+               }\n";
+    assert_clean("crates/info/src/demo.rs", src);
+    // Same violating code outside a determinism-critical crate: no finding.
+    let src = "fn f() {\n\
+               let m: FxHashMap<u32, u32> = FxHashMap::default();\n\
+               for (k, v) in &m {\n\
+               }\n\
+               }\n";
+    assert_clean("crates/bench/src/demo.rs", src);
+    // And in test code inside a determinism crate: no finding.
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn f() {\n\
+               let m: FxHashMap<u32, u32> = FxHashMap::default();\n\
+               for (k, v) in &m {\n\
+               }\n\
+               }\n\
+               }\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+}
+
+#[test]
+fn hash_iter_order_respects_word_boundaries() {
+    // `rebuild.iter()` must not match a hash-bound name `build`.
+    let src = "fn f() {\n\
+               let build: HashMap<u32, u32> = HashMap::new();\n\
+               let rebuild: Vec<u32> = Vec::new();\n\
+               for x in rebuild.iter() {\n\
+               }\n\
+               let n = build.len();\n\
+               }\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+}
+
+// ---------------------------------------------------------------------
+// silent-arithmetic
+// ---------------------------------------------------------------------
+
+#[test]
+fn silent_arithmetic_flags_saturating_and_wrapping_ops() {
+    let src = "fn f(total: u64, c: u64) -> u64 {\n\
+               total.saturating_add(c)\n\
+               }\n";
+    assert_finds("crates/relation/src/demo.rs", src, "silent-arithmetic", 2);
+    let src = "fn f(x: u64) -> u64 {\n\
+               x.wrapping_mul(31)\n\
+               }\n";
+    assert_finds("crates/info/src/demo.rs", src, "silent-arithmetic", 2);
+}
+
+#[test]
+fn silent_arithmetic_flags_narrowing_count_casts() {
+    let src = "fn f(count: u128) -> u64 {\n\
+               count as u64\n\
+               }\n";
+    assert_finds("crates/jointree/src/demo.rs", src, "silent-arithmetic", 2);
+    let src = "fn f(total: usize) -> u32 {\n\
+               total as u32\n\
+               }\n";
+    assert_finds("crates/core/src/demo.rs", src, "silent-arithmetic", 2);
+}
+
+#[test]
+fn silent_arithmetic_covers_test_helpers_but_not_test_casts() {
+    // A saturating accumulation in a #[cfg(test)] helper corrupts overflow
+    // fixtures — still flagged (the original join.rs:473 bug).
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn helper(total: u64, c: u64) -> u64 {\n\
+               total.saturating_add(c)\n\
+               }\n\
+               }\n";
+    assert_finds("crates/relation/src/demo.rs", src, "silent-arithmetic", 4);
+    // Narrowing casts in test code are fine: assertions narrow known-small
+    // values all the time.
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn t(count: u128) -> u64 { count as u64 }\n\
+               }\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+}
+
+#[test]
+fn silent_arithmetic_accepts_widening_and_non_count_casts() {
+    // Widening to u128 is the encouraged direction.
+    let src = "fn f(count: u64) -> u128 {\n\
+               count as u128\n\
+               }\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+    // Non-count-carrying identifiers may narrow (e.g. dictionary codes).
+    let src = "fn f(code: u64) -> u32 {\n\
+               code as u32\n\
+               }\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+    // Checked arithmetic is exactly what the rule asks for.
+    let src = "fn f(total: u128, c: u128) -> Option<u128> {\n\
+               total.checked_add(c)\n\
+               }\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+    // Outside the counting crates the rule does not apply.
+    let src = "fn f(total: u64, c: u64) -> u64 {\n\
+               total.saturating_add(c)\n\
+               }\n";
+    assert_clean("crates/randrel/src/demo.rs", src);
+}
+
+// ---------------------------------------------------------------------
+// panic-in-server
+// ---------------------------------------------------------------------
+
+#[test]
+fn panic_in_server_flags_unwrap_expect_panic_and_indexing() {
+    let p = "crates/server/src/demo.rs";
+    assert_finds(
+        p,
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        "panic-in-server",
+        1,
+    );
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               x.expect(\"present\")\n\
+               }\n";
+    assert_finds(p, src, "panic-in-server", 2);
+    let src = "fn f() {\n\
+               panic!(\"boom\");\n\
+               }\n";
+    assert_finds(p, src, "panic-in-server", 2);
+    let src = "fn f(v: &[u32]) -> u32 {\n\
+               v[3]\n\
+               }\n";
+    assert_finds(p, src, "panic-in-server", 2);
+}
+
+#[test]
+fn panic_in_server_accepts_test_code_parser_expect_and_other_crates() {
+    // Inside a #[cfg(test)] region of a server source file: fine.
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               }\n";
+    assert_clean("crates/server/src/demo.rs", src);
+    // `self.expect(b':')` is the JSON parser's own fallible method.
+    let src = "fn f(&mut self) -> Result<(), JsonError> {\n\
+               self.expect(b':')\n\
+               }\n";
+    assert_clean("crates/server/src/demo.rs", src);
+    // Integration tests of the server crate are not production code.
+    assert_clean(
+        "crates/server/tests/demo.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    // unwrap() in a kernel crate is out of this rule's scope.
+    assert_clean(
+        "crates/relation/src/demo.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+}
+
+// ---------------------------------------------------------------------
+// raw-spawn
+// ---------------------------------------------------------------------
+
+#[test]
+fn raw_spawn_flags_unbudgeted_threads_everywhere_but_parallel_rs() {
+    let src = "fn f() {\n\
+               std::thread::spawn(|| work());\n\
+               }\n";
+    assert_finds("crates/jointree/src/demo.rs", src, "raw-spawn", 2);
+    assert_finds("crates/server/src/demo.rs", src, "raw-spawn", 2);
+    let src = "fn f() {\n\
+               let b = thread::Builder::new();\n\
+               }\n";
+    assert_finds("crates/core/src/demo.rs", src, "raw-spawn", 2);
+    // The one blessed door: ajd-relation's parallel.rs.
+    let src = "fn f() {\n\
+               std::thread::spawn(|| work());\n\
+               }\n";
+    assert_clean("crates/relation/src/parallel.rs", src);
+}
+
+#[test]
+fn raw_spawn_ignores_scoped_spawns_and_test_code() {
+    // `scope.spawn` under a budget-derived worker count is the idiom.
+    let src = "fn f(scope: &Scope) {\n\
+               scope.spawn(|| work());\n\
+               }\n";
+    assert_clean("crates/server/src/demo.rs", src);
+    let src = "#[test]\n\
+               fn t() { std::thread::spawn(|| work()); }\n";
+    assert_clean("crates/core/src/demo.rs", src);
+}
+
+// ---------------------------------------------------------------------
+// nondeterminism-source
+// ---------------------------------------------------------------------
+
+#[test]
+fn nondeterminism_source_flags_clocks_and_ambient_rng_in_kernels() {
+    let src = "fn f() -> Instant {\n\
+               Instant::now()\n\
+               }\n";
+    assert_finds(
+        "crates/relation/src/demo.rs",
+        src,
+        "nondeterminism-source",
+        2,
+    );
+    let src = "fn f() {\n\
+               let t = SystemTime::now();\n\
+               }\n";
+    assert_finds("crates/info/src/demo.rs", src, "nondeterminism-source", 2);
+    let src = "fn f() -> u64 {\n\
+               rand::random()\n\
+               }\n";
+    assert_finds("crates/core/src/demo.rs", src, "nondeterminism-source", 2);
+}
+
+#[test]
+fn nondeterminism_source_accepts_non_kernel_crates_and_seeded_rng() {
+    // The bench harness may read clocks; it is not a kernel crate.
+    let src = "fn f() -> Instant {\n\
+               Instant::now()\n\
+               }\n";
+    assert_clean("crates/bench/src/demo.rs", src);
+    // Seeded RNG is a pure function of its inputs.
+    let src = "fn f(seed: u64) -> StdRng {\n\
+               StdRng::seed_from_u64(seed)\n\
+               }\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+}
+
+// ---------------------------------------------------------------------
+// crate-header-policy
+// ---------------------------------------------------------------------
+
+#[test]
+fn crate_header_policy_requires_forbid_and_docs_level() {
+    // Missing both attributes: two findings at line 1.
+    let report = lint_source("crates/relation/src/lib.rs", "pub fn f() {}\n");
+    assert_eq!(
+        rules_of(&report),
+        vec!["crate-header-policy", "crate-header-policy"]
+    );
+    // A crate on the deny ratchet cannot regress to warn.
+    let src = "#![forbid(unsafe_code)]\n\
+               #![warn(missing_docs)]\n\
+               pub fn f() {}\n";
+    assert_finds("crates/server/src/lib.rs", src, "crate-header-policy", 1);
+    // A crate not on the ratchet needs at least warn.
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn f() {}\n";
+    assert_finds("crates/randrel/src/lib.rs", src, "crate-header-policy", 1);
+}
+
+#[test]
+fn crate_header_policy_accepts_conforming_roots_and_non_roots() {
+    let src = "#![forbid(unsafe_code)]\n\
+               #![deny(missing_docs)]\n\
+               pub fn f() {}\n";
+    assert_clean("crates/relation/src/lib.rs", src);
+    let src = "#![forbid(unsafe_code)]\n\
+               #![warn(missing_docs)]\n\
+               pub fn f() {}\n";
+    assert_clean("crates/randrel/src/lib.rs", src);
+    // Only crate roots are checked; modules carry no header.
+    assert_clean("crates/relation/src/join.rs", "pub fn f() {}\n");
+}
+
+// ---------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------
+
+#[test]
+fn same_line_waiver_suppresses_and_records_the_reason() {
+    let src = "fn f(total: u64, c: u64) -> u64 {\n\
+               total.saturating_add(c) // ajd: allow(silent-arithmetic, \"capacity heuristic\")\n\
+               }\n";
+    let report = lint_source("crates/relation/src/demo.rs", src);
+    assert!(
+        report.is_clean(),
+        "waiver must suppress:\n{}",
+        report.render_text()
+    );
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.waived[0].finding.rule, "silent-arithmetic");
+    assert_eq!(report.waived[0].reason, "capacity heuristic");
+}
+
+#[test]
+fn preceding_comment_waiver_covers_the_next_code_line() {
+    let src = "fn f(total: u64, c: u64) -> u64 {\n\
+               // ajd: allow(silent-arithmetic, \"overflow guard only\")\n\
+               total.saturating_add(c)\n\
+               }\n";
+    let report = lint_source("crates/relation/src/demo.rs", src);
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.waived.len(), 1);
+}
+
+#[test]
+fn waiver_for_one_rule_does_not_cover_another() {
+    let src = "fn f(x: Option<u64>, total: u64, c: u64) -> u64 {\n\
+               // ajd: allow(silent-arithmetic, \"heuristic\")\n\
+               x.unwrap() + total.saturating_add(c)\n\
+               }\n";
+    let report = lint_source("crates/server/src/demo.rs", src);
+    assert_eq!(rules_of(&report), vec!["panic-in-server"]);
+    assert_eq!(report.waived.len(), 1);
+}
+
+#[test]
+fn file_level_waiver_covers_the_whole_file() {
+    let src = "// ajd: allow-file(panic-in-server, \"prototype transport\")\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let report = lint_source("crates/server/src/demo.rs", src);
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.waived.len(), 2);
+}
+
+#[test]
+fn waiver_without_reason_is_malformed() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               x.unwrap() // ajd: allow(panic-in-server)\n\
+               }\n";
+    let report = lint_source("crates/server/src/demo.rs", src);
+    // The malformed waiver is reported AND the finding it failed to waive
+    // survives.
+    let rules = rules_of(&report);
+    assert!(rules.contains(&"malformed-waiver"), "{rules:?}");
+    assert!(rules.contains(&"panic-in-server"), "{rules:?}");
+}
+
+#[test]
+fn waiver_for_unknown_rule_is_malformed() {
+    let src = "fn f() {\n\
+               work(); // ajd: allow(no-such-rule, \"hm\")\n\
+               }\n";
+    let report = lint_source("crates/server/src/demo.rs", src);
+    assert_eq!(rules_of(&report), vec!["malformed-waiver"]);
+}
+
+#[test]
+fn unused_waiver_is_stale() {
+    let src = "fn f() -> u32 {\n\
+               // ajd: allow(panic-in-server, \"not actually needed\")\n\
+               0\n\
+               }\n";
+    let report = lint_source("crates/server/src/demo.rs", src);
+    assert_eq!(rules_of(&report), vec!["stale-waiver"]);
+}
+
+#[test]
+fn meta_findings_cannot_be_waived() {
+    // A stale waiver cannot be silenced by waiving `stale-waiver`: the
+    // meta rules are not in the waivable catalog, so that waiver is itself
+    // malformed — and the stale one is still reported.
+    let src = "fn f() -> u32 {\n\
+               // ajd: allow(stale-waiver, \"silence the meta rule\")\n\
+               // ajd: allow(panic-in-server, \"unused\")\n\
+               0\n\
+               }\n";
+    let report = lint_source("crates/server/src/demo.rs", src);
+    let mut rules = rules_of(&report);
+    rules.sort_unstable();
+    assert_eq!(rules, vec!["malformed-waiver", "stale-waiver"]);
+}
+
+// ---------------------------------------------------------------------
+// Lexer edge cases, observed through the rules
+// ---------------------------------------------------------------------
+
+#[test]
+fn string_and_raw_string_contents_do_not_trip_rules() {
+    // A raw string *containing* unwrap() is data, not code.
+    let src = "fn f() -> &'static str {\n\
+               r#\"please call x.unwrap() here\"#\n\
+               }\n";
+    assert_clean("crates/server/src/demo.rs", src);
+    let src = "const HELP: &str = \"total.saturating_add(c) is discouraged\";\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+}
+
+#[test]
+fn comment_contents_do_not_trip_rules() {
+    let src = "fn f() {\n\
+               // never use thread::spawn( here\n\
+               /* nor x.unwrap() in a block comment */\n\
+               work();\n\
+               }\n";
+    assert_clean("crates/server/src/demo.rs", src);
+}
+
+#[test]
+fn nested_cfg_test_regions_stay_test_code() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               mod inner {\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               }\n\
+               fn g(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               }\n";
+    assert_clean("crates/server/src/demo.rs", src);
+}
+
+#[test]
+fn code_after_a_test_region_is_production_again() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               }\n\
+               fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_finds("crates/server/src/demo.rs", src, "panic-in-server", 5);
+}
+
+#[test]
+fn doc_comments_never_parse_as_waivers() {
+    // `/// ajd: allow(...)` is documentation, not a waiver: the unwrap on
+    // the next line must still be reported.
+    let src = "/// ajd: allow(panic-in-server, \"docs, not a waiver\")\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_finds("crates/server/src/demo.rs", src, "panic-in-server", 2);
+}
+
+// ---------------------------------------------------------------------
+// Report plumbing
+// ---------------------------------------------------------------------
+
+#[test]
+fn findings_are_sorted_and_json_is_parseable_shape() {
+    let files = vec![
+        (
+            "crates/server/src/zz.rs".to_owned(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_owned(),
+        ),
+        (
+            "crates/server/src/aa.rs".to_owned(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_owned(),
+        ),
+    ];
+    let report = ajd_lint::lint_files(&files);
+    assert_eq!(report.files, 2);
+    let paths: Vec<&str> = report.findings.iter().map(|f| f.path.as_str()).collect();
+    assert_eq!(
+        paths,
+        vec!["crates/server/src/aa.rs", "crates/server/src/zz.rs"]
+    );
+    let json = report.render_json();
+    assert!(json.starts_with("{\"v\":1,"));
+    assert!(json.contains("\"findings\":["));
+    assert!(json.contains("panic-in-server"));
+}

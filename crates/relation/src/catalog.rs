@@ -115,6 +115,13 @@ impl Catalog {
         self.names.len()
     }
 
+    /// All attribute names in id order (index `i` is the name of
+    /// `AttrId(i)`).  Infallible companion to per-id [`Catalog::name`]
+    /// lookups when a caller wants the whole schema.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
     /// The full attribute set `Ω` of this catalog.
     pub fn all_attributes(&self) -> AttrSet {
         AttrSet::range(self.names.len())

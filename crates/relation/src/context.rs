@@ -554,7 +554,7 @@ mod tests {
             let ids = ctx.group_ids(&attrs).unwrap();
             let counts = ctx.group_counts(&attrs).unwrap();
             assert_eq!(ids.num_groups(), counts.num_groups());
-            assert_eq!(ids.total(), counts.total);
+            assert_eq!(ids.total() as u128, counts.total);
             assert_eq!(ids.row_ids().len(), r.len());
             assert_eq!(ids.counts().iter().sum::<u64>(), r.len() as u64);
             // Rows with equal projections share an id; the id's count matches.
@@ -644,7 +644,7 @@ mod tests {
                 scope.spawn(|| {
                     for attrs in &sets {
                         let c = ctx.group_counts(attrs).unwrap();
-                        assert_eq!(c.total, r.len() as u64);
+                        assert_eq!(c.total, r.len() as u128);
                         let ids = ctx.group_ids(attrs).unwrap();
                         assert_eq!(ids.num_groups(), c.num_groups());
                     }
@@ -696,7 +696,7 @@ mod tests {
                     barrier.wait(); // release all threads into the cold cache at once
                     for attrs in &sets {
                         let c = ctx.group_counts(attrs).unwrap();
-                        assert_eq!(c.total, r.len() as u64);
+                        assert_eq!(c.total, r.len() as u128);
                     }
                 });
             }

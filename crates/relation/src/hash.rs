@@ -31,6 +31,7 @@ pub struct FxHasher {
 impl FxHasher {
     #[inline]
     fn add_to_hash(&mut self, word: u64) {
+        // ajd: allow(silent-arithmetic, "hash mixing is arithmetic mod 2^64 by design; wrapping here is the algorithm, not a lost count")
         self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
     }
 }

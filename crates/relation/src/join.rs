@@ -55,9 +55,13 @@ fn shared_code_keys(
     let mut domains: Vec<u64> = Vec::with_capacity(shared.len());
     for &p in &left_pos {
         let d = left.schema()[p];
-        let size = left.domain(d)?.len().max(1) as u128;
-        key_space = key_space.saturating_mul(size);
-        domains.push(size as u64);
+        // Domain sizes are dictionary lengths, bounded by the u32 code
+        // space, so the u64 is exact; only the key-space *product* needs
+        // u128 headroom.
+        let size = left.domain(d)?.len().max(1) as u64;
+        // ajd: allow(silent-arithmetic, "overflow guard, not a count: the product is only compared against u64::MAX to decide whether packed keys fit; saturating at u128::MAX keeps that comparison correct")
+        key_space = key_space.saturating_mul(size as u128);
+        domains.push(size);
     }
     if key_space > u64::MAX as u128 {
         strides_fit = false;
@@ -467,10 +471,10 @@ mod tests {
     fn synthetic_counts(attr: u32, counts: &[(Value, u64)]) -> GroupCounts {
         let mut g = GroupCounts::new(AttrSet::singleton(AttrId(attr)));
         for &(v, c) in counts {
-            g.insert(&[v], c);
-            // `total` is metadata here; saturate so the synthetic overflow
-            // scenarios below stay representable.
-            g.total = g.total.saturating_add(c);
+            // `insert` maintains `total` with checked u128 accumulation, so
+            // the synthetic overflow scenarios below stay exactly
+            // representable without saturation.
+            g.insert(&[v], c).unwrap();
         }
         g
     }

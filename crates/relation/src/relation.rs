@@ -233,7 +233,11 @@ pub struct GroupCounts {
     /// Attribute set the rows are grouped by (ascending attribute order).
     pub attrs: AttrSet,
     /// Total number of rows that were grouped (the `N` of the relation).
-    pub total: u64,
+    ///
+    /// Carried as `u128` so synthetic tables whose per-group counts sum
+    /// beyond `u64` (the overflow scenarios the join-size tests pin) stay
+    /// *exactly* representable — the counting discipline never saturates.
+    pub total: u128,
     arity: usize,
     /// Flattened decoded group keys, `arity` values per group.
     keys: Vec<Value>,
@@ -257,10 +261,16 @@ impl GroupCounts {
         }
     }
 
-    /// Inserts (or overwrites) the multiplicity of a grouped key.
+    /// Inserts (or overwrites) the multiplicity of a grouped key, keeping
+    /// [`GroupCounts::total`] in sync with **checked** `u128` accumulation.
     ///
-    /// `key` must have exactly `attrs.len()` values.  `total` is *not*
-    /// updated — synthetic counts manage it explicitly.
+    /// `key` must have exactly `attrs.len()` values.  An overwrite replaces
+    /// the previous multiplicity in the total (subtract old, add new); an
+    /// accumulation that leaves `u128` — only reachable when `total` was
+    /// poked directly, since `u128::MAX / u64::MAX` inserts don't happen —
+    /// fails with [`RelationError::CountOverflow`] instead of saturating:
+    /// a clamped `N` would silently corrupt every ρ/J quantity derived
+    /// from it.
     ///
     /// Intended for tables built from scratch via [`GroupCounts::new`]
     /// (synthetic counts in tests and bounds code): there is no backing
@@ -268,12 +278,21 @@ impl GroupCounts {
     /// not mix inserts into counts produced by [`Relation::group_counts`] —
     /// the code-level view ([`GroupCounts::key_codes`]) of inserted groups
     /// would not correspond to any dictionary code.
-    pub fn insert(&mut self, key: &[Value], count: u64) {
+    pub fn insert(&mut self, key: &[Value], count: u64) -> Result<()> {
         assert_eq!(key.len(), self.arity, "group key arity mismatch");
+        const OVERFLOW: RelationError =
+            RelationError::CountOverflow("synthetic group-count total exceeds u128");
         if let Some(&g) = self.index().get(key) {
+            let old = self.counts[g as usize];
+            self.total = self
+                .total
+                .checked_sub(old as u128)
+                .and_then(|t| t.checked_add(count as u128))
+                .ok_or(OVERFLOW)?;
             self.counts[g as usize] = count;
-            return;
+            return Ok(());
         }
+        self.total = self.total.checked_add(count as u128).ok_or(OVERFLOW)?;
         let g = self.counts.len() as u32;
         self.keys.extend_from_slice(key);
         // Synthetic keys have no dictionary; mirror the values as codes so
@@ -284,6 +303,7 @@ impl GroupCounts {
             .get_mut()
             .expect("index() above initialised the lookup table")
             .insert(key.to_vec().into_boxed_slice(), g);
+        Ok(())
     }
 
     /// Assembles a decoded count table from its parts (used by the sharded
@@ -291,7 +311,7 @@ impl GroupCounts {
     /// the flat path goes through [`Relation::decode_group_counts`]).
     pub(crate) fn from_parts(
         attrs: AttrSet,
-        total: u64,
+        total: u128,
         keys: Vec<Value>,
         key_codes: Vec<u32>,
         counts: Vec<u64>,
@@ -732,7 +752,7 @@ impl Relation {
         }
         GroupCounts {
             attrs: ids.attrs().clone(),
-            total: self.rows as u64,
+            total: self.rows as u128,
             arity,
             keys,
             key_codes: ids.group_codes.clone(),
@@ -1098,6 +1118,7 @@ pub(crate) fn merge_spans(
 fn group_span(cols: &[&Column], start: usize, end: usize) -> Result<SpanGroups> {
     let rows = end - start;
     let radix: u128 = cols.iter().map(|c| c.domain_size() as u128).product();
+    // ajd: allow(silent-arithmetic, "capacity heuristic choosing dense vs hashed grouping; clamping only steers the strategy choice, results are identical either way")
     let dense_cap = RADIX_TABLE_CAP.min((rows as u128).saturating_mul(8).max(4096));
 
     let mut row_ids: Vec<u32> = Vec::with_capacity(rows);
@@ -1190,6 +1211,7 @@ fn new_group_id(counts: &[u64]) -> Result<u32> {
 /// reports 32 bits instead of wrapping to 0 — an aliased packed key would
 /// silently merge unrelated groups.
 pub(crate) fn bit_width(d: usize) -> u32 {
+    // ajd: allow(silent-arithmetic, "d=0 must clamp to 0, not underflow: a zero-size domain needs 0 bits, and the doc above pins the full-u32 edge")
     usize::BITS - d.saturating_sub(1).leading_zeros()
 }
 
@@ -1498,13 +1520,32 @@ mod tests {
     #[test]
     fn synthetic_group_counts_support_insert() {
         let mut g = GroupCounts::new(AttrSet::singleton(AttrId(0)));
-        g.insert(&[7], 3);
-        g.insert(&[9], 1);
-        g.insert(&[7], 5); // overwrite
+        g.insert(&[7], 3).unwrap();
+        g.insert(&[9], 1).unwrap();
+        assert_eq!(g.total, 4);
+        g.insert(&[7], 5).unwrap(); // overwrite: total swaps 3 for 5
+        assert_eq!(g.total, 6);
         assert_eq!(g.num_groups(), 2);
         assert_eq!(g.count_of(&[7]), 5);
         assert_eq!(g.count_of(&[9]), 1);
         assert_eq!(g.count_of(&[8]), 0);
+    }
+
+    #[test]
+    fn synthetic_group_counts_insert_reports_overflow() {
+        let mut g = GroupCounts::new(AttrSet::singleton(AttrId(0)));
+        g.insert(&[1], u64::MAX).unwrap();
+        assert_eq!(g.total, u64::MAX as u128);
+        // Poke the (public) total to the ceiling: the next accumulation
+        // must error, never saturate — a clamped N corrupts ρ/J silently.
+        g.total = u128::MAX;
+        assert!(matches!(
+            g.insert(&[2], 1),
+            Err(RelationError::CountOverflow(_))
+        ));
+        // The failed insert must not half-apply: no new group appeared.
+        assert_eq!(g.num_groups(), 1);
+        assert_eq!(g.count_of(&[2]), 0);
     }
 
     #[test]

@@ -471,7 +471,7 @@ impl ShardedRelation {
         }
         GroupCounts::from_parts(
             ids.attrs().clone(),
-            self.rows as u64,
+            self.rows as u128,
             keys,
             ids.group_codes().to_vec(),
             ids.counts().to_vec(),

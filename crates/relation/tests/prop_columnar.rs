@@ -120,7 +120,7 @@ fn check_equivalence(r: &Relation, attrs: &AttrSet) -> Result<(), String> {
             reference.len()
         ));
     }
-    if counts.total != r.len() as u64 {
+    if counts.total != r.len() as u128 {
         return Err("group_counts total mismatch".into());
     }
     for (key, count) in counts.iter() {

@@ -259,7 +259,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -352,8 +353,14 @@ impl<'a> Parser<'a> {
             }
             if self.pos > start {
                 // The input is a &str, so byte runs between ASCII delimiters
-                // are valid UTF-8.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf-8"));
+                // are valid UTF-8 — but a wire parser still reports rather
+                // than panics if that reasoning ever breaks.
+                let run = self
+                    .bytes
+                    .get(start..self.pos)
+                    .and_then(|b| std::str::from_utf8(b).ok())
+                    .ok_or_else(|| self.error("malformed UTF-8 inside string"))?;
+                out.push_str(run);
             }
             match self.peek() {
                 Some(b'"') => {
@@ -442,7 +449,7 @@ impl<'a> Parser<'a> {
             return Err(self.error("number has no digits"));
         }
         // JSON forbids leading zeros like 007.
-        if self.pos - digits_start > 1 && self.bytes[digits_start] == b'0' {
+        if self.pos - digits_start > 1 && self.bytes.get(digits_start) == Some(&b'0') {
             return Err(self.error("leading zero in number"));
         }
         if self.peek() == Some(b'.') {
@@ -468,7 +475,13 @@ impl<'a> Parser<'a> {
                 return Err(self.error("number has no digits in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        // The scanned span is ASCII digits/sign/dot/exponent by
+        // construction; report instead of panicking all the same.
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.error("malformed bytes inside number"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| self.error(format!("unparseable number '{text}'")))?;

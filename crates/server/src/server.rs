@@ -237,7 +237,7 @@ impl<'a> Server<'a> {
                     ("relation".to_owned(), Json::str(relation.clone())),
                     (
                         "report".to_owned(),
-                        report_json(entry.store.catalog(), &report),
+                        report_json(entry.store.catalog(), &report)?,
                     ),
                 ])
             }
@@ -266,7 +266,7 @@ impl<'a> Server<'a> {
                         .bags()
                         .iter()
                         .map(|bag| attr_names_json(catalog, bag))
-                        .collect(),
+                        .collect::<Result<Vec<Json>, Failure>>()?,
                 );
                 Ok(vec![
                     ("op".to_owned(), Json::str("mine")),
@@ -441,18 +441,29 @@ fn resolve_schema(store: &RelationStore, schema: &[Vec<String>]) -> Result<JoinT
         .map_err(|e| Failure::new(ErrorCode::InvalidSchema, e.to_string()))
 }
 
-fn attr_names_json(catalog: &Catalog, set: &AttrSet) -> Json {
-    Json::Arr(
-        set.iter()
-            .map(|id| {
-                Json::str(
-                    catalog
-                        .name(id)
-                        .expect("attribute ids come from this catalog"),
+/// Renders an attribute set as a JSON array of names.
+///
+/// The ids *should* always resolve — they were produced by analysing this
+/// store's relation — but a mismatch is reported as a structured
+/// [`ErrorCode::Internal`] frame rather than panicking the connection
+/// thread: a wire protocol must never answer a request with silence.
+fn attr_names_json(catalog: &Catalog, set: &AttrSet) -> Result<Json, Failure> {
+    let names = set
+        .iter()
+        .map(|id| {
+            catalog.name(id).map(Json::str).map_err(|_| {
+                Failure::new(
+                    ErrorCode::Internal,
+                    format!(
+                        "attribute id {} is outside this relation's catalog; \
+                         the analysis produced an inconsistent attribute set",
+                        id.0
+                    ),
                 )
             })
-            .collect(),
-    )
+        })
+        .collect::<Result<Vec<Json>, Failure>>()?;
+    Ok(Json::Arr(names))
 }
 
 fn cache_json(stats: &CacheStats) -> Json {
@@ -484,15 +495,15 @@ fn pool_json(stats: &PoolStats) -> Json {
     ])
 }
 
-fn report_json(catalog: &Catalog, report: &LossReport) -> Json {
+fn report_json(catalog: &Catalog, report: &LossReport) -> Result<Json, Failure> {
     let per_mvd: Vec<Json> = report
         .per_mvd
         .iter()
         .map(|m| {
-            Json::obj([
-                ("lhs", attr_names_json(catalog, &m.mvd.lhs)),
-                ("left", attr_names_json(catalog, &m.mvd.left)),
-                ("right", attr_names_json(catalog, &m.mvd.right)),
+            Ok(Json::obj([
+                ("lhs", attr_names_json(catalog, &m.mvd.lhs)?),
+                ("left", attr_names_json(catalog, &m.mvd.left)?),
+                ("right", attr_names_json(catalog, &m.mvd.right)?),
                 ("cmi_nats", Json::Num(m.cmi_nats)),
                 ("rho", Json::Num(m.rho)),
                 ("log1p_rho", Json::Num(m.log1p_rho)),
@@ -504,10 +515,10 @@ fn report_json(catalog: &Catalog, report: &LossReport) -> Json {
                         Json::Num(m.domain_sizes.2 as f64),
                     ]),
                 ),
-            ])
+            ]))
         })
-        .collect();
-    Json::obj([
+        .collect::<Result<Vec<Json>, Failure>>()?;
+    Ok(Json::obj([
         ("rows", Json::Num(report.n as f64)),
         ("distinct_rows", Json::Num(report.distinct_n as f64)),
         ("num_bags", Json::Num(report.num_bags as f64)),
@@ -529,7 +540,7 @@ fn report_json(catalog: &Catalog, report: &LossReport) -> Json {
         ),
         ("prop51_bound", Json::Num(report.prop51_bound)),
         ("per_mvd", Json::Arr(per_mvd)),
-    ])
+    ]))
 }
 
 #[cfg(test)]

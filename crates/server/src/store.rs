@@ -165,14 +165,7 @@ impl RelationStore {
 
     /// Attribute names in schema order.
     pub fn attribute_names(&self) -> Vec<String> {
-        (0..self.catalog.arity())
-            .map(|i| {
-                self.catalog
-                    .name(ajd_relation::AttrId(i as u32))
-                    .expect("catalog arity was validated at construction")
-                    .to_owned()
-            })
-            .collect()
+        self.catalog.names().to_vec()
     }
 }
 

@@ -250,6 +250,15 @@ fn errors_never_close_the_connection() {
             r#"{"op":"entropy","relation":"demo","attrs":["zzz"]}"#,
             r#"{"op":"loss","relation":"demo","schema":[["a","b"]]}"#,
             "[1,2,3]",
+            // Parser edge cases: the truncated-literal, leading-zero and
+            // unterminated-string paths must answer a parse-error frame,
+            // never panic the connection thread.
+            "tru",
+            "nul",
+            r#"{"op":007}"#,
+            r#"{"op":"catalog""#,
+            "\"unterminated",
+            "-",
         ];
         for line in bad_lines {
             let frame = client.request_line(line).unwrap();

@@ -43,6 +43,9 @@
 //! assert!((report.j_measure - (report.rho + 1.0).ln()).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use ajd_bounds as bounds;
 pub use ajd_core as core;
 pub use ajd_info as info;
