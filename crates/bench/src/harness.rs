@@ -1,6 +1,6 @@
 //! Experiment plumbing: command-line arguments and parallel trials.
 
-use parking_lot::Mutex;
+use ajd_sync::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

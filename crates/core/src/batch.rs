@@ -23,7 +23,7 @@ use ajd_relation::{
     AnalysisContext, AttrId, AttrSet, CacheStats, GroupCounts, GroupIds, GroupKernel, GroupSource,
     Relation, Result, ThreadBudget,
 };
-use parking_lot::Mutex;
+use ajd_sync::Mutex;
 use std::sync::Arc;
 
 /// Shared-cache, multi-threaded evaluator of join trees over one relation.

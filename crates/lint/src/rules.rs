@@ -45,6 +45,9 @@ pub const PANIC_IN_SERVER: &str = "panic-in-server";
 pub const RAW_SPAWN: &str = "raw-spawn";
 /// Kernel crates must not read clocks or ambient randomness.
 pub const NONDETERMINISM_SOURCE: &str = "nondeterminism-source";
+/// Blocking synchronisation flows through `ajd-sync`, never raw std or
+/// parking_lot, so the model checker sees every decision point.
+pub const RAW_SYNC_PRIMITIVE: &str = "raw-sync-primitive";
 /// Crate roots must carry the workspace's safety/docs attributes.
 pub const CRATE_HEADER_POLICY: &str = "crate-header-policy";
 /// Meta rule: a waiver comment that does not parse.
@@ -79,6 +82,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "Instant::now/SystemTime/ambient RNG inside a kernel crate",
     },
     RuleInfo {
+        id: RAW_SYNC_PRIMITIVE,
+        summary: "std::sync::{Mutex,Condvar,OnceLock,RwLock} or parking_lot outside \
+                  crates/sync (blocking sync must flow through ajd-sync so the model \
+                  checker can instrument it)",
+    },
+    RuleInfo {
         id: CRATE_HEADER_POLICY,
         summary: "crate root missing #![forbid(unsafe_code)] or the adopted missing_docs \
                   level",
@@ -94,7 +103,7 @@ const COUNTING_CRATES: &[&str] = &["relation", "jointree", "info", "core", "serv
 const KERNEL_CRATES: &[&str] = &["relation", "jointree", "info", "core"];
 /// Crates that have adopted `#![deny(missing_docs)]` (ratchet: once a crate
 /// lands here it cannot regress to `warn`).
-const MISSING_DOCS_DENY: &[&str] = &["relation", "core", "server", "lint"];
+const MISSING_DOCS_DENY: &[&str] = &["relation", "core", "server", "lint", "sync", "model"];
 
 /// A scrubbed file plus the path-derived facts the rules dispatch on.
 pub struct FileModel {
@@ -161,6 +170,7 @@ pub fn check_file(file: &FileModel) -> Vec<Finding> {
     panic_in_server(file, &mut findings);
     raw_spawn(file, &mut findings);
     nondeterminism_source(file, &mut findings);
+    raw_sync_primitive(file, &mut findings);
     findings
 }
 
@@ -523,6 +533,80 @@ fn raw_spawn(file: &FileModel, out: &mut Vec<Finding>) {
                          spawns under a budget-derived worker count are fine)"
                     ),
                 ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// raw-sync-primitive
+// ---------------------------------------------------------------------
+
+/// Blocking std primitives and the `ajd-sync` name that replaces each.
+const RAW_SYNC_PRIMITIVES: &[(&str, &str)] = &[
+    ("Mutex", "Mutex"),
+    ("Condvar", "Condvar"),
+    ("OnceLock", "OnceSlot"),
+    ("RwLock", "RwLock"),
+];
+
+fn raw_sync_primitive(file: &FileModel, out: &mut Vec<Finding>) {
+    // `crates/sync` is the facade whose std backend these primitives live
+    // in by design; everything else (including `crates/model`, whose
+    // instrumentation layer carries explicit file-level waivers) must go
+    // through `ajd-sync`.
+    if file.crate_name() == "sync" {
+        return;
+    }
+    // Tracks a multiline `use std::sync::{ … };` import: its continuation
+    // lines name primitives without repeating the `std::sync::` path.
+    let mut in_import = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let s = &line.scrubbed;
+        let line_in_import = in_import;
+        if in_import && s.contains('}') {
+            in_import = false;
+        }
+        if s.contains("use std::sync::{") && !s.contains('}') {
+            in_import = true;
+        }
+        if line.in_test {
+            continue;
+        }
+        for _ in occurrences(s, "parking_lot") {
+            out.push(finding(
+                file,
+                idx + 1,
+                RAW_SYNC_PRIMITIVE,
+                "`parking_lot` is invisible to the model checker; use the `ajd-sync` \
+                 facade, which routes through instrumented primitives under \
+                 `--cfg ajd_model`"
+                    .to_owned(),
+            ));
+        }
+        // Catches direct paths (`std::sync::Mutex<T>`), single-line brace
+        // imports (`use std::sync::{Arc, Mutex};`), and the continuation
+        // lines of multiline ones.
+        if !s.contains("std::sync::") && !line_in_import {
+            continue;
+        }
+        for (prim, facade) in RAW_SYNC_PRIMITIVES {
+            for at in occurrences(s, prim) {
+                let before_ok = at == 0 || !is_ident_char(s.as_bytes()[at - 1] as char);
+                let end = at + prim.len();
+                let after_ok = end >= s.len() || !is_ident_char(s.as_bytes()[end] as char);
+                if before_ok && after_ok {
+                    out.push(finding(
+                        file,
+                        idx + 1,
+                        RAW_SYNC_PRIMITIVE,
+                        format!(
+                            "`std::sync::{prim}` bypasses the `ajd-sync` facade; the \
+                             model checker cannot see its acquire/wait/notify edges \
+                             (use `ajd_sync::{facade}`)"
+                        ),
+                    ));
+                }
             }
         }
     }

@@ -303,6 +303,51 @@ fn nondeterminism_source_accepts_non_kernel_crates_and_seeded_rng() {
 }
 
 // ---------------------------------------------------------------------
+// raw-sync-primitive
+// ---------------------------------------------------------------------
+
+#[test]
+fn raw_sync_primitive_flags_std_primitives_and_parking_lot() {
+    let src = "fn f() {\n\
+               let m: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+               }\n";
+    assert_finds("crates/relation/src/demo.rs", src, "raw-sync-primitive", 2);
+    // Brace imports are the common spelling.
+    let src = "use std::sync::{Arc, OnceLock};\n";
+    assert_finds("crates/core/src/demo.rs", src, "raw-sync-primitive", 1);
+    // Multiline brace imports name primitives on continuation lines.
+    let src = "use std::sync::{\n\
+               Condvar,\n\
+               Mutex,\n\
+               };\n";
+    let report = lint_source("crates/server/src/demo.rs", src);
+    assert!(rules_of(&report).iter().all(|r| *r == "raw-sync-primitive"));
+    assert_eq!(report.findings.len(), 2);
+    // parking_lot is flagged wherever it appears.
+    let src = "use parking_lot::RwLock;\n";
+    assert_finds("crates/jointree/src/demo.rs", src, "raw-sync-primitive", 1);
+}
+
+#[test]
+fn raw_sync_primitive_accepts_facade_atomics_tests_and_crates_sync() {
+    // The facade itself and non-blocking std::sync items are fine.
+    let src = "use ajd_sync::{Condvar, Mutex, OnceSlot};\n\
+               use std::sync::atomic::{AtomicUsize, Ordering};\n\
+               use std::sync::Arc;\n\
+               use std::sync::mpsc;\n";
+    assert_clean("crates/relation/src/demo.rs", src);
+    // Test code may use raw primitives (e.g. std Barrier + friends).
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               use std::sync::Mutex;\n\
+               }\n";
+    assert_clean("crates/core/src/demo.rs", src);
+    // crates/sync is the blessed backend.
+    let src = "pub use std::sync::{Condvar, Mutex, RwLock};\n";
+    assert_clean("crates/sync/src/real.rs", src);
+}
+
+// ---------------------------------------------------------------------
 // crate-header-policy
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,273 @@
+//! The explorer: bounded depth-first search over schedules.
+//!
+//! One *run* executes the test body under a schedule — a sequence of
+//! decisions, each picking which thread to resume (or which condvar
+//! waiter to wake) among the candidates at that point.  The explorer
+//! replays the longest prefix of the previous run's decisions, flips the
+//! deepest decision that still has an untried alternative, and repeats
+//! until the tree is exhausted or a bound trips.  Because a run is fully
+//! determined by its decision sequence (see [`crate::runtime`]), any
+//! failing schedule can be replayed verbatim.
+//!
+//! Bounds (all overridable per [`Model`] and via environment):
+//!
+//! | knob | env var | default |
+//! |------|---------|---------|
+//! | max schedules per check | `AJD_MODEL_MAX_SCHEDULES` | 100 000 |
+//! | preemption bound | `AJD_MODEL_PREEMPTION_BOUND` | unbounded |
+//! | per-run operation budget | `AJD_MODEL_MAX_OPS` | 200 000 |
+//!
+//! `AJD_MODEL_REPLAY=<schedule>` makes [`Model::check`] run exactly that
+//! schedule instead of exploring (optionally gated to one check by
+//! `AJD_MODEL_REPLAY_TEST=<name>`).
+
+use crate::runtime::{self, Choice, Handle, Runtime, ViolationKind};
+use std::sync::Arc;
+
+/// A violation found by exploration, with the schedule that triggers it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Human-readable detail (thread states, panic message, …).
+    pub message: String,
+    /// The failing schedule: comma-separated chosen thread ids, suitable
+    /// for [`Model::replay`] / `AJD_MODEL_REPLAY`.
+    pub schedule: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}\n  failing schedule: {}",
+            self.kind, self.message, self.schedule
+        )
+    }
+}
+
+/// What an exploration produced.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// `true` when the whole decision tree was explored (no bound trip).
+    pub exhausted: bool,
+    /// The first violation found, if any (exploration stops on it).
+    pub violation: Option<Violation>,
+}
+
+/// Builder for a model-checking run: bounds plus the entry points
+/// [`Model::check`], [`Model::explore`], and [`Model::replay`].
+#[derive(Debug, Clone)]
+pub struct Model {
+    max_schedules: usize,
+    preemption_bound: Option<usize>,
+    max_ops: u64,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl Model {
+    /// A model with default bounds, overridden by the `AJD_MODEL_*`
+    /// environment variables where set (that is how CI pins exploration
+    /// budgets without touching test code).
+    pub fn new() -> Self {
+        Model {
+            max_schedules: env_usize("AJD_MODEL_MAX_SCHEDULES").unwrap_or(100_000),
+            preemption_bound: env_usize("AJD_MODEL_PREEMPTION_BOUND"),
+            max_ops: env_usize("AJD_MODEL_MAX_OPS").unwrap_or(200_000) as u64,
+        }
+    }
+
+    /// Caps the number of schedules explored per check.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n.max(1);
+        self
+    }
+
+    /// Bounds preemptive context switches per run (switches away from a
+    /// still-runnable thread).  Small bounds (2–3) catch most real bugs
+    /// at a fraction of the cost of exhaustive search.
+    pub fn preemption_bound(mut self, n: usize) -> Self {
+        self.preemption_bound = Some(n);
+        self
+    }
+
+    /// Per-run scheduled-operation budget (livelock detector).
+    pub fn max_ops(mut self, n: u64) -> Self {
+        self.max_ops = n.max(1);
+        self
+    }
+
+    /// Executes `body` once under `script` and returns the outcome.
+    fn run_once<F>(&self, script: Vec<usize>, body: &F) -> runtime::RunOutcome
+    where
+        F: Fn() + Sync,
+    {
+        let rt = Arc::new(Runtime::new(script, self.preemption_bound, self.max_ops));
+        // Register the root virtual thread (id 0) before its OS thread
+        // exists, so the controller never observes an empty run.
+        let root = rt.register();
+        std::thread::scope(|s| {
+            let rt2 = Arc::clone(&rt);
+            s.spawn(move || {
+                crate::thread::run_virtual(rt2, root, body);
+            });
+            rt.control()
+        })
+    }
+
+    /// Explores schedules of `body` until a violation is found, the tree
+    /// is exhausted, or the schedule budget is spent.
+    pub fn explore<F>(&self, body: F) -> Report
+    where
+        F: Fn() + Sync,
+    {
+        let mut script: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let outcome = self.run_once(script.clone(), &body);
+            schedules += 1;
+            if let Some(failure) = outcome.failure {
+                return Report {
+                    schedules,
+                    exhausted: false,
+                    violation: Some(Violation {
+                        kind: failure.kind,
+                        message: failure.message,
+                        schedule: schedule_string(&outcome.trace),
+                    }),
+                };
+            }
+            match next_script(&outcome.trace) {
+                None => {
+                    return Report {
+                        schedules,
+                        exhausted: true,
+                        violation: None,
+                    }
+                }
+                Some(_) if schedules >= self.max_schedules => {
+                    return Report {
+                        schedules,
+                        exhausted: false,
+                        violation: None,
+                    }
+                }
+                Some(next) => script = next,
+            }
+        }
+    }
+
+    /// Runs `body` under exactly one schedule (as produced by a previous
+    /// failure) and returns the violation it reproduces, if any.
+    pub fn replay<F>(&self, schedule: &str, body: F) -> Option<Violation>
+    where
+        F: Fn() + Sync,
+    {
+        let script = parse_schedule(schedule);
+        let consumed = script.len();
+        let outcome = self.run_once(script, &body);
+        if let Some(failure) = outcome.failure {
+            return Some(Violation {
+                kind: failure.kind,
+                message: failure.message,
+                schedule: schedule_string(&outcome.trace),
+            });
+        }
+        if outcome.trace.len() < consumed {
+            return Some(Violation {
+                kind: ViolationKind::Divergence,
+                message: format!(
+                    "replay schedule has {consumed} decisions but the run only hit {}; \
+                     the code under test has changed since this schedule was recorded",
+                    outcome.trace.len()
+                ),
+                schedule: schedule.to_owned(),
+            });
+        }
+        None
+    }
+
+    /// Explores `body` and **panics** on any violation, printing the
+    /// failing schedule and how to replay it.  This is the assertion
+    /// entry point model tests call; `name` labels the check in failure
+    /// output and for `AJD_MODEL_REPLAY_TEST` gating.
+    pub fn check<F>(&self, name: &str, body: F)
+    where
+        F: Fn() + Sync,
+    {
+        if let Ok(schedule) = std::env::var("AJD_MODEL_REPLAY") {
+            let gated = std::env::var("AJD_MODEL_REPLAY_TEST")
+                .map(|t| t != name)
+                .unwrap_or(false);
+            if !gated {
+                match self.replay(&schedule, body) {
+                    Some(v) => panic!("model check '{name}' (replay) failed: {v}"),
+                    None => return,
+                }
+            }
+        }
+        let report = self.explore(body);
+        if let Some(v) = report.violation {
+            panic!(
+                "model check '{name}' failed after {} schedule(s): {v}\n  \
+                 replay with: AJD_MODEL_REPLAY={} AJD_MODEL_REPLAY_TEST={name} \
+                 cargo test (same target, --cfg ajd_model)",
+                report.schedules, v.schedule
+            );
+        }
+    }
+}
+
+/// The schedule a trace encodes: comma-separated chosen thread ids.
+fn schedule_string(trace: &[Choice]) -> String {
+    trace
+        .iter()
+        .map(|c| c.chosen_thread().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_schedule(s: &str) -> Vec<usize> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| panic!("malformed AJD_MODEL_REPLAY step {t:?}"))
+        })
+        .collect()
+}
+
+/// DFS step: the script that replays `trace` up to its deepest decision
+/// with an untried alternative, then takes that alternative.  `None` when
+/// every decision has been fully explored.
+fn next_script(trace: &[Choice]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let c = &trace[i];
+        if c.taken + 1 < c.options.len() {
+            let mut script: Vec<usize> = trace[..i].iter().map(Choice::chosen_thread).collect();
+            script.push(c.options[c.taken + 1]);
+            return Some(script);
+        }
+    }
+    None
+}
+
+/// Yield point re-exported for tests that need an explicit interleaving
+/// opportunity inside a model body (equivalent to `thread::yield_now`).
+pub fn yield_point() {
+    if let Some(Handle { rt, me }) = runtime::current() {
+        rt.yield_runnable(me);
+    }
+}

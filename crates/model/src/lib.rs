@@ -1,0 +1,56 @@
+//! `ajd-model` — a deterministic concurrency model checker for the
+//! workspace's synchronisation core.
+//!
+//! The checker runs a test body on *virtual threads* (real OS threads,
+//! exactly one runnable at a time) and performs a bounded depth-first
+//! search over every scheduling decision: which thread runs at each yield
+//! point, and which waiter a `notify_one` wakes.  Each schedule is a
+//! replayable comma-separated decision list, so a failure found on any
+//! machine reproduces exactly on every other.
+//!
+//! Violations flagged:
+//!
+//! * **deadlock** — all live threads blocked with no wakeup possible;
+//! * **missed wakeup / lost notify** — all threads blocked, but a forced
+//!   spurious wakeup (legal per `std::sync::Condvar`) lets the program
+//!   finish, proving a waiter slept while its predicate held;
+//! * **panic** — an assertion failure in the body (this is how invariant
+//!   checks like "exactly one compute per cold key" are expressed);
+//! * **livelock** — a run exceeding the per-run operation budget;
+//! * **divergence** — a replayed schedule that no longer matches the code.
+//!
+//! The primitives in [`sync`] and [`thread`] are *dual-mode*: inside a
+//! [`Model::check`] body they are instrumented scheduling points; outside
+//! a run they behave exactly like their `std` counterparts.  The
+//! [`ajd-sync`](https://example.invalid/ajd) facade re-exports them under
+//! `--cfg ajd_model` so production code is modelled unchanged.
+//!
+//! The model explores under **sequential consistency**: atomic `Ordering`
+//! arguments are accepted but not weakened.  See `docs/CONCURRENCY.md`
+//! for scope and usage, including how to write and replay a model test.
+//!
+//! ```
+//! use ajd_model::{sync::Mutex, thread, Model};
+//! use std::sync::Arc;
+//!
+//! let report = Model::new().max_schedules(1000).explore(|| {
+//!     let counter = Arc::new(Mutex::new(0u32));
+//!     let c2 = Arc::clone(&counter);
+//!     let t = thread::spawn(move || *c2.lock() += 1);
+//!     *counter.lock() += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*counter.lock(), 2);
+//! });
+//! assert!(report.violation.is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod explore;
+mod runtime;
+pub mod sync;
+pub mod thread;
+
+pub use explore::{yield_point, Model, Report, Violation};
+pub use runtime::ViolationKind;

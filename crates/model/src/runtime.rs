@@ -1,0 +1,627 @@
+//! The cooperative scheduler: virtual threads, yield points, blocking
+//! states, and the per-run decision trace.
+//!
+//! A model run executes the test body on *virtual threads* — real OS
+//! threads, of which **exactly one is runnable at a time**.  Every
+//! instrumented operation (lock acquire, condvar wait/notify, once-slot
+//! init, atomic access, spawn, join, explicit yield) calls into the
+//! [`Runtime`], which parks the calling thread and hands control to the
+//! controller loop on the main thread.  The controller picks the next
+//! thread to resume; whenever more than one thread is runnable that pick
+//! is a recorded **decision**, and the explorer (see [`crate::explore`])
+//! drives a depth-first search over all decision sequences.
+//!
+//! Because only one virtual thread ever runs between two yield points, a
+//! run is fully determined by its decision sequence — which is what makes
+//! failing schedules replayable (`AJD_MODEL_REPLAY`).
+//!
+//! The runtime deliberately models **sequential consistency**: atomic
+//! `Ordering` arguments are accepted but all interleavings are explored
+//! under SC.  See `docs/CONCURRENCY.md` for what that does and does not
+//! prove.
+
+// ajd: allow-file(raw-sync-primitive, "this file IS the instrumentation layer: the runtime implements the virtual-thread handshake that every ajd-sync primitive is routed through under cfg(ajd_model), so it must sit directly on std::sync")
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// A panic payload carried out of a virtual thread.
+pub(crate) type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Sentinel unwound through virtual threads when a run is being aborted
+/// (violation found or exploration cancelled); caught by the thread
+/// wrapper, never surfaced to user code.
+pub(crate) struct AbortToken;
+
+/// Why a virtual thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Ready to run; the controller may pick it.
+    Runnable,
+    /// Waiting to acquire the mutex with this object id.
+    Lock(usize),
+    /// Waiting for read access to the rwlock with this object id.
+    RwRead(usize),
+    /// Waiting for write access to the rwlock with this object id.
+    RwWrite(usize),
+    /// Waiting on the condvar with this object id.
+    Cond(usize),
+    /// Waiting for the once-slot with this object id to be filled.
+    Once(usize),
+    /// Waiting for the virtual thread with this id to finish.
+    Join(usize),
+    /// The thread's closure has returned (or unwound).
+    Finished,
+}
+
+impl Block {
+    fn is_blocked(self) -> bool {
+        !matches!(self, Block::Runnable | Block::Finished)
+    }
+
+    /// Human-readable label for violation reports.
+    pub(crate) fn describe(self) -> String {
+        match self {
+            Block::Runnable => "runnable".to_owned(),
+            Block::Lock(id) => format!("blocked acquiring mutex #{id}"),
+            Block::RwRead(id) => format!("blocked acquiring rwlock #{id} (read)"),
+            Block::RwWrite(id) => format!("blocked acquiring rwlock #{id} (write)"),
+            Block::Cond(id) => format!("blocked in condvar #{id} wait"),
+            Block::Once(id) => format!("blocked on in-flight once-slot #{id}"),
+            Block::Join(t) => format!("blocked joining thread {t}"),
+            Block::Finished => "finished".to_owned(),
+        }
+    }
+}
+
+/// One recorded decision: the runnable candidates offered (sorted thread
+/// ids) and which index was taken.
+#[derive(Debug, Clone)]
+pub(crate) struct Choice {
+    pub options: Vec<usize>,
+    pub taken: usize,
+}
+
+impl Choice {
+    /// The thread id this choice resumed (or woke).
+    pub(crate) fn chosen_thread(&self) -> usize {
+        self.options[self.taken.min(self.options.len().saturating_sub(1))]
+    }
+}
+
+/// The kind of violation a run ended with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// All live threads are blocked and force-waking the condvar waiters
+    /// did not let the program make progress.
+    Deadlock,
+    /// All live threads were blocked, but force-waking the condvar
+    /// waiters (the moral equivalent of a spurious wakeup) let the
+    /// program proceed: a waiter was asleep while its predicate held,
+    /// i.e. a notify was lost or never sent.
+    MissedWakeup,
+    /// A virtual thread panicked (assertion failure in the test body, or
+    /// a propagated library panic).
+    Panic,
+    /// A replayed schedule did not match the program's actual decision
+    /// points (the code under test changed since the schedule was saved).
+    Divergence,
+    /// A single run exceeded the per-run operation budget — a livelock or
+    /// an unbounded retry loop.
+    OpBudget,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::MissedWakeup => "missed wakeup (lost notify)",
+            ViolationKind::Panic => "panic",
+            ViolationKind::Divergence => "schedule divergence",
+            ViolationKind::OpBudget => "operation budget exceeded (livelock?)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failure recorded during one run.
+#[derive(Debug, Clone)]
+pub(crate) struct Failure {
+    pub kind: ViolationKind,
+    pub message: String,
+}
+
+struct TState {
+    block: Block,
+    /// A condvar wakeup (real notify or deadlock probe) was delivered.
+    notified: bool,
+}
+
+/// Whose turn it is to run.  The handshake is state- (not edge-)
+/// triggered: everyone waits on one condvar and re-checks this field, so
+/// a notification can never be lost to a thread that has not parked yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Controller,
+    Thread(usize),
+}
+
+pub(crate) struct RtState {
+    turn: Turn,
+    threads: Vec<TState>,
+    /// The last-resumed thread (for preemption accounting).
+    current: usize,
+    /// Replay prefix: thread ids to choose at successive decision points.
+    script: Vec<usize>,
+    /// Position of the next decision in `script`.
+    cursor: usize,
+    /// Decisions actually taken this run (the run's full schedule).
+    trace: Vec<Choice>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    max_ops: u64,
+    ops: u64,
+    failure: Option<Failure>,
+    aborting: bool,
+    /// The all-blocked probe has fired this run.
+    probed: bool,
+    next_object: usize,
+}
+
+/// The per-run scheduler shared by the controller and every virtual
+/// thread of that run.
+pub(crate) struct Runtime {
+    state: StdMutex<RtState>,
+    turn_cv: StdCondvar,
+}
+
+/// A virtual thread's handle to its runtime.
+#[derive(Clone)]
+pub(crate) struct Handle {
+    pub rt: Arc<Runtime>,
+    pub me: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Handle>> = const { RefCell::new(None) };
+}
+
+/// The runtime handle of the calling OS thread, if it is a virtual
+/// thread of an active model run.
+pub(crate) fn current() -> Option<Handle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Runs `f` with the thread-local handle installed (virtual-thread
+/// wrapper); restores the previous value afterwards even on unwind.
+pub(crate) fn with_handle<T>(handle: Handle, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Handle>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(handle));
+    let _restore = Restore(prev);
+    f()
+}
+
+impl Runtime {
+    pub(crate) fn new(script: Vec<usize>, preemption_bound: Option<usize>, max_ops: u64) -> Self {
+        Runtime {
+            state: StdMutex::new(RtState {
+                turn: Turn::Controller,
+                threads: Vec::new(),
+                current: usize::MAX,
+                script,
+                cursor: 0,
+                trace: Vec::new(),
+                preemptions: 0,
+                preemption_bound,
+                max_ops,
+                ops: 0,
+                failure: None,
+                aborting: false,
+                probed: false,
+                next_object: 0,
+            }),
+            turn_cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RtState> {
+        // A virtual thread only ever panics *outside* this lock (the
+        // guard is dropped before `panic_any`), so poisoning here means a
+        // bug in the runtime itself; recovering the data is still the
+        // most debuggable behaviour.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a new virtual thread and returns its id.  Called by the
+    /// spawning (parent) thread before the OS thread starts, so the
+    /// controller can never observe a spawn "in flight".
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(TState {
+            block: Block::Runnable,
+            notified: false,
+        });
+        st.threads.len() - 1
+    }
+
+    /// Fresh object id for a primitive (mutex, condvar, …).
+    pub(crate) fn new_object_id(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.next_object;
+        st.next_object += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual-thread side
+    // ------------------------------------------------------------------
+
+    /// The universal scheduling point: parks the calling thread in state
+    /// `block` and hands control to the controller; returns once the
+    /// controller resumes this thread.  Panics with [`AbortToken`] when
+    /// the run is being torn down.
+    pub(crate) fn yield_as(&self, me: usize, block: Block) {
+        let mut st = self.lock();
+        st.ops += 1;
+        if st.ops > st.max_ops && st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind: ViolationKind::OpBudget,
+                message: format!(
+                    "run exceeded {} scheduled operations; the body likely livelocks \
+                     (an unbounded retry loop with no blocking operation)",
+                    st.max_ops
+                ),
+            });
+            st.aborting = true;
+        }
+        st.threads[me].block = block;
+        st.turn = Turn::Controller;
+        self.turn_cv.notify_all();
+        while st.turn != Turn::Thread(me) {
+            st = self
+                .turn_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let abort = st.aborting;
+        drop(st);
+        if abort {
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// Marks the calling thread runnable again after a blocking yield
+    /// (the caller re-checks its wait condition in a loop).
+    pub(crate) fn yield_runnable(&self, me: usize) {
+        self.yield_as(me, Block::Runnable);
+    }
+
+    /// Parks a freshly spawned virtual thread until the controller first
+    /// resumes it.  Unlike [`Runtime::yield_as`] this does *not* hand the
+    /// turn to the controller — the spawning thread still holds it.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let mut st = self.lock();
+        while st.turn != Turn::Thread(me) {
+            st = self
+                .turn_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let abort = st.aborting;
+        drop(st);
+        if abort {
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// Parks the thread as a condvar waiter; returns once a notify (or
+    /// the deadlock probe) targets it.
+    pub(crate) fn condvar_wait(&self, me: usize, cv: usize) {
+        {
+            let mut st = self.lock();
+            st.threads[me].notified = false;
+        }
+        loop {
+            self.yield_as(me, Block::Cond(cv));
+            let st = self.lock();
+            if st.threads[me].notified {
+                return;
+            }
+            // Resumed without a wakeup (can happen transiently while the
+            // controller re-parks threads); wait again.
+        }
+    }
+
+    /// Delivers a condvar wakeup to one waiter.  When several threads
+    /// wait on the same condvar this is a *decision point*: real
+    /// condvars make no ordering promise, so the explorer tries every
+    /// waiter.  Returns `true` if a waiter was woken.
+    pub(crate) fn notify_one(&self, cv: usize) -> bool {
+        let mut st = self.lock();
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.block == Block::Cond(cv))
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            return false;
+        }
+        let chosen = if waiters.len() == 1 {
+            waiters[0]
+        } else {
+            let idx = Self::decide(&mut st, &waiters);
+            waiters[idx]
+        };
+        st.threads[chosen].notified = true;
+        st.threads[chosen].block = Block::Runnable;
+        true
+    }
+
+    /// Delivers a condvar wakeup to every waiter.
+    pub(crate) fn notify_all(&self, cv: usize) {
+        let mut st = self.lock();
+        for t in st.threads.iter_mut() {
+            if t.block == Block::Cond(cv) {
+                t.notified = true;
+                t.block = Block::Runnable;
+            }
+        }
+    }
+
+    /// Marks every thread blocked in state `block` runnable (lock
+    /// released, once-slot filled, …); they re-contend when scheduled.
+    pub(crate) fn wake(&self, block: Block) {
+        let mut st = self.lock();
+        for t in st.threads.iter_mut() {
+            if t.block == block {
+                t.block = Block::Runnable;
+            }
+        }
+    }
+
+    /// Marks the calling thread finished and wakes its joiners.  The
+    /// thread must not yield again afterwards.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].block = Block::Finished;
+        for t in st.threads.iter_mut() {
+            if t.block == Block::Join(me) {
+                t.block = Block::Runnable;
+            }
+        }
+        st.turn = Turn::Controller;
+        self.turn_cv.notify_all();
+    }
+
+    /// `true` once the virtual thread `id` has finished.
+    pub(crate) fn is_finished(&self, id: usize) -> bool {
+        self.lock().threads[id].block == Block::Finished
+    }
+
+    /// Records a panic from a virtual thread (first failure wins) and
+    /// switches the run into abort mode.  Returns `true` if this panic
+    /// was recorded (i.e. was not an [`AbortToken`]).
+    pub(crate) fn record_panic(&self, payload: &PanicPayload) -> bool {
+        if payload.downcast_ref::<AbortToken>().is_some() {
+            return false;
+        }
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "virtual thread panicked with a non-string payload".to_owned()
+        };
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind: ViolationKind::Panic,
+                message,
+            });
+        }
+        st.aborting = true;
+        true
+    }
+
+    /// Records a schedule-divergence failure (replay only).
+    fn record_divergence(st: &mut RtState, detail: String) {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind: ViolationKind::Divergence,
+                message: detail,
+            });
+        }
+        st.aborting = true;
+    }
+
+    /// Picks among `options` (sorted thread ids) following the replay
+    /// script where available, defaulting to the first option; records
+    /// the decision in the trace.  Shared by the controller's scheduling
+    /// picks and `notify_one`'s waiter picks, which keeps one uniform,
+    /// replayable decision stream.
+    fn decide(st: &mut RtState, options: &[usize]) -> usize {
+        let taken = if st.cursor < st.script.len() {
+            let want = st.script[st.cursor];
+            match options.iter().position(|&t| t == want) {
+                Some(idx) => idx,
+                None => {
+                    Self::record_divergence(
+                        st,
+                        format!(
+                            "replay schedule step {} wants thread {want}, but the \
+                             candidates here are {options:?}; the code under test has \
+                             changed since this schedule was recorded",
+                            st.cursor
+                        ),
+                    );
+                    0
+                }
+            }
+        } else {
+            0
+        };
+        st.cursor += 1;
+        st.trace.push(Choice {
+            options: options.to_vec(),
+            taken,
+        });
+        taken
+    }
+
+    // ------------------------------------------------------------------
+    // Controller side
+    // ------------------------------------------------------------------
+
+    /// Runs the scheduling loop on the controller (main) thread until
+    /// every virtual thread has finished.  Returns the run's trace,
+    /// failure (if any), and whether the deadlock probe fired.
+    pub(crate) fn control(&self) -> RunOutcome {
+        let mut st = self.lock();
+        // Wait for the root thread to register.
+        while st.threads.is_empty() {
+            drop(st);
+            std::thread::yield_now();
+            st = self.lock();
+        }
+        loop {
+            // Wait until it is the controller's turn.
+            while st.turn != Turn::Controller {
+                st = self
+                    .turn_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            let runnable: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.block == Block::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                if st.threads.iter().all(|t| t.block == Block::Finished) {
+                    break; // run complete
+                }
+                // Every live thread is blocked.
+                let cond_waiters: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.block, Block::Cond(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                if !st.aborting && !st.probed && !cond_waiters.is_empty() {
+                    // Probe: force-wake every condvar waiter (legal under
+                    // std's spurious-wakeup license).  If the program now
+                    // finishes, a waiter was asleep with its predicate
+                    // satisfied — a missed wakeup.  If it deadlocks
+                    // again, it is a genuine deadlock.
+                    st.probed = true;
+                    for &i in &cond_waiters {
+                        st.threads[i].notified = true;
+                        st.threads[i].block = Block::Runnable;
+                    }
+                    continue;
+                }
+                // Genuine deadlock (or re-deadlock after the probe).
+                if st.failure.is_none() {
+                    let states: Vec<String> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.block != Block::Finished)
+                        .map(|(i, t)| format!("thread {i}: {}", t.block.describe()))
+                        .collect();
+                    st.failure = Some(Failure {
+                        kind: ViolationKind::Deadlock,
+                        message: format!(
+                            "all live threads are blocked and no wakeup can arrive — \
+                             {}",
+                            states.join("; ")
+                        ),
+                    });
+                }
+                st.aborting = true;
+                // Wake everything so the blocked threads unwind and the
+                // OS threads can exit (their next resume aborts them).
+                for t in st.threads.iter_mut() {
+                    if t.block.is_blocked() {
+                        t.block = Block::Runnable;
+                        t.notified = true;
+                    }
+                }
+                continue;
+            }
+            // Pick the next thread.  Under abort we drain threads in
+            // id order without recording decisions.
+            let chosen = if st.aborting {
+                runnable[0]
+            } else {
+                let options = self.filtered_options(&st, &runnable);
+                if options.len() == 1 {
+                    options[0]
+                } else {
+                    let idx = Self::decide(&mut st, &options);
+                    options[idx]
+                }
+            };
+            if chosen != st.current
+                && st
+                    .threads
+                    .get(st.current)
+                    .is_some_and(|t| t.block == Block::Runnable)
+            {
+                st.preemptions += 1;
+            }
+            st.current = chosen;
+            st.turn = Turn::Thread(chosen);
+            self.turn_cv.notify_all();
+        }
+        let probed = st.probed;
+        let failure = st.failure.clone().or_else(|| {
+            probed.then(|| Failure {
+                kind: ViolationKind::MissedWakeup,
+                message: "all live threads were blocked, but force-waking the condvar \
+                          waiters (a legal spurious wakeup) let the program finish: a \
+                          waiter was asleep while its wait condition already held, so a \
+                          notify was lost or never sent"
+                    .to_owned(),
+            })
+        });
+        RunOutcome {
+            trace: std::mem::take(&mut st.trace),
+            failure,
+        }
+    }
+
+    /// Applies the preemption bound: switching away from a still-runnable
+    /// `current` thread is a preemption; once the budget is spent the
+    /// current thread must keep running (if it can).
+    fn filtered_options(&self, st: &RtState, runnable: &[usize]) -> Vec<usize> {
+        if let Some(bound) = st.preemption_bound {
+            if st.preemptions >= bound
+                && st
+                    .threads
+                    .get(st.current)
+                    .is_some_and(|t| t.block == Block::Runnable)
+                && runnable.contains(&st.current)
+            {
+                return vec![st.current];
+            }
+        }
+        runnable.to_vec()
+    }
+}
+
+/// What one run produced: its decision trace and terminal failure.
+pub(crate) struct RunOutcome {
+    pub trace: Vec<Choice>,
+    pub failure: Option<Failure>,
+}

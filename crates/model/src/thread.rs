@@ -1,0 +1,248 @@
+//! Virtual-thread spawning: the model-backed twins of `std::thread`'s
+//! `spawn`, `scope`, and `yield_now`.
+//!
+//! Under an active model run, "threads" are virtual: real OS threads, of
+//! which exactly one is runnable at a time (the crate-private scheduler
+//! enforces the turn handshake).  A
+//! spawned closure parks immediately and only begins when the controller
+//! first schedules it; `join` blocks virtually, so the explorer can
+//! interleave other threads around it.  Outside a run everything falls
+//! back to plain `std::thread`.
+//!
+//! A panic inside a virtual thread (other than the runtime's own abort
+//! sentinel) is recorded as a [`crate::ViolationKind::Panic`] violation
+//! and aborts the run — `join` never returns the payload in modelled
+//! mode, because the whole schedule is already a counterexample.
+
+use crate::runtime::{self, Block, Handle, Runtime};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+// ajd: allow-file(raw-sync-primitive, "the virtual-thread result slots live below the instrumented layer: they are written by a finishing thread and read only after its virtual join, so they must be plain std primitives to avoid recursing into the model")
+
+/// Result of joining a thread, mirroring `std::thread::Result`.
+pub type JoinResult<T> = std::thread::Result<T>;
+
+type Slot<T> = Arc<StdMutex<Option<JoinResult<T>>>>;
+
+fn take_slot<T>(slot: &Slot<T>) -> JoinResult<T> {
+    slot.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .expect("virtual thread finished without storing a result")
+}
+
+/// Runs `f` as virtual thread `vid` of `rt`: installs the thread-local
+/// handle, parks until first scheduled, stores the result, and marks the
+/// thread finished.  Used by both `spawn` and `Scope::spawn`.
+fn virtual_thread_body<T, F>(rt: Arc<Runtime>, vid: usize, slot: Slot<T>, f: F)
+where
+    F: FnOnce() -> T,
+{
+    let handle = Handle {
+        rt: Arc::clone(&rt),
+        me: vid,
+    };
+    runtime::with_handle(handle, || {
+        rt.wait_first(vid);
+        let result = match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(value) => Ok(value),
+            Err(payload) => {
+                rt.record_panic(&payload);
+                Err(payload)
+            }
+        };
+        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+        rt.finish(vid);
+    });
+}
+
+/// Runs `f` as the root virtual thread of a run (used by the explorer;
+/// the result slot is discarded — the root returns unit and its panics
+/// are recorded as run failures).
+pub(crate) fn run_virtual<F: FnOnce()>(rt: Arc<Runtime>, vid: usize, f: F) {
+    let slot: Slot<()> = Arc::new(StdMutex::new(None));
+    virtual_thread_body(rt, vid, slot, f);
+}
+
+/// Blocks the calling *virtual* thread until thread `vid` finishes.
+fn virtual_join(h: &Handle, vid: usize) {
+    // Check-then-park is race-free: the caller holds the turn, so `vid`
+    // cannot finish between the check and the yield; if it finishes while
+    // we are parked, `finish` wakes every `Join(vid)` waiter.
+    while !h.rt.is_finished(vid) {
+        h.rt.yield_as(h.me, Block::Join(vid));
+    }
+}
+
+/// Yields the calling thread: a scheduling point under a model run, a
+/// plain `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    if let Some(h) = runtime::current() {
+        h.rt.yield_runnable(h.me);
+        return;
+    }
+    std::thread::yield_now();
+}
+
+/// A handle to a spawned thread; virtual under a model run, `std` otherwise.
+pub struct JoinHandle<T> {
+    mode: HandleMode<T>,
+}
+
+enum HandleMode<T> {
+    Model {
+        rt: Arc<Runtime>,
+        vid: usize,
+        slot: Slot<T>,
+        os: std::thread::JoinHandle<()>,
+    },
+    Std(std::thread::JoinHandle<T>),
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.  In
+    /// modelled mode the wait is virtual (a scheduling point) and a panic
+    /// in the target aborts the run before this returns.
+    pub fn join(self) -> JoinResult<T> {
+        match self.mode {
+            HandleMode::Model { rt, vid, slot, os } => {
+                let h = runtime::current()
+                    .expect("virtual JoinHandle joined from outside its model run");
+                debug_assert!(Arc::ptr_eq(&h.rt, &rt));
+                virtual_join(&h, vid);
+                // The OS thread is past its last runtime call; this join
+                // only covers its final unwinding, never a virtual wait.
+                let _ = os.join();
+                take_slot(&slot)
+            }
+            HandleMode::Std(os) => os.join(),
+        }
+    }
+}
+
+/// Spawns a thread; virtual (parked until scheduled) under a model run.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some(h) = runtime::current() {
+        let vid = h.rt.register();
+        let slot: Slot<T> = Arc::new(StdMutex::new(None));
+        let rt = Arc::clone(&h.rt);
+        let slot2 = Arc::clone(&slot);
+        // ajd: allow(raw-spawn, "virtual threads are real OS threads parked by the runtime; this is the spawn site the model is built on, not workspace parallelism")
+        let os = std::thread::spawn(move || virtual_thread_body(rt, vid, slot2, f));
+        return JoinHandle {
+            mode: HandleMode::Model {
+                rt: Arc::clone(&h.rt),
+                vid,
+                slot,
+                os,
+            },
+        };
+    }
+    JoinHandle {
+        // ajd: allow(raw-spawn, "outside a model run this facade defers to std spawn verbatim; budgeted callers never reach it")
+        mode: HandleMode::Std(std::thread::spawn(f)),
+    }
+}
+
+/// A scope for spawning borrowing threads, mirroring `std::thread::scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    /// `Some` when the enclosing `scope` call runs inside a model run.
+    model: Option<Arc<Runtime>>,
+    /// Virtual ids spawned through this scope (virtually joined on exit).
+    spawned: StdMutex<Vec<usize>>,
+}
+
+/// A handle to a scoped thread, mirroring `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    mode: ScopedMode<'scope, T>,
+}
+
+enum ScopedMode<'scope, T> {
+    Model {
+        vid: usize,
+        slot: Slot<T>,
+        os: std::thread::ScopedJoinHandle<'scope, ()>,
+    },
+    Std(std::thread::ScopedJoinHandle<'scope, T>),
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread within the scope; it may borrow from `'env`.
+    pub fn spawn<T, F>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        if let Some(rt) = &self.model {
+            let vid = rt.register();
+            self.spawned
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(vid);
+            let slot: Slot<T> = Arc::new(StdMutex::new(None));
+            let rt2 = Arc::clone(rt);
+            let slot2 = Arc::clone(&slot);
+            let os = self
+                .inner
+                .spawn(move || virtual_thread_body(rt2, vid, slot2, f));
+            return ScopedJoinHandle {
+                mode: ScopedMode::Model { vid, slot, os },
+            };
+        }
+        ScopedJoinHandle {
+            mode: ScopedMode::Std(self.inner.spawn(f)),
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result; virtual
+    /// under a model run (see [`JoinHandle::join`]).
+    pub fn join(self) -> JoinResult<T> {
+        match self.mode {
+            ScopedMode::Model { vid, slot, os } => {
+                let h = runtime::current()
+                    .expect("virtual ScopedJoinHandle joined from outside its model run");
+                virtual_join(&h, vid);
+                let _ = os.join();
+                take_slot(&slot)
+            }
+            ScopedMode::Std(os) => os.join(),
+        }
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; all threads spawned in
+/// it are joined (virtually, under a model run) before `scope` returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let model = runtime::current();
+    std::thread::scope(|std_scope| {
+        let scope = Scope {
+            inner: std_scope,
+            model: model.as_ref().map(|h| Arc::clone(&h.rt)),
+            spawned: StdMutex::new(Vec::new()),
+        };
+        let out = f(&scope);
+        if let Some(h) = &model {
+            // Virtually join every spawned thread BEFORE std::thread::scope's
+            // implicit OS-level join: the caller still holds the turn here,
+            // so a real join would deadlock the run (the scoped virtual
+            // threads can only progress once we yield).
+            let vids: Vec<usize> =
+                std::mem::take(&mut *scope.spawned.lock().unwrap_or_else(PoisonError::into_inner));
+            for vid in vids {
+                virtual_join(h, vid);
+            }
+        }
+        out
+    })
+}

@@ -1,0 +1,249 @@
+//! Self-tests for the explorer: exhaustive interleaving of correct code
+//! finds nothing, classic bugs (ABBA deadlock, lost notify, non-atomic
+//! increment) are found with replayable schedules, and the bounds behave.
+
+use ajd_model::{
+    sync::{Condvar, Mutex, OnceSlot},
+    thread, Model, ViolationKind,
+};
+use std::sync::Arc;
+
+// Convenience: the model atomics live in `ajd_model::sync`; alias the
+// module path used by tests.
+mod atomics {
+    pub use ajd_model::sync::{AtomicUsize, Ordering};
+}
+
+#[test]
+fn correct_counter_is_clean_and_exhausted() {
+    let report = Model::new().explore(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = Arc::clone(&counter);
+            handles.push(thread::spawn(move || *c.lock() += 1));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 2);
+    });
+    assert!(
+        report.violation.is_none(),
+        "violation: {:?}",
+        report.violation
+    );
+    assert!(
+        report.exhausted,
+        "tree not exhausted in {} runs",
+        report.schedules
+    );
+    assert!(report.schedules > 1, "no interleaving explored");
+}
+
+#[test]
+fn non_atomic_increment_is_caught() {
+    let report = Model::new().explore(|| {
+        let value = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let v = Arc::clone(&value);
+            handles.push(thread::spawn(move || {
+                let read = *v.lock(); // read under one critical section…
+                *v.lock() = read + 1; // …write under another: not atomic
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*value.lock(), 2, "lost update");
+    });
+    let v = report.violation.expect("lost update not found");
+    assert_eq!(v.kind, ViolationKind::Panic);
+    assert!(!v.schedule.is_empty());
+    // The failing schedule replays to the same violation.
+    let replayed = Model::new()
+        .replay(&v.schedule, || {
+            let value = Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let v = Arc::clone(&value);
+                handles.push(thread::spawn(move || {
+                    let read = *v.lock();
+                    *v.lock() = read + 1;
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*value.lock(), 2, "lost update");
+        })
+        .expect("replay did not reproduce");
+    assert_eq!(replayed.kind, ViolationKind::Panic);
+}
+
+#[test]
+fn abba_deadlock_is_caught() {
+    let report = Model::new().explore(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        t.join().unwrap();
+    });
+    let v = report.violation.expect("ABBA deadlock not found");
+    assert_eq!(v.kind, ViolationKind::Deadlock, "{v}");
+    assert!(v.message.contains("blocked acquiring mutex"), "{v}");
+}
+
+#[test]
+fn lost_notify_is_caught_as_missed_wakeup() {
+    let report = Model::new().explore(|| {
+        let ready = Arc::new((Mutex::new(false), Condvar::new()));
+        let r2 = Arc::clone(&ready);
+        let waiter = thread::spawn(move || {
+            let (flag, cv) = &*r2;
+            let mut g = flag.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        {
+            let (flag, _cv) = &*ready;
+            *flag.lock() = true;
+            // BUG: no notify_one() — the waiter can sleep forever.
+        }
+        waiter.join().unwrap();
+    });
+    let v = report.violation.expect("lost notify not found");
+    assert_eq!(v.kind, ViolationKind::MissedWakeup, "{v}");
+}
+
+#[test]
+fn single_flight_toy_explores_many_schedules() {
+    // Acceptance pin: the explorer visits >= 1000 distinct schedules on a
+    // 3-racer single-flight body (the same shape as the context-cache
+    // model test in ajd-relation).
+    let report = Model::new().max_schedules(200_000).explore(|| {
+        let slot = Arc::new(OnceSlot::new());
+        let computes = Arc::new(atomics::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let s = Arc::clone(&slot);
+            let c = Arc::clone(&computes);
+            handles.push(thread::spawn(move || {
+                *s.get_or_init(|| {
+                    c.fetch_add(1, atomics::Ordering::SeqCst);
+                    42u64
+                })
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(
+            computes.load(atomics::Ordering::SeqCst),
+            1,
+            "single-flight slot computed more than once"
+        );
+    });
+    assert!(
+        report.violation.is_none(),
+        "violation: {:?}",
+        report.violation
+    );
+    assert!(
+        report.schedules >= 1000,
+        "only {} schedules explored (acceptance floor is 1000)",
+        report.schedules
+    );
+}
+
+#[test]
+fn preemption_bound_zero_misses_the_lost_update() {
+    // With no preemptions allowed, each thread runs to completion once
+    // scheduled (switches happen only on blocking), so the read/write gap
+    // is never split and the lost update cannot manifest…
+    let body = || {
+        let value = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let v = Arc::clone(&value);
+            handles.push(thread::spawn(move || {
+                let read = *v.lock();
+                *v.lock() = read + 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*value.lock(), 2, "lost update");
+    };
+    let bounded = Model::new().preemption_bound(0).explore(body);
+    assert!(
+        bounded.violation.is_none(),
+        "bound 0 should not reach the racy interleaving: {:?}",
+        bounded.violation
+    );
+    // …while a budget of 2 preemptions finds it.
+    let relaxed = Model::new().preemption_bound(2).explore(body);
+    assert!(
+        relaxed.violation.is_some(),
+        "bound 2 should find the lost update"
+    );
+}
+
+#[test]
+fn livelock_trips_the_op_budget() {
+    let report = Model::new().max_ops(500).max_schedules(5).explore(|| {
+        let flag = Arc::new(Mutex::new(false));
+        // Spin forever on a condition nobody sets: pure livelock.
+        loop {
+            if *flag.lock() {
+                break;
+            }
+            thread::yield_now();
+        }
+    });
+    let v = report.violation.expect("livelock not detected");
+    assert_eq!(v.kind, ViolationKind::OpBudget, "{v}");
+}
+
+#[test]
+fn model_bounds_come_from_env() {
+    // Use a value large enough that concurrently constructed Models in
+    // other tests are unaffected if they observe it transiently.
+    std::env::set_var("AJD_MODEL_MAX_SCHEDULES", "250000");
+    let dbg = format!("{:?}", Model::new());
+    std::env::remove_var("AJD_MODEL_MAX_SCHEDULES");
+    assert!(dbg.contains("max_schedules: 250000"), "{dbg}");
+}
+
+#[test]
+fn primitives_fall_back_to_std_outside_a_run() {
+    // No Model involved: the same types must behave like std ones.
+    let m = Mutex::new(1u32);
+    *m.lock() += 1;
+    assert_eq!(m.into_inner(), 2);
+    let slot = OnceSlot::new();
+    assert_eq!(*slot.get_or_init(|| 7u8), 7);
+    assert_eq!(slot.set(9), Err(9));
+    let t = thread::spawn(|| 5u8);
+    assert_eq!(t.join().unwrap(), 5);
+    let total = thread::scope(|s| {
+        let h1 = s.spawn(|| 2u32);
+        let h2 = s.spawn(|| 3u32);
+        h1.join().unwrap() + h2.join().unwrap()
+    });
+    assert_eq!(total, 5);
+    let a = atomics::AtomicUsize::new(3);
+    assert_eq!(a.fetch_add(2, atomics::Ordering::SeqCst), 3);
+    assert_eq!(a.into_inner(), 5);
+}

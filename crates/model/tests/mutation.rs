@@ -1,0 +1,185 @@
+//! Mutation validation of the checker itself: seeded bugs of the two
+//! classes the workspace cares about — a **dropped `notify_one`** in a
+//! slot pool and a **removed single-flight slot** in a memo cache — must
+//! be caught by exploration, and the corrected code must come back clean.
+//!
+//! These are toy replicas of `ajd-server`'s admission pool and
+//! `ajd-relation`'s context cache; the real types carry the same seeded
+//! mutants behind `cfg(ajd_model)` test hooks, exercised by their own
+//! model suites.
+
+use ajd_model::{
+    sync::{AtomicUsize, Condvar, Mutex, OnceSlot, Ordering},
+    thread, Model, ViolationKind,
+};
+use std::sync::Arc;
+
+/// A bounded slot pool, shaped like `ajd-server`'s admission pool: a
+/// count guarded by a mutex, waiters parked on a condvar.  `notify` is
+/// the mutation switch: `false` reintroduces the dropped `notify_one`.
+struct ToyPool {
+    in_flight: Mutex<usize>,
+    available: Condvar,
+    slots: usize,
+    notify: bool,
+}
+
+impl ToyPool {
+    fn new(slots: usize, notify: bool) -> Self {
+        ToyPool {
+            in_flight: Mutex::new(0),
+            available: Condvar::new(),
+            slots,
+            notify,
+        }
+    }
+
+    fn acquire(&self) {
+        let mut g = self.in_flight.lock();
+        while *g >= self.slots {
+            g = self.available.wait(g);
+        }
+        *g += 1;
+    }
+
+    fn release(&self) {
+        *self.in_flight.lock() -= 1;
+        if self.notify {
+            self.available.notify_one();
+        }
+    }
+}
+
+fn pool_body(notify: bool) -> impl Fn() + Sync {
+    move || {
+        let pool = Arc::new(ToyPool::new(1, notify));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let p = Arc::clone(&pool);
+            // ajd: allow(raw-spawn, "ajd_model::thread::spawn is the instrumented virtual-thread spawn, not a ThreadBudget bypass")
+            handles.push(thread::spawn(move || {
+                p.acquire();
+                p.release();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn dropped_notify_one_is_caught_and_replayable() {
+    let report = Model::new().explore(pool_body(false));
+    let v = report
+        .violation
+        .expect("mutant (dropped notify_one) survived exploration");
+    assert_eq!(v.kind, ViolationKind::MissedWakeup, "{v}");
+    assert!(
+        !v.schedule.is_empty(),
+        "failing schedule must be replayable"
+    );
+    let replayed = Model::new()
+        .replay(&v.schedule, pool_body(false))
+        .expect("failing schedule did not reproduce the mutant");
+    assert_eq!(replayed.kind, ViolationKind::MissedWakeup, "{replayed}");
+}
+
+#[test]
+fn correct_pool_is_clean() {
+    let report = Model::new().explore(pool_body(true));
+    assert!(
+        report.violation.is_none(),
+        "false positive: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted);
+}
+
+/// A memo cache, shaped like `ajd-relation`'s context cache.
+/// `single_flight` is the mutation switch: `false` removes the
+/// single-flight slot and goes check-then-compute on a plain map.
+struct ToyCache {
+    slot: OnceSlot<u64>,
+    bypass: Mutex<Option<u64>>,
+    computes: AtomicUsize,
+    single_flight: bool,
+}
+
+impl ToyCache {
+    fn new(single_flight: bool) -> Self {
+        ToyCache {
+            slot: OnceSlot::new(),
+            bypass: Mutex::new(None),
+            computes: AtomicUsize::new(0),
+            single_flight,
+        }
+    }
+
+    fn compute(&self) -> u64 {
+        self.computes.fetch_add(1, Ordering::SeqCst);
+        42
+    }
+
+    fn get(&self) -> u64 {
+        if self.single_flight {
+            return *self.slot.get_or_init(|| self.compute());
+        }
+        // MUTANT: check-then-compute without a slot — two racers can both
+        // observe the cache cold and both compute.
+        if let Some(v) = *self.bypass.lock() {
+            return v;
+        }
+        let v = self.compute();
+        *self.bypass.lock() = Some(v);
+        v
+    }
+}
+
+fn cache_body(single_flight: bool) -> impl Fn() + Sync {
+    move || {
+        let cache = Arc::new(ToyCache::new(single_flight));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let c = Arc::clone(&cache);
+            // ajd: allow(raw-spawn, "ajd_model::thread::spawn is the instrumented virtual-thread spawn, not a ThreadBudget bypass")
+            handles.push(thread::spawn(move || c.get()));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(
+            cache.computes.load(Ordering::SeqCst),
+            1,
+            "cold key computed more than once"
+        );
+    }
+}
+
+#[test]
+fn removed_single_flight_slot_is_caught_and_replayable() {
+    let report = Model::new().explore(cache_body(false));
+    let v = report
+        .violation
+        .expect("mutant (removed single-flight slot) survived exploration");
+    assert_eq!(v.kind, ViolationKind::Panic, "{v}");
+    assert!(v.message.contains("computed more than once"), "{v}");
+    assert!(
+        !v.schedule.is_empty(),
+        "failing schedule must be replayable"
+    );
+    let replayed = Model::new()
+        .replay(&v.schedule, cache_body(false))
+        .expect("failing schedule did not reproduce the mutant");
+    assert_eq!(replayed.kind, ViolationKind::Panic, "{replayed}");
+}
+
+#[test]
+fn single_flight_cache_is_clean() {
+    let report = Model::new().explore(cache_body(true));
+    assert!(
+        report.violation.is_none(),
+        "false positive: {:?}",
+        report.violation
+    );
+}

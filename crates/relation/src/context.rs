@@ -36,10 +36,10 @@ use crate::error::{RelationError, Result};
 use crate::hash::{FxHashMap, FxHasher};
 use crate::parallel::ThreadBudget;
 use crate::relation::{GroupCounts, GroupIds, Relation};
-use parking_lot::RwLock;
+use ajd_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use ajd_sync::{OnceSlot, RwLock};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// The grouping capability every measure is written against.
 ///
@@ -227,7 +227,7 @@ const CACHE_STRIPES: usize = 16;
 /// One memoization slot: filled exactly once, by the single thread that
 /// computes the value (the "leader"); racing threads block on this slot —
 /// not on the shard map — until the leader finishes.
-type Slot<T> = Arc<OnceLock<Result<Arc<T>>>>;
+type Slot<T> = Arc<OnceSlot<Result<Arc<T>>>>;
 
 /// A striped, single-flight memoization map keyed by [`AttrSet`].
 #[derive(Debug)]
@@ -418,7 +418,7 @@ impl<'a, S: GroupKernel + ?Sized> AnalysisContext<'a, S> {
     ///
     /// Lookup takes a read lock on the key's shard only; a cold key
     /// installs an empty [`Slot`] under a brief shard write lock and then
-    /// races on the slot's `OnceLock` **outside any map lock** — exactly
+    /// races on the slot's [`OnceSlot`] **outside any map lock** — exactly
     /// one thread (the leader) runs `compute`, every other thread blocks on
     /// that slot alone and receives the leader's `Arc`.  Errors are not
     /// memoized: the leader removes the failed slot so later calls retry
@@ -469,6 +469,41 @@ impl<'a, S: GroupKernel + ?Sized> AnalysisContext<'a, S> {
             }
         }
         result
+    }
+}
+
+#[cfg(ajd_model)]
+impl<S: GroupKernel + ?Sized> AnalysisContext<'_, S> {
+    /// **Seeded mutant, model builds only**: a group-counts lookup with the
+    /// single-flight slot *removed* — cold keys go check-then-compute
+    /// straight against the shard map, so two racers can both observe the
+    /// key cold and both run the kernel.  Exists solely so the model suite
+    /// can prove the explorer catches this bug class (the miss counter
+    /// then exceeds the distinct-key count); never compiled into normal
+    /// builds.
+    pub fn mutant_group_counts_no_single_flight(
+        &self,
+        attrs: &AttrSet,
+    ) -> Result<Arc<GroupCounts>> {
+        let shard = self.group_counts.shard(attrs);
+        if let Some(slot) = shard.read().get(attrs).cloned() {
+            if let Some(done) = slot.get() {
+                if done.is_ok() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return done.clone();
+            }
+        }
+        // MUTANT: compute unconditionally instead of contending on a slot.
+        let budget = self.thread_budget();
+        let out = self.source.group_counts_with(attrs, budget).map(Arc::new);
+        if out.is_ok() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot: Slot<GroupCounts> = Arc::new(OnceSlot::new());
+        let _ = slot.set(out.clone());
+        shard.write().insert(attrs.clone(), slot);
+        out
     }
 }
 

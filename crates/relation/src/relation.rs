@@ -246,7 +246,7 @@ pub struct GroupCounts {
     /// Multiplicity of each group, indexed by group id.
     counts: Vec<u64>,
     /// Decoded key → group id, built on first point lookup.
-    index: std::sync::OnceLock<FxHashMap<Box<[Value]>, u32>>,
+    index: ajd_sync::OnceSlot<FxHashMap<Box<[Value]>, u32>>,
 }
 
 impl GroupCounts {
@@ -323,7 +323,7 @@ impl GroupCounts {
             keys,
             key_codes,
             counts,
-            index: std::sync::OnceLock::new(),
+            index: ajd_sync::OnceSlot::new(),
         }
     }
 
@@ -757,7 +757,7 @@ impl Relation {
             keys,
             key_codes: ids.group_codes.clone(),
             counts: ids.counts.clone(),
-            index: std::sync::OnceLock::new(),
+            index: ajd_sync::OnceSlot::new(),
         }
     }
 

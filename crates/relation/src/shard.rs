@@ -44,9 +44,10 @@ use crate::error::{RelationError, Result};
 use crate::hash::FxHashMap;
 use crate::parallel::{chunk_bounds, ThreadBudget, MAX_CHUNK_WORKERS};
 use crate::relation::{bit_width, merge_spans, GroupCounts, GroupIds, Relation, SpanGroups, Value};
+use ajd_sync::atomic::{AtomicUsize, Ordering};
+use ajd_sync::OnceSlot;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// A global (cross-shard) attribute dictionary: raw value → dense code, in
 /// shard-order first appearance — exactly the code assignment the flat
@@ -391,8 +392,8 @@ impl ShardedRelation {
         // of the budget (layers divide one budget, never multiply).
         let share = ThreadBudget::new((budget.get() / workers).max(1));
         let next = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<Result<SpanGroups>>> =
-            (0..nshards).map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceSlot<Result<SpanGroups>>> =
+            (0..nshards).map(|_| OnceSlot::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {

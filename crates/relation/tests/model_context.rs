@@ -1,0 +1,138 @@
+//! Model-checked invariants for the striped single-flight analysis cache.
+//!
+//! These tests only compile under `RUSTFLAGS="--cfg ajd_model"`; the CI
+//! `model-check` job runs them.  Each body is executed once per explored
+//! schedule, so it must be cheap, deterministic, and free of polling loops
+//! (a spin loop explores schedules that spin forever and trips the op
+//! budget).  See `docs/CONCURRENCY.md` for the memory model and the
+//! replay workflow.
+#![cfg(ajd_model)]
+
+use ajd_model::{Model, ViolationKind};
+use ajd_relation::{AnalysisContext, AttrId, AttrSet, Relation, ThreadBudget};
+
+fn sample() -> Relation {
+    Relation::from_rows(
+        vec![AttrId(0), AttrId(1)],
+        &[&[0, 0][..], &[0, 1][..], &[1, 0][..]],
+    )
+    .unwrap()
+}
+
+/// Three racers hitting one cold key: under *every* interleaving exactly
+/// one of them computes (the single-flight leader) and the other two are
+/// served from the slot.
+fn single_flight_body() {
+    let r = sample();
+    // Serial budget: model bodies must not spawn kernel worker threads —
+    // the scheduler cannot see them, so their interleavings would go
+    // unexplored (and they slow every schedule down).
+    let ctx = AnalysisContext::with_thread_budget(&r, ThreadBudget::serial());
+    let y = AttrSet::singleton(AttrId(0));
+    ajd_sync::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                let counts = ctx.group_counts(&y).expect("grouping cannot fail");
+                assert_eq!(counts.num_groups(), 2);
+            });
+        }
+    });
+    let stats = ctx.stats();
+    assert_eq!(
+        stats.misses, 1,
+        "single flight: exactly one compute per cold key, got {stats:?}"
+    );
+    assert_eq!(
+        stats.hits, 2,
+        "the two followers must be served from the slot"
+    );
+    assert_eq!(stats.group_count_entries, 1);
+}
+
+#[test]
+fn cold_key_is_computed_exactly_once_under_all_interleavings() {
+    let report = Model::new()
+        .max_schedules(2_000)
+        .preemption_bound(2)
+        .explore(single_flight_body);
+    assert!(
+        report.violation.is_none(),
+        "single-flight invariant violated: {:?}",
+        report.violation
+    );
+    // The cache involves real lock/atomic traffic, so even the bounded
+    // space is rich; make sure the run was a genuine exploration and not
+    // a handful of schedules.
+    assert!(
+        report.schedules >= 100,
+        "expected a real exploration, got {} schedules",
+        report.schedules
+    );
+}
+
+/// The seeded mutant (single-flight slot removed, check-then-compute
+/// against the shard map) must be caught: some interleaving lets two
+/// racers both observe the key cold and both run the kernel.
+fn mutant_body() {
+    let r = sample();
+    let ctx = AnalysisContext::with_thread_budget(&r, ThreadBudget::serial());
+    let y = AttrSet::singleton(AttrId(0));
+    ajd_sync::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                ctx.mutant_group_counts_no_single_flight(&y)
+                    .expect("grouping cannot fail");
+            });
+        }
+    });
+    assert_eq!(
+        ctx.stats().misses,
+        1,
+        "double compute: the mutant let two racers run the kernel"
+    );
+}
+
+#[test]
+fn removed_single_flight_slot_is_caught_and_replayable() {
+    let model = Model::new().max_schedules(20_000).preemption_bound(2);
+    let report = model.explore(mutant_body);
+    let violation = report
+        .violation
+        .expect("the explorer must catch the removed single-flight slot");
+    assert_eq!(violation.kind, ViolationKind::Panic);
+    assert!(
+        violation.message.contains("double compute"),
+        "unexpected failure: {violation}"
+    );
+    // The recorded schedule must reproduce the same violation on its own.
+    let replayed = model
+        .replay(&violation.schedule, mutant_body)
+        .expect("recorded schedule must reproduce the violation");
+    assert_eq!(replayed.kind, ViolationKind::Panic);
+}
+
+/// A warm key is pure cache traffic: no interleaving of readers can
+/// recompute it or corrupt the counters.
+#[test]
+fn warm_key_readers_never_recompute() {
+    let report = Model::new()
+        .max_schedules(2_000)
+        .preemption_bound(2)
+        .explore(|| {
+            let r = sample();
+            let ctx = AnalysisContext::with_thread_budget(&r, ThreadBudget::serial());
+            let y = AttrSet::singleton(AttrId(1));
+            ctx.group_counts(&y).unwrap(); // warm it on the root thread
+            ajd_sync::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        ctx.group_counts(&y).unwrap();
+                    });
+                }
+            });
+            let stats = ctx.stats();
+            assert_eq!(stats.misses, 1);
+            assert_eq!(stats.hits, 2);
+        });
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}

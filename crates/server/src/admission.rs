@@ -19,7 +19,7 @@
 //! worst-case thread demand of the server is
 //! `point_slots × point_threads + mine_slots × mine_threads`.
 
-use std::sync::{Condvar, Mutex};
+use ajd_sync::{Condvar, Mutex};
 
 /// Sizing of the two admission pools and the per-request kernel budgets.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +79,10 @@ struct PoolState {
     admitted: u64,
     queued: u64,
     rejected: u64,
+    /// Ticket of the waiter to admit next (the queue's head).
+    wait_head: u64,
+    /// Next ticket to hand out (the queue's tail).
+    wait_tail: u64,
 }
 
 /// A point-in-time snapshot of one pool's counters, surfaced by the `stats`
@@ -130,32 +134,60 @@ impl Pool {
     /// Tries to admit one request: returns a guard that releases the slot
     /// on drop, or `None` if every slot is taken *and* the wait queue is
     /// full (the caller should answer `busy`).  Blocks while queued.
+    ///
+    /// Queued requests are admitted **strictly FIFO** by wait-queue ticket:
+    /// a newcomer never barges past a non-empty queue even when a slot is
+    /// momentarily free (it takes the next ticket instead), and a freed
+    /// slot goes to the lowest outstanding ticket.  Two model-checked
+    /// subtleties shape the wakeup protocol (see `docs/CONCURRENCY.md`):
+    ///
+    /// * guard release uses `notify_all`, not `notify_one` — a condvar
+    ///   makes no promise about *which* waiter wakes, so `notify_one`
+    ///   could wake a non-head waiter that re-checks its ticket and goes
+    ///   back to sleep, consuming the only wakeup (a lost notify);
+    /// * after the head waiter takes its slot and advances `wait_head`, it
+    ///   re-notifies if slots remain free — after two rapid releases the
+    ///   new head may have already re-checked (seeing itself non-head)
+    ///   before the old head advanced, and would otherwise sleep forever.
     pub fn admit(&self) -> Option<PoolGuard<'_>> {
-        // ajd: allow(panic-in-server, "a poisoned pool mutex means a counter update already panicked; every admission decision after that would be based on corrupt counters, so propagating is the least-bad option (the parking_lot shim has no Condvar, keeping us on std Mutex)")
-        let mut state = self.state.lock().expect("admission pool poisoned");
-        if state.in_flight >= self.slots {
+        let mut state = self.state.lock();
+        let mut ticket = None;
+        if state.in_flight >= self.slots || state.waiting > 0 {
             if state.waiting >= self.queue_depth {
                 state.rejected += 1;
                 return None;
             }
+            let mine = state.wait_tail;
+            state.wait_tail += 1;
             state.waiting += 1;
             state.queued += 1;
-            while state.in_flight >= self.slots {
-                // ajd: allow(panic-in-server, "same poisoning argument as the lock above: a poisoned Condvar wait means admission state is already corrupt")
-                state = self.available.wait(state).expect("admission pool poisoned");
-            }
+            ticket = Some(mine);
+            let slots = self.slots;
+            state = self
+                .available
+                .wait_while(state, |s| s.in_flight >= slots || s.wait_head != mine);
+            state.wait_head += 1;
             state.waiting -= 1;
         }
         state.in_flight += 1;
         state.peak_in_flight = state.peak_in_flight.max(state.in_flight);
         state.admitted += 1;
-        Some(PoolGuard { pool: self })
+        let seq = state.admitted;
+        let renotify = ticket.is_some() && state.waiting > 0 && state.in_flight < self.slots;
+        drop(state);
+        if renotify {
+            self.available.notify_all();
+        }
+        Some(PoolGuard {
+            pool: self,
+            ticket,
+            seq,
+        })
     }
 
     /// Counter snapshot for the `stats` frame.
     pub fn stats(&self) -> PoolStats {
-        // ajd: allow(panic-in-server, "stats over a poisoned pool would report corrupt counters; see the poisoning rationale on admit()")
-        let state = self.state.lock().expect("admission pool poisoned");
+        let state = self.state.lock();
         PoolStats {
             slots: self.slots,
             queue_depth: self.queue_depth,
@@ -169,24 +201,68 @@ impl Pool {
     }
 
     fn release(&self) {
-        // ajd: allow(panic-in-server, "releasing into a poisoned pool cannot restore counter integrity; see the poisoning rationale on admit()")
-        let mut state = self.state.lock().expect("admission pool poisoned");
+        let mut state = self.state.lock();
         state.in_flight -= 1;
+        let wake = state.waiting > 0;
         drop(state);
-        self.available.notify_one();
+        if wake {
+            // notify_all, deliberately: see the wakeup-protocol note on
+            // [`Pool::admit`].
+            self.available.notify_all();
+        }
     }
 }
 
-/// An admitted request's slot; dropping it releases the slot and wakes one
-/// queued waiter.
+/// An admitted request's slot; dropping it releases the slot and wakes the
+/// queued waiters (the head ticket takes the slot).
 #[derive(Debug)]
 pub struct PoolGuard<'a> {
     pool: &'a Pool,
+    /// The wait-queue ticket this request held, `None` if admitted
+    /// without waiting.
+    ticket: Option<u64>,
+    /// 1-based admission sequence number (the value of the pool's
+    /// `admitted` counter when this request took its slot).
+    seq: u64,
+}
+
+impl PoolGuard<'_> {
+    /// The wait-queue ticket this request held while queued (`None` when a
+    /// free slot was taken immediately).  Tickets are handed out in queue
+    /// order, so among queued requests, admission order must follow ticket
+    /// order — the FIFO invariant the model suite pins.
+    pub fn queued_ticket(&self) -> Option<u64> {
+        self.ticket
+    }
+
+    /// 1-based admission sequence number of this request within its pool.
+    pub fn admission_seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 impl Drop for PoolGuard<'_> {
     fn drop(&mut self) {
         self.pool.release();
+    }
+}
+
+#[cfg(ajd_model)]
+impl Pool {
+    /// **Seeded mutant, model builds only**: consumes `guard` releasing
+    /// its slot **without notifying** the condvar — the dropped
+    /// `notify_one`/`notify_all` bug class.  Any waiter queued at that
+    /// moment sleeps forever; the model suite proves the explorer flags
+    /// this as a missed wakeup with a replayable schedule.  Never compiled
+    /// into normal builds.
+    pub fn mutant_release_without_notify(guard: PoolGuard<'_>) {
+        let pool = guard.pool;
+        // Suppress the guard's Drop (which would perform the correct,
+        // notifying release).
+        std::mem::forget(guard);
+        let mut state = pool.state.lock();
+        state.in_flight -= 1;
+        // MUTANT: no notify here.
     }
 }
 

@@ -24,9 +24,9 @@ use crate::store::{RelationStore, StoreData};
 use ajd_core::{Analyzer, DiscoveryConfig, LossReport, SchemaMiner};
 use ajd_jointree::JoinTree;
 use ajd_relation::{AttrSet, CacheStats, Catalog, Relation, ShardedRelation, ThreadBudget};
+use ajd_sync::atomic::{AtomicBool, Ordering};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Server tuning knobs.  The admission config sizes the two request-class
 /// pools and the per-request kernel thread budgets; see
@@ -54,14 +54,25 @@ impl ShutdownToken {
         Self::default()
     }
 
-    /// `true` once [`ShutdownToken::signal`] has been called.
+    /// `true` once [`ShutdownToken::signal`] or [`ShutdownToken::request`]
+    /// has been called.
     pub fn is_signalled(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
     }
 
+    /// Sets the shutdown flag without waking any accept loop.
+    ///
+    /// Use this for in-process shutdown when no listener is blocked in
+    /// `accept` (workers that poll [`ShutdownToken::is_signalled`]), or
+    /// from tests that exercise the flag without a network.  To stop a
+    /// running [`Server::serve`], use [`ShutdownToken::signal`] instead.
+    pub fn request(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
     /// Requests shutdown of the server accepting on `addr`.
     pub fn signal(&self, addr: SocketAddr) {
-        self.flag.store(true, Ordering::SeqCst);
+        self.request();
         // Unblock the accept loop; the connection is dropped unused.
         drop(TcpStream::connect(addr));
     }

@@ -1,0 +1,153 @@
+//! Model-checked invariants for the admission pools and shutdown token.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg ajd_model"` (the CI `model-check`
+//! job).  Bodies run once per explored schedule: keep them small, never
+//! poll in a loop, and route all blocking through `ajd_sync` so the
+//! scheduler sees every decision point.  `docs/CONCURRENCY.md` documents
+//! the wakeup subtleties these tests pin down.
+#![cfg(ajd_model)]
+
+use ajd_model::{Model, ViolationKind};
+use ajd_server::{Pool, ShutdownToken};
+use ajd_sync::Mutex;
+
+/// Three requests contending for one slot: the slot budget is never
+/// overrun, nobody is rejected (the queue is deep enough), and queued
+/// requests are admitted strictly in ticket (arrival) order.
+fn fifo_body() {
+    let pool = Pool::new(1, 4);
+    let order: Mutex<Vec<(Option<u64>, u64)>> = Mutex::new(Vec::new());
+    ajd_sync::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                let guard = pool.admit().expect("queue depth 4 cannot reject 3");
+                let record = (guard.queued_ticket(), guard.admission_seq());
+                drop(guard);
+                order.lock().push(record);
+            });
+        }
+    });
+    let stats = pool.stats();
+    assert!(stats.peak_in_flight <= 1, "slot budget overrun: {stats:?}");
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.waiting, 0);
+    // Among the requests that had to queue, admission order must follow
+    // ticket order: a freed slot always goes to the lowest ticket.
+    let mut queued: Vec<(u64, u64)> = order
+        .lock()
+        .iter()
+        .filter_map(|(ticket, seq)| ticket.map(|t| (t, *seq)))
+        .collect();
+    queued.sort_unstable();
+    assert!(
+        queued.windows(2).all(|w| w[0].1 < w[1].1),
+        "barging: admission order diverged from ticket order: {queued:?}"
+    );
+}
+
+#[test]
+fn slot_budget_and_fifo_hold_under_all_interleavings() {
+    let report = Model::new()
+        .max_schedules(4_000)
+        .preemption_bound(2)
+        .explore(fifo_body);
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(
+        report.schedules >= 100,
+        "expected a real exploration, got {} schedules",
+        report.schedules
+    );
+}
+
+/// Shutdown racing in-flight work: whatever the interleaving, every
+/// admitted request releases its slot, the flag is observed, and nothing
+/// deadlocks (the explorer flags any schedule where a thread stays
+/// blocked).
+#[test]
+fn shutdown_drains_without_deadlock() {
+    let report = Model::new()
+        .max_schedules(4_000)
+        .preemption_bound(2)
+        .explore(|| {
+            let token = ShutdownToken::new();
+            let pool = Pool::new(1, 2);
+            ajd_sync::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        // A worker ignores the flag once admitted; shutdown
+                        // is drain-based, not preemptive.
+                        let guard = pool.admit().expect("queue holds both");
+                        drop(guard);
+                    });
+                }
+                s.spawn(|| token.request());
+            });
+            assert!(token.is_signalled());
+            let stats = pool.stats();
+            assert_eq!(stats.in_flight, 0, "drain left a slot held: {stats:?}");
+            assert_eq!(stats.waiting, 0);
+        });
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}
+
+/// The seeded mutant (slot released without a notify) must be caught as a
+/// missed wakeup: some interleaving leaves the queued request asleep with
+/// a free slot it could take.
+fn mutant_body() {
+    let pool = Pool::new(1, 2);
+    ajd_sync::thread::scope(|s| {
+        s.spawn(|| {
+            let guard = pool.admit().expect("first in");
+            Pool::mutant_release_without_notify(guard);
+        });
+        s.spawn(|| {
+            let guard = pool.admit().expect("queue holds it");
+            drop(guard);
+        });
+    });
+}
+
+#[test]
+fn dropped_release_notify_is_caught_and_replayable() {
+    let model = Model::new().max_schedules(20_000).preemption_bound(2);
+    let report = model.explore(mutant_body);
+    let violation = report
+        .violation
+        .expect("the explorer must catch the dropped notify");
+    assert_eq!(violation.kind, ViolationKind::MissedWakeup);
+    let replayed = model
+        .replay(&violation.schedule, mutant_body)
+        .expect("recorded schedule must reproduce the violation");
+    assert_eq!(replayed.kind, ViolationKind::MissedWakeup);
+}
+
+/// Rejection is deterministic under contention: with a zero-depth queue,
+/// a request that finds the slot taken is turned away (never blocked),
+/// and the reject counter accounts for it.
+#[test]
+fn zero_depth_queue_rejects_instead_of_blocking() {
+    let report = Model::new()
+        .max_schedules(4_000)
+        .preemption_bound(2)
+        .explore(|| {
+            let pool = Pool::new(1, 0);
+            let outcomes = Mutex::new([false; 2]);
+            ajd_sync::thread::scope(|s| {
+                for i in 0..2 {
+                    let outcomes = &outcomes;
+                    let pool = &pool;
+                    s.spawn(move || {
+                        let admitted = pool.admit().is_some();
+                        outcomes.lock()[i] = admitted;
+                    });
+                }
+            });
+            let stats = pool.stats();
+            let admitted = outcomes.lock().iter().filter(|&&a| a).count() as u64;
+            assert_eq!(stats.admitted, admitted);
+            assert_eq!(stats.rejected, 2 - admitted);
+            assert!(admitted >= 1, "at least one request must win the slot");
+        });
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}

@@ -1,0 +1,53 @@
+//! `ajd-sync` — the workspace's synchronisation facade.
+//!
+//! Every crate in this workspace takes its `Mutex`, `Condvar`, `RwLock`,
+//! `OnceSlot`, atomics, and thread-spawning from here rather than from
+//! `std::sync` / `parking_lot` directly (the `raw-sync-primitive` lint
+//! rule enforces this).  The facade has two backends:
+//!
+//! * **normal builds** — thin `std::sync` wrappers with a poison-free
+//!   lock API (a panicking holder propagates its panic without poisoning
+//!   the lock for later holders, exactly like the `parking_lot` shim),
+//!   plus plain `std` re-exports for atomics and threads;
+//! * **`--cfg ajd_model` builds** — the instrumented primitives from
+//!   [`ajd_model`], which route every acquire/wait/notify/load through a
+//!   scheduling point when running inside a `Model::check` body and fall
+//!   back to `std` behaviour otherwise.
+//!
+//! The two backends expose the same API surface, so production code is
+//! model-checked **unchanged** — the cfg only decides which backend this
+//! crate re-exports.  See `docs/CONCURRENCY.md` for the model, its
+//! guarantees, and how to write a model test.
+//!
+//! Poison-freedom is safe here by policy: every structure these locks
+//! protect is either rebuilt from scratch on retry or torn down with the
+//! panicking request, so observing a "poisoned" value cannot compound the
+//! original bug (which the panic itself already reports).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+#[cfg(not(ajd_model))]
+mod real;
+
+#[cfg(not(ajd_model))]
+pub use real::{
+    atomic, thread, Condvar, Mutex, MutexGuard, OnceSlot, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(ajd_model)]
+pub use ajd_model::sync::{
+    Condvar, Mutex, MutexGuard, OnceSlot, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Atomic types; instrumented scheduling points under `--cfg ajd_model`.
+#[cfg(ajd_model)]
+pub mod atomic {
+    pub use ajd_model::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawning; virtual threads under `--cfg ajd_model`.
+#[cfg(ajd_model)]
+pub mod thread {
+    pub use ajd_model::thread::{scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle};
+}
