@@ -1,0 +1,13 @@
+#![cfg(ajd_model)]
+use ajd_model::{thread, Model};
+
+#[test]
+fn panic_in_scoped_child_reports() {
+    let report = Model::new().max_schedules(100).explore(|| {
+        thread::scope(|s| {
+            s.spawn(|| panic!("boom"));
+            s.spawn(|| ());
+        });
+    });
+    assert!(report.violation.is_some());
+}
