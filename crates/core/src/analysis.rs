@@ -314,16 +314,32 @@ pub(crate) fn report_for<S: GroupSource>(src: &S, tree: &JoinTree) -> Result<Los
 /// assert!(analyzer.cache_stats().hits > 0);
 /// ```
 #[derive(Debug)]
-pub struct Analyzer<'a, S = Relation> {
-    ctx: Arc<AnalysisContext<'a, S>>,
+pub struct Analyzer<S = Relation> {
+    ctx: Arc<AnalysisContext<S>>,
 }
 
-impl<'a, S: GroupKernel> Analyzer<'a, S> {
+/// Cloning an analyzer clones the *handle*: both analyzers share one
+/// context (source, caches and counters) — the cheap way to hand an
+/// epoch-consistent view to another thread.
+impl<S> Clone for Analyzer<S> {
+    fn clone(&self) -> Self {
+        Analyzer {
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+}
+
+impl<S: GroupKernel> Analyzer<S> {
     /// Creates an analyzer over `src` — a flat [`Relation`] or an
     /// [`ajd_relation::ShardedRelation`] — with an empty cache and the
     /// default [`ThreadBudget`](ajd_relation::ThreadBudget) (the machine's
     /// available parallelism) for computing cache misses.
-    pub fn new(src: &'a S) -> Self {
+    ///
+    /// `src` is a handle: pass `&relation` to borrow (the classic one-shot
+    /// path) or an `Arc<ShardedRelation>` snapshot from an
+    /// [`ajd_relation::ShardedStore`] to analyze one pinned epoch of a live
+    /// relation.
+    pub fn new(src: S) -> Self {
         Analyzer {
             ctx: Arc::new(AnalysisContext::new(src)),
         }
@@ -334,26 +350,26 @@ impl<'a, S: GroupKernel> Analyzer<'a, S> {
     /// [`ajd_relation::ThreadBudget::serial`] when the caller already owns
     /// the parallelism (e.g. per-trial analyzers inside a parallel
     /// experiment loop).
-    pub fn with_thread_budget(src: &'a S, budget: ajd_relation::ThreadBudget) -> Self {
+    pub fn with_thread_budget(src: S, budget: ajd_relation::ThreadBudget) -> Self {
         Analyzer {
             ctx: Arc::new(AnalysisContext::with_thread_budget(src, budget)),
         }
     }
 
     /// The shared context handle (for constructs that want to co-own it).
-    pub(crate) fn shared(&self) -> Arc<AnalysisContext<'a, S>> {
+    pub(crate) fn shared(&self) -> Arc<AnalysisContext<S>> {
         Arc::clone(&self.ctx)
     }
 
     /// The grouping source being analysed.
-    pub fn source(&self) -> &'a S {
+    pub fn source(&self) -> &S {
         self.ctx.source()
     }
 
     /// The underlying shared context, for advanced composition (e.g. calling
     /// the free measure functions of `ajd-info` / `ajd-jointree` directly
     /// against this analyzer's cache).
-    pub fn context(&self) -> &AnalysisContext<'a, S> {
+    pub fn context(&self) -> &AnalysisContext<S> {
         &self.ctx
     }
 
@@ -458,7 +474,7 @@ impl<'a, S: GroupKernel> Analyzer<'a, S> {
 
     /// A [`crate::BatchAnalyzer`] sharing this analyzer's cache: evaluate
     /// many trees in parallel, every grouping still paid for once.
-    pub fn batch(&self) -> crate::BatchAnalyzer<'a, S> {
+    pub fn batch(&self) -> crate::BatchAnalyzer<S> {
         crate::BatchAnalyzer::from_shared(self.shared())
     }
 
@@ -475,7 +491,7 @@ impl<'a, S: GroupKernel> Analyzer<'a, S> {
     }
 }
 
-impl<'a> Analyzer<'a, Relation> {
+impl<'a> Analyzer<&'a Relation> {
     /// The flat relation being analysed (for analyzers over an
     /// [`ajd_relation::ShardedRelation`], use [`Analyzer::source`]).
     pub fn relation(&self) -> &'a Relation {

@@ -48,18 +48,21 @@ use std::sync::Arc;
 /// assert_eq!(reports[1].as_ref().unwrap().spurious, 0);
 /// ```
 #[derive(Debug)]
-pub struct BatchAnalyzer<'a, S = Relation> {
-    ctx: Arc<AnalysisContext<'a, S>>,
+pub struct BatchAnalyzer<S = Relation> {
+    ctx: Arc<AnalysisContext<S>>,
     threads: usize,
 }
 
-impl<'a, S: GroupKernel> BatchAnalyzer<'a, S> {
+impl<S: GroupKernel> BatchAnalyzer<S> {
     /// Creates a standalone batch analyzer over `src` — a flat
     /// [`Relation`] or an [`ajd_relation::ShardedRelation`] — with a fresh
     /// cache, using all available parallelism (the workspace's default
     /// [`ThreadBudget`]).  To share a cache with other analysis of the same
     /// relation, go through [`crate::Analyzer::batch`] instead.
-    pub fn new(src: &'a S) -> Self {
+    ///
+    /// Like [`crate::Analyzer::new`], `src` is a handle: a `&Relation`
+    /// borrow or an `Arc<ShardedRelation>` snapshot.
+    pub fn new(src: S) -> Self {
         Self::from_shared(Arc::new(AnalysisContext::new(src)))
     }
 
@@ -67,7 +70,7 @@ impl<'a, S: GroupKernel> BatchAnalyzer<'a, S> {
     /// inheriting the context's thread budget — an analyzer configured
     /// serial (e.g. per-trial inside a parallel experiment loop) produces
     /// serial batches, not full-fan-out ones.
-    pub(crate) fn from_shared(ctx: Arc<AnalysisContext<'a, S>>) -> Self {
+    pub(crate) fn from_shared(ctx: Arc<AnalysisContext<S>>) -> Self {
         let threads = ctx.thread_budget().get();
         BatchAnalyzer { ctx, threads }
     }
@@ -94,13 +97,13 @@ impl<'a, S: GroupKernel> BatchAnalyzer<'a, S> {
     }
 
     /// The grouping source being analysed.
-    pub fn source(&self) -> &'a S {
+    pub fn source(&self) -> &S {
         self.ctx.source()
     }
 
     /// The shared context; useful for mixing one-off generic measure calls
     /// into a batch, or for inspecting [`AnalysisContext::stats`].
-    pub fn context(&self) -> &AnalysisContext<'a, S> {
+    pub fn context(&self) -> &AnalysisContext<S> {
         &self.ctx
     }
 
@@ -154,7 +157,7 @@ impl<'a, S: GroupKernel> BatchAnalyzer<'a, S> {
     fn parallel_map<T, F>(&self, trees: &[JoinTree], f: F) -> Vec<Result<T>>
     where
         T: Send,
-        F: for<'s> Fn(&'s BudgetedContext<'s, 'a, S>, &JoinTree) -> Result<T> + Sync,
+        F: for<'s> Fn(&'s BudgetedContext<'s, S>, &JoinTree) -> Result<T> + Sync,
     {
         let workers = self.threads.min(trees.len().max(1));
         let src = BudgetedContext {
@@ -189,7 +192,7 @@ impl<'a, S: GroupKernel> BatchAnalyzer<'a, S> {
     }
 }
 
-impl<'a> BatchAnalyzer<'a, Relation> {
+impl<'a> BatchAnalyzer<&'a Relation> {
     /// The flat relation being analysed (for batches over an
     /// [`ajd_relation::ShardedRelation`], use [`BatchAnalyzer::source`]).
     pub fn relation(&self) -> &'a Relation {
@@ -202,12 +205,12 @@ impl<'a> BatchAnalyzer<'a, Relation> {
 /// call-local state, so handing a budget share to one sweep's workers
 /// cannot disturb the context's standing budget or any concurrent sweep.
 /// Hits and memoized values are exactly the context's.
-struct BudgetedContext<'b, 'a, S = Relation> {
-    ctx: &'b AnalysisContext<'a, S>,
+struct BudgetedContext<'b, S = Relation> {
+    ctx: &'b AnalysisContext<S>,
     budget: ThreadBudget,
 }
 
-impl<S: GroupKernel> GroupSource for BudgetedContext<'_, '_, S> {
+impl<S: GroupKernel> GroupSource for BudgetedContext<'_, S> {
     fn schema(&self) -> &[AttrId] {
         self.ctx.source().schema()
     }

@@ -186,7 +186,7 @@ impl SchemaMiner {
     /// the same source — flat or sharded.
     pub fn mine_with<S: ajd_relation::GroupKernel>(
         &self,
-        batch: &BatchAnalyzer<'_, S>,
+        batch: &BatchAnalyzer<S>,
     ) -> Result<MinedSchema> {
         let ctx = batch.context();
         let mut tree = self.chow_liu_tree_with(&ctx)?;

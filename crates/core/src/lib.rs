@@ -22,7 +22,12 @@
 //!   motivating application (Kenig et al., SIGMOD 2020): a Chow–Liu style
 //!   spanning-tree miner over pairwise mutual information, followed by
 //!   greedy bag merging to drive the J-measure below a target
-//!   ([`SchemaMiner`] exposes the pieces individually).
+//!   ([`SchemaMiner`] exposes the pieces individually);
+//! * [`LiveAnalyzer`] serves the same measures over a **live, append-only**
+//!   sharded relation: readers pin epoch-consistent snapshots while appends
+//!   install the next epoch, and the two-tier cache (per-shard group
+//!   tables plus per-epoch merged results) makes each append cost one
+//!   shard's grouping, not the world's.
 //!
 //! The free functions in `ajd-info` / `ajd-jointree` remain available for
 //! one-shot use (`j_measure(&r, &tree)`); they are the same generic code
@@ -53,7 +58,9 @@
 pub mod analysis;
 pub mod batch;
 pub mod discovery;
+pub mod live;
 
 pub use analysis::{Analyzer, LossReport, MvdLoss, ProbabilisticBounds};
 pub use batch::BatchAnalyzer;
 pub use discovery::{DiscoveryConfig, MinedSchema, SchemaMiner};
+pub use live::{LiveAnalyzer, LiveStats};

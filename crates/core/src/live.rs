@@ -1,0 +1,356 @@
+//! Live (append-while-analyzing) analysis over an epoch-snapshot store.
+//!
+//! The borrow-based [`Analyzer`] pins one immutable source for its whole
+//! life — fine for one-shot analysis, structurally incapable of serving
+//! "did last hour's batch break the mined schema?".  [`LiveAnalyzer`]
+//! closes that gap with the two-tier incremental design of the relation
+//! layer:
+//!
+//! * **Per-shard tier** (`(shard_id, AttrSet)`): every
+//!   [`ajd_relation::RelationShard`] caches its own globally-remapped group
+//!   tables.  Shards are immutable and `Arc`-shared across epochs, so these
+//!   tables survive every append.
+//! * **Merged tier** (`(epoch, AttrSet)`): each epoch gets a fresh
+//!   [`Analyzer`] over an `Arc<ShardedRelation>` snapshot; its
+//!   [`AnalysisContext`](ajd_relation::AnalysisContext) caches merged
+//!   whole-relation results, which an epoch bump invalidates wholesale (the
+//!   context is simply replaced).  Rebuilding a warm attribute set costs
+//!   one per-shard compute (the appended shard) plus a shard-order
+//!   re-merge — never a re-group of the world.
+//!
+//! Readers call [`LiveAnalyzer::pin`] and get an epoch-consistent
+//! [`Analyzer`] handle: every measure they run answers against one snapshot
+//! even while appends land concurrently.  Writers call
+//! [`LiveAnalyzer::append_shard`]; the swap is built on [`ajd_sync`]
+//! primitives and model-checked (`ajd-relation/tests/model_snapshot.rs`).
+//!
+//! ```
+//! use ajd_core::LiveAnalyzer;
+//! use ajd_relation::{AttrId, AttrSet, Relation};
+//!
+//! let schema = vec![AttrId(0), AttrId(1)];
+//! let first = Relation::from_rows(schema.clone(), &[&[1, 1][..], &[2, 1][..]]).unwrap();
+//! let live = LiveAnalyzer::from_initial_shard(first).unwrap();
+//!
+//! let y = AttrSet::singleton(AttrId(0));
+//! let reader = live.pin();                       // epoch 1
+//! let h1 = reader.entropy(&y).unwrap();
+//!
+//! let batch = Relation::from_rows(schema, &[&[3, 2][..]]).unwrap();
+//! live.append_shard(batch).unwrap();             // epoch 2 installed
+//!
+//! assert_eq!(reader.entropy(&y).unwrap(), h1);   // pinned reader: unchanged
+//! assert!(live.pin().entropy(&y).unwrap() > h1); // fresh pin sees the append
+//! assert_eq!(live.stats().epoch, 2);
+//! ```
+
+use crate::analysis::Analyzer;
+use ajd_relation::{
+    CacheStats, Relation, Result, ShardCacheStats, ShardedRelation, ShardedStore, ThreadBudget,
+};
+use ajd_sync::RwLock;
+use std::sync::Arc;
+
+/// Incremental-aware cache counters of a [`LiveAnalyzer`], split by tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Epoch of the currently installed snapshot.
+    pub epoch: u64,
+    /// Merged-result tier: the current epoch's
+    /// [`AnalysisContext`](ajd_relation::AnalysisContext) counters.  Reset
+    /// on every epoch bump (the tier is invalidated wholesale).
+    pub merged: CacheStats,
+    /// Per-shard tier: group-table counters summed over the current
+    /// snapshot's shards.  Survives epoch bumps — after an append, a warm
+    /// attribute set re-groups exactly the new shard (one miss), every
+    /// existing shard answering from its warm table (hits).
+    pub shards: ShardCacheStats,
+}
+
+/// An analyzer over a live, append-only sharded relation: readers pin
+/// epoch-consistent [`Analyzer`] snapshots while appends install the next
+/// epoch.  See the [module docs](self) for the two-tier cache design.
+#[derive(Debug)]
+pub struct LiveAnalyzer {
+    store: Arc<ShardedStore>,
+    /// The analyzer over the newest installed epoch; replaced (never
+    /// mutated) on epoch bumps, so a pinned clone stays consistent forever.
+    current: RwLock<Analyzer<Arc<ShardedRelation>>>,
+    /// Budget handed to each epoch's fresh analyzer.
+    budget: ThreadBudget,
+}
+
+impl LiveAnalyzer {
+    /// Wraps an existing relation (at whatever epoch it carries) with the
+    /// default [`ThreadBudget`].
+    pub fn new(initial: ShardedRelation) -> Self {
+        Self::from_store(Arc::new(ShardedStore::new(initial)))
+    }
+
+    /// A live analyzer whose first shard is `first` (epoch 1).
+    pub fn from_initial_shard(first: Relation) -> Result<Self> {
+        Ok(Self::from_store(Arc::new(
+            ShardedStore::from_initial_shard(first)?,
+        )))
+    }
+
+    /// Wraps a shared [`ShardedStore`] (several live analyzers — or other
+    /// writers — may append through the same store; see
+    /// [`LiveAnalyzer::refresh`]).
+    pub fn from_store(store: Arc<ShardedStore>) -> Self {
+        Self::with_thread_budget(store, ThreadBudget::default())
+    }
+
+    /// Like [`LiveAnalyzer::from_store`] with an explicit miss-computation
+    /// budget for each epoch's analyzer.
+    pub fn with_thread_budget(store: Arc<ShardedStore>, budget: ThreadBudget) -> Self {
+        let current = Analyzer::with_thread_budget(store.snapshot(), budget);
+        LiveAnalyzer {
+            store,
+            current: RwLock::new(current),
+            budget,
+        }
+    }
+
+    /// The underlying snapshot store.
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// An epoch-consistent [`Analyzer`] handle over the newest installed
+    /// snapshot.  The clone shares the epoch's merged-result cache (and the
+    /// snapshot's per-shard tables) with every other pin of the same epoch;
+    /// appends landing later never disturb it.
+    pub fn pin(&self) -> Analyzer<Arc<ShardedRelation>> {
+        self.current.read().clone()
+    }
+
+    /// Epoch of the currently installed snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().source().epoch()
+    }
+
+    /// Appends `shard` as a new epoch and installs an analyzer over it,
+    /// returning the new epoch.  All-or-nothing: on error the current
+    /// epoch stays installed.
+    ///
+    /// Appends are serialized by the store's writer lock; the install is
+    /// guarded by epoch so two concurrent appends can never regress the
+    /// installed snapshot (the later epoch wins, whichever append's
+    /// install runs last).
+    pub fn append_shard(&self, shard: Relation) -> Result<u64> {
+        let next = self.store.append_shard(shard)?;
+        Ok(self.install(next))
+    }
+
+    /// Synchronizes with the store (for stores shared with other writers):
+    /// if the store has moved past this analyzer's installed epoch, installs
+    /// a fresh analyzer over the newest snapshot.  Returns the installed
+    /// epoch.
+    pub fn refresh(&self) -> u64 {
+        let snap = self.store.snapshot();
+        self.install(snap)
+    }
+
+    /// Installs `snapshot` unless something newer is already installed;
+    /// returns the epoch that ends up installed.
+    fn install(&self, snapshot: Arc<ShardedRelation>) -> u64 {
+        let epoch = snapshot.epoch();
+        let mut cur = self.current.write();
+        if cur.source().epoch() < epoch {
+            *cur = Analyzer::with_thread_budget(snapshot, self.budget);
+        }
+        cur.source().epoch()
+    }
+
+    /// Incremental-aware counters: current epoch, merged-tier cache stats
+    /// (this epoch's context) and per-shard-tier stats (survive appends).
+    pub fn stats(&self) -> LiveStats {
+        let cur = self.current.read();
+        LiveStats {
+            epoch: cur.source().epoch(),
+            merged: cur.cache_stats(),
+            shards: cur.source().shard_cache_stats(),
+        }
+    }
+}
+
+impl Analyzer<Arc<ShardedRelation>> {
+    /// Re-pins this analyzer to the store's newest snapshot if its epoch
+    /// has moved on, keeping the thread budget; returns the epoch analyzed
+    /// afterwards.  A no-op (cache kept) when the epoch is unchanged.
+    ///
+    /// This is the polling flavour of [`LiveAnalyzer`]: hold one `Analyzer`,
+    /// call `refresh` between batches.  The replaced context's merged
+    /// results are dropped (the epoch invalidates them) but the snapshot's
+    /// per-shard group tables carry over, so post-refresh queries only
+    /// group the appended shards.
+    pub fn refresh(&mut self, store: &ShardedStore) -> u64 {
+        let snap = store.snapshot();
+        let epoch = snap.epoch();
+        if self.source().epoch() != epoch {
+            let budget = self.context().thread_budget();
+            *self = Analyzer::with_thread_budget(snap, budget);
+        }
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajd_relation::{AttrId, AttrSet};
+
+    fn schema() -> Vec<AttrId> {
+        vec![AttrId(0), AttrId(1)]
+    }
+
+    fn batch(rows: &[[u32; 2]]) -> Relation {
+        let rows: Vec<&[u32]> = rows.iter().map(|r| &r[..]).collect();
+        Relation::from_rows(schema(), &rows).unwrap()
+    }
+
+    fn bag(ids: &[u32]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn pinned_readers_survive_appends() {
+        let live = LiveAnalyzer::from_initial_shard(batch(&[[1, 1], [2, 1]])).unwrap();
+        let reader = live.pin();
+        let y = bag(&[0]);
+        let h_before = reader.entropy(&y).unwrap();
+        live.append_shard(batch(&[[3, 2], [4, 2]])).unwrap();
+        assert_eq!(reader.entropy(&y).unwrap().to_bits(), h_before.to_bits());
+        assert_eq!(reader.source().len(), 2);
+        let fresh = live.pin();
+        assert_eq!(fresh.source().len(), 4);
+        assert_eq!(fresh.source().epoch(), 2);
+        assert_eq!(live.epoch(), 2);
+    }
+
+    #[test]
+    fn failed_append_keeps_the_current_epoch() {
+        let live = LiveAnalyzer::from_initial_shard(batch(&[[1, 1]])).unwrap();
+        let wrong = Relation::new(vec![AttrId(0), AttrId(9)]).unwrap();
+        assert!(live.append_shard(wrong).is_err());
+        assert_eq!(live.epoch(), 1);
+        assert_eq!(live.pin().source().len(), 1);
+    }
+
+    /// The acceptance criterion of the incremental design, at the core
+    /// layer: appending one shard to a k-shard relation with a warm
+    /// analyzer re-groups exactly the new shard — per-shard misses grow by
+    /// 1 per warm attribute set, not k+1 — and the merged result is
+    /// bit-identical to a cold from-scratch `ShardedRelation`, at every
+    /// shard × thread combination.
+    #[test]
+    fn append_regroups_exactly_the_new_shard_per_cached_set() {
+        let sets = [bag(&[0]), bag(&[1]), bag(&[0, 1])];
+        for k in [1usize, 2, 3, 5] {
+            for threads in [1usize, 4] {
+                let base: Vec<[u32; 2]> = (0..12u32).map(|i| [i % 5, (i * i) % 3]).collect();
+                let flat = batch(&base);
+                let store = Arc::new(ShardedStore::new(flat.clone().into_shards(k).unwrap()));
+                let live = LiveAnalyzer::with_thread_budget(store, ThreadBudget::new(threads));
+
+                // Warm the merged tier (and thereby the per-shard tier).
+                let warm = live.pin();
+                for attrs in &sets {
+                    warm.entropy(attrs).unwrap();
+                }
+                let warm_stats = live.stats();
+                assert_eq!(warm_stats.shards.misses, (k * sets.len()) as u64);
+
+                // Append one shard; re-run the same sets on a fresh pin.
+                let extra: Vec<[u32; 2]> = vec![[7, 2], [1, 0], [9, 1]];
+                live.append_shard(batch(&extra)).unwrap();
+                let pinned = live.pin();
+                for attrs in &sets {
+                    pinned.entropy(attrs).unwrap();
+                }
+                let after = live.stats();
+                assert_eq!(after.epoch, warm_stats.epoch + 1);
+                assert_eq!(
+                    after.shards.misses - warm_stats.shards.misses,
+                    sets.len() as u64,
+                    "k={k} threads={threads}: exactly one per-shard compute \
+                     (the appended shard) per warm attribute set"
+                );
+                assert_eq!(
+                    after.shards.hits,
+                    (k * sets.len()) as u64,
+                    "k={k} threads={threads}: every pre-existing shard must \
+                     answer from its warm table"
+                );
+                // The merged tier was invalidated by the epoch bump: the new
+                // epoch's context recomputed (merged) each set once.
+                assert_eq!(after.merged.misses, sets.len() as u64);
+
+                // Bit-identity against a cold from-scratch sharded relation
+                // over the same rows.
+                let mut grown = flat.clone();
+                for row in &extra {
+                    grown.push_row(row).unwrap();
+                }
+                let cold = grown.into_shards(k + 1).unwrap();
+                let cold_rel = cold.collect().unwrap();
+                for attrs in &sets {
+                    let a = pinned.context().group_ids(attrs).unwrap();
+                    let b = cold_rel.group_ids(attrs).unwrap();
+                    assert_eq!(a.row_ids(), b.row_ids(), "k={k} threads={threads}");
+                    assert_eq!(a.counts(), b.counts(), "k={k} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_refresh_follows_the_store() {
+        let store = Arc::new(ShardedStore::from_initial_shard(batch(&[[1, 1], [2, 2]])).unwrap());
+        let mut analyzer = Analyzer::with_thread_budget(store.snapshot(), ThreadBudget::serial());
+        let y = bag(&[0]);
+        analyzer.entropy(&y).unwrap();
+        assert_eq!(analyzer.refresh(&store), 1, "no-op when nothing appended");
+        assert_eq!(analyzer.cache_stats().misses, 1, "no-op keeps the cache");
+        store.append_shard(batch(&[[3, 3]])).unwrap();
+        assert_eq!(analyzer.refresh(&store), 2);
+        assert_eq!(analyzer.source().len(), 3);
+        assert!(
+            analyzer.context().thread_budget().is_serial(),
+            "refresh keeps the analyzer's budget"
+        );
+        // The refreshed context is cold (merged tier invalidated)…
+        assert_eq!(analyzer.cache_stats().misses, 0);
+        analyzer.entropy(&y).unwrap();
+        // …but the per-shard tier carried over: only the new shard computed.
+        assert_eq!(analyzer.source().shard_cache_stats().misses, 2);
+        assert_eq!(analyzer.source().shard_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn two_live_analyzers_share_one_store_via_refresh() {
+        let store = Arc::new(ShardedStore::from_initial_shard(batch(&[[1, 1]])).unwrap());
+        let a = LiveAnalyzer::from_store(Arc::clone(&store));
+        let b = LiveAnalyzer::from_store(Arc::clone(&store));
+        a.append_shard(batch(&[[2, 2]])).unwrap();
+        assert_eq!(a.epoch(), 2);
+        assert_eq!(b.epoch(), 1, "b has not refreshed yet");
+        assert_eq!(b.refresh(), 2);
+        assert_eq!(b.pin().source().len(), 2);
+    }
+
+    #[test]
+    fn stats_report_epoch_and_both_tiers() {
+        let live = LiveAnalyzer::from_initial_shard(batch(&[[1, 1], [2, 2]])).unwrap();
+        let zero = live.stats();
+        assert_eq!(zero.epoch, 1);
+        assert_eq!(zero.merged, CacheStats::default());
+        assert_eq!(zero.shards, ShardCacheStats::default());
+        live.pin().entropy(&bag(&[0])).unwrap();
+        let warm = live.stats();
+        assert_eq!(warm.merged.misses, 1);
+        assert_eq!(warm.shards.misses, 1);
+        assert_eq!(warm.shards.entries, 1);
+    }
+}

@@ -430,6 +430,21 @@ impl Runtime {
         true
     }
 
+    /// Switches the run into abort mode and hands the turn back to the
+    /// controller on behalf of a thread that is unwinding and cannot
+    /// yield again — a scope owner about to block in
+    /// `std::thread::scope`'s implicit OS-level join.  The caller must
+    /// hold the turn; it is left [`Block::Runnable`] so the abort drain
+    /// eventually re-picks it (its [`Runtime::finish`] call, once the
+    /// unwind escapes the scope, needs no turn of its own).
+    pub(crate) fn abort_and_release(&self, me: usize) {
+        let mut st = self.lock();
+        st.aborting = true;
+        st.threads[me].block = Block::Runnable;
+        st.turn = Turn::Controller;
+        self.turn_cv.notify_all();
+    }
+
     /// Records a schedule-divergence failure (replay only).
     fn record_divergence(st: &mut RtState, detail: String) {
         if st.failure.is_none() {
@@ -560,9 +575,14 @@ impl Runtime {
                 continue;
             }
             // Pick the next thread.  Under abort we drain threads in
-            // id order without recording decisions.
+            // *descending* id order without recording decisions: children
+            // are always registered after the thread that spawned them, so
+            // leaf threads unwind first.  Draining an owner before its
+            // scoped children would deadlock the teardown — the owner's
+            // abort unwind blocks in `std::thread::scope`'s implicit OS
+            // join until every child OS thread has exited.
             let chosen = if st.aborting {
-                runnable[0]
+                *runnable.last().expect("runnable is non-empty here")
             } else {
                 let options = self.filtered_options(&st, &runnable);
                 if options.len() == 1 {

@@ -44,8 +44,15 @@ where
         me: vid,
     };
     runtime::with_handle(handle, || {
-        rt.wait_first(vid);
-        let result = match catch_unwind(AssertUnwindSafe(f)) {
+        // `wait_first` sits INSIDE the catch: a run that aborts before
+        // this thread is ever scheduled delivers its abort sentinel from
+        // there, and the thread must still store a result and mark itself
+        // finished — otherwise the controller (and any scope OS-joining
+        // this thread) waits on it forever.
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            rt.wait_first(vid);
+            f()
+        })) {
             Ok(value) => Ok(value),
             Err(payload) => {
                 rt.record_panic(&payload);
@@ -231,18 +238,40 @@ where
             model: model.as_ref().map(|h| Arc::clone(&h.rt)),
             spawned: StdMutex::new(Vec::new()),
         };
-        let out = f(&scope);
+        let out = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         if let Some(h) = &model {
-            // Virtually join every spawned thread BEFORE std::thread::scope's
-            // implicit OS-level join: the caller still holds the turn here,
-            // so a real join would deadlock the run (the scoped virtual
-            // threads can only progress once we yield).
-            let vids: Vec<usize> =
-                std::mem::take(&mut *scope.spawned.lock().unwrap_or_else(PoisonError::into_inner));
-            for vid in vids {
-                virtual_join(h, vid);
+            match &out {
+                // Virtually join every spawned thread BEFORE
+                // std::thread::scope's implicit OS-level join: the caller
+                // still holds the turn here, so a real join would deadlock
+                // the run (the scoped virtual threads can only progress
+                // once we yield).
+                Ok(_) => {
+                    let vids: Vec<usize> = std::mem::take(
+                        &mut *scope.spawned.lock().unwrap_or_else(PoisonError::into_inner),
+                    );
+                    for vid in vids {
+                        virtual_join(h, vid);
+                    }
+                }
+                // The owner is unwinding (its own panic, or the abort
+                // sentinel thrown mid-join after a child panicked).  It
+                // cannot yield any more, yet std::thread::scope below will
+                // OS-join every scoped thread — including ones still
+                // parked awaiting their first turn.  Record the failure,
+                // then release the turn so the controller's abort drain
+                // can run those children to their (aborting) completion;
+                // only then does the OS join — and this unwind — make
+                // progress.
+                Err(payload) => {
+                    h.rt.record_panic(payload);
+                    h.rt.abort_and_release(h.me);
+                }
             }
         }
-        out
+        match out {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     })
 }

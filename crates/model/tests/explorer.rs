@@ -167,6 +167,29 @@ fn single_flight_toy_explores_many_schedules() {
 }
 
 #[test]
+fn panic_in_scoped_child_is_reported_as_violation() {
+    // A panicking scoped child must surface as a violation of the explored
+    // body — not abort the process, and not be masked by a sibling that
+    // finishes cleanly.  (Scoped spawns are how every model body in the
+    // workspace structures its racers, so this is the failure path they
+    // all rely on.)
+    let report = Model::new().max_schedules(100).explore(|| {
+        thread::scope(|s| {
+            s.spawn(|| panic!("boom"));
+            s.spawn(|| ());
+        });
+    });
+    let violation = report
+        .violation
+        .expect("a panicking scoped child must be reported");
+    assert_eq!(violation.kind, ViolationKind::Panic);
+    assert!(
+        violation.message.contains("boom"),
+        "the child's panic payload must survive: {violation}"
+    );
+}
+
+#[test]
 fn preemption_bound_zero_misses_the_lost_update() {
     // With no preemptions allowed, each thread runs to completion once
     // scheduled (switches happen only on blocking), so the read/write gap

@@ -192,6 +192,60 @@ impl<S: GroupSource + ?Sized> GroupSource for &S {
     }
 }
 
+impl<S: GroupKernel + ?Sized> GroupKernel for &S {
+    fn group_counts_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupCounts> {
+        (**self).group_counts_with(attrs, budget)
+    }
+
+    fn group_ids_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupIds> {
+        (**self).group_ids_with(attrs, budget)
+    }
+
+    fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
+        (**self).project_with(attrs, budget)
+    }
+}
+
+impl<S: GroupSource + ?Sized> GroupSource for Arc<S> {
+    fn schema(&self) -> &[AttrId] {
+        (**self).schema()
+    }
+
+    fn num_rows(&self) -> usize {
+        (**self).num_rows()
+    }
+
+    fn active_domain_size(&self, attr: AttrId) -> Result<usize> {
+        (**self).active_domain_size(attr)
+    }
+
+    fn group_counts(&self, attrs: &AttrSet) -> Result<Arc<GroupCounts>> {
+        (**self).group_counts(attrs)
+    }
+
+    fn group_ids(&self, attrs: &AttrSet) -> Result<Arc<GroupIds>> {
+        (**self).group_ids(attrs)
+    }
+
+    fn projection(&self, attrs: &AttrSet) -> Result<Arc<Relation>> {
+        (**self).projection(attrs)
+    }
+}
+
+impl<S: GroupKernel + Send + ?Sized> GroupKernel for Arc<S> {
+    fn group_counts_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupCounts> {
+        (**self).group_counts_with(attrs, budget)
+    }
+
+    fn group_ids_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupIds> {
+        (**self).group_ids_with(attrs, budget)
+    }
+
+    fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
+        (**self).project_with(attrs, budget)
+    }
+}
+
 /// A point-in-time snapshot of a context's cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -268,9 +322,16 @@ impl<T> StripedCache<T> {
 /// Memoized group counts, interned group ids and projections of one
 /// relation — the shared-computation substrate of the measurement stack.
 ///
-/// A context borrows its relation and is cheap to create (empty caches); it
-/// pays for itself as soon as two measures — or two candidate join trees —
-/// touch the same attribute subset.  It is `Sync`: `ajd-core`'s
+/// A context **owns** its source, which in practice is a cheap handle: a
+/// `&Relation` borrow for one-shot analysis, or an `Arc<ShardedRelation>`
+/// snapshot (see [`crate::ShardedStore`]) pinning one epoch of a live,
+/// append-only relation — the context's merged-result caches are then
+/// exactly the per-epoch tier of the two-tier incremental design (this
+/// context caches merged results for *its* snapshot's epoch; the snapshot's
+/// shards carry their own per-shard tables that survive into later epochs).
+/// A context is cheap to create (empty caches); it pays for itself as soon
+/// as two measures — or two candidate join trees — touch the same attribute
+/// subset.  It is `Sync`: `ajd-core`'s
 /// `BatchAnalyzer` shares one context across `std::thread::scope` workers,
 /// and concurrent misses on the same attribute set are **single-flight** —
 /// exactly one thread computes, the others block on that entry and receive
@@ -297,8 +358,8 @@ impl<T> StripedCache<T> {
 /// assert_eq!(ctx.stats().hits, 1);
 /// ```
 #[derive(Debug)]
-pub struct AnalysisContext<'a, S: ?Sized = Relation> {
-    source: &'a S,
+pub struct AnalysisContext<S = Relation> {
+    source: S,
     group_counts: StripedCache<GroupCounts>,
     group_ids: StripedCache<GroupIds>,
     projections: StripedCache<Relation>,
@@ -309,16 +370,21 @@ pub struct AnalysisContext<'a, S: ?Sized = Relation> {
     threads: AtomicUsize,
 }
 
-impl<'a, S: GroupKernel + ?Sized> AnalysisContext<'a, S> {
+impl<S: GroupKernel> AnalysisContext<S> {
     /// Creates an empty context over `src` with the default
     /// [`ThreadBudget`] (the machine's available parallelism).
-    pub fn new(src: &'a S) -> Self {
+    ///
+    /// `src` is taken by value, but sources are handles in practice:
+    /// `AnalysisContext::new(&r)` builds a borrowing context (as before)
+    /// and `AnalysisContext::new(store.snapshot())` an owning one over an
+    /// `Arc` snapshot that lives for as long as the context does.
+    pub fn new(src: S) -> Self {
         Self::with_thread_budget(src, ThreadBudget::default())
     }
 
     /// Creates an empty context over `src` that computes misses under the
     /// given [`ThreadBudget`].
-    pub fn with_thread_budget(src: &'a S, budget: ThreadBudget) -> Self {
+    pub fn with_thread_budget(src: S, budget: ThreadBudget) -> Self {
         AnalysisContext {
             source: src,
             group_counts: StripedCache::new(),
@@ -330,10 +396,10 @@ impl<'a, S: GroupKernel + ?Sized> AnalysisContext<'a, S> {
         }
     }
 
-    /// The grouping source (flat [`Relation`] or
-    /// [`crate::ShardedRelation`]) this context memoizes computations over.
-    pub fn source(&self) -> &'a S {
-        self.source
+    /// The grouping source (flat [`Relation`], [`crate::ShardedRelation`]
+    /// or `Arc` snapshot of one) this context memoizes computations over.
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     /// The thread budget used to compute cache misses.
@@ -447,7 +513,7 @@ impl<'a, S: GroupKernel + ?Sized> AnalysisContext<'a, S> {
         let result = slot
             .get_or_init(|| {
                 led = true;
-                let out = compute(self.source, attrs);
+                let out = compute(&self.source, attrs);
                 if out.is_ok() {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                 }
@@ -473,7 +539,7 @@ impl<'a, S: GroupKernel + ?Sized> AnalysisContext<'a, S> {
 }
 
 #[cfg(ajd_model)]
-impl<S: GroupKernel + ?Sized> AnalysisContext<'_, S> {
+impl<S: GroupKernel> AnalysisContext<S> {
     /// **Seeded mutant, model builds only**: a group-counts lookup with the
     /// single-flight slot *removed* — cold keys go check-then-compute
     /// straight against the shard map, so two racers can both observe the
@@ -507,7 +573,7 @@ impl<S: GroupKernel + ?Sized> AnalysisContext<'_, S> {
     }
 }
 
-impl<'a> AnalysisContext<'a, Relation> {
+impl<'a> AnalysisContext<&'a Relation> {
     /// The flat relation this context memoizes computations over (for
     /// contexts over a [`crate::ShardedRelation`], use
     /// [`AnalysisContext::source`]).
@@ -516,7 +582,7 @@ impl<'a> AnalysisContext<'a, Relation> {
     }
 }
 
-impl<S: GroupKernel + ?Sized> GroupSource for AnalysisContext<'_, S> {
+impl<S: GroupKernel> GroupSource for AnalysisContext<S> {
     fn schema(&self) -> &[AttrId] {
         self.source.schema()
     }

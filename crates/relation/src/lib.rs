@@ -38,7 +38,12 @@
 //!   dictionaries) that groups shard-locally and merges per-shard group
 //!   tables in shard order, so every grouping — and therefore every measure
 //!   in the workspace — is **bit-identical** to the flat relation at any
-//!   shard count and any thread budget.
+//!   shard count and any thread budget.  Shards are `Arc`-shared and carry
+//!   per-shard group-table caches, so appends are incremental: only the new
+//!   shard is ever regrouped.
+//! * [`ShardedStore`] — an epoch-snapshot handle over a [`ShardedRelation`]:
+//!   readers pin immutable snapshots at one epoch while a writer installs
+//!   the next one (copy-on-append, built on `ajd-sync` primitives).
 //! * [`hash`] — a small Fx-style hasher used for all residual hashing (the
 //!   default SipHash is needlessly slow for short integer keys).
 //!
@@ -80,6 +85,7 @@ pub mod join;
 pub mod parallel;
 pub mod relation;
 pub mod shard;
+pub mod snapshot;
 
 pub use attr::{AttrId, AttrSet};
 pub use catalog::{Catalog, ValueDict};
@@ -91,4 +97,5 @@ pub use io::{
 };
 pub use parallel::ThreadBudget;
 pub use relation::{GroupCounts, GroupIds, Relation, RowIter, Value};
-pub use shard::{RelationShard, ShardedRelation};
+pub use shard::{RelationShard, ShardCacheStats, ShardedRelation};
+pub use snapshot::ShardedStore;

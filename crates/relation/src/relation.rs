@@ -986,6 +986,7 @@ impl Relation {
 /// of the parallel kernel; the sharded relation builds one per shard (with
 /// group codes remapped into its global dictionaries) and feeds them to the
 /// same [`merge_spans`] discipline.
+#[derive(Debug)]
 pub(crate) struct SpanGroups {
     /// Local group id of every row in the span, in row order.
     pub(crate) row_ids: Vec<u32>,
@@ -1016,16 +1017,21 @@ pub(crate) struct SpanGroups {
 /// count and to [`crate::parallel::MAX_CHUNK_WORKERS`], so a many-shard
 /// input can never spawn one thread per shard (pass 1 for a fully inline
 /// rewrite).
-pub(crate) fn merge_spans(
+///
+/// Spans are taken by [`Borrow`](std::borrow::Borrow) so the chunked kernel
+/// can pass owned `SpanGroups` while the sharded relation re-merges
+/// `Arc<SpanGroups>` straight out of its per-shard caches without cloning a
+/// single group table.
+pub(crate) fn merge_spans<S: std::borrow::Borrow<SpanGroups> + Sync>(
     k: usize,
     bits: &[u32],
-    spans: &[SpanGroups],
+    spans: &[S],
     total_rows: usize,
     rewrite_workers: usize,
 ) -> Result<(Vec<u32>, Vec<u64>, Vec<u32>)> {
     debug_assert_eq!(bits.len(), k);
     let packable = bits.iter().sum::<u32>() <= 64;
-    let total_local: usize = spans.iter().map(|s| s.counts.len()).sum();
+    let total_local: usize = spans.iter().map(|s| s.borrow().counts.len()).sum();
     let mut counts: Vec<u64> = Vec::new();
     let mut group_codes: Vec<u32> = Vec::new();
     let mut packed: FxHashMap<u64, u32> = map_with_capacity(if packable { total_local } else { 0 });
@@ -1033,6 +1039,7 @@ pub(crate) fn merge_spans(
         map_with_capacity(if packable { 0 } else { total_local });
     let mut local_to_global: Vec<Vec<u32>> = Vec::with_capacity(spans.len());
     for span in spans {
+        let span = span.borrow();
         let groups = span.counts.len();
         let mut map = Vec::with_capacity(groups);
         for g in 0..groups {
@@ -1078,9 +1085,14 @@ pub(crate) fn merge_spans(
     let workers = rewrite_workers
         .min(spans.len())
         .clamp(1, crate::parallel::MAX_CHUNK_WORKERS);
-    fn rewrite_run(out: &mut [u32], run: &[SpanGroups], maps: &[Vec<u32>]) {
+    fn rewrite_run<S: std::borrow::Borrow<SpanGroups>>(
+        out: &mut [u32],
+        run: &[S],
+        maps: &[Vec<u32>],
+    ) {
         let mut rest = out;
         for (span, map) in run.iter().zip(maps) {
+            let span = span.borrow();
             let (head, tail) = rest.split_at_mut(span.row_ids.len());
             rest = tail;
             for (slot, &local) in head.iter_mut().zip(&span.row_ids) {
@@ -1096,7 +1108,7 @@ pub(crate) fn merge_spans(
             for (s0, s1) in chunk_bounds(spans.len(), workers) {
                 let run = &spans[s0..s1];
                 let maps = &local_to_global[s0..s1];
-                let run_rows: usize = run.iter().map(|s| s.row_ids.len()).sum();
+                let run_rows: usize = run.iter().map(|s| s.borrow().row_ids.len()).sum();
                 let (head, tail) = rest.split_at_mut(run_rows);
                 rest = tail;
                 scope.spawn(move || rewrite_run(head, run, maps));

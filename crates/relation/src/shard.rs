@@ -1,5 +1,6 @@
 //! Sharded relations: shard-local grouping with a deterministic
-//! shard-order merge.
+//! shard-order merge, and per-shard group-table caches that make appends
+//! incremental.
 //!
 //! The chunked parallel kernel (PR 4) proved the load-bearing fact of this
 //! module: disjoint row spans of a relation can be grouped independently and
@@ -16,8 +17,9 @@
 //!   RAM or one NUMA node's locality domain);
 //! * the [`ShardedRelation`] owns only the *global* per-attribute
 //!   dictionaries (built in shard order, so they equal the flat relation's
-//!   first-appearance dictionaries) plus one local → global code remap per
-//!   shard column — a few words per distinct value, never per row;
+//!   first-appearance dictionaries); each shard carries its own
+//!   local → global code remap, fixed once at append time — a few words per
+//!   distinct value, never per row;
 //! * grouping runs shard-local (each shard through the ordinary
 //!   [`Relation::group_ids_with`] kernel, fanned out over the
 //!   [`ThreadBudget`]) and the per-shard group tables are merged in shard
@@ -27,16 +29,30 @@
 //!   [`Relation`] at any shard count and any thread budget (property-tested
 //!   in `tests/prop_sharded.rs`).
 //!
+//! # Incremental maintenance
+//!
+//! Every shard embeds a **per-shard group-table cache**: the globally
+//! remapped span table of each grouped `AttrSet`, computed once per shard
+//! (single-flight under races) and reused by every later grouping.  Shards
+//! are immutable and `Arc`-shared, and [`ShardedRelation::append_shard`]
+//! only pushes a new shard (copy-on-append: clones share every existing
+//! shard), so **appends keep all warm tables**: re-grouping after an append
+//! computes the new shard's table and re-merges — it never regroups the
+//! world.  [`ShardedRelation::shard_cache_stats`] exposes the counters that
+//! prove it, and the monotonically-increasing [`ShardedRelation::epoch`]
+//! (bumped by every append) lets higher layers key merged results by
+//! version.  [`crate::ShardedStore`] turns this into a concurrent
+//! snapshot-swap handle.
+//!
+//! Cached tables stay valid forever because global dictionaries are
+//! append-only: a code assigned to a value never changes, and a shard's
+//! remap is recorded before any later shard can extend the dictionaries.
+//!
 //! Because the whole measure stack is generic over
 //! [`GroupSource`], a sharded relation drops into `ajd-info`,
 //! `ajd-jointree` and `ajd_core::Analyzer` unchanged, and
 //! [`GroupKernel`] lets an `AnalysisContext` memoize over it exactly as
 //! over a flat relation.
-//!
-//! [`ShardedRelation::append_shard`] accepts a freshly ingested batch as a
-//! new shard without touching existing ones — the first step toward the
-//! roadmap's incremental maintenance (keep per-shard group tables, re-merge
-//! instead of regrouping).
 
 use crate::attr::{AttrId, AttrSet};
 use crate::context::{GroupKernel, GroupSource};
@@ -44,8 +60,8 @@ use crate::error::{RelationError, Result};
 use crate::hash::FxHashMap;
 use crate::parallel::{chunk_bounds, ThreadBudget, MAX_CHUNK_WORKERS};
 use crate::relation::{bit_width, merge_spans, GroupCounts, GroupIds, Relation, SpanGroups, Value};
-use ajd_sync::atomic::{AtomicUsize, Ordering};
-use ajd_sync::OnceSlot;
+use ajd_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use ajd_sync::{OnceSlot, RwLock};
 use std::fmt;
 use std::sync::Arc;
 
@@ -75,20 +91,56 @@ impl GlobalDict {
     }
 }
 
+/// Counters of the per-shard group-table caches: the layer that makes
+/// appends incremental (warm shards are pure `hits`; only shards that have
+/// never grouped a given `AttrSet` count a `miss`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCacheStats {
+    /// Shard-level span lookups answered from a warm table.
+    pub hits: u64,
+    /// Shard-level span computations (one per cold `(shard, AttrSet)`).
+    pub misses: u64,
+    /// Completed cached span tables across all shards.
+    pub entries: usize,
+}
+
+/// One memoization slot of a shard's span cache: filled exactly once by the
+/// thread that computes the table; racing threads block on the slot alone.
+type SpanSlot = Arc<OnceSlot<Result<Arc<SpanGroups>>>>;
+
 /// One shard of a [`ShardedRelation`]: a self-contained columnar span with
-/// its own dictionaries, plus its global row offset.
+/// its own dictionaries, its global row offset, a stable id, its
+/// local → global code remap, and its group-table cache.
 ///
 /// A shard is just a [`Relation`] — every kernel, constructor and invariant
 /// of the flat store applies verbatim within the shard.  Shards never
-/// reference each other; only the owning [`ShardedRelation`] knows how
-/// their local dictionary codes map into the global code space.
-#[derive(Debug, Clone)]
+/// reference each other: the remap into the global code space is recorded
+/// once when the shard is appended and never changes (global dictionaries
+/// are append-only), which is what lets the embedded cache survive any
+/// number of later appends.
+///
+/// Shards are immutable after construction and shared by `Arc` across
+/// every clone/snapshot of the owning [`ShardedRelation`], so one shard's
+/// warm group tables serve all of them.
+#[derive(Debug)]
 pub struct RelationShard {
     /// The shard's rows, dictionary-encoded against the shard's own
     /// (local, first-appearance) dictionaries.
     local: Relation,
     /// Global index of this shard's first row (shards concatenate in order).
     row_offset: usize,
+    /// Stable id, assigned at append time and never reused within a
+    /// relation's (linear) append history.
+    id: u64,
+    /// `remap[col][local_code]` = global code, per schema position.
+    remap: Vec<Vec<u32>>,
+    /// The per-shard group-table cache: `AttrSet` → globally remapped span
+    /// table, single-flight on cold keys.  Keying by `AttrSet` alone is
+    /// sound because column positions are determined by the schema and the
+    /// kernel is bit-identical at every thread budget.
+    spans: RwLock<FxHashMap<AttrSet, SpanSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl RelationShard {
@@ -111,10 +163,110 @@ impl RelationShard {
     pub fn row_offset(&self) -> usize {
         self.row_offset
     }
+
+    /// The shard's stable id: assigned when the shard was appended,
+    /// unchanged by later appends, unique along one append history (two
+    /// clones that diverge by appending different batches each continue the
+    /// numbering independently — ids identify shard *objects* within one
+    /// lineage, and the caches live on the objects, so divergence is
+    /// harmless).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This shard's cache counters (the per-`(shard_id, AttrSet)` tier).
+    pub fn cache_stats(&self) -> ShardCacheStats {
+        ShardCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .spans
+                .read()
+                .values()
+                .filter(|slot| slot.get().is_some_and(|r| r.is_ok()))
+                .count(),
+        }
+    }
+
+    /// The shard's globally remapped span table for `attrs`, served from
+    /// the cache; cold keys are computed **single-flight** (racing threads
+    /// block on the entry's slot, never on the whole map, and exactly one
+    /// runs the kernel).  Errors are not memoized: the leader removes the
+    /// failed slot so later calls retry.
+    fn span(
+        &self,
+        attrs: &AttrSet,
+        positions: &[usize],
+        budget: ThreadBudget,
+    ) -> Result<Arc<SpanGroups>> {
+        let slot: SpanSlot = {
+            let fast = self.spans.read().get(attrs).cloned();
+            match fast {
+                Some(slot) => slot,
+                None => Arc::clone(self.spans.write().entry(attrs.clone()).or_default()),
+            }
+        };
+        if let Some(done) = slot.get() {
+            if done.is_ok() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return done.clone();
+        }
+        let mut led = false;
+        let result = slot
+            .get_or_init(|| {
+                led = true;
+                let out = self.compute_span(attrs, positions, budget);
+                if out.is_ok() {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                out
+            })
+            .clone();
+        if !led {
+            if result.is_ok() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if result.is_err() {
+            let mut guard = self.spans.write();
+            if guard.get(attrs).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
+                guard.remove(attrs);
+            }
+        }
+        result
+    }
+
+    /// Groups this shard through the flat kernel and remaps its group codes
+    /// into the global dictionaries (the cache-bypassing compute path).
+    fn compute_span(
+        &self,
+        attrs: &AttrSet,
+        positions: &[usize],
+        budget: ThreadBudget,
+    ) -> Result<Arc<SpanGroups>> {
+        let ids = self.local.group_ids_with(attrs, budget)?;
+        let (row_ids, counts, local_codes) = ids.into_parts();
+        let k = positions.len();
+        let mut group_codes = Vec::with_capacity(local_codes.len());
+        for (j, &c) in local_codes.iter().enumerate() {
+            group_codes.push(self.remap[positions[j % k]][c as usize]);
+        }
+        Ok(Arc::new(SpanGroups {
+            row_ids,
+            counts,
+            group_codes,
+        }))
+    }
 }
 
 /// An ordered list of [`RelationShard`]s behaving, for every measure in the
 /// workspace, exactly like the flat [`Relation`] of their concatenated rows.
+///
+/// Shards are held by `Arc`, so `Clone` is **copy-on-append cheap**: a clone
+/// shares every shard (and its warm group tables) and only the shard list,
+/// dictionaries and counters are copied.  [`ShardedRelation::append_shard`]
+/// bumps [`ShardedRelation::epoch`] and assigns the new shard a stable
+/// [`RelationShard::id`], leaving every existing shard untouched.
 ///
 /// ```
 /// use ajd_relation::{AttrSet, GroupSource, Relation, AttrId};
@@ -124,6 +276,7 @@ impl RelationShard {
 /// ]).unwrap();
 /// let sharded = flat.clone().into_shards(3).unwrap();
 /// assert_eq!(sharded.num_shards(), 3);
+/// assert_eq!(sharded.epoch(), 3); // one epoch bump per appended shard
 ///
 /// // Grouping is bit-identical to the flat relation…
 /// let y = AttrSet::singleton(AttrId(0));
@@ -140,12 +293,15 @@ impl RelationShard {
 #[derive(Debug, Clone, Default)]
 pub struct ShardedRelation {
     schema: Vec<AttrId>,
-    shards: Vec<RelationShard>,
+    shards: Vec<Arc<RelationShard>>,
     /// Global per-attribute dictionaries, indexed by schema position.
     dicts: Vec<GlobalDict>,
-    /// `remaps[s][col][local_code]` = global code, per shard and column.
-    remaps: Vec<Vec<Vec<u32>>>,
     rows: usize,
+    /// Bumped by every [`ShardedRelation::append_shard`]; equal to the
+    /// number of appends this value has seen.
+    epoch: u64,
+    /// Next stable shard id to assign.
+    next_shard_id: u64,
 }
 
 impl ShardedRelation {
@@ -154,7 +310,7 @@ impl ShardedRelation {
     // ------------------------------------------------------------------
 
     /// Creates an empty sharded relation over the given schema (column
-    /// order is preserved as given).
+    /// order is preserved as given), at epoch 0.
     pub fn new(schema: Vec<AttrId>) -> Result<Self> {
         let mut seen = AttrSet::empty();
         for &a in &schema {
@@ -166,8 +322,9 @@ impl ShardedRelation {
             dicts: vec![GlobalDict::default(); schema.len()],
             schema,
             shards: Vec::new(),
-            remaps: Vec::new(),
             rows: 0,
+            epoch: 0,
+            next_shard_id: 0,
         })
     }
 
@@ -185,12 +342,15 @@ impl ShardedRelation {
     }
 
     /// Appends a batch of rows as a **new shard**, leaving every existing
-    /// shard untouched: only the global dictionaries grow (by the shard's
-    /// previously unseen values) and one local → global remap is recorded.
+    /// shard — and its warm group-table cache — untouched: only the global
+    /// dictionaries grow (by the shard's previously unseen values), the new
+    /// shard's local → global remap is recorded, the epoch is bumped and a
+    /// stable shard id assigned.
     ///
     /// This is the ingestion path for incremental maintenance: appends
     /// never rewrite shard-local state, so per-shard group tables stay
-    /// valid and only the shard-order merge needs redoing.
+    /// valid and only the new shard needs grouping before the shard-order
+    /// re-merge.
     ///
     /// The shard's schema must equal this relation's schema, including
     /// column order (reorder with [`Relation::reorder_columns`] first if
@@ -224,11 +384,18 @@ impl ShardedRelation {
         }
         let row_offset = self.rows;
         self.rows += shard.len();
-        self.remaps.push(remap);
-        self.shards.push(RelationShard {
+        let id = self.next_shard_id;
+        self.next_shard_id += 1;
+        self.epoch += 1;
+        self.shards.push(Arc::new(RelationShard {
             local: shard,
             row_offset,
-        });
+            id,
+            remap,
+            spans: RwLock::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }));
         Ok(())
     }
 
@@ -285,14 +452,40 @@ impl ShardedRelation {
         self.shards.len()
     }
 
-    /// The shards, in shard (concatenation) order.
-    pub fn shards(&self) -> &[RelationShard] {
+    /// The monotonically-increasing version of this relation: 0 when empty,
+    /// bumped by every [`ShardedRelation::append_shard`].  Higher layers key
+    /// merged (whole-relation) results by epoch: a reader holding a
+    /// snapshot at epoch `e` sees a consistent shard list for `e`, and an
+    /// epoch bump is exactly the signal that merged results must be rebuilt
+    /// (per-shard tables stay warm).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shards (each `Arc`-shared with every clone of this relation), in
+    /// shard (concatenation) order.
+    pub fn shards(&self) -> &[Arc<RelationShard>] {
         &self.shards
     }
 
     /// One shard by index.
     pub fn shard(&self, s: usize) -> &RelationShard {
         &self.shards[s]
+    }
+
+    /// Aggregated counters of the per-shard group-table caches, summed over
+    /// all shards.  After an append, re-grouping a warm `AttrSet` adds
+    /// exactly **one** miss (the new shard) and one hit per existing shard —
+    /// the counter signature of incremental maintenance.
+    pub fn shard_cache_stats(&self) -> ShardCacheStats {
+        let mut total = ShardCacheStats::default();
+        for shard in &self.shards {
+            let s = shard.cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.entries += s.entries;
+        }
+        total
     }
 
     /// Position of an attribute in this relation's column order.
@@ -336,11 +529,33 @@ impl ShardedRelation {
     /// [`ShardedRelation::group_ids`] under a [`ThreadBudget`]: shards are
     /// grouped shard-locally (fanned out over up to `budget` workers, each
     /// shard running the ordinary flat kernel under its share of the
-    /// budget) and the per-shard group tables are merged **in shard
-    /// order** — the same discipline as the chunked kernel, so the result
-    /// is bit-identical to the flat relation at any shard count and any
-    /// budget.
+    /// budget; warm shards answer from their caches) and the per-shard
+    /// group tables are merged **in shard order** — the same discipline as
+    /// the chunked kernel, so the result is bit-identical to the flat
+    /// relation at any shard count and any budget.
     pub fn group_ids_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<GroupIds> {
+        self.group_ids_inner(attrs, budget, true)
+    }
+
+    /// [`ShardedRelation::group_ids_with`] with the per-shard caches
+    /// **bypassed** (neither read nor populated): every shard is regrouped
+    /// from scratch.  Bit-identical to the cached path — this is the
+    /// from-scratch baseline benches and tests pin incremental re-merges
+    /// against.
+    pub fn group_ids_uncached_with(
+        &self,
+        attrs: &AttrSet,
+        budget: ThreadBudget,
+    ) -> Result<GroupIds> {
+        self.group_ids_inner(attrs, budget, false)
+    }
+
+    fn group_ids_inner(
+        &self,
+        attrs: &AttrSet,
+        budget: ThreadBudget,
+        cached: bool,
+    ) -> Result<GroupIds> {
         let positions = self.attr_positions(attrs)?;
         let k = positions.len();
         // Zero attributes: every row projects to the empty tuple.
@@ -356,7 +571,7 @@ impl ShardedRelation {
                 Vec::new(),
             ));
         }
-        let spans = self.shard_spans(attrs, &positions, budget)?;
+        let spans = self.shard_spans(attrs, &positions, budget, cached)?;
         let bits: Vec<u32> = positions
             .iter()
             .map(|&p| bit_width(self.dicts[p].values.len()))
@@ -371,28 +586,36 @@ impl ShardedRelation {
         ))
     }
 
-    /// The shard-local pass: one [`SpanGroups`] per shard, group codes
-    /// remapped from the shard's local dictionaries into the global code
-    /// space (row ids stay shard-local; the merge rewrites them).
+    /// The shard-local pass: one span table per shard, group codes remapped
+    /// from the shard's local dictionaries into the global code space (row
+    /// ids stay shard-local; the merge rewrites them).  With `cached`,
+    /// warm shards are pure cache reads and cold shards compute
+    /// single-flight.
     fn shard_spans(
         &self,
         attrs: &AttrSet,
         positions: &[usize],
         budget: ThreadBudget,
-    ) -> Result<Vec<SpanGroups>> {
+        cached: bool,
+    ) -> Result<Vec<Arc<SpanGroups>>> {
+        let span_of = |s: usize, share: ThreadBudget| {
+            if cached {
+                self.shards[s].span(attrs, positions, share)
+            } else {
+                self.shards[s].compute_span(attrs, positions, share)
+            }
+        };
         let nshards = self.shards.len();
         let workers = budget.get().min(nshards).min(MAX_CHUNK_WORKERS);
         if workers <= 1 {
-            return (0..nshards)
-                .map(|s| self.span_for_shard(s, attrs, positions, budget))
-                .collect();
+            return (0..nshards).map(|s| span_of(s, budget)).collect();
         }
         // Fan out over the shards, work-stealing so a few large shards do
         // not stall the rest; each shard's kernel gets the per-worker share
         // of the budget (layers divide one budget, never multiply).
         let share = ThreadBudget::new((budget.get() / workers).max(1));
         let next = AtomicUsize::new(0);
-        let slots: Vec<OnceSlot<Result<SpanGroups>>> =
+        let slots: Vec<OnceSlot<Result<Arc<SpanGroups>>>> =
             (0..nshards).map(|_| OnceSlot::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -401,7 +624,7 @@ impl ShardedRelation {
                     if s >= nshards {
                         break;
                     }
-                    let out = self.span_for_shard(s, attrs, positions, share);
+                    let out = span_of(s, share);
                     slots[s]
                         .set(out)
                         .unwrap_or_else(|_| unreachable!("shard index claimed twice"));
@@ -415,30 +638,6 @@ impl ShardedRelation {
                     .expect("every shard slot is filled by exactly one worker")
             })
             .collect()
-    }
-
-    /// Groups one shard through the flat kernel and remaps its group codes
-    /// into the global dictionaries.
-    fn span_for_shard(
-        &self,
-        s: usize,
-        attrs: &AttrSet,
-        positions: &[usize],
-        budget: ThreadBudget,
-    ) -> Result<SpanGroups> {
-        let ids = self.shards[s].local.group_ids_with(attrs, budget)?;
-        let (row_ids, counts, local_codes) = ids.into_parts();
-        let k = positions.len();
-        let remap = &self.remaps[s];
-        let mut group_codes = Vec::with_capacity(local_codes.len());
-        for (j, &c) in local_codes.iter().enumerate() {
-            group_codes.push(remap[positions[j % k]][c as usize]);
-        }
-        Ok(SpanGroups {
-            row_ids,
-            counts,
-            group_codes,
-        })
     }
 
     /// Groups by `attrs` and decodes the distinct groups through the global
@@ -651,6 +850,12 @@ mod tests {
         AttrSet::from_ids(ids.iter().copied())
     }
 
+    fn assert_ids_eq(a: &GroupIds, b: &GroupIds, ctx: &str) {
+        assert_eq!(a.row_ids(), b.row_ids(), "{ctx}");
+        assert_eq!(a.counts(), b.counts(), "{ctx}");
+        assert_eq!(a.group_codes(), b.group_codes(), "{ctx}");
+    }
+
     #[test]
     fn into_shards_and_collect_roundtrip() {
         let flat = sample();
@@ -704,9 +909,10 @@ mod tests {
                 let a = flat.group_ids(&attrs).unwrap();
                 for budget in [ThreadBudget::serial(), ThreadBudget::new(4)] {
                     let b = sharded.group_ids_with(&attrs, budget).unwrap();
-                    assert_eq!(a.row_ids(), b.row_ids(), "n={n} attrs={attrs}");
-                    assert_eq!(a.counts(), b.counts(), "n={n} attrs={attrs}");
-                    assert_eq!(a.group_codes(), b.group_codes(), "n={n} attrs={attrs}");
+                    assert_ids_eq(&a, &b, &format!("n={n} attrs={attrs}"));
+                    // The cache-bypassing baseline agrees bit-for-bit too.
+                    let c = sharded.group_ids_uncached_with(&attrs, budget).unwrap();
+                    assert_ids_eq(&a, &c, &format!("uncached n={n} attrs={attrs}"));
                 }
                 let ca = flat.group_counts(&attrs).unwrap();
                 let cb = sharded.group_counts(&attrs).unwrap();
@@ -754,6 +960,9 @@ mod tests {
         sharded.append_shard(ok).unwrap();
         assert_eq!(sharded.len(), 1);
         assert_eq!(sharded.shard(0).row_offset(), 0);
+        // A rejected append bumps neither the epoch nor the id counter.
+        assert_eq!(sharded.epoch(), 1);
+        assert_eq!(sharded.shard(0).id(), 0);
     }
 
     #[test]
@@ -779,9 +988,7 @@ mod tests {
             for attrs in [bag(&[0]), bag(&[1]), bag(&[0, 1])] {
                 let a = flat.group_ids(&attrs).unwrap();
                 let b = sharded.group_ids(&attrs).unwrap();
-                assert_eq!(a.row_ids(), b.row_ids());
-                assert_eq!(a.counts(), b.counts());
-                assert_eq!(a.group_codes(), b.group_codes());
+                assert_ids_eq(&a, &b, &format!("attrs={attrs}"));
             }
         }
         assert_eq!(sharded.num_shards(), 4);
@@ -789,10 +996,188 @@ mod tests {
     }
 
     #[test]
+    fn epoch_and_shard_ids_are_stable_and_monotone() {
+        let schema = vec![AttrId(0)];
+        let mut sharded = ShardedRelation::new(schema.clone()).unwrap();
+        assert_eq!(sharded.epoch(), 0);
+        for i in 0..3u64 {
+            let shard = Relation::from_rows(schema.clone(), &[&[i as Value][..]]).unwrap();
+            sharded.append_shard(shard).unwrap();
+            assert_eq!(sharded.epoch(), i + 1);
+            assert_eq!(sharded.shard(i as usize).id(), i);
+        }
+        // Clones share the shard objects (and their ids) by Arc.
+        let clone = sharded.clone();
+        for s in 0..3 {
+            assert!(Arc::ptr_eq(&sharded.shards()[s], &clone.shards()[s]));
+            assert_eq!(clone.shard(s).id(), s as u64);
+        }
+        // Appending to the clone bumps only the clone's epoch; the original
+        // and its shards are untouched (copy-on-append).
+        let mut clone = clone;
+        let shard = Relation::from_rows(schema.clone(), &[&[9][..]]).unwrap();
+        clone.append_shard(shard).unwrap();
+        assert_eq!(clone.epoch(), 4);
+        assert_eq!(clone.shard(3).id(), 3);
+        assert_eq!(sharded.epoch(), 3);
+        assert_eq!(sharded.num_shards(), 3);
+    }
+
+    /// The incrementality contract, at the relation layer: after a warm
+    /// grouping, appending one shard and re-grouping costs exactly one
+    /// per-shard cache miss per attribute set — not `k + 1`.
+    #[test]
+    fn append_regroups_only_the_new_shard() {
+        let flat = sample();
+        let k = 3;
+        let mut sharded = flat.clone().into_shards(k).unwrap();
+        let sets = [bag(&[0]), bag(&[1, 2])];
+        for attrs in &sets {
+            sharded.group_ids(attrs).unwrap();
+        }
+        let warm = sharded.shard_cache_stats();
+        assert_eq!(warm.misses, (k * sets.len()) as u64, "cold fill: k per set");
+        assert_eq!(warm.hits, 0);
+        assert_eq!(warm.entries, k * sets.len());
+
+        // Append one batch and re-group the same sets.
+        let batch = Relation::from_rows(
+            vec![AttrId(0), AttrId(1), AttrId(2)],
+            &[&[7, 2, 9][..], &[5, 0, 8][..]],
+        )
+        .unwrap();
+        let mut grown_flat = flat.clone();
+        for row in batch.iter_rows() {
+            grown_flat.push_row(row).unwrap();
+        }
+        sharded.append_shard(batch).unwrap();
+        for attrs in &sets {
+            let a = grown_flat.group_ids(attrs).unwrap();
+            let b = sharded.group_ids(attrs).unwrap();
+            assert_ids_eq(&a, &b, &format!("attrs={attrs}"));
+        }
+        let after = sharded.shard_cache_stats();
+        assert_eq!(
+            after.misses - warm.misses,
+            sets.len() as u64,
+            "exactly one new compute (the appended shard) per attribute set"
+        );
+        assert_eq!(
+            after.hits,
+            (k * sets.len()) as u64,
+            "every pre-existing shard must answer from its warm table"
+        );
+    }
+
+    /// Satellite: appending an **empty** shard is a no-op for every
+    /// grouping, stays bit-identical to the flat rebuild, and still bumps
+    /// the epoch (it is a real append).
+    #[test]
+    fn appending_an_empty_shard_is_bit_identical_to_flat() {
+        let flat = sample();
+        let schema = flat.schema().to_vec();
+        let mut sharded = flat.clone().into_shards(2).unwrap();
+        let epoch_before = sharded.epoch();
+        sharded
+            .append_shard(Relation::new(schema).unwrap())
+            .unwrap();
+        assert_eq!(sharded.epoch(), epoch_before + 1);
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(sharded.len(), flat.len());
+        assert!(sharded.shard(2).is_empty());
+        for attrs in [bag(&[0]), bag(&[0, 1, 2]), AttrSet::empty()] {
+            let a = flat.group_ids(&attrs).unwrap();
+            for budget in [ThreadBudget::serial(), ThreadBudget::new(4)] {
+                let b = sharded.group_ids_with(&attrs, budget).unwrap();
+                assert_ids_eq(&a, &b, &format!("attrs={attrs}"));
+            }
+        }
+    }
+
+    /// Satellite: a shard whose values sit at the u32 extremes exercises
+    /// the dictionary remap at the edge of the code/value space — still
+    /// bit-identical to the flat rebuild, before and after a second append
+    /// re-using those extreme values.
+    #[test]
+    fn extreme_u32_values_remap_bit_identically() {
+        let schema = vec![AttrId(0), AttrId(1)];
+        let extremes: Vec<[Value; 2]> = vec![
+            [u32::MAX, 0],
+            [0, u32::MAX],
+            [u32::MAX - 1, u32::MAX],
+            [u32::MAX, u32::MAX],
+        ];
+        let mut flat = Relation::new(schema.clone()).unwrap();
+        let mut sharded = ShardedRelation::new(schema.clone()).unwrap();
+        let rows: Vec<&[Value]> = extremes.iter().map(|r| &r[..]).collect();
+        sharded
+            .append_shard(Relation::from_rows(schema.clone(), &rows).unwrap())
+            .unwrap();
+        for row in &extremes {
+            flat.push_row(row).unwrap();
+        }
+        // Second append re-uses the extreme values (warm remap entries) and
+        // adds a fresh one.
+        let more: Vec<[Value; 2]> = vec![[u32::MAX, u32::MAX], [1, u32::MAX - 1]];
+        let rows: Vec<&[Value]> = more.iter().map(|r| &r[..]).collect();
+        sharded
+            .append_shard(Relation::from_rows(schema.clone(), &rows).unwrap())
+            .unwrap();
+        for row in &more {
+            flat.push_row(row).unwrap();
+        }
+        assert_eq!(
+            sharded.domain(AttrId(0)).unwrap(),
+            flat.domain(AttrId(0)).unwrap()
+        );
+        for attrs in [bag(&[0]), bag(&[1]), bag(&[0, 1])] {
+            let a = flat.group_ids(&attrs).unwrap();
+            let b = sharded.group_ids(&attrs).unwrap();
+            assert_ids_eq(&a, &b, &format!("attrs={attrs}"));
+        }
+    }
+
+    /// Satellite: append-after-append with warm caches between every step —
+    /// each intermediate state pinned bit-identical to its flat rebuild.
+    #[test]
+    fn append_after_append_stays_bit_identical_with_warm_caches() {
+        let schema = vec![AttrId(0), AttrId(1)];
+        let mut flat = Relation::new(schema.clone()).unwrap();
+        let mut sharded = ShardedRelation::new(schema.clone()).unwrap();
+        let sets = [bag(&[0]), bag(&[1]), bag(&[0, 1])];
+        for step in 0..5u32 {
+            let batch: Vec<[Value; 2]> = (0..4)
+                .map(|i| [(step * 3 + i) % 7, (step + i) % 3])
+                .collect();
+            let rows: Vec<&[Value]> = batch.iter().map(|r| &r[..]).collect();
+            sharded
+                .append_shard(Relation::from_rows(schema.clone(), &rows).unwrap())
+                .unwrap();
+            for row in &batch {
+                flat.push_row(row).unwrap();
+            }
+            // Group (warming the caches), then verify against a flat
+            // rebuild of everything seen so far.
+            for attrs in &sets {
+                let a = flat.group_ids(attrs).unwrap();
+                let b = sharded.group_ids(attrs).unwrap();
+                assert_ids_eq(&a, &b, &format!("step={step} attrs={attrs}"));
+                let c = sharded
+                    .group_ids_uncached_with(attrs, ThreadBudget::serial())
+                    .unwrap();
+                assert_ids_eq(&a, &c, &format!("uncached step={step} attrs={attrs}"));
+            }
+        }
+        assert_eq!(sharded.epoch(), 5);
+        assert_eq!(sharded.num_shards(), 5);
+    }
+
+    #[test]
     fn empty_sharded_relation_behaves() {
         let sharded = ShardedRelation::new(vec![AttrId(0)]).unwrap();
         assert!(sharded.is_empty());
         assert_eq!(sharded.num_shards(), 0);
+        assert_eq!(sharded.epoch(), 0);
         assert!(sharded.is_set());
         let ids = sharded.group_ids(&bag(&[0])).unwrap();
         assert_eq!(ids.num_groups(), 0);
@@ -829,9 +1214,7 @@ mod tests {
         let a = flat.group_ids(&attrs).unwrap();
         for budget in [ThreadBudget::serial(), ThreadBudget::new(8)] {
             let b = sharded.group_ids_with(&attrs, budget).unwrap();
-            assert_eq!(a.row_ids(), b.row_ids());
-            assert_eq!(a.counts(), b.counts());
-            assert_eq!(a.group_codes(), b.group_codes());
+            assert_ids_eq(&a, &b, "2000 shards");
         }
     }
 
@@ -841,6 +1224,8 @@ mod tests {
         assert!(sharded.group_ids(&bag(&[9])).is_err());
         assert!(sharded.group_counts(&bag(&[9])).is_err());
         assert!(sharded.project(&bag(&[9])).is_err());
+        // Failed lookups leave no cache entries behind.
+        assert_eq!(sharded.shard_cache_stats(), ShardCacheStats::default());
     }
 
     #[test]

@@ -223,6 +223,57 @@ proptest! {
         }
     }
 
+    /// Incremental maintenance ≡ from-scratch: group a sharded relation so
+    /// every per-shard table is warm, append a batch as one new shard, and
+    /// group again.  The cached path (one new-shard compute + re-merge)
+    /// must be bit-identical to both an uncached regroup of the grown
+    /// relation and the flat relation of the concatenated rows, for every
+    /// attribute subset and budget — and the append must bump the epoch by
+    /// exactly one without touching existing shards.
+    #[test]
+    fn incremental_append_equals_from_scratch(
+        base in relation_strategy(3, 4, 40, false),
+        batch in relation_strategy(3, 4, 12, false),
+    ) {
+        for n in shard_counts() {
+            let mut grown = base.clone().into_shards(n).expect("shardable");
+            let sets = attr_sets(base.arity());
+            // Warm every per-shard table the checks below will use.
+            for attrs in &sets {
+                grown.group_ids(attrs).expect("warm grouping");
+            }
+            let epoch_before = grown.epoch();
+            grown.append_shard(batch.clone()).expect("append");
+            prop_assert_eq!(grown.epoch(), epoch_before + 1);
+            prop_assert_eq!(grown.num_shards(), n + 1);
+
+            let mut flat = base.clone();
+            for row in batch.iter_rows() {
+                flat.push_row(row).expect("same arity");
+            }
+            prop_assert_eq!(grown.len(), flat.len());
+            for attrs in &sets {
+                let reference = flat.group_ids(attrs).expect("flat grouping");
+                for &budget in &thread_budgets() {
+                    let what = format!(
+                        "incremental shards={n} threads={} attrs={attrs}",
+                        budget.get()
+                    );
+                    let warm = grown.group_ids_with(attrs, budget).expect("warm grouping");
+                    let cold = grown
+                        .group_ids_uncached_with(attrs, budget)
+                        .expect("cold grouping");
+                    if let Err(msg) = assert_bit_identical(&reference, &warm, &format!("{what} (cached)")) {
+                        prop_assert!(false, "{}", msg);
+                    }
+                    if let Err(msg) = assert_bit_identical(&reference, &cold, &format!("{what} (uncached)")) {
+                        prop_assert!(false, "{}", msg);
+                    }
+                }
+            }
+        }
+    }
+
     /// Arbitrary (unbalanced) shard boundaries, not just near-equal splits:
     /// rows are cut at a random boundary list, so empty shards, single-row
     /// shards and one-giant-shard layouts all occur.

@@ -169,6 +169,20 @@ pub enum Request {
         /// Bag-size cap; unlimited when omitted.
         max_bag_size: Option<usize>,
     },
+    /// Append a batch of rows to a **sharded** relation as one new shard,
+    /// advancing its epoch.  Exactly one of `rows` / `text` carries the
+    /// payload.
+    Append {
+        /// Catalog entry to append to.
+        relation: String,
+        /// Inline payload: one array of label strings per row.
+        rows: Option<Vec<Vec<String>>>,
+        /// Delimited payload: newline-separated rows, fields split on
+        /// `delimiter` (no header line).
+        text: Option<String>,
+        /// Field delimiter for `text`; `,` when omitted.
+        delimiter: Option<char>,
+    },
 }
 
 impl Request {
@@ -182,6 +196,7 @@ impl Request {
             Request::JMeasure { .. } => "j",
             Request::Analyze { .. } => "analyze",
             Request::Mine { .. } => "mine",
+            Request::Append { .. } => "append",
         }
     }
 
@@ -255,6 +270,24 @@ impl Request {
                 j_threshold: optional_f64(frame, "j_threshold")?,
                 max_bag_size: optional_usize(frame, "max_bag_size")?,
             }),
+            "append" => {
+                let relation = required_string(frame, "relation")?;
+                let rows = rows_field(frame)?;
+                let text = optional_string(frame, "text")?;
+                let delimiter = delimiter_field(frame)?;
+                if rows.is_some() == text.is_some() {
+                    return Err(Failure::new(
+                        ErrorCode::BadRequest,
+                        "append carries its payload in exactly one of \"rows\" or \"text\"",
+                    ));
+                }
+                Ok(Request::Append {
+                    relation,
+                    rows,
+                    text,
+                    delimiter,
+                })
+            }
             other => Err(Failure::new(
                 ErrorCode::UnknownOp,
                 format!("unknown op \"{other}\""),
@@ -336,6 +369,51 @@ fn string_array(frame: &Json, field: &str) -> Result<Vec<String>, Failure> {
             })
         })
         .collect()
+}
+
+fn rows_field(frame: &Json) -> Result<Option<Vec<Vec<String>>>, Failure> {
+    let rows = match frame.get("rows") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(value) => value.as_arr().ok_or_else(|| {
+            Failure::new(
+                ErrorCode::BadRequest,
+                "field \"rows\" must be an array of label-string arrays",
+            )
+        })?,
+    };
+    rows.iter()
+        .map(|row| {
+            let Some(labels) = row.as_arr() else {
+                return Err(Failure::new(
+                    ErrorCode::BadRequest,
+                    "each row must be an array of label strings",
+                ));
+            };
+            labels
+                .iter()
+                .map(|label| {
+                    label.as_str().map(str::to_owned).ok_or_else(|| {
+                        Failure::new(ErrorCode::BadRequest, "rows must contain only strings")
+                    })
+                })
+                .collect()
+        })
+        .collect::<Result<Vec<Vec<String>>, Failure>>()
+        .map(Some)
+}
+
+fn delimiter_field(frame: &Json) -> Result<Option<char>, Failure> {
+    let Some(s) = optional_string(frame, "delimiter")? else {
+        return Ok(None);
+    };
+    let mut chars = s.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => Ok(Some(c)),
+        _ => Err(Failure::new(
+            ErrorCode::BadRequest,
+            "field \"delimiter\" must be a single character",
+        )),
+    }
 }
 
 fn schema_field(frame: &Json) -> Result<Vec<Vec<String>>, Failure> {
@@ -490,6 +568,51 @@ mod tests {
                 j_threshold: None,
                 max_bag_size: None,
             }
+        );
+        assert_eq!(
+            parse_ok(r#"{"op":"append","relation":"r","rows":[["a","b"],["c","d"]]}"#),
+            Request::Append {
+                relation: "r".into(),
+                rows: Some(vec![
+                    vec!["a".into(), "b".into()],
+                    vec!["c".into(), "d".into()],
+                ]),
+                text: None,
+                delimiter: None,
+            }
+        );
+        assert_eq!(
+            parse_ok(r#"{"op":"append","relation":"r","text":"a|b\nc|d","delimiter":"|"}"#),
+            Request::Append {
+                relation: "r".into(),
+                rows: None,
+                text: Some("a|b\nc|d".into()),
+                delimiter: Some('|'),
+            }
+        );
+    }
+
+    #[test]
+    fn append_payload_is_exactly_one_of_rows_or_text() {
+        assert_eq!(
+            parse_err(r#"{"op":"append","relation":"r"}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"append","relation":"r","rows":[["a"]],"text":"a"}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"append","relation":"r","rows":"a"}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"append","relation":"r","rows":[["a",1]]}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"append","relation":"r","text":"a","delimiter":"::"}"#).code,
+            ErrorCode::BadRequest
         );
     }
 

@@ -2,12 +2,21 @@
 //! threaded TCP accept loop.
 //!
 //! A [`Server`] borrows a slice of [`RelationStore`]s built by the caller
-//! and constructs, once at startup, one [`Analyzer`] (with its shared,
-//! single-flight [`AnalysisContext`](ajd_relation::AnalysisContext) cache)
-//! per entry.  Every request against the same relation then flows through
-//! the same memoized grouping cache — N concurrent cold queries on one
-//! attribute set cost exactly one computation, and the `stats` frame
-//! proves it with hit/miss counters.
+//! and constructs, once at startup, one analyzer per entry: flat stores
+//! get a plain [`Analyzer`] (with its shared, single-flight
+//! [`AnalysisContext`](ajd_relation::AnalysisContext) cache), sharded
+//! stores get a [`LiveAnalyzer`] over an epoch-snapshot
+//! [`ShardedStore`].  Every request against the same relation then flows
+//! through the same memoized grouping cache — N concurrent cold queries
+//! on one attribute set cost exactly one computation, and the `stats`
+//! frame proves it with hit/miss counters.
+//!
+//! Sharded entries are **live**: the `append` op ingests a batch of rows
+//! as one new shard and advances the entry's epoch.  Readers keep pinning
+//! consistent snapshots while the append installs; thanks to the two-tier
+//! cache (per-shard group tables + per-epoch merged results) the first
+//! query after an append re-groups only the appended shard, which the
+//! per-tier counters in `stats` make observable.
 //!
 //! Dispatch is transport-free: [`Server::handle_line`] maps one request
 //! line to one response frame and is what both the TCP loop and the
@@ -21,12 +30,16 @@ use crate::admission::{Admission, AdmissionConfig, PoolStats};
 use crate::json::Json;
 use crate::protocol::{error_frame, ok_frame, u128_field, ErrorCode, Failure, Request};
 use crate::store::{RelationStore, StoreData};
-use ajd_core::{Analyzer, DiscoveryConfig, LossReport, SchemaMiner};
+use ajd_core::{Analyzer, DiscoveryConfig, LiveAnalyzer, LossReport, SchemaMiner};
 use ajd_jointree::JoinTree;
-use ajd_relation::{AttrSet, CacheStats, Catalog, Relation, ShardedRelation, ThreadBudget};
+use ajd_relation::{
+    AttrSet, CacheStats, Catalog, Relation, ShardCacheStats, ShardedStore, ThreadBudget,
+};
 use ajd_sync::atomic::{AtomicBool, Ordering};
+use ajd_sync::RwLock;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 
 /// Server tuning knobs.  The admission config sizes the two request-class
 /// pools and the per-request kernel thread budgets; see
@@ -80,23 +93,56 @@ impl ShutdownToken {
 
 /// One catalog entry's long-lived analyzer: the two kernel instantiations
 /// the storage layouts need.
+///
+/// Flat stores are immutable, so their analyzer borrows the relation for
+/// the server's lifetime.  Sharded stores are live: the server clones the
+/// relation into an epoch-snapshot [`ShardedStore`] (shards are
+/// `Arc`-shared, so the clone is cheap) and serves queries through a
+/// [`LiveAnalyzer`] whose pinned snapshots survive concurrent appends.
 enum EntryAnalyzer<'a> {
-    Flat(Analyzer<'a, Relation>),
-    Sharded(Analyzer<'a, ShardedRelation>),
+    Flat(Analyzer<&'a Relation>),
+    Live(LiveAnalyzer),
 }
 
 struct Entry<'a> {
     store: &'a RelationStore,
+    /// The entry's working catalog.  Appends intern new value labels, so
+    /// sharded entries need a writable copy; for flat entries it is simply
+    /// a snapshot of the store's catalog (attribute names never change).
+    catalog: RwLock<Catalog>,
     analyzer: EntryAnalyzer<'a>,
 }
 
-/// Runs `$body` with `$an` bound to the entry's analyzer, whichever kernel
-/// it is instantiated over (the body must be generic in the source type).
+impl Entry<'_> {
+    /// Rows and shards as of *now* (a live entry's counts advance with
+    /// every append; a flat entry's never do).
+    fn rows_and_shards(&self) -> (usize, usize) {
+        match &self.analyzer {
+            EntryAnalyzer::Flat(_) => {
+                (self.store.data().num_rows(), self.store.data().num_shards())
+            }
+            EntryAnalyzer::Live(live) => {
+                let snap = live.store().snapshot();
+                (snap.len(), snap.num_shards())
+            }
+        }
+    }
+}
+
+/// Runs `$body` with `$an` bound to a reference to the entry's analyzer,
+/// whichever kernel it is instantiated over (the body must be generic in
+/// the source type).  For live entries this pins the current epoch's
+/// snapshot: the whole `$body` answers from one consistent snapshot even
+/// if an append lands mid-request.
 macro_rules! with_analyzer {
     ($entry:expr, |$an:ident| $body:expr) => {
         match &$entry.analyzer {
             EntryAnalyzer::Flat($an) => $body,
-            EntryAnalyzer::Sharded($an) => $body,
+            EntryAnalyzer::Live(live) => {
+                let pinned = live.pin();
+                let $an = &pinned;
+                $body
+            }
         }
     };
 }
@@ -140,11 +186,16 @@ impl<'a> Server<'a> {
                 StoreData::Flat(r) => {
                     EntryAnalyzer::Flat(Analyzer::with_thread_budget(r, point_budget))
                 }
-                StoreData::Sharded(s) => {
-                    EntryAnalyzer::Sharded(Analyzer::with_thread_budget(s, point_budget))
-                }
+                StoreData::Sharded(s) => EntryAnalyzer::Live(LiveAnalyzer::with_thread_budget(
+                    Arc::new(ShardedStore::new(s.clone())),
+                    point_budget,
+                )),
             };
-            entries.push(Entry { store, analyzer });
+            entries.push(Entry {
+                store,
+                catalog: RwLock::new(store.catalog().clone()),
+                analyzer,
+            });
         }
         Ok(Server {
             entries,
@@ -196,8 +247,8 @@ impl<'a> Server<'a> {
                 let _slot = self.admit_point()?;
                 let entry = self.find(relation)?;
                 let set = entry
-                    .store
-                    .catalog()
+                    .catalog
+                    .read()
                     .attrs(attrs.iter())
                     .map_err(|e| Failure::from_relation_error(&e))?;
                 let nats = with_analyzer!(entry, |an| an.entropy(&set))
@@ -215,7 +266,8 @@ impl<'a> Server<'a> {
             Request::Loss { relation, schema } => {
                 let _slot = self.admit_point()?;
                 let entry = self.find(relation)?;
-                let tree = resolve_schema(entry.store, schema)?;
+                let tree =
+                    resolve_schema(&entry.catalog.read(), entry.store.data().arity(), schema)?;
                 let rho = with_analyzer!(entry, |an| an.loss(&tree))
                     .map_err(|e| Failure::from_relation_error(&e))?;
                 Ok(vec![
@@ -228,7 +280,8 @@ impl<'a> Server<'a> {
             Request::JMeasure { relation, schema } => {
                 let _slot = self.admit_point()?;
                 let entry = self.find(relation)?;
-                let tree = resolve_schema(entry.store, schema)?;
+                let tree =
+                    resolve_schema(&entry.catalog.read(), entry.store.data().arity(), schema)?;
                 let j = with_analyzer!(entry, |an| an.j_measure(&tree))
                     .map_err(|e| Failure::from_relation_error(&e))?;
                 Ok(vec![
@@ -240,7 +293,8 @@ impl<'a> Server<'a> {
             Request::Analyze { relation, schema } => {
                 let _slot = self.admit_point()?;
                 let entry = self.find(relation)?;
-                let tree = resolve_schema(entry.store, schema)?;
+                let tree =
+                    resolve_schema(&entry.catalog.read(), entry.store.data().arity(), schema)?;
                 let report = with_analyzer!(entry, |an| an.analyze(&tree))
                     .map_err(|e| Failure::from_relation_error(&e))?;
                 Ok(vec![
@@ -248,7 +302,7 @@ impl<'a> Server<'a> {
                     ("relation".to_owned(), Json::str(relation.clone())),
                     (
                         "report".to_owned(),
-                        report_json(entry.store.catalog(), &report)?,
+                        report_json(&entry.catalog.read(), &report)?,
                     ),
                 ])
             }
@@ -270,13 +324,13 @@ impl<'a> Server<'a> {
                 let mined = with_analyzer!(entry, |an| miner
                     .mine_with(&an.batch().with_threads(self.config.mine_threads)))
                 .map_err(|e| Failure::from_relation_error(&e))?;
-                let catalog = entry.store.catalog();
+                let catalog = entry.catalog.read();
                 let schema_json = Json::Arr(
                     mined
                         .tree
                         .bags()
                         .iter()
-                        .map(|bag| attr_names_json(catalog, bag))
+                        .map(|bag| attr_names_json(&catalog, bag))
                         .collect::<Result<Vec<Json>, Failure>>()?,
                 );
                 Ok(vec![
@@ -294,6 +348,69 @@ impl<'a> Server<'a> {
                     ),
                 ])
             }
+            Request::Append {
+                relation,
+                rows,
+                text,
+                delimiter,
+            } => {
+                let _slot = self.admit_point()?;
+                let entry = self.find(relation)?;
+                let EntryAnalyzer::Live(live) = &entry.analyzer else {
+                    return Err(Failure::new(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "relation '{relation}' is flat; only sharded relations accept appends"
+                        ),
+                    ));
+                };
+                let batch: Vec<Vec<String>> = match (rows, text) {
+                    (Some(rows), None) => rows.clone(),
+                    (None, Some(text)) => split_rows(text, delimiter.unwrap_or(',')),
+                    _ => {
+                        return Err(Failure::new(
+                            ErrorCode::BadRequest,
+                            "append carries its payload in exactly one of \"rows\" or \"text\"",
+                        ))
+                    }
+                };
+                if batch.is_empty() {
+                    return Err(Failure::new(
+                        ErrorCode::BadRequest,
+                        "append needs at least one row",
+                    ));
+                }
+                // The write lock serializes appends to this entry and keeps
+                // the catalog consistent with the installed data: no reader
+                // ever sees codes the catalog cannot decode.  (If the append
+                // fails after some rows were encoded, the newly interned
+                // labels stay in the catalog — a harmless superset.)
+                let mut catalog = entry.catalog.write();
+                let mut shard = Relation::new(live.store().snapshot().schema().to_vec())
+                    .map_err(|e| Failure::from_relation_error(&e))?;
+                for row in &batch {
+                    let labels: Vec<&str> = row.iter().map(String::as_str).collect();
+                    let coded = catalog
+                        .encode_row(&labels)
+                        .map_err(|e| Failure::from_relation_error(&e))?;
+                    shard
+                        .push_row(&coded)
+                        .map_err(|e| Failure::from_relation_error(&e))?;
+                }
+                let epoch = live
+                    .append_shard(shard)
+                    .map_err(|e| Failure::from_relation_error(&e))?;
+                let snap = live.store().snapshot();
+                drop(catalog);
+                Ok(vec![
+                    ("op".to_owned(), Json::str("append")),
+                    ("relation".to_owned(), Json::str(relation.clone())),
+                    ("rows_appended".to_owned(), Json::Num(batch.len() as f64)),
+                    ("rows".to_owned(), Json::Num(snap.len() as f64)),
+                    ("epoch".to_owned(), Json::Num(epoch as f64)),
+                    ("shards".to_owned(), Json::Num(snap.num_shards() as f64)),
+                ])
+            }
         }
     }
 
@@ -303,12 +420,13 @@ impl<'a> Server<'a> {
             .iter()
             .map(|entry| {
                 let store = entry.store;
+                let (rows, shards) = entry.rows_and_shards();
                 Json::obj([
                     ("name", Json::str(store.name())),
-                    ("rows", Json::Num(store.data().num_rows() as f64)),
+                    ("rows", Json::Num(rows as f64)),
                     ("arity", Json::Num(store.data().arity() as f64)),
                     ("sharded", Json::Bool(store.data().is_sharded())),
-                    ("shards", Json::Num(store.data().num_shards() as f64)),
+                    ("shards", Json::Num(shards as f64)),
                     (
                         "attributes",
                         Json::Arr(store.attribute_names().iter().map(Json::str).collect()),
@@ -331,12 +449,20 @@ impl<'a> Server<'a> {
         };
         let relations: Vec<Json> = selected
             .iter()
-            .map(|entry| {
-                let cache = with_analyzer!(entry, |an| an.cache_stats());
-                Json::obj([
+            .map(|entry| match &entry.analyzer {
+                EntryAnalyzer::Flat(an) => Json::obj([
                     ("name", Json::str(entry.store.name())),
-                    ("cache", cache_json(&cache)),
-                ])
+                    ("cache", cache_json(&an.cache_stats())),
+                ]),
+                EntryAnalyzer::Live(live) => {
+                    let stats = live.stats();
+                    Json::obj([
+                        ("name", Json::str(entry.store.name())),
+                        ("epoch", Json::Num(stats.epoch as f64)),
+                        ("cache", cache_json(&stats.merged)),
+                        ("shard_cache", shard_cache_json(&stats.shards)),
+                    ])
+                }
             })
             .collect();
         Ok(vec![
@@ -423,11 +549,29 @@ impl<'a> Server<'a> {
     }
 }
 
-/// Resolves a wire schema (bags of attribute names) against a store:
-/// names → [`AttrSet`]s, cover check, then join-tree construction (which
-/// enforces the running-intersection property).
-fn resolve_schema(store: &RelationStore, schema: &[Vec<String>]) -> Result<JoinTree, Failure> {
-    let catalog = store.catalog();
+/// Splits a delimited `text` payload into rows of field labels: one row
+/// per non-empty line, fields split on `delimiter`, whitespace-trimmed
+/// (the same conventions [`ajd_relation::ReadOptions`] defaults to, minus
+/// the header line — appends address an existing catalog entry).
+fn split_rows(text: &str, delimiter: char) -> Vec<Vec<String>> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            line.split(delimiter)
+                .map(|field| field.trim().to_owned())
+                .collect()
+        })
+        .collect()
+}
+
+/// Resolves a wire schema (bags of attribute names) against an entry's
+/// catalog: names → [`AttrSet`]s, cover check, then join-tree
+/// construction (which enforces the running-intersection property).
+fn resolve_schema(
+    catalog: &Catalog,
+    arity: usize,
+    schema: &[Vec<String>],
+) -> Result<JoinTree, Failure> {
     let mut bags = Vec::with_capacity(schema.len());
     let mut cover = AttrSet::empty();
     for bag in schema {
@@ -437,7 +581,6 @@ fn resolve_schema(store: &RelationStore, schema: &[Vec<String>]) -> Result<JoinT
         cover = cover.union(&set);
         bags.push(set);
     }
-    let arity = store.data().arity();
     if cover.len() != arity {
         return Err(Failure::new(
             ErrorCode::InvalidSchema,
@@ -490,6 +633,14 @@ fn cache_json(stats: &CacheStats) -> Json {
             "projection_entries",
             Json::Num(stats.projection_entries as f64),
         ),
+    ])
+}
+
+fn shard_cache_json(stats: &ShardCacheStats) -> Json {
+    Json::obj([
+        ("hits", Json::Num(stats.hits as f64)),
+        ("misses", Json::Num(stats.misses as f64)),
+        ("entries", Json::Num(stats.entries as f64)),
     ])
 }
 
@@ -740,6 +891,142 @@ os,bob,r2
             RelationStore::from_delimited("r", "a\n2\n", ReadOptions::default()).unwrap(),
         ];
         assert!(Server::new(&stores, ServerConfig::default()).is_err());
+    }
+
+    fn sharded_stores(name: &str, num_shards: usize) -> Vec<RelationStore> {
+        let (catalog, relation) =
+            ajd_relation::io::read_delimited(CSV, ReadOptions::default()).unwrap();
+        let sharded = relation.into_shards(num_shards).unwrap();
+        vec![RelationStore::sharded(name, catalog, sharded).unwrap()]
+    }
+
+    #[test]
+    fn append_extends_a_sharded_relation() {
+        let stores = sharded_stores("courses", 2);
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server.handle_line(
+            r#"{"op":"append","relation":"courses","rows":[["ml","cat","r3"],["ml","cat","r4"]]}"#,
+        );
+        assert_eq!(ok_get(&frame, "rows_appended").as_u64(), Some(2));
+        assert_eq!(ok_get(&frame, "rows").as_u64(), Some(6));
+        assert_eq!(ok_get(&frame, "epoch").as_u64(), Some(3));
+        assert_eq!(ok_get(&frame, "shards").as_u64(), Some(3));
+        // The catalog reflects the live counts, not the startup ones.
+        let frame = server.handle_line(r#"{"op":"catalog"}"#);
+        let relations = ok_get(&frame, "relations").as_arr().unwrap();
+        assert_eq!(relations[0].get("rows").and_then(Json::as_u64), Some(6));
+        assert_eq!(relations[0].get("shards").and_then(Json::as_u64), Some(3));
+        // Queries see the appended rows (3 distinct courses now)...
+        let frame =
+            server.handle_line(r#"{"op":"entropy","relation":"courses","attrs":["course"]}"#);
+        let h = ok_get(&frame, "entropy_nats").as_f64().unwrap();
+        let expected = -(2.0 / 6.0 * (2.0f64 / 6.0).ln()) * 3.0;
+        assert!(
+            (h - expected).abs() < 1e-12,
+            "H(course) = {expected}, got {h}"
+        );
+        // ...and new value labels round-trip through the catalog.
+        let frame = server.handle_line(
+            r#"{"op":"append","relation":"courses","text":"ml; cat; r5","delimiter":";"}"#,
+        );
+        assert_eq!(ok_get(&frame, "rows_appended").as_u64(), Some(1));
+        assert_eq!(ok_get(&frame, "epoch").as_u64(), Some(4));
+    }
+
+    #[test]
+    fn append_matches_a_cold_server_over_the_grown_relation() {
+        let stores = sharded_stores("courses", 2);
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let analyze = r#"{"op":"analyze","relation":"courses","schema":[["course","teacher"],["course","room"]]}"#;
+        server.handle_line(analyze); // warm every cache at epoch 2
+        server.handle_line(
+            r#"{"op":"append","relation":"courses","rows":[["db","eve","r1"],["os","bob","r9"]]}"#,
+        );
+        let warm = server.handle_line(analyze);
+        // A server built cold over the equivalent 6-row flat data agrees.
+        let grown = "course,teacher,room\ndb,ann,r1\ndb,ann,r2\nos,bob,r1\nos,bob,r2\ndb,eve,r1\nos,bob,r9\n";
+        let cold_stores =
+            vec![RelationStore::from_delimited("courses", grown, ReadOptions::default()).unwrap()];
+        let cold_server = Server::new(&cold_stores, ServerConfig::default()).unwrap();
+        let cold = cold_server.handle_line(analyze);
+        assert_eq!(
+            ok_get(&warm, "report").to_string(),
+            ok_get(&cold, "report").to_string(),
+            "incremental append must be invisible to every measure"
+        );
+    }
+
+    #[test]
+    fn append_to_a_flat_relation_is_rejected() {
+        let stores = stores();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server
+            .handle_line(r#"{"op":"append","relation":"courses","rows":[["ml","cat","r3"]]}"#);
+        let error = frame.get("error").expect("error object");
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some("bad_request")
+        );
+        assert!(error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("flat"));
+    }
+
+    #[test]
+    fn append_arity_mismatch_is_invalid_schema_and_atomic() {
+        let stores = sharded_stores("courses", 2);
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server.handle_line(
+            r#"{"op":"append","relation":"courses","rows":[["ml","cat","r3"],["short"]]}"#,
+        );
+        let error = frame.get("error").expect("error object");
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some("invalid_schema")
+        );
+        // Nothing was installed: the good row of the failed batch is gone too.
+        let frame = server.handle_line(r#"{"op":"stats","relation":"courses"}"#);
+        let relations = ok_get(&frame, "relations").as_arr().unwrap();
+        assert_eq!(relations[0].get("epoch").and_then(Json::as_u64), Some(2));
+        let frame = server.handle_line(r#"{"op":"catalog"}"#);
+        let relations = ok_get(&frame, "relations").as_arr().unwrap();
+        assert_eq!(relations[0].get("rows").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn stats_prove_appends_regroup_only_the_new_shard() {
+        let stores = sharded_stores("courses", 2); // 4 rows → 2 shards
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let shard_cache = |server: &Server<'_>| {
+            let frame = server.handle_line(r#"{"op":"stats","relation":"courses"}"#);
+            let relations = ok_get(&frame, "relations").as_arr().unwrap();
+            let sc = relations[0].get("shard_cache").expect("shard_cache");
+            (
+                sc.get("hits").and_then(Json::as_u64).unwrap(),
+                sc.get("misses").and_then(Json::as_u64).unwrap(),
+            )
+        };
+        let line = r#"{"op":"loss","relation":"courses","schema":[["course","teacher"],["course","room"]]}"#;
+        server.handle_line(line);
+        let (cold_hits, cold_misses) = shard_cache(&server);
+        assert_eq!(cold_misses % 2, 0, "cold misses fill both shards");
+        let sets = cold_misses / 2;
+        assert!(sets > 0, "loss must group at least one attribute set");
+        server.handle_line(r#"{"op":"append","relation":"courses","rows":[["ml","cat","r3"]]}"#);
+        server.handle_line(line);
+        let (hits, misses) = shard_cache(&server);
+        assert_eq!(
+            misses - cold_misses,
+            sets,
+            "the re-query computes only the new shard's tables"
+        );
+        assert_eq!(
+            hits - cold_hits,
+            cold_misses,
+            "both old shards answer every set from warm tables"
+        );
     }
 
     #[test]

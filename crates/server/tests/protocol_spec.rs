@@ -1,11 +1,13 @@
 //! Executes `docs/PROTOCOL.md` against a live server.
 //!
 //! The spec's fenced code blocks ARE the test vectors: the block tagged
-//! `csv fixture` is the catalog, every block tagged `json request` or
-//! `text request` is a request line, and each is answered by the next
-//! block tagged `json response`.  Each pair runs against a **fresh**
-//! server (with the admission config the spec pins), so the examples are
-//! deterministic and the document cannot drift from the implementation.
+//! `csv fixture` is the flat catalog entry, the block tagged
+//! `csv fixture sharded` is the live sharded entry (loaded as two shards
+//! of two rows), every block tagged `json request` or `text request` is a
+//! request line, and each is answered by the next block tagged
+//! `json response`.  Each pair runs against a **fresh** server (with the
+//! admission config the spec pins), so the examples are deterministic and
+//! the document cannot drift from the implementation.
 
 use ajd_relation::ReadOptions;
 use ajd_server::{AdmissionConfig, Json, RelationStore, Server, ServerConfig};
@@ -66,6 +68,10 @@ fn every_spec_example_is_live() {
         .iter()
         .find(|b| b.info == "csv fixture")
         .expect("the spec must contain a `csv fixture` block");
+    let sharded_fixture = blocks
+        .iter()
+        .find(|b| b.info == "csv fixture sharded")
+        .expect("the spec must contain a `csv fixture sharded` block");
 
     let mut pairs: Vec<(&str, &str)> = Vec::new();
     let mut pending_request: Option<&str> = None;
@@ -104,11 +110,21 @@ fn every_spec_example_is_live() {
             "request examples must be single lines: {request:?}"
         );
         // Fresh server per example: the spec's frames are cold-state.
-        let stores =
-            vec![
-                RelationStore::from_delimited("courses", &fixture.body, ReadOptions::default())
-                    .expect("spec fixture must load"),
-            ];
+        let (catalog, relation) =
+            ajd_relation::io::read_delimited(&sharded_fixture.body, ReadOptions::default())
+                .expect("spec sharded fixture must load");
+        let stores = vec![
+            RelationStore::from_delimited("courses", &fixture.body, ReadOptions::default())
+                .expect("spec fixture must load"),
+            RelationStore::sharded(
+                "events",
+                catalog,
+                relation
+                    .into_shards(2)
+                    .expect("spec sharded fixture shards"),
+            )
+            .expect("spec sharded fixture must load"),
+        ];
         let server = Server::new(&stores, pinned_config()).expect("server over spec fixture");
         let actual = server.handle_line(request);
         let expected_json = Json::parse(expected)

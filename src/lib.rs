@@ -60,14 +60,15 @@ pub mod prelude {
         epsilon_star, j_lower_bound_on_loss, loss_upper_bound_from_j, Thm51Params,
     };
     pub use ajd_core::{
-        Analyzer, BatchAnalyzer, DiscoveryConfig, LossReport, MvdLoss, SchemaMiner,
+        Analyzer, BatchAnalyzer, DiscoveryConfig, LiveAnalyzer, LiveStats, LossReport, MvdLoss,
+        SchemaMiner,
     };
     pub use ajd_info::{conditional_mutual_information, entropy, j_measure, kl_divergence_to_tree};
     pub use ajd_jointree::{count_acyclic_join, JoinTree, Mvd, Schema};
     pub use ajd_random::{generators, ProductDomain, RandomRelationModel};
     pub use ajd_relation::{
         AnalysisContext, AttrId, AttrSet, Catalog, GroupKernel, GroupSource, ReadOptions, Relation,
-        RelationShard, ShardPolicy, ShardedRelation, Value,
+        RelationShard, ShardCacheStats, ShardPolicy, ShardedRelation, ShardedStore, Value,
     };
     pub use ajd_server::{RelationStore, Server, ServerConfig, ShutdownToken};
 }
