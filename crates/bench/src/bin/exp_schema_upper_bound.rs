@@ -56,13 +56,13 @@ fn main() {
                 let rep = Analyzer::with_thread_budget(&r, ThreadBudget::serial())
                     .analyze(&tree)
                     .expect("analysis");
-                let pb = rep.probabilistic_bounds(delta).expect("delta is in (0,1)");
+                let cb = rep.confidence_bounds(delta).expect("delta is in (0,1)");
                 (
                     r.len() as f64,
                     rep.log1p_rho,
                     rep.j_measure,
-                    pb.schema_bound.sum_cmi_bound,
-                    pb.schema_bound.total_epsilon,
+                    cb.schema_bound.sum_cmi_bound,
+                    cb.schema_bound.total_epsilon,
                     rep.theorem22.sum_cmi,
                 )
             },

@@ -31,7 +31,10 @@ pub mod thm52;
 
 pub use auxiliary::{c_of_d, functional_entropy, h_of_t, poisson_tail_bound, serfling_tail_bound};
 pub use lower::{j_lower_bound_on_loss, lemma41_holds, loss_to_log1p, max_j_for_loss};
-pub use planning::{guaranteed_spurious_tuples, j_budget_for_loss, required_n_for_epsilon};
+pub use planning::{
+    entropy_mcdiarmid_epsilon, guaranteed_spurious_tuples, j_budget_for_loss,
+    required_n_for_epsilon, sample_size_for_entropy_epsilon,
+};
 pub use schema::{loss_upper_bound_from_j, prop51_j_bound, prop53_schema_bound, Prop53Bound};
 pub use thm51::{
     epsilon_star, thm51_minimum_n, thm51_qualifying_condition, thm51_upper_bound, Thm51Params,

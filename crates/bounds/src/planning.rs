@@ -55,6 +55,63 @@ pub fn required_n_for_epsilon(
     Some(hi)
 }
 
+/// McDiarmid deviation bound for the plug-in (empirical) entropy of a
+/// sample of `n` tuples, at confidence `1 − δ` (nats).
+///
+/// Replacing one of `n` sample tuples changes the plug-in entropy
+/// `Ĥ = −Σ p̂ log p̂` by at most `c_n = 2·ln(n)/n`, so by McDiarmid's
+/// bounded-differences inequality
+/// `P(|Ĥ − E[Ĥ]| ≥ t) ≤ 2·exp(−2t²/(n·c_n²))`, which inverts to
+///
+/// ```text
+/// ε(n, δ) = 2·ln(n)·√( ln(2/δ) / (2n) )
+/// ```
+///
+/// This bounds the *random deviation* of the estimator around its mean; the
+/// (always downward) plug-in bias `0 ≤ H − E[Ĥ] ≤ ln(1 + (k−1)/n)` for
+/// support size `k` is reported separately by the estimation tier from the
+/// observed sample support.  Compare [`required_n_for_epsilon`]: the
+/// Theorem 5.1 inversion is the paper's rigorous (and much more
+/// conservative) planner; this is the practical one that makes sampling pay
+/// off at realistic relation sizes.
+pub fn entropy_mcdiarmid_epsilon(n: u64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let nf = n.max(2) as f64;
+    2.0 * nf.ln() * ((2.0 / delta).ln() / (2.0 * nf)).sqrt()
+}
+
+/// The smallest sample size `n` (on the doubling/bisection grid) for which
+/// [`entropy_mcdiarmid_epsilon`]`(n, δ) ≤ target_eps`.  Returns `None` if no
+/// `n ≤ n_cap` achieves the target — the estimation tier's signal to fall
+/// back to the exact kernel.
+///
+/// `ε(n, δ)` is `ln(n)/√n` up to constants, monotone decreasing for
+/// `n ≥ e² ≈ 8`, so the search starts at 8.
+pub fn sample_size_for_entropy_epsilon(target_eps: f64, delta: f64, n_cap: u64) -> Option<u64> {
+    assert!(target_eps > 0.0, "target epsilon must be positive");
+    let eps_at = |n: u64| entropy_mcdiarmid_epsilon(n, delta);
+    if n_cap < 8 || eps_at(n_cap) > target_eps {
+        return None;
+    }
+    let mut hi = 8u64;
+    while hi < n_cap && eps_at(hi) > target_eps {
+        hi = (hi * 2).min(n_cap);
+    }
+    let mut lo = (hi / 2).max(8);
+    if eps_at(lo) <= target_eps {
+        return Some(lo);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if eps_at(mid) <= target_eps {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
 /// Lemma 4.1 restated in tuples: given a J-measure (nats) and a relation
 /// size `N`, any acyclic schema with that J-measure produces at least
 /// `⌈N·(e^J − 1)⌉` spurious tuples.
@@ -123,5 +180,31 @@ mod tests {
     #[should_panic]
     fn zero_target_epsilon_is_rejected() {
         required_n_for_epsilon(8, 8, 1, 0.1, 0.0, 1 << 30);
+    }
+
+    #[test]
+    fn mcdiarmid_epsilon_decreases_in_n_and_increases_in_confidence() {
+        let mut prev = f64::INFINITY;
+        for n in [8u64, 64, 1 << 10, 1 << 16, 1 << 20] {
+            let eps = entropy_mcdiarmid_epsilon(n, 0.05);
+            assert!(eps < prev, "eps must shrink with n");
+            prev = eps;
+        }
+        assert!(entropy_mcdiarmid_epsilon(1 << 16, 0.01) > entropy_mcdiarmid_epsilon(1 << 16, 0.2));
+    }
+
+    #[test]
+    fn sample_size_planner_meets_its_target_and_respects_the_cap() {
+        let (eps, delta) = (0.1, 0.05);
+        let n = sample_size_for_entropy_epsilon(eps, delta, 1 << 30).unwrap();
+        assert!(entropy_mcdiarmid_epsilon(n, delta) <= eps);
+        // Practical regime: a 0.1-nat target needs ~1e5 samples, far fewer
+        // than the Theorem 5.1 inversion would demand.
+        assert!((1 << 14..1 << 20).contains(&n), "n = {n}");
+        // Unreachable targets report None instead of planning n > cap.
+        assert!(sample_size_for_entropy_epsilon(eps, delta, 1 << 10).is_none());
+        // Tighter targets need more samples.
+        let n_tight = sample_size_for_entropy_epsilon(0.01, delta, 1 << 40).unwrap();
+        assert!(n_tight > n);
     }
 }

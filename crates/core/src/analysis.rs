@@ -21,8 +21,11 @@
 //!   mining ([`Analyzer::mine`]) over the same shared cache.
 //!
 //! The probabilistic Theorem 5.1 / Proposition 5.3 bounds are derived from
-//! a report via [`LossReport::probabilistic_bounds`].
+//! a report via [`LossReport::confidence_bounds`], which speaks the same
+//! [`Estimate`] vocabulary as the estimation tier
+//! ([`crate::EstimatedAnalyzer`]).
 
+use crate::estimate::{BoundKind, Estimate};
 use ajd_bounds::{
     epsilon_star, j_lower_bound_on_loss, prop51_j_bound, prop53_schema_bound, Prop53Bound,
     Thm51Params,
@@ -58,6 +61,10 @@ pub struct MvdLoss {
 
 /// The probabilistic (Theorem 5.1 / Proposition 5.3) upper bounds, together
 /// with the per-MVD deviation terms and qualifying-condition flags.
+///
+/// Superseded by [`ConfidenceBounds`], which carries the same data in the
+/// estimation tier's [`Estimate`] vocabulary (per-MVD value + ε + δ + bound
+/// in one shape) instead of parallel bare-`f64` vectors.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProbabilisticBounds {
     /// Per-MVD deviation `ε*(φᵢ, N, δ/(m−1))` in nats.
@@ -67,6 +74,28 @@ pub struct ProbabilisticBounds {
     /// The schema-level bounds of Proposition 5.3.
     pub schema_bound: Prop53Bound,
     /// The confidence parameter `δ` the caller requested.
+    pub delta: f64,
+}
+
+/// Theorem 5.1 / Proposition 5.3 confidence bounds in the estimation tier's
+/// vocabulary: each support MVD's conditional mutual information is an
+/// [`Estimate`] whose ε is the theorem's deviation `ε*(φᵢ, N, δ/(m−1))` and
+/// whose bound kind is [`BoundKind::Theorem51`] — the same shape every
+/// other measure in the workspace now reports.
+#[derive(Debug, Clone)]
+pub struct ConfidenceBounds {
+    /// Per-support-MVD CMI estimates: `value` is the measured
+    /// `I(Ω_{1:i-1}; Ω_{i:m} | Δᵢ)` (nats), `epsilon` the Theorem 5.1
+    /// deviation at per-MVD confidence `δ/(m−1)`, so w.h.p.
+    /// `log(1 + ρ(R,φᵢ)) ≤ value + epsilon` when the MVD qualifies.
+    pub per_mvd: Vec<Estimate<f64>>,
+    /// Whether the qualifying condition (37) holds for each support MVD
+    /// (when it does not, the ε is still computed but the paper gives no
+    /// guarantee).
+    pub per_mvd_qualified: Vec<bool>,
+    /// The schema-level bounds of Proposition 5.3.
+    pub schema_bound: Prop53Bound,
+    /// The total confidence parameter `δ` the caller requested.
     pub delta: f64,
 }
 
@@ -121,18 +150,21 @@ impl LossReport {
     }
 
     /// Evaluates the probabilistic upper bounds of Theorem 5.1 /
-    /// Proposition 5.3 at total confidence `1 − δ`.
+    /// Proposition 5.3 at total confidence `1 − δ`, in the estimation
+    /// tier's [`Estimate`] vocabulary.
     ///
     /// Each support MVD's `ε*` is instantiated at confidence `δ/(m−1)` with
     /// the *measured* active-domain sizes of its sides, as recorded in this
-    /// report.  The returned struct also reports, per MVD, whether the
-    /// qualifying condition (37) of Theorem 5.1 holds; when it does not, the
-    /// ε-term is still computed but the paper gives no guarantee.
+    /// report, and returned as an [`Estimate`] around the measured CMI with
+    /// [`BoundKind::Theorem51`].  The returned struct also reports, per
+    /// MVD, whether the qualifying condition (37) of Theorem 5.1 holds;
+    /// when it does not, the ε-term is still computed but the paper gives
+    /// no guarantee.
     ///
     /// `delta` must lie strictly inside `(0, 1)`; values outside that range
     /// yield [`RelationError::InvalidParameter`] (library code must not
     /// panic on caller input).
-    pub fn probabilistic_bounds(&self, delta: f64) -> Result<ProbabilisticBounds> {
+    pub fn confidence_bounds(&self, delta: f64) -> Result<ConfidenceBounds> {
         if !(delta > 0.0 && delta < 1.0) {
             return Err(RelationError::InvalidParameter {
                 what: "delta",
@@ -141,21 +173,48 @@ impl LossReport {
         }
         let m_minus_1 = self.per_mvd.len().max(1);
         let per_delta = delta / m_minus_1 as f64;
-        let mut eps = Vec::with_capacity(self.per_mvd.len());
+        let mut per_mvd = Vec::with_capacity(self.per_mvd.len());
         let mut qualified = Vec::with_capacity(self.per_mvd.len());
         let mut cmis = Vec::with_capacity(self.per_mvd.len());
+        let mut eps = Vec::with_capacity(self.per_mvd.len());
         for m in &self.per_mvd {
             let (d_a, d_b, d_c) = m.domain_sizes;
             let params = Thm51Params::new(d_a.max(1), d_b.max(1), d_c.max(1), self.n, per_delta);
-            eps.push(epsilon_star(&params));
+            let e = epsilon_star(&params);
+            per_mvd.push(Estimate {
+                value: m.cmi_nats,
+                epsilon: e,
+                delta: per_delta,
+                seed: None,
+                sample_rows: self.n,
+                total_rows: self.n,
+                bound: BoundKind::Theorem51,
+            });
             qualified.push(ajd_bounds::thm51_qualifying_condition(&params));
             cmis.push(m.cmi_nats);
+            eps.push(e);
         }
         let schema_bound = prop53_schema_bound(&cmis, &eps, self.j_measure, delta);
-        Ok(ProbabilisticBounds {
-            per_mvd_epsilon: eps,
+        Ok(ConfidenceBounds {
+            per_mvd,
             per_mvd_qualified: qualified,
             schema_bound,
+            delta,
+        })
+    }
+
+    /// The same bounds as [`LossReport::confidence_bounds`], in the legacy
+    /// parallel-vector shape.
+    #[deprecated(
+        note = "use LossReport::confidence_bounds, which reports each MVD as an Estimate \
+                (value + ε + δ + bound) instead of parallel bare-f64 vectors"
+    )]
+    pub fn probabilistic_bounds(&self, delta: f64) -> Result<ProbabilisticBounds> {
+        let cb = self.confidence_bounds(delta)?;
+        Ok(ProbabilisticBounds {
+            per_mvd_epsilon: cb.per_mvd.iter().map(|e| e.epsilon).collect(),
+            per_mvd_qualified: cb.per_mvd_qualified,
+            schema_bound: cb.schema_bound,
             delta,
         })
     }
@@ -596,38 +655,69 @@ mod tests {
     }
 
     #[test]
-    fn probabilistic_bounds_structure() {
+    fn confidence_bounds_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = RandomRelationModel::for_mvd(8, 8, 2).unwrap();
+        let r = model.sample(&mut rng, 100).unwrap();
+        let tree = JoinTree::new(vec![bag(&[0, 2]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
+        let rep = Analyzer::new(&r).analyze(&tree).unwrap();
+        let cb = rep.confidence_bounds(0.1).unwrap();
+        assert_eq!(cb.per_mvd.len(), 1);
+        assert_eq!(cb.per_mvd_qualified.len(), 1);
+        let est = &cb.per_mvd[0];
+        assert!(est.epsilon > 0.0);
+        assert_eq!(est.bound, crate::BoundKind::Theorem51);
+        assert_eq!(est.value.to_bits(), rep.per_mvd[0].cmi_nats.to_bits());
+        assert_eq!(est.sample_rows, rep.n);
+        assert_eq!(est.total_rows, rep.n);
+        assert!(est.seed.is_none());
+        // Per-MVD confidence is the split δ/(m−1).
+        assert!((est.delta - 0.1).abs() < 1e-12);
+        assert!((cb.schema_bound.confidence - 0.9).abs() < 1e-12);
+        // With only 100 tuples the qualifying condition cannot hold.
+        assert!(!cb.per_mvd_qualified[0]);
+        // The eps-inflated bound dominates the measured log(1+rho)
+        // trivially here (eps is huge for tiny N).
+        assert!(cb.schema_bound.sum_cmi_bound >= rep.log1p_rho);
+    }
+
+    /// The deprecated parallel-vector shape is derived from
+    /// [`LossReport::confidence_bounds`] and must agree with it exactly.
+    #[test]
+    #[allow(deprecated)]
+    fn probabilistic_bounds_matches_confidence_bounds() {
         let mut rng = StdRng::seed_from_u64(3);
         let model = RandomRelationModel::for_mvd(8, 8, 2).unwrap();
         let r = model.sample(&mut rng, 100).unwrap();
         let tree = JoinTree::new(vec![bag(&[0, 2]), bag(&[1, 2])], vec![(0, 1)]).unwrap();
         let rep = Analyzer::new(&r).analyze(&tree).unwrap();
         let pb = rep.probabilistic_bounds(0.1).unwrap();
-        assert_eq!(pb.per_mvd_epsilon.len(), 1);
-        assert_eq!(pb.per_mvd_qualified.len(), 1);
-        assert!(pb.per_mvd_epsilon[0] > 0.0);
-        assert!((pb.schema_bound.confidence - 0.9).abs() < 1e-12);
-        // With only 100 tuples the qualifying condition cannot hold.
-        assert!(!pb.per_mvd_qualified[0]);
-        // The eps-inflated bound dominates the measured log(1+rho)
-        // trivially here (eps is huge for tiny N).
-        assert!(pb.schema_bound.sum_cmi_bound >= rep.log1p_rho);
+        let cb = rep.confidence_bounds(0.1).unwrap();
+        assert_eq!(pb.per_mvd_epsilon.len(), cb.per_mvd.len());
+        for (e, est) in pb.per_mvd_epsilon.iter().zip(&cb.per_mvd) {
+            assert_eq!(e.to_bits(), est.epsilon.to_bits());
+        }
+        assert_eq!(pb.per_mvd_qualified, cb.per_mvd_qualified);
+        assert_eq!(
+            pb.schema_bound.sum_cmi_bound.to_bits(),
+            cb.schema_bound.sum_cmi_bound.to_bits()
+        );
     }
 
     /// Regression: an out-of-range `delta` used to `assert!` (panicking in
     /// library code); it must now surface as a proper error.
     #[test]
-    fn probabilistic_bounds_reject_out_of_range_delta() {
+    fn confidence_bounds_reject_out_of_range_delta() {
         let r = bijection_relation(4);
         let rep = Analyzer::new(&r).analyze(&cross_tree()).unwrap();
         for bad in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
-            let err = rep.probabilistic_bounds(bad).unwrap_err();
+            let err = rep.confidence_bounds(bad).unwrap_err();
             assert!(
                 matches!(err, RelationError::InvalidParameter { what: "delta", .. }),
                 "expected InvalidParameter for delta = {bad}, got {err}"
             );
         }
-        assert!(rep.probabilistic_bounds(0.05).is_ok());
+        assert!(rep.confidence_bounds(0.05).is_ok());
     }
 
     /// Regression: for multiset relations the spurious-tuple count used to

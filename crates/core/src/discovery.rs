@@ -23,8 +23,8 @@
 //!    conditional mutual information.
 
 use crate::batch::BatchAnalyzer;
+use crate::engine::LossEngine;
 use ajd_bounds::j_lower_bound_on_loss;
-use ajd_info::jmeasure::j_measure;
 use ajd_info::{conditional_mutual_information, mutual_information};
 use ajd_jointree::{JoinTree, Mvd};
 use ajd_relation::{
@@ -111,55 +111,10 @@ impl SchemaMiner {
             return Err(RelationError::EmptyInput("relation for schema discovery"));
         }
         let attrs: Vec<AttrId> = src.attrs().iter().collect();
-        let n = attrs.len();
-        if n == 1 {
-            return JoinTree::new(vec![AttrSet::singleton(attrs[0])], vec![]);
-        }
-
-        // All pairwise mutual informations.
-        let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let mi = mutual_information(
-                    src,
-                    &AttrSet::singleton(attrs[i]),
-                    &AttrSet::singleton(attrs[j]),
-                )?;
-                edges.push((mi, i, j));
-            }
-        }
-        // Maximum spanning tree (Kruskal with a tiny union-find).
-        edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-            if parent[x] != x {
-                let root = find(parent, parent[x]);
-                parent[x] = root;
-            }
-            parent[x]
-        }
-        let mut chosen: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
-        for (_w, i, j) in edges {
-            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-            if ri != rj {
-                parent[ri] = rj;
-                chosen.push((i, j));
-                if chosen.len() == n - 1 {
-                    break;
-                }
-            }
-        }
-        debug_assert_eq!(chosen.len(), n - 1);
-
-        // Bags are the chosen attribute pairs; the schema of a tree of pairs
-        // is acyclic, so GYO yields its join tree.
-        let bags: Vec<AttrSet> = chosen
-            .iter()
-            .map(|&(i, j)| AttrSet::from_slice(&[attrs[i], attrs[j]]))
-            .collect();
-        JoinTree::from_acyclic_schema(&bags)
+        chow_liu_from_pairwise(&attrs, |x, y| {
+            mutual_information(src, &AttrSet::singleton(x), &AttrSet::singleton(y))
+        })
     }
-
     /// Mines an acyclic schema: Chow–Liu tree followed by greedy edge
     /// contraction until the J-measure drops below the configured threshold
     /// (or no admissible contraction remains).
@@ -188,13 +143,38 @@ impl SchemaMiner {
         &self,
         batch: &BatchAnalyzer<S>,
     ) -> Result<MinedSchema> {
-        let ctx = batch.context();
-        let mut tree = self.chow_liu_tree_with(&ctx)?;
-        let mut j = j_measure(&ctx, &tree)?;
+        // `BatchAnalyzer`'s engine routes every score through the same
+        // context and free functions this method used to call directly, so
+        // delegating is bit-identical (the regression test below pins it).
+        self.mine_engine(batch)
+    }
+
+    /// [`SchemaMiner::mine`] over any [`LossEngine`] — the same Chow–Liu +
+    /// greedy-contraction pipeline, scored through the engine's
+    /// [`Estimate`](crate::Estimate)-returning measures.
+    ///
+    /// Passing an exact engine ([`Analyzer`](crate::Analyzer) or
+    /// [`BatchAnalyzer`]) reproduces [`SchemaMiner::mine`] bit-for-bit;
+    /// passing an [`EstimatedAnalyzer`](crate::EstimatedAnalyzer) mines on
+    /// its seeded row sample, trading exactness for sublinear scoring on
+    /// large relations (deterministic for a fixed seed).  The mined
+    /// `j_measure` / `rho_lower_bound` are then point values of whatever
+    /// tier the engine answers from.
+    pub fn mine_engine<E: LossEngine>(&self, engine: &E) -> Result<MinedSchema> {
+        if engine.relation_is_empty() {
+            return Err(RelationError::EmptyInput("relation for schema discovery"));
+        }
+        let attrs: Vec<AttrId> = engine.relation_attrs().iter().collect();
+        let mut tree = chow_liu_from_pairwise(&attrs, |x, y| {
+            Ok(engine
+                .mutual_information_estimate(&AttrSet::singleton(x), &AttrSet::singleton(y))?
+                .value)
+        })?;
+        let mut j = engine.j_measure_estimate(&tree)?.value;
 
         while j > self.config.j_threshold && tree.num_edges() > 0 {
-            // Score every admissible contraction in parallel and keep the
-            // one with the smallest resulting J.
+            // Score every admissible contraction and keep the one with the
+            // smallest resulting J (in parallel when the engine fans out).
             let mut candidates: Vec<JoinTree> = Vec::with_capacity(tree.num_edges());
             for e in 0..tree.num_edges() {
                 let (u, v) = tree.edges()[e];
@@ -205,8 +185,12 @@ impl SchemaMiner {
                 candidates.push(tree.contract_edge(e)?);
             }
             let mut best: Option<(usize, f64)> = None;
-            for (i, cj) in batch.j_measures(&candidates).into_iter().enumerate() {
-                let cj = cj?;
+            for (i, cj) in engine
+                .j_measures_estimate(&candidates)
+                .into_iter()
+                .enumerate()
+            {
+                let cj = cj?.value;
                 if best.is_none_or(|(_, bj)| cj < bj) {
                     best = Some((i, cj));
                 }
@@ -309,6 +293,58 @@ impl SchemaMiner {
         }
         Ok(best)
     }
+}
+
+/// Maximum-spanning-tree (Kruskal) Chow–Liu construction over a caller-
+/// supplied pairwise mutual-information oracle.  Shared by the exact
+/// [`GroupSource`] path and the [`LossEngine`]-generic miner so both build
+/// the identical tree from identical scores.
+fn chow_liu_from_pairwise(
+    attrs: &[AttrId],
+    mut mi: impl FnMut(AttrId, AttrId) -> Result<f64>,
+) -> Result<JoinTree> {
+    let n = attrs.len();
+    if n == 1 {
+        return JoinTree::new(vec![AttrSet::singleton(attrs[0])], vec![]);
+    }
+
+    // All pairwise mutual informations.
+    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((mi(attrs[i], attrs[j])?, i, j));
+        }
+    }
+    // Maximum spanning tree (Kruskal with a tiny union-find).
+    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut chosen: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
+    for (_w, i, j) in edges {
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri != rj {
+            parent[ri] = rj;
+            chosen.push((i, j));
+            if chosen.len() == n - 1 {
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(chosen.len(), n - 1);
+
+    // Bags are the chosen attribute pairs; the schema of a tree of pairs
+    // is acyclic, so GYO yields its join tree.
+    let bags: Vec<AttrSet> = chosen
+        .iter()
+        .map(|&(i, j)| AttrSet::from_slice(&[attrs[i], attrs[j]]))
+        .collect();
+    JoinTree::from_acyclic_schema(&bags)
 }
 
 #[cfg(test)]

@@ -33,6 +33,18 @@
 //! one-shot use (`j_measure(&r, &tree)`); they are the same generic code
 //! path the analyzer calls, so results are bit-identical either way.
 //!
+//! ## The estimation tier
+//!
+//! [`EstimatedAnalyzer`] answers the same measures from a seeded,
+//! planned-size row sample in sublinear time, returning every answer as an
+//! [`Estimate`] carrying its (ε, δ, seed, sample size) and concentration
+//! bound; it falls back to the exact kernel (bit-identically) when the
+//! planned sample would cover the relation.  The [`LossEngine`] trait is
+//! the one API over both tiers — [`Analyzer`], [`BatchAnalyzer`] and
+//! [`EstimatedAnalyzer`] all implement it, with the exact paths reporting
+//! `ε = 0` — so consumers like [`SchemaMiner::mine_engine`] never fork on
+//! exact-vs-estimated.
+//!
 //! ```
 //! use ajd_core::Analyzer;
 //! use ajd_jointree::JoinTree;
@@ -58,9 +70,13 @@
 pub mod analysis;
 pub mod batch;
 pub mod discovery;
+pub mod engine;
+pub mod estimate;
 pub mod live;
 
-pub use analysis::{Analyzer, LossReport, MvdLoss, ProbabilisticBounds};
+pub use analysis::{Analyzer, ConfidenceBounds, LossReport, MvdLoss, ProbabilisticBounds};
 pub use batch::BatchAnalyzer;
 pub use discovery::{DiscoveryConfig, MinedSchema, SchemaMiner};
+pub use engine::LossEngine;
+pub use estimate::{BoundKind, Estimate, EstimateConfig, EstimatedAnalyzer, SamplePlanner};
 pub use live::{LiveAnalyzer, LiveStats};

@@ -95,12 +95,15 @@ pub const RULES: &[RuleInfo] = &[
 ];
 
 /// Crates whose first-appearance orderings are part of the public contract
-/// (flat ≡ sharded bit-identity, deterministic wire frames).
-const DETERMINISM_CRATES: &[&str] = &["relation", "jointree", "info", "core", "server"];
+/// (flat ≡ sharded bit-identity, deterministic wire frames).  `randrel` is
+/// here because the estimation tier's seeded row samples flow through its
+/// `sample_distinct`: a nondeterministic iteration order there would break
+/// every `Estimate`'s reproducibility guarantee.
+const DETERMINISM_CRATES: &[&str] = &["relation", "jointree", "info", "core", "server", "randrel"];
 /// Crates on the exact ρ/J/loss counting path.
 const COUNTING_CRATES: &[&str] = &["relation", "jointree", "info", "core", "server"];
 /// Crates whose outputs must be reproducible bit-for-bit from inputs alone.
-const KERNEL_CRATES: &[&str] = &["relation", "jointree", "info", "core"];
+const KERNEL_CRATES: &[&str] = &["relation", "jointree", "info", "core", "randrel"];
 /// Crates that have adopted `#![deny(missing_docs)]` (ratchet: once a crate
 /// lands here it cannot regress to `warn`).
 const MISSING_DOCS_DENY: &[&str] = &["relation", "core", "server", "lint", "sync", "model"];

@@ -36,6 +36,7 @@ use crate::error::{RelationError, Result};
 use crate::hash::{FxHashMap, FxHasher};
 use crate::parallel::ThreadBudget;
 use crate::relation::{GroupCounts, GroupIds, Relation};
+use crate::sketch::KmvSketch;
 use ajd_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use ajd_sync::{OnceSlot, RwLock};
 use std::hash::{Hash, Hasher};
@@ -124,6 +125,31 @@ pub trait GroupKernel: GroupSource + Sync {
 
     /// [`GroupSource::projection`] computed under a [`ThreadBudget`].
     fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation>;
+
+    /// Materialises the rows at the given **sorted, strictly increasing**
+    /// global row indices as a fresh flat [`Relation`].
+    ///
+    /// This is the estimation tier's sampled-read kernel: a seeded
+    /// without-replacement index draw is sorted ascending and gathered here.
+    /// Because the result is rebuilt from *decoded* values in global row
+    /// order, its dictionaries follow first-appearance order of the sampled
+    /// rows alone — the same `(source rows, indices)` therefore yields a
+    /// bit-identical sample relation from a flat [`Relation`] and from any
+    /// sharding of it (the same argument as
+    /// [`crate::ShardedRelation::collect`]).
+    ///
+    /// Errors with [`crate::RelationError::InvalidParameter`] if the indices
+    /// are out of range, unsorted, or contain duplicates.
+    fn gather_rows(&self, sorted_rows: &[u64]) -> Result<Relation>;
+
+    /// Streams the `attrs`-projection of every row through a seeded
+    /// [`KmvSketch`] with `k` minimum values, without materialising a group
+    /// table.
+    ///
+    /// The sketch hashes decoded values and its merge is order-independent,
+    /// so flat and sharded sources produce **identical** sketches for the
+    /// same `(rows, attrs, k, seed)`.
+    fn distinct_sketch(&self, attrs: &AttrSet, k: usize, seed: u64) -> Result<KmvSketch>;
 }
 
 impl GroupSource for Relation {
@@ -163,6 +189,14 @@ impl GroupKernel for Relation {
 
     fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
         Relation::project_with(self, attrs, budget)
+    }
+
+    fn gather_rows(&self, sorted_rows: &[u64]) -> Result<Relation> {
+        Relation::gather_rows(self, sorted_rows)
+    }
+
+    fn distinct_sketch(&self, attrs: &AttrSet, k: usize, seed: u64) -> Result<KmvSketch> {
+        Relation::distinct_sketch(self, attrs, k, seed)
     }
 }
 
@@ -204,6 +238,14 @@ impl<S: GroupKernel + ?Sized> GroupKernel for &S {
     fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
         (**self).project_with(attrs, budget)
     }
+
+    fn gather_rows(&self, sorted_rows: &[u64]) -> Result<Relation> {
+        (**self).gather_rows(sorted_rows)
+    }
+
+    fn distinct_sketch(&self, attrs: &AttrSet, k: usize, seed: u64) -> Result<KmvSketch> {
+        (**self).distinct_sketch(attrs, k, seed)
+    }
 }
 
 impl<S: GroupSource + ?Sized> GroupSource for Arc<S> {
@@ -243,6 +285,14 @@ impl<S: GroupKernel + Send + ?Sized> GroupKernel for Arc<S> {
 
     fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
         (**self).project_with(attrs, budget)
+    }
+
+    fn gather_rows(&self, sorted_rows: &[u64]) -> Result<Relation> {
+        (**self).gather_rows(sorted_rows)
+    }
+
+    fn distinct_sketch(&self, attrs: &AttrSet, k: usize, seed: u64) -> Result<KmvSketch> {
+        (**self).distinct_sketch(attrs, k, seed)
     }
 }
 

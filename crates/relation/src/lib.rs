@@ -85,6 +85,7 @@ pub mod join;
 pub mod parallel;
 pub mod relation;
 pub mod shard;
+pub mod sketch;
 pub mod snapshot;
 
 pub use attr::{AttrId, AttrSet};
@@ -98,4 +99,5 @@ pub use io::{
 pub use parallel::ThreadBudget;
 pub use relation::{GroupCounts, GroupIds, Relation, RowIter, Value};
 pub use shard::{RelationShard, ShardCacheStats, ShardedRelation};
+pub use sketch::KmvSketch;
 pub use snapshot::ShardedStore;

@@ -27,6 +27,7 @@ use crate::attr::{AttrId, AttrSet};
 use crate::error::{RelationError, Result};
 use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap};
 use crate::parallel::{chunk_bounds, ThreadBudget};
+use crate::sketch::KmvSketch;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::fmt;
@@ -382,6 +383,32 @@ impl GroupCounts {
     }
 }
 
+/// Checks a gather index list: every index in range, strictly increasing.
+///
+/// Shared by the flat and sharded [`crate::GroupKernel::gather_rows`]
+/// implementations so both reject malformed draws identically.
+pub(crate) fn validate_gather_indices(sorted_rows: &[u64], num_rows: u64) -> Result<()> {
+    let mut prev: Option<u64> = None;
+    for &i in sorted_rows {
+        if i >= num_rows {
+            return Err(RelationError::InvalidParameter {
+                what: "row index",
+                detail: format!("index {i} out of range for {num_rows} rows"),
+            });
+        }
+        if let Some(p) = prev {
+            if i <= p {
+                return Err(RelationError::InvalidParameter {
+                    what: "row indices",
+                    detail: format!("must be strictly increasing, got {p} then {i}"),
+                });
+            }
+        }
+        prev = Some(i);
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Relation
 // ---------------------------------------------------------------------------
@@ -456,6 +483,38 @@ impl Relation {
         self.data.extend_from_slice(row);
         self.rows += 1;
         Ok(())
+    }
+
+    /// Materialises the rows at the given **sorted, strictly increasing**
+    /// row indices as a fresh relation over the same schema.
+    ///
+    /// The result is rebuilt row by row from decoded values, so its
+    /// dictionaries follow first-appearance order *of the sampled rows* —
+    /// the property that makes a gathered sample layout-independent (see
+    /// [`crate::GroupKernel::gather_rows`]).
+    pub fn gather_rows(&self, sorted_rows: &[u64]) -> Result<Relation> {
+        validate_gather_indices(sorted_rows, self.rows as u64)?;
+        let mut out = Relation::with_capacity(self.schema.clone(), sorted_rows.len())?;
+        for &i in sorted_rows {
+            out.push_row(self.row(i as usize))?;
+        }
+        Ok(out)
+    }
+
+    /// Streams the `attrs`-projection of every row through a seeded
+    /// [`KmvSketch`] with `k` minimum values (see
+    /// [`crate::GroupKernel::distinct_sketch`]).
+    pub fn distinct_sketch(&self, attrs: &AttrSet, k: usize, seed: u64) -> Result<KmvSketch> {
+        let positions = self.attr_positions(attrs)?;
+        let mut sketch = KmvSketch::new(k, seed);
+        let mut key = vec![0 as Value; positions.len()];
+        for row in self.iter_rows() {
+            for (slot, &p) in key.iter_mut().zip(&positions) {
+                *slot = row[p];
+            }
+            sketch.observe(&key);
+        }
+        Ok(sketch)
     }
 
     // ------------------------------------------------------------------

@@ -60,6 +60,7 @@ use crate::error::{RelationError, Result};
 use crate::hash::FxHashMap;
 use crate::parallel::{chunk_bounds, ThreadBudget, MAX_CHUNK_WORKERS};
 use crate::relation::{bit_width, merge_spans, GroupCounts, GroupIds, Relation, SpanGroups, Value};
+use crate::sketch::KmvSketch;
 use ajd_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use ajd_sync::{OnceSlot, RwLock};
 use std::fmt;
@@ -750,6 +751,45 @@ impl ShardedRelation {
         }
         out
     }
+
+    /// Materialises the rows at the given **sorted, strictly increasing**
+    /// global row indices as a fresh flat [`Relation`] — bit-identical to
+    /// [`Relation::gather_rows`] on the collected flat relation, because
+    /// both rebuild from decoded values in global row order (see
+    /// [`crate::GroupKernel::gather_rows`]).
+    pub fn gather_rows(&self, sorted_rows: &[u64]) -> Result<Relation> {
+        crate::relation::validate_gather_indices(sorted_rows, self.rows as u64)?;
+        let mut out = Relation::with_capacity(self.schema.clone(), sorted_rows.len())?;
+        let mut cursor = 0usize;
+        let mut offset = 0u64;
+        for shard in &self.shards {
+            let end = offset + shard.local.len() as u64;
+            while cursor < sorted_rows.len() && sorted_rows[cursor] < end {
+                out.push_row(shard.local.row((sorted_rows[cursor] - offset) as usize))?;
+                cursor += 1;
+            }
+            offset = end;
+        }
+        Ok(out)
+    }
+
+    /// Streams the `attrs`-projection of every shard through a seeded
+    /// [`KmvSketch`] and merges the shard-local sketches in shard order.
+    ///
+    /// The sketch hashes *decoded* values and its merge is
+    /// order-independent, so the result is **identical** to
+    /// [`Relation::distinct_sketch`] on the collected flat relation at any
+    /// shard count.
+    pub fn distinct_sketch(&self, attrs: &AttrSet, k: usize, seed: u64) -> Result<KmvSketch> {
+        // Validate against the global schema first so an unknown attribute
+        // errors identically to the flat path even with zero shards.
+        self.attr_positions(attrs)?;
+        let mut merged = KmvSketch::new(k, seed);
+        for shard in &self.shards {
+            merged.merge(&shard.local.distinct_sketch(attrs, k, seed)?);
+        }
+        Ok(merged)
+    }
 }
 
 impl Relation {
@@ -812,6 +852,14 @@ impl GroupKernel for ShardedRelation {
 
     fn project_with(&self, attrs: &AttrSet, budget: ThreadBudget) -> Result<Relation> {
         ShardedRelation::project_with(self, attrs, budget)
+    }
+
+    fn gather_rows(&self, sorted_rows: &[u64]) -> Result<Relation> {
+        ShardedRelation::gather_rows(self, sorted_rows)
+    }
+
+    fn distinct_sketch(&self, attrs: &AttrSet, k: usize, seed: u64) -> Result<KmvSketch> {
+        ShardedRelation::distinct_sketch(self, attrs, k, seed)
     }
 }
 

@@ -169,6 +169,23 @@ pub enum Request {
         /// Bag-size cap; unlimited when omitted.
         max_bag_size: Option<usize>,
     },
+    /// A sampled estimate of a measure with error bars: the answer comes
+    /// from a seeded row sample (falling back to the exact kernel when the
+    /// planned sample would cover the relation) and carries its (ε, δ,
+    /// seed, sample size) and concentration bound.
+    Estimate {
+        /// Catalog entry to measure.
+        relation: String,
+        /// Which measure to estimate, plus its resolved operands.
+        target: EstimateTarget,
+        /// Target half-width ε in nats; server default when omitted.
+        epsilon: Option<f64>,
+        /// Failure probability δ; server default when omitted.
+        delta: Option<f64>,
+        /// Sampling seed; `0` when omitted (estimates are deterministic in
+        /// the seed).
+        seed: Option<u64>,
+    },
     /// Append a batch of rows to a **sharded** relation as one new shard,
     /// advancing its epoch.  Exactly one of `rows` / `text` carries the
     /// payload.
@@ -185,6 +202,51 @@ pub enum Request {
     },
 }
 
+/// The measure an `estimate` request targets, with its operands already
+/// shape-checked (name resolution against the relation's catalog happens
+/// at dispatch).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateTarget {
+    /// `H(attrs)`; operand field `"attrs"`.
+    Entropy {
+        /// Attribute names (possibly empty: `H(∅) = 0`).
+        attrs: Vec<String>,
+    },
+    /// `I(A;B|C)`; operand fields `"a"`, `"b"`, `"c"` (an empty `"c"`
+    /// makes it plain mutual information).
+    Cmi {
+        /// Attribute names of `A`.
+        a: Vec<String>,
+        /// Attribute names of `B`.
+        b: Vec<String>,
+        /// Attribute names of the conditioning set `C`.
+        c: Vec<String>,
+    },
+    /// `J(T)`; operand field `"schema"`.
+    JMeasure {
+        /// Schema bags as arrays of attribute names.
+        schema: Vec<Vec<String>>,
+    },
+    /// `ρ(R,S)` of the sample, with ε on the `log(1+ρ)` scale the
+    /// concentration bound lives on; operand field `"schema"`.
+    Loss {
+        /// Schema bags as arrays of attribute names.
+        schema: Vec<Vec<String>>,
+    },
+}
+
+impl EstimateTarget {
+    /// The wire spelling of the `"measure"` field.
+    pub fn measure(&self) -> &'static str {
+        match self {
+            EstimateTarget::Entropy { .. } => "entropy",
+            EstimateTarget::Cmi { .. } => "cmi",
+            EstimateTarget::JMeasure { .. } => "j",
+            EstimateTarget::Loss { .. } => "loss",
+        }
+    }
+}
+
 impl Request {
     /// The `"op"` value naming this request on the wire.
     pub fn op(&self) -> &'static str {
@@ -196,6 +258,7 @@ impl Request {
             Request::JMeasure { .. } => "j",
             Request::Analyze { .. } => "analyze",
             Request::Mine { .. } => "mine",
+            Request::Estimate { .. } => "estimate",
             Request::Append { .. } => "append",
         }
     }
@@ -270,6 +333,62 @@ impl Request {
                 j_threshold: optional_f64(frame, "j_threshold")?,
                 max_bag_size: optional_usize(frame, "max_bag_size")?,
             }),
+            "estimate" => {
+                let relation = required_string(frame, "relation")?;
+                let measure = required_string(frame, "measure")?;
+                let target = match measure.as_str() {
+                    "entropy" => EstimateTarget::Entropy {
+                        attrs: string_array(frame, "attrs")?,
+                    },
+                    "cmi" => EstimateTarget::Cmi {
+                        a: string_array(frame, "a")?,
+                        b: string_array(frame, "b")?,
+                        c: string_array(frame, "c")?,
+                    },
+                    "j" => EstimateTarget::JMeasure {
+                        schema: schema_field(frame)?,
+                    },
+                    "loss" => EstimateTarget::Loss {
+                        schema: schema_field(frame)?,
+                    },
+                    other => {
+                        return Err(Failure::new(
+                            ErrorCode::BadRequest,
+                            format!(
+                                "unknown estimate measure \"{other}\" \
+                                 (expected \"entropy\", \"cmi\", \"j\" or \"loss\")"
+                            ),
+                        ))
+                    }
+                };
+                // ε and δ gate the sampling plan; reject nonsense here so a
+                // bad request never reads as a server-side failure.
+                let epsilon = optional_f64(frame, "epsilon")?;
+                if let Some(e) = epsilon {
+                    if e <= 0.0 {
+                        return Err(Failure::new(
+                            ErrorCode::BadRequest,
+                            "field \"epsilon\" must be positive",
+                        ));
+                    }
+                }
+                let delta = optional_f64(frame, "delta")?;
+                if let Some(d) = delta {
+                    if !(d > 0.0 && d < 1.0) {
+                        return Err(Failure::new(
+                            ErrorCode::BadRequest,
+                            "field \"delta\" must lie strictly between 0 and 1",
+                        ));
+                    }
+                }
+                Ok(Request::Estimate {
+                    relation,
+                    target,
+                    epsilon,
+                    delta,
+                    seed: optional_u64(frame, "seed")?,
+                })
+            }
             "append" => {
                 let relation = required_string(frame, "relation")?;
                 let rows = rows_field(frame)?;
@@ -329,6 +448,19 @@ fn optional_f64(frame: &Json, field: &str) -> Result<Option<f64>, Failure> {
             ErrorCode::BadRequest,
             format!("field \"{field}\" must be a finite number when present"),
         )),
+    }
+}
+
+fn optional_u64(frame: &Json, field: &str) -> Result<Option<u64>, Failure> {
+    match frame.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) => Ok(Some(n)),
+            None => Err(Failure::new(
+                ErrorCode::BadRequest,
+                format!("field \"{field}\" must be a non-negative integer when present"),
+            )),
+        },
     }
 }
 
@@ -570,6 +702,43 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_ok(
+                r#"{"op":"estimate","relation":"r","measure":"entropy","attrs":["a"],"epsilon":0.05,"delta":0.01,"seed":7}"#
+            ),
+            Request::Estimate {
+                relation: "r".into(),
+                target: EstimateTarget::Entropy {
+                    attrs: vec!["a".into()],
+                },
+                epsilon: Some(0.05),
+                delta: Some(0.01),
+                seed: Some(7),
+            }
+        );
+        assert_eq!(
+            parse_ok(
+                r#"{"op":"estimate","relation":"r","measure":"cmi","a":["x"],"b":["y"],"c":[]}"#
+            ),
+            Request::Estimate {
+                relation: "r".into(),
+                target: EstimateTarget::Cmi {
+                    a: vec!["x".into()],
+                    b: vec!["y".into()],
+                    c: vec![],
+                },
+                epsilon: None,
+                delta: None,
+                seed: None,
+            }
+        );
+        assert!(matches!(
+            parse_ok(r#"{"op":"estimate","relation":"r","measure":"loss","schema":[["a"],["b"]]}"#),
+            Request::Estimate {
+                target: EstimateTarget::Loss { .. },
+                ..
+            }
+        ));
+        assert_eq!(
             parse_ok(r#"{"op":"append","relation":"r","rows":[["a","b"],["c","d"]]}"#),
             Request::Append {
                 relation: "r".into(),
@@ -669,6 +838,38 @@ mod tests {
         );
         assert_eq!(
             parse_err(r#"{"op":"mine","relation":"r","max_bag_size":-1}"#).code,
+            ErrorCode::BadRequest
+        );
+        // estimate: out-of-range knobs and unknown measures fail at parse,
+        // so they can never surface as `internal` from the sampling plan.
+        assert_eq!(
+            parse_err(
+                r#"{"op":"estimate","relation":"r","measure":"entropy","attrs":["a"],"epsilon":0}"#
+            )
+            .code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(
+                r#"{"op":"estimate","relation":"r","measure":"entropy","attrs":["a"],"delta":1}"#
+            )
+            .code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(
+                r#"{"op":"estimate","relation":"r","measure":"entropy","attrs":["a"],"seed":-3}"#
+            )
+            .code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"estimate","relation":"r","measure":"median","attrs":["a"]}"#).code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"estimate","relation":"r","measure":"cmi","a":["x"],"b":["y"]}"#)
+                .code,
             ErrorCode::BadRequest
         );
         let (_, req) = Request::parse(&Json::Num(4.0));

@@ -28,9 +28,14 @@
 
 use crate::admission::{Admission, AdmissionConfig, PoolStats};
 use crate::json::Json;
-use crate::protocol::{error_frame, ok_frame, u128_field, ErrorCode, Failure, Request};
+use crate::protocol::{
+    error_frame, ok_frame, u128_field, ErrorCode, EstimateTarget, Failure, Request,
+};
 use crate::store::{RelationStore, StoreData};
-use ajd_core::{Analyzer, DiscoveryConfig, LiveAnalyzer, LossReport, SchemaMiner};
+use ajd_core::{
+    Analyzer, DiscoveryConfig, EstimateConfig, EstimatedAnalyzer, LiveAnalyzer, LossReport,
+    SchemaMiner,
+};
 use ajd_jointree::JoinTree;
 use ajd_relation::{
     AttrSet, CacheStats, Catalog, Relation, ShardCacheStats, ShardedStore, ThreadBudget,
@@ -346,6 +351,85 @@ impl<'a> Server<'a> {
                         "rho_lower_bound".to_owned(),
                         Json::Num(mined.rho_lower_bound),
                     ),
+                ])
+            }
+            Request::Estimate {
+                relation,
+                target,
+                epsilon,
+                delta,
+                seed,
+            } => {
+                let _slot = self.admit_point()?;
+                let entry = self.find(relation)?;
+                let mut cfg = EstimateConfig::default();
+                if let Some(e) = epsilon {
+                    cfg = cfg.with_epsilon(*e);
+                }
+                if let Some(d) = delta {
+                    cfg = cfg.with_delta(*d);
+                }
+                if let Some(s) = seed {
+                    cfg = cfg.with_seed(*s);
+                }
+                // Resolve names against the catalog before any sampling
+                // work, so name errors are cheap and precisely coded.
+                enum Resolved {
+                    Entropy(AttrSet),
+                    Cmi(AttrSet, AttrSet, AttrSet),
+                    Tree(JoinTree, bool),
+                }
+                let resolved = {
+                    let catalog = entry.catalog.read();
+                    let attrs = |names: &Vec<String>| {
+                        catalog
+                            .attrs(names.iter())
+                            .map_err(|e| Failure::from_relation_error(&e))
+                    };
+                    match target {
+                        EstimateTarget::Entropy { attrs: names } => {
+                            Resolved::Entropy(attrs(names)?)
+                        }
+                        EstimateTarget::Cmi { a, b, c } => {
+                            Resolved::Cmi(attrs(a)?, attrs(b)?, attrs(c)?)
+                        }
+                        EstimateTarget::JMeasure { schema } => Resolved::Tree(
+                            resolve_schema(&catalog, entry.store.data().arity(), schema)?,
+                            false,
+                        ),
+                        EstimateTarget::Loss { schema } => Resolved::Tree(
+                            resolve_schema(&catalog, entry.store.data().arity(), schema)?,
+                            true,
+                        ),
+                    }
+                };
+                let budget = ThreadBudget::new(self.config.point_threads);
+                let est = with_analyzer!(entry, |an| {
+                    let ea = EstimatedAnalyzer::with_thread_budget(an.source(), cfg, budget)
+                        .map_err(|e| Failure::from_relation_error(&e))?;
+                    match &resolved {
+                        Resolved::Entropy(set) => ea.entropy(set),
+                        Resolved::Cmi(a, b, c) => ea.cmi(a, b, c),
+                        Resolved::Tree(tree, false) => ea.j_measure(tree),
+                        Resolved::Tree(tree, true) => ea.loss(tree),
+                    }
+                    .map_err(|e| Failure::from_relation_error(&e))
+                })?;
+                Ok(vec![
+                    ("op".to_owned(), Json::str("estimate")),
+                    ("relation".to_owned(), Json::str(relation.clone())),
+                    ("measure".to_owned(), Json::str(target.measure())),
+                    ("value".to_owned(), Json::Num(est.value)),
+                    ("epsilon".to_owned(), Json::Num(est.epsilon)),
+                    ("delta".to_owned(), Json::Num(est.delta)),
+                    (
+                        "seed".to_owned(),
+                        est.seed.map_or(Json::Null, |s| Json::Num(s as f64)),
+                    ),
+                    ("sample_rows".to_owned(), Json::Num(est.sample_rows as f64)),
+                    ("rows".to_owned(), Json::Num(est.total_rows as f64)),
+                    ("bound".to_owned(), Json::str(est.bound.as_str())),
+                    ("exact".to_owned(), Json::Bool(est.is_exact())),
                 ])
             }
             Request::Append {
@@ -882,6 +966,79 @@ os,bob,r2
         let misses_warm = cache.get("misses").and_then(Json::as_u64).unwrap();
         assert_eq!(misses_warm, misses_cold, "warm query must not miss");
         assert!(cache.get("hits").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn estimate_falls_back_to_exact_on_tiny_relations() {
+        let stores = stores();
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server.handle_line(
+            r#"{"op":"estimate","relation":"courses","measure":"entropy","attrs":["course"]}"#,
+        );
+        let v = ok_get(&frame, "value").as_f64().unwrap();
+        assert!((v - 2.0f64.ln()).abs() < 1e-12, "H(course) = ln 2, got {v}");
+        assert_eq!(ok_get(&frame, "exact").as_bool(), Some(true));
+        assert_eq!(ok_get(&frame, "epsilon").as_f64(), Some(0.0));
+        assert_eq!(ok_get(&frame, "bound").as_str(), Some("exact"));
+        assert_eq!(ok_get(&frame, "sample_rows").as_u64(), Some(4));
+        assert_eq!(ok_get(&frame, "rows").as_u64(), Some(4));
+        assert_eq!(frame.get("seed"), Some(&Json::Null));
+        // The lossless schema's J estimate is exactly 0 on the fallback path.
+        let frame = server.handle_line(
+            r#"{"op":"estimate","relation":"courses","measure":"j","schema":[["course","teacher"],["course","room"]]}"#,
+        );
+        assert!(ok_get(&frame, "value").as_f64().unwrap().abs() < 1e-12);
+        assert_eq!(ok_get(&frame, "measure").as_str(), Some("j"));
+        // And the CMI of the MVD behind it is 0 too.
+        let frame = server.handle_line(
+            r#"{"op":"estimate","relation":"courses","measure":"cmi","a":["teacher"],"b":["room"],"c":["course"]}"#,
+        );
+        assert!(ok_get(&frame, "value").as_f64().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_samples_large_relations_deterministically() {
+        let mut text = String::from("a,b\n");
+        for i in 0..10_000u32 {
+            text.push_str(&format!("{},{}\n", i % 64, (i / 64) % 64));
+        }
+        let stores =
+            vec![RelationStore::from_delimited("big", &text, ReadOptions::default()).unwrap()];
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let line = r#"{"op":"estimate","relation":"big","measure":"entropy","attrs":["a"],"epsilon":0.5,"seed":42}"#;
+        let frame = server.handle_line(line);
+        assert_eq!(ok_get(&frame, "exact").as_bool(), Some(false));
+        assert_eq!(ok_get(&frame, "bound").as_str(), Some("mcdiarmid"));
+        assert_eq!(ok_get(&frame, "seed").as_u64(), Some(42));
+        let sample = ok_get(&frame, "sample_rows").as_u64().unwrap();
+        assert!(
+            sample > 0 && sample < 10_000,
+            "ε = 0.5 must plan a strict sample, got {sample}"
+        );
+        assert_eq!(ok_get(&frame, "rows").as_u64(), Some(10_000));
+        let v = ok_get(&frame, "value").as_f64().unwrap();
+        let eps = ok_get(&frame, "epsilon").as_f64().unwrap();
+        assert!(eps > 0.0);
+        // `a` is (near-)uniform over 64 values: the sampled entropy must sit
+        // within the reported ε of ln 64 for this pinned seed.
+        assert!(
+            (v - 64f64.ln()).abs() <= eps,
+            "sampled H = {v} strayed more than ε = {eps} from ln 64"
+        );
+        // Determinism: the response frame is byte-identical on re-issue.
+        assert_eq!(frame.to_string(), server.handle_line(line).to_string());
+    }
+
+    #[test]
+    fn estimate_works_on_sharded_entries() {
+        let stores = sharded_stores("courses", 2);
+        let server = Server::new(&stores, ServerConfig::default()).unwrap();
+        let frame = server.handle_line(
+            r#"{"op":"estimate","relation":"courses","measure":"loss","schema":[["course","teacher"],["course","room"]]}"#,
+        );
+        assert_eq!(ok_get(&frame, "value").as_f64(), Some(0.0));
+        assert_eq!(ok_get(&frame, "exact").as_bool(), Some(true));
+        assert_eq!(ok_get(&frame, "measure").as_str(), Some("loss"));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`bounds`] (`ajd-bounds`) — the paper's quantitative bounds.
 //! * [`core`] (`ajd-core`) — the context-first [`core::Analyzer`] API:
 //!   one owner for the cached state of a relation, one entry point for
-//!   every measure, batch fan-out and approximate schema discovery.
+//!   every measure, batch fan-out and approximate schema discovery — plus
+//!   the sublinear estimation tier ([`core::EstimatedAnalyzer`]) behind
+//!   the unified [`core::LossEngine`] API.
 //! * [`server`] (`ajd-server`) — loss-as-a-service: a threaded TCP query
 //!   front-end over a catalog of relations, speaking the line-delimited
 //!   JSON protocol of `docs/PROTOCOL.md`, with budget-aware admission
@@ -60,8 +62,9 @@ pub mod prelude {
         epsilon_star, j_lower_bound_on_loss, loss_upper_bound_from_j, Thm51Params,
     };
     pub use ajd_core::{
-        Analyzer, BatchAnalyzer, DiscoveryConfig, LiveAnalyzer, LiveStats, LossReport, MvdLoss,
-        SchemaMiner,
+        Analyzer, BatchAnalyzer, BoundKind, ConfidenceBounds, DiscoveryConfig, Estimate,
+        EstimateConfig, EstimatedAnalyzer, LiveAnalyzer, LiveStats, LossEngine, LossReport,
+        MvdLoss, SamplePlanner, SchemaMiner,
     };
     pub use ajd_info::{conditional_mutual_information, entropy, j_measure, kl_divergence_to_tree};
     pub use ajd_jointree::{count_acyclic_join, JoinTree, Mvd, Schema};

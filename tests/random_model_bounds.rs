@@ -152,9 +152,9 @@ fn proposition_5_3_schema_bound_holds_on_samples() {
         let mut rng = StdRng::seed_from_u64(13_000 + t);
         let r = model.sample(&mut rng, n).unwrap();
         let rep = Analyzer::new(&r).analyze(&tree).unwrap();
-        let pb = rep.probabilistic_bounds(0.1).unwrap();
-        assert!(rep.log1p_rho <= pb.schema_bound.sum_cmi_bound + 1e-9);
+        let cb = rep.confidence_bounds(0.1).unwrap();
+        assert!(rep.log1p_rho <= cb.schema_bound.sum_cmi_bound + 1e-9);
         // Theorem 2.2 makes the J-based bound (eq. 34) the looser of the two.
-        assert!(pb.schema_bound.sum_cmi_bound <= pb.schema_bound.j_based_bound + 1e-9);
+        assert!(cb.schema_bound.sum_cmi_bound <= cb.schema_bound.j_based_bound + 1e-9);
     }
 }
